@@ -1,0 +1,135 @@
+// Shared infrastructure for the figure/table reproduction harnesses. Every
+// bench binary runs with no arguments at a scaled-down default size
+// (container-friendly) and accepts:
+//   --full            paper-scale datasets (1e5..1e7 objects)
+//   --scale=N         a single explicit dataset scale
+//   --threads=N       CPU worker threads (default: hardware concurrency)
+//   --units=N         simulated join units (default 16, the paper's config)
+//   --reps=N          timed repetitions after one warmup (default 3)
+#ifndef SWIFTSPATIAL_BENCH_BENCH_UTIL_H_
+#define SWIFTSPATIAL_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "datagen/generator.h"
+
+namespace swiftspatial::bench {
+
+/// Dataset family from the paper's evaluation (§5.1).
+enum class WorkloadShape { kUniform, kOsm };
+
+/// Join type from the paper's evaluation.
+enum class JoinKind { kPointPolygon, kPolygonPolygon };
+
+inline const char* ShapeName(WorkloadShape s) {
+  return s == WorkloadShape::kUniform ? "Uniform" : "OSM-like";
+}
+inline const char* JoinName(JoinKind k) {
+  return k == JoinKind::kPointPolygon ? "Point-Polygon" : "Polygon-Polygon";
+}
+
+/// Benchmark environment parsed from the command line.
+struct BenchEnv {
+  Flags flags;
+  bool full = false;
+  std::size_t cpu_threads = 1;
+  int units = 16;
+  int reps = 3;
+  std::vector<uint64_t> scales;
+
+  static BenchEnv Parse(int argc, char** argv,
+                        uint64_t default_scale = 100000) {
+    BenchEnv env;
+    env.flags = Flags::Parse(argc, argv);
+    env.full = env.flags.GetBool("full", false);
+    env.cpu_threads = static_cast<std::size_t>(env.flags.GetInt(
+        "threads",
+        std::max<int64_t>(1, std::thread::hardware_concurrency())));
+    env.units = static_cast<int>(env.flags.GetInt("units", 16));
+    env.reps = static_cast<int>(env.flags.GetInt("reps", 3));
+    if (env.flags.Has("scale")) {
+      env.scales = {static_cast<uint64_t>(env.flags.GetInt("scale", 100000))};
+    } else if (env.full) {
+      env.scales = {100000, 1000000, 10000000};
+    } else {
+      env.scales = {default_scale};
+    }
+    return env;
+  }
+};
+
+/// Builds the (R, S) pair for one paper workload. R is the point set for
+/// point-polygon joins (cuSpatial-style orientation); both sides are
+/// rectangle sets for polygon-polygon.
+struct JoinInputs {
+  Dataset r;
+  Dataset s;
+};
+
+inline JoinInputs MakeInputs(WorkloadShape shape, JoinKind kind,
+                             uint64_t scale, uint64_t seed_base = 0) {
+  JoinInputs out;
+  if (shape == WorkloadShape::kUniform) {
+    UniformConfig polygons;
+    polygons.count = scale;
+    polygons.seed = 101 + seed_base;
+    UniformConfig other = polygons;
+    other.seed = 202 + seed_base;
+    if (kind == JoinKind::kPointPolygon) {
+      out.r = GenerateUniformPoints(other);
+    } else {
+      out.r = GenerateUniform(other);
+    }
+    out.s = GenerateUniform(polygons);
+  } else {
+    OsmLikeConfig buildings;
+    buildings.count = scale;
+    buildings.seed = 303 + seed_base;
+    OsmLikeConfig other = buildings;
+    other.seed = 404 + seed_base;
+    if (kind == JoinKind::kPointPolygon) {
+      out.r = GenerateOsmLikePoints(other);
+    } else {
+      out.r = GenerateOsmLike(other);
+    }
+    out.s = GenerateOsmLike(buildings);
+  }
+  return out;
+}
+
+/// One warmup run plus `reps` timed runs; returns the median seconds.
+inline double MedianSeconds(const std::function<void()>& fn, int reps = 3) {
+  fn();  // warmup (§5.1: "a warmup run followed by three executions")
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    fn();
+    times.push_back(sw.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Formats seconds as engineering-readable milliseconds.
+inline std::string Ms(double seconds) {
+  return TablePrinter::Fmt(seconds * 1e3, seconds < 0.01 ? 3 : 1);
+}
+
+/// Formats a speedup factor, e.g. "12.3x".
+inline std::string Speedup(double baseline_seconds, double seconds) {
+  if (seconds <= 0) return "-";
+  return TablePrinter::Fmt(baseline_seconds / seconds, 2) + "x";
+}
+
+}  // namespace swiftspatial::bench
+
+#endif  // SWIFTSPATIAL_BENCH_BENCH_UTIL_H_

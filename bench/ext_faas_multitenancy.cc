@@ -1,0 +1,78 @@
+// Extension study (§4.2): FPGA-as-a-Service multi-tenancy. One FPGA's 16
+// join units are instantiated as one large kernel or several smaller ones;
+// a mixed request stream (one heavy analytical join + many interactive
+// ones) is served FCFS. Quantifies the fairness-vs-throughput trade-off
+// the section describes qualitatively.
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "faas/service.h"
+
+namespace swiftspatial::bench {
+namespace {
+
+using faas::FaasConfig;
+using faas::JoinRequest;
+using faas::SpatialJoinService;
+
+std::vector<JoinRequest> MakeMixedStream(int interactive, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JoinRequest> reqs;
+  // One heavy join: ~10^9 unit-cycles (a 10M-scale join), arriving first.
+  JoinRequest heavy;
+  heavy.arrival_seconds = 0.0;
+  heavy.parallel_unit_cycles = 1000000000ULL;
+  heavy.serial_cycles = 2000000;
+  reqs.push_back(heavy);
+  // Interactive joins: 1-5M unit-cycles, Poisson-ish arrivals over 100 ms.
+  for (int i = 0; i < interactive; ++i) {
+    JoinRequest r;
+    r.arrival_seconds = rng.Uniform(0.0, 0.1);
+    r.parallel_unit_cycles = 1000000 + rng.NextBelow(4000000);
+    r.serial_cycles = 100000;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const int interactive = static_cast<int>(flags.GetInt("requests", 64));
+  std::printf(
+      "§4.2 extension: multi-tenancy -- 1 heavy + %d interactive joins on "
+      "one 16-unit FPGA\n",
+      interactive);
+
+  TablePrinter table(
+      "FaaS kernel partitioning trade-off",
+      {"kernels", "units_each", "mean_latency_ms", "p99_latency_ms",
+       "max_wait_ms", "makespan_ms"});
+  const auto requests = MakeMixedStream(interactive, 777);
+  for (const int kernels : {1, 2, 4, 8}) {
+    FaasConfig cfg;
+    cfg.total_units = 16;
+    cfg.num_kernels = kernels;
+    SpatialJoinService svc(cfg);
+    const auto metrics = SpatialJoinService::Summarize(svc.Process(requests));
+    table.AddRow({std::to_string(kernels),
+                  std::to_string(svc.units_per_kernel()),
+                  TablePrinter::Fmt(metrics.mean_latency_seconds * 1e3, 2),
+                  TablePrinter::Fmt(metrics.p99_latency_seconds * 1e3, 2),
+                  TablePrinter::Fmt(metrics.max_wait_seconds * 1e3, 2),
+                  TablePrinter::Fmt(metrics.makespan_seconds * 1e3, 2)});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: more kernels -> sharply lower p99/max-wait for "
+      "interactive queries (fairness), at the cost of a longer makespan for "
+      "the heavy query (§4.2's trade-off).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swiftspatial::bench
+
+int main(int argc, char** argv) { return swiftspatial::bench::Main(argc, argv); }

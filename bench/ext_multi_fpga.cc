@@ -1,0 +1,74 @@
+// Extension study (§6): joins larger than device memory. The same workload
+// runs under shrinking device-memory budgets, comparing the paper's first
+// two proposals -- partition across multiple FPGAs (concurrent sub-joins)
+// versus one FPGA sweeping the partitions iteratively -- plus the
+// un-partitioned reference device with enough memory.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "hw/multi_device.h"
+
+namespace swiftspatial::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  const uint64_t scale = env.scales.front();
+  std::printf("§6 extension: larger-than-device-memory joins (scale=%lu)\n",
+              static_cast<unsigned long>(scale));
+
+  const JoinInputs in =
+      MakeInputs(WorkloadShape::kUniform, JoinKind::kPolygonPolygon, scale);
+
+  TablePrinter table(
+      "§6 -- out-of-memory strategies under shrinking device memory",
+      {"device_mem", "strategy", "grid", "partitions", "devices", "total_ms",
+       "results"});
+
+  struct Budget {
+    const char* label;
+    uint64_t bytes;
+  };
+  const Budget budgets[] = {
+      {"64 GB (fits)", 64ULL << 30},
+      {"8 MB", 8ULL << 20},
+      {"2 MB", 2ULL << 20},
+      {"1 MB", 1ULL << 20},
+  };
+  for (const Budget& budget : budgets) {
+    for (const hw::OutOfMemoryStrategy strategy :
+         {hw::OutOfMemoryStrategy::kMultipleDevices,
+          hw::OutOfMemoryStrategy::kSingleDeviceIterative}) {
+      hw::MultiDeviceConfig cfg;
+      cfg.device.num_join_units = env.units;
+      cfg.device_memory_bytes = budget.bytes;
+      cfg.strategy = strategy;
+      cfg.max_grid = 128;
+      auto report = hw::PartitionedJoin(in.r, in.s, cfg);
+      if (!report.ok()) {
+        table.AddRow({budget.label, OutOfMemoryStrategyToString(strategy),
+                      "-", "-", "-", report.status().ToString(), "-"});
+        continue;
+      }
+      table.AddRow({budget.label, OutOfMemoryStrategyToString(strategy),
+                    std::to_string(report->grid_resolution),
+                    std::to_string(report->partitions),
+                    std::to_string(report->devices),
+                    Ms(report->total_seconds),
+                    std::to_string(report->num_results)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: result counts identical across all budgets and "
+      "strategies; multi-device latency stays near the in-memory case "
+      "(parallel sub-joins) while the iterative single device degrades "
+      "roughly with the partition count (§6).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swiftspatial::bench
+
+int main(int argc, char** argv) { return swiftspatial::bench::Main(argc, argv); }

@@ -1,0 +1,97 @@
+// Extension study (§2.2): construction-method quality. Compares the four
+// R-tree construction paths the paper discusses -- dynamic Guttman
+// insertion, dynamic R* insertion, STR bulk load, Hilbert bulk load -- on
+// build time, topology metrics, window-query node accesses, and the
+// resulting synchronous-traversal join latency on the simulated device.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "hw/accelerator.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "rtree/stats.h"
+
+namespace swiftspatial::bench {
+namespace {
+
+struct Built {
+  PackedRTree tree;
+  double build_ms;
+};
+
+Built Build(const char* method, const Dataset& d, std::size_t threads) {
+  Stopwatch sw;
+  if (std::string(method) == "guttman") {
+    RTreeOptions opt;
+    opt.max_entries = 16;
+    PackedRTree t = RTree::BuildByInsertion(d, opt).Pack();
+    return {std::move(t), sw.ElapsedMillis()};
+  }
+  if (std::string(method) == "r-star") {
+    RTreeOptions opt;
+    opt.max_entries = 16;
+    opt.policy = InsertionPolicy::kRStar;
+    PackedRTree t = RTree::BuildByInsertion(d, opt).Pack();
+    return {std::move(t), sw.ElapsedMillis()};
+  }
+  BulkLoadOptions bl;
+  bl.max_entries = 16;
+  bl.num_threads = threads;
+  PackedRTree t = std::string(method) == "str" ? StrBulkLoad(d, bl)
+                                               : HilbertBulkLoad(d, bl);
+  return {std::move(t), sw.ElapsedMillis()};
+}
+
+int Main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::Parse(argc, argv, /*default_scale=*/50000);
+  const uint64_t scale = env.scales.front();
+  std::printf("§2.2 extension: R-tree construction quality (scale=%lu)\n",
+              static_cast<unsigned long>(scale));
+
+  const JoinInputs in =
+      MakeInputs(WorkloadShape::kOsm, JoinKind::kPolygonPolygon, scale);
+
+  Rng rng(77);
+  std::vector<Box> windows;
+  for (int q = 0; q < 200; ++q) {
+    const Coord x = static_cast<Coord>(rng.Uniform(0, 9000));
+    const Coord y = static_cast<Coord>(rng.Uniform(0, 9000));
+    windows.push_back(Box(x, y, x + 500, y + 500));
+  }
+
+  TablePrinter table(
+      "Construction method vs topology quality and join latency",
+      {"method", "build_ms", "leaf_fill", "leaf_overlap", "node_accesses",
+       "device_join_ms"});
+  for (const char* method : {"guttman", "r-star", "str", "hilbert"}) {
+    const Built r_built = Build(method, in.r, env.cpu_threads);
+    const Built s_built = Build(method, in.s, env.cpu_threads);
+    const TreeQualityStats q = ComputeTreeQuality(r_built.tree);
+
+    hw::AcceleratorConfig cfg;
+    cfg.num_join_units = env.units;
+    const auto report =
+        hw::Accelerator(cfg).RunSyncTraversal(r_built.tree, s_built.tree);
+
+    table.AddRow({method, TablePrinter::Fmt(r_built.build_ms + s_built.build_ms, 1),
+                  TablePrinter::Fmt(q.avg_leaf_fill, 3),
+                  TablePrinter::FmtSci(q.leaf_overlap_area, 2),
+                  TablePrinter::Fmt(AvgNodeAccesses(r_built.tree, windows), 1),
+                  Ms(report.total_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape (§2.2): bulk loading (STR/Hilbert) builds faster and "
+      "yields fuller, less-overlapping leaves than dynamic insertion; R* "
+      "improves on Guttman at a higher insert cost; better topology "
+      "translates into fewer node accesses and faster device joins.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swiftspatial::bench
+
+int main(int argc, char** argv) { return swiftspatial::bench::Main(argc, argv); }

@@ -1,0 +1,139 @@
+// Figure 8: end-to-end spatial join latency of SwiftSpatial (simulated,
+// sync-traversal and PBSM variants) against the optimized C++ baselines
+// (single/multi-threaded synchronous traversal and PBSM), across dataset
+// shapes, scales, and geometry kinds.
+//
+// Paper configuration (§5.2): node/tile size 16, 16 join units, 16 CPU
+// threads; FPGA latency includes host transfers; baselines assume data and
+// indexes already resident.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "grid/hierarchical_partition.h"
+#include "hw/accelerator.h"
+#include "join/parallel_sync_traversal.h"
+#include "join/pbsm.h"
+#include "join/sync_traversal.h"
+#include "rtree/bulk_load.h"
+
+namespace swiftspatial::bench {
+namespace {
+
+void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
+             uint64_t scale, TablePrinter* table) {
+  const JoinInputs in = MakeInputs(shape, kind, scale);
+
+  BulkLoadOptions bl;
+  bl.max_entries = 16;  // optimal per §5.3
+  bl.num_threads = env.cpu_threads;
+  const PackedRTree rt = StrBulkLoad(in.r, bl);
+  const PackedRTree st = StrBulkLoad(in.s, bl);
+
+  HierarchicalPartitionOptions hp;
+  hp.tile_cap = 16;  // optimal per §5.4
+  hp.initial_grid = 64;
+  const auto partition = PartitionHierarchical(in.r, in.s, hp);
+
+  struct Row {
+    const char* system;
+    double seconds;
+    uint64_t results;
+  };
+  std::vector<Row> rows;
+
+  // --- SwiftSpatial (simulated device; includes PCIe + launch). ---
+  {
+    hw::AcceleratorConfig cfg;
+    cfg.num_join_units = env.units;
+    const auto report = hw::Accelerator(cfg).RunSyncTraversal(rt, st);
+    rows.push_back({"SwiftSpatial SyncTrav (sim)", report.total_seconds,
+                    report.num_results});
+  }
+  {
+    hw::AcceleratorConfig cfg;
+    cfg.num_join_units = env.units;
+    const auto report = hw::Accelerator(cfg).RunPbsm(in.r, in.s, partition);
+    rows.push_back(
+        {"SwiftSpatial PBSM (sim)", report.total_seconds, report.num_results});
+  }
+
+  // --- CPU baselines (measured wall clock). ---
+  uint64_t cpu_results = 0;
+  {
+    ParallelSyncTraversalOptions opt;
+    opt.num_threads = env.cpu_threads;
+    opt.strategy = TraversalStrategy::kBfs;
+    opt.schedule = Schedule::kDynamic;
+    const double sec = MedianSeconds(
+        [&] { cpu_results = ParallelSyncTraversal(rt, st, opt).size(); },
+        env.reps);
+    rows.push_back({"C++ MT sync traversal", sec, cpu_results});
+  }
+  {
+    PbsmOptions opt;
+    opt.num_partitions = 1024;
+    opt.num_threads = env.cpu_threads;
+    const StripePartition stripes = PbsmPartition(in.r, in.s, opt);
+    uint64_t n = 0;
+    const double sec = MedianSeconds(
+        [&] { n = PbsmJoin(in.r, in.s, stripes, opt).size(); }, env.reps);
+    rows.push_back({"C++ MT PBSM", sec, n});
+  }
+  {
+    uint64_t n = 0;
+    const double sec = MedianSeconds(
+        [&] { n = SyncTraversalDfs(rt, st).size(); }, env.reps);
+    rows.push_back({"C++ ST sync traversal", sec, n});
+  }
+  {
+    PbsmOptions opt;
+    opt.num_partitions = 1024;
+    opt.num_threads = 1;
+    const StripePartition stripes = PbsmPartition(in.r, in.s, opt);
+    uint64_t n = 0;
+    const double sec = MedianSeconds(
+        [&] { n = PbsmJoin(in.r, in.s, stripes, opt).size(); }, env.reps);
+    rows.push_back({"C++ ST PBSM", sec, n});
+  }
+
+  // Best CPU baseline anchors the speedup column, as in the paper.
+  double best_cpu = 1e300;
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    best_cpu = std::min(best_cpu, rows[i].seconds);
+  }
+  for (const Row& row : rows) {
+    table->AddRow({ShapeName(shape), JoinName(kind), std::to_string(scale),
+                   row.system, Ms(row.seconds),
+                   Speedup(best_cpu, row.seconds),
+                   std::to_string(row.results)});
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  std::printf(
+      "Figure 8 reproduction: SwiftSpatial vs optimized C++ baselines\n"
+      "(units=%d, threads=%zu; speedups relative to the best CPU baseline)\n",
+      env.units, env.cpu_threads);
+
+  TablePrinter table("Fig. 8 -- end-to-end spatial join latency",
+                     {"dataset", "join", "scale", "system", "latency_ms",
+                      "vs_best_cpu", "results"});
+  for (const uint64_t scale : env.scales) {
+    for (const WorkloadShape shape :
+         {WorkloadShape::kUniform, WorkloadShape::kOsm}) {
+      for (const JoinKind kind :
+           {JoinKind::kPointPolygon, JoinKind::kPolygonPolygon}) {
+        RunCase(env, shape, kind, scale, &table);
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace swiftspatial::bench
+
+int main(int argc, char** argv) { return swiftspatial::bench::Main(argc, argv); }

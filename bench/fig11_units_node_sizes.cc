@@ -1,0 +1,74 @@
+// Figure 11: interaction between the number of instantiated join units and
+// the R-tree node size (sync traversal) or PBSM tile size, on Uniform and
+// OSM-like data. The paper's finding: few units favour small nodes
+// (compute-bound, pruning matters); many units favour node size 16+
+// (memory-bound, random reads throttle small nodes).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "grid/hierarchical_partition.h"
+#include "hw/accelerator.h"
+#include "rtree/bulk_load.h"
+
+namespace swiftspatial::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  std::printf("Figure 11 reproduction: units x node/tile size\n");
+  TablePrinter table(
+      "Fig. 11 -- node/tile size vs #join units (kernel latency)",
+      {"workload", "dataset", "units", "size", "fpga_ms", "dram_util"});
+
+  const uint64_t scale = env.scales.front();
+  for (const WorkloadShape shape :
+       {WorkloadShape::kUniform, WorkloadShape::kOsm}) {
+    const JoinInputs in = MakeInputs(shape, JoinKind::kPolygonPolygon, scale);
+
+    // --- Synchronous traversal sweep. ---
+    for (const int node_size : {8, 16, 32, 64}) {
+      BulkLoadOptions bl;
+      bl.max_entries = node_size;
+      bl.num_threads = env.cpu_threads;
+      const PackedRTree rt = StrBulkLoad(in.r, bl);
+      const PackedRTree st = StrBulkLoad(in.s, bl);
+      for (const int units : {1, 8, 16}) {
+        hw::AcceleratorConfig cfg;
+        cfg.num_join_units = units;
+        const auto report = hw::Accelerator(cfg).RunSyncTraversal(rt, st);
+        table.AddRow({"SyncTraversal", ShapeName(shape),
+                      std::to_string(units), std::to_string(node_size),
+                      Ms(report.kernel_seconds),
+                      TablePrinter::Fmt(report.dram_utilization, 3)});
+      }
+    }
+
+    // --- PBSM sweep. ---
+    for (const int tile_cap : {8, 16, 32, 64}) {
+      HierarchicalPartitionOptions hp;
+      hp.tile_cap = tile_cap;
+      hp.initial_grid = 64;
+      const auto partition = PartitionHierarchical(in.r, in.s, hp);
+      for (const int units : {1, 8, 16}) {
+        hw::AcceleratorConfig cfg;
+        cfg.num_join_units = units;
+        const auto report = hw::Accelerator(cfg).RunPbsm(in.r, in.s, partition);
+        table.AddRow({"PBSM", ShapeName(shape), std::to_string(units),
+                      std::to_string(tile_cap), Ms(report.kernel_seconds),
+                      TablePrinter::Fmt(report.dram_utilization, 3)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: with 1 unit the smallest node/tile size wins; with "
+      "8-16 units the optimum moves to 16 as small nodes become "
+      "memory-bound (paper Fig. 11).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swiftspatial::bench
+
+int main(int argc, char** argv) { return swiftspatial::bench::Main(argc, argv); }

@@ -1,0 +1,64 @@
+// Table 1: FPGA resource consumption of the SwiftSpatial kernel (1-16 join
+// units) and the static shell on the Alveo U250, regenerated from the
+// resource model, plus the §5.6 embedded-deployment feasibility analysis
+// for the PYNQ-Z2.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "hw/resource_model.h"
+
+namespace swiftspatial::bench {
+namespace {
+
+using hw::ResourceModel;
+using hw::ResourcePct;
+
+std::string Pct(double v) { return TablePrinter::Fmt(v, 2) + "%"; }
+
+int Main(int, char**) {
+  std::printf("Table 1 reproduction: FPGA resource consumption\n");
+
+  TablePrinter table("Table 1 -- SwiftSpatial resource usage (U250)",
+                     {"configuration", "LUT", "FF", "BRAM", "DSP"});
+  for (const int units : {1, 2, 4, 8, 16}) {
+    const ResourcePct k = ResourceModel::KernelUsage(units);
+    table.AddRow({"Kernel (" + std::to_string(units) + " PE)", Pct(k.lut),
+                  Pct(k.ff), Pct(k.bram), Pct(k.dsp)});
+  }
+  const ResourcePct shell = ResourceModel::ShellUsage();
+  table.AddRow({"Shell", Pct(shell.lut), Pct(shell.ff), Pct(shell.bram),
+                Pct(shell.dsp)});
+  const ResourcePct total = ResourceModel::TotalUsage(16);
+  table.AddRow({"Shell + Kernel (16 PE)", Pct(total.lut), Pct(total.ff),
+                Pct(total.bram), Pct(total.dsp)});
+  const auto u250 = ResourceModel::U250().total;
+  table.AddRow({"FPGA Total", std::to_string(u250.lut),
+                std::to_string(u250.ff), std::to_string(u250.bram),
+                std::to_string(u250.dsp)});
+  table.Print();
+
+  TablePrinter embedded(
+      "§5.6 -- embedded deployment feasibility (60% resource budget)",
+      {"device", "FIFO impl", "max join units"});
+  const auto z2 = ResourceModel::PynqZ2();
+  embedded.AddRow({z2.name, "BRAM FIFOs",
+                   std::to_string(ResourceModel::MaxUnitsOn(z2, 0.6, false))});
+  embedded.AddRow({z2.name, "shift-register FIFOs",
+                   std::to_string(ResourceModel::MaxUnitsOn(z2, 0.6, true))});
+  const auto u250dev = ResourceModel::U250();
+  embedded.AddRow({u250dev.name, "BRAM FIFOs",
+                   std::to_string(ResourceModel::MaxUnitsOn(u250dev, 0.6,
+                                                            false))});
+  embedded.Print();
+  std::printf(
+      "Expected: 16-PE kernel stays under 30%% of every resource class "
+      "(BRAM highest at 28.05%%); PYNQ-Z2 hosts 1-2 units, ~4 with the "
+      "shift-register FIFO optimisation (§5.6).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swiftspatial::bench
+
+int main(int argc, char** argv) { return swiftspatial::bench::Main(argc, argv); }

@@ -1,0 +1,91 @@
+// External-data pipeline: load rectangle datasets from CSV (the format real
+// OSM extracts ship in), run a containment join on the device model, and
+// write the result back out. Demonstrates datagen/csv_io.h and
+// join/predicates.h together.
+//
+//   ./build/examples/csv_pipeline [--r=path.csv --s=path.csv]
+//
+// Without arguments, the example writes two small CSV files first so it is
+// runnable out of the box.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "datagen/csv_io.h"
+#include "datagen/generator.h"
+#include "join/predicates.h"
+
+using namespace swiftspatial;
+
+namespace {
+
+// Creates demo CSVs when no inputs are given: parcels (large rectangles)
+// and buildings (small ones).
+std::string MakeDemoFile(const char* name, double max_edge, uint64_t seed) {
+  UniformConfig cfg;
+  cfg.map.map_size = 2000.0;
+  cfg.count = 20000;
+  cfg.min_edge = max_edge / 4;
+  cfg.max_edge = max_edge;
+  cfg.seed = seed;
+  const Dataset d = GenerateUniform(cfg);
+  const std::string path = std::string("/tmp/swiftspatial_") + name + ".csv";
+  const Status st = SaveCsvDataset(d, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  std::string r_path = flags.GetString("r", "");
+  std::string s_path = flags.GetString("s", "");
+  if (r_path.empty() || s_path.empty()) {
+    std::printf("no --r/--s given; generating demo CSVs under /tmp\n");
+    r_path = MakeDemoFile("parcels", 40.0, 61);
+    s_path = MakeDemoFile("buildings", 6.0, 62);
+  }
+
+  auto r = LoadCsvDataset(r_path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", r_path.c_str(),
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  auto s = LoadCsvDataset(s_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", s_path.c_str(),
+                 s.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu parcels, %zu buildings\n", r->size(), s->size());
+
+  // Which buildings are fully inside which parcel?
+  JoinStats stats;
+  const JoinResult contained =
+      PredicateJoin(*r, *s, SpatialPredicate::kContains, &stats);
+  std::printf(
+      "contains-join: %zu (parcel, building) pairs "
+      "(%llu filter predicate evaluations)\n",
+      contained.size(),
+      static_cast<unsigned long long>(stats.predicate_evaluations));
+
+  // Persist the pairs as CSV for downstream tools.
+  const std::string out_path = "/tmp/swiftspatial_contained_pairs.csv";
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "parcel_id,building_id\n");
+  for (const ResultPair& p : contained.pairs()) {
+    std::fprintf(out, "%d,%d\n", p.r, p.s);
+  }
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

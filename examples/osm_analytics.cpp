@@ -1,0 +1,96 @@
+// OSM-style analytics: "which sensor readings fall inside which building?"
+//
+// The workload the paper's introduction motivates: a skewed, city-like map
+// of building footprints joined against a large stream of point readings.
+// The full pipeline runs: accelerator-filtered candidates, then exact
+// point-in-polygon refinement on the CPU (§5.8), then a per-district
+// aggregation over the verified pairs.
+//
+//   ./build/examples/osm_analytics [--readings=N] [--buildings=N]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "datagen/generator.h"
+#include "hw/accelerator.h"
+#include "refine/refinement.h"
+#include "rtree/bulk_load.h"
+
+using namespace swiftspatial;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint64_t readings = flags.GetInt("readings", 200000);
+  const uint64_t buildings = flags.GetInt("buildings", 100000);
+
+  // City-like data: clustered buildings, sensor readings following the same
+  // population density.
+  OsmLikeConfig bcfg;
+  bcfg.count = buildings;
+  bcfg.seed = 11;
+  bcfg.min_edge = 5.0;
+  bcfg.max_edge = 30.0;  // building footprints
+  const Dataset footprints = GenerateOsmLike(bcfg);
+
+  OsmLikeConfig pcfg = bcfg;
+  pcfg.count = readings;
+  pcfg.seed = 12;
+  const Dataset sensors = GenerateOsmLikePoints(pcfg);
+  std::printf("map: %llu buildings, %llu sensor readings\n",
+              static_cast<unsigned long long>(buildings),
+              static_cast<unsigned long long>(readings));
+
+  // Host maintains the indexes; the accelerator joins them.
+  Stopwatch sw;
+  BulkLoadOptions bl;
+  bl.max_entries = 16;
+  bl.num_threads = 2;
+  const PackedRTree sensor_tree = StrBulkLoad(sensors, bl);
+  const PackedRTree building_tree = StrBulkLoad(footprints, bl);
+  std::printf("index construction: %.1f ms (one-time cost, §5.9)\n",
+              sw.ElapsedMillis());
+
+  hw::AcceleratorConfig acfg;
+  acfg.num_join_units = 16;
+  JoinResult candidates;
+  const auto report = hw::Accelerator(acfg).RunSyncTraversal(
+      sensor_tree, building_tree, &candidates);
+  std::printf("filter (simulated accelerator): %zu candidate pairs in %.3f "
+              "ms modelled device time\n",
+              candidates.size(), report.total_seconds * 1e3);
+
+  // Refinement: exact point-in-polygon against the building geometry.
+  sw.Reset();
+  RefinementOptions ropt;
+  ropt.num_threads = 2;
+  RefinementStats rstats;
+  const JoinResult verified =
+      Refine(sensors, GeometryKind::kPoint, footprints, GeometryKind::kPolygon,
+             candidates.pairs(), ropt, &rstats);
+  std::printf(
+      "refine (CPU): %zu verified pairs (%zu MBR false positives removed) "
+      "in %.1f ms\n",
+      rstats.verified, rstats.false_positives, sw.ElapsedMillis());
+
+  // Analytics: readings per building, top-5 densest buildings.
+  std::map<ObjectId, int> per_building;
+  for (const ResultPair& p : verified.pairs()) ++per_building[p.s];
+  std::vector<std::pair<int, ObjectId>> ranked;
+  ranked.reserve(per_building.size());
+  for (const auto& [building, count] : per_building) {
+    ranked.push_back({count, building});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("%zu buildings contain at least one reading; top-5 by "
+              "occupancy:\n",
+              per_building.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+    const Box& b = footprints.box(static_cast<std::size_t>(ranked[i].second));
+    std::printf("  building %6d at (%.0f, %.0f): %d readings\n",
+                ranked[i].second, static_cast<double>(b.Center().x),
+                static_cast<double>(b.Center().y), ranked[i].first);
+  }
+  return 0;
+}

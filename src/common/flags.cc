@@ -1,0 +1,49 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace swiftspatial {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    std::string body(arg + 2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      flags.values_[body] = "true";
+    } else {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+}  // namespace swiftspatial

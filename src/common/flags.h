@@ -1,0 +1,34 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+// Supports --name=value and boolean --name forms. Unknown flags are
+// reported but non-fatal so the harness `for b in bench/*; do $b; done`
+// never aborts on shared flags.
+#ifndef SWIFTSPATIAL_COMMON_FLAGS_H_
+#define SWIFTSPATIAL_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace swiftspatial {
+
+/// Parsed command-line flags.
+class Flags {
+ public:
+  /// Parses argv. Non-flag arguments are ignored.
+  static Flags Parse(int argc, char** argv);
+
+  /// Returns the flag value or `def` if absent.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_COMMON_FLAGS_H_

@@ -1,0 +1,68 @@
+// Assertion macros for programmer-error checking. Unlike Status (recoverable
+// failures), a failed CHECK indicates a bug and aborts the process with a
+// source location and message.
+#ifndef SWIFTSPATIAL_COMMON_LOGGING_H_
+#define SWIFTSPATIAL_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace swiftspatial {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::abort();
+}
+
+// Stream sink used by SWIFT_CHECK's trailing << messages.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, ss_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace swiftspatial
+
+// Always-on assertion. Usage: SWIFT_CHECK(a < b) << "detail " << a;
+#define SWIFT_CHECK(cond)                                                 \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::swiftspatial::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define SWIFT_CHECK_EQ(a, b) SWIFT_CHECK((a) == (b))
+#define SWIFT_CHECK_NE(a, b) SWIFT_CHECK((a) != (b))
+#define SWIFT_CHECK_LT(a, b) SWIFT_CHECK((a) < (b))
+#define SWIFT_CHECK_LE(a, b) SWIFT_CHECK((a) <= (b))
+#define SWIFT_CHECK_GT(a, b) SWIFT_CHECK((a) > (b))
+#define SWIFT_CHECK_GE(a, b) SWIFT_CHECK((a) >= (b))
+
+// Debug-only assertion (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define SWIFT_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::swiftspatial::internal::CheckMessage(__FILE__, __LINE__, #cond)
+#else
+#define SWIFT_DCHECK(cond) SWIFT_CHECK(cond)
+#endif
+
+#endif  // SWIFTSPATIAL_COMMON_LOGGING_H_

@@ -1,0 +1,125 @@
+// Status and Result<T>: lightweight, exception-free error propagation in the
+// style of RocksDB's rocksdb::Status. Library code returns Status (or
+// Result<T>) from any operation that can fail for reasons other than
+// programmer error; programmer errors are handled with CHECK macros
+// (see common/logging.h).
+#ifndef SWIFTSPATIAL_COMMON_STATUS_H_
+#define SWIFTSPATIAL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace swiftspatial {
+
+/// Error/success code carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kIOError,
+  kNotSupported,
+  kOutOfRange,
+  kAborted,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status encapsulates the result of an operation: success, or an error
+/// code plus a message describing the failure.
+///
+/// Typical use:
+///
+///   Status s = dataset.SaveTo(path);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> is either a value of type T or an error Status. It mirrors the
+/// common StatusOr pattern.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from an error status. `status.ok()` must be false.
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  /// Accesses the value. Must only be called when ok().
+  T& value() { return std::get<T>(v_); }
+  const T& value() const { return std::get<T>(v_); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagates a non-OK status to the caller.
+#define SWIFT_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::swiftspatial::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock timing helper used by all benchmark harnesses.
+#ifndef SWIFTSPATIAL_COMMON_STOPWATCH_H_
+#define SWIFTSPATIAL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace swiftspatial {
+
+/// Monotonic stopwatch. Starts running at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_COMMON_STOPWATCH_H_

@@ -1,0 +1,40 @@
+// Fixed-width table formatting for the benchmark harnesses. Every figure /
+// table reproduction prints its rows through this class so bench output has
+// a uniform, diffable format.
+#ifndef SWIFTSPATIAL_COMMON_TABLE_PRINTER_H_
+#define SWIFTSPATIAL_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace swiftspatial {
+
+/// Prints a header row followed by data rows, right-padding each cell to the
+/// widest entry in its column. Rows are buffered and emitted by Print().
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title, std::vector<std::string> headers);
+
+  /// Appends one data row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string Fmt(double v, int digits = 2);
+
+  /// Formats a double in engineering style, e.g. "1.23e+06".
+  static std::string FmtSci(double v, int digits = 2);
+
+  /// Renders the buffered table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_COMMON_TABLE_PRINTER_H_

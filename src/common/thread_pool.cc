@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace swiftspatial {
+
+const char* ScheduleToString(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic:
+      return "static";
+    case Schedule::kDynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  SWIFT_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++outstanding_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+void RunParallel(
+    std::size_t n, std::size_t num_threads, Schedule schedule,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t chunk) {
+  if (n == 0) return;
+  SWIFT_CHECK_GE(chunk, 1u);
+  num_threads = std::max<std::size_t>(1, std::min(num_threads, n));
+  if (num_threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  if (schedule == Schedule::kStatic) {
+    // Contiguous blocks, sized as evenly as possible.
+    const std::size_t base = n / num_threads;
+    const std::size_t rem = n % num_threads;
+    std::size_t begin = 0;
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      const std::size_t len = base + (t < rem ? 1 : 0);
+      const std::size_t end = begin + len;
+      threads.emplace_back([&body, begin, end, t] {
+        for (std::size_t i = begin; i < end; ++i) body(i, t);
+      });
+      begin = end;
+    }
+  } else {
+    auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&body, counter, n, chunk, t] {
+        for (;;) {
+          const std::size_t begin = counter->fetch_add(chunk);
+          if (begin >= n) return;
+          const std::size_t end = std::min(begin + chunk, n);
+          for (std::size_t i = begin; i < end; ++i) body(i, t);
+        }
+      });
+    }
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+
+void ParallelFor(std::size_t n, std::size_t num_threads, Schedule schedule,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t chunk) {
+  RunParallel(
+      n, num_threads, schedule,
+      [&body](std::size_t i, std::size_t) { body(i); }, chunk);
+}
+
+void ParallelForWorker(
+    std::size_t n, std::size_t num_threads, Schedule schedule,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t chunk) {
+  RunParallel(n, num_threads, schedule, body, chunk);
+}
+
+}  // namespace swiftspatial

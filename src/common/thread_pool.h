@@ -1,0 +1,81 @@
+// Fixed-size worker pool plus parallel-for helpers with the two OpenMP-style
+// scheduling policies the paper evaluates for its multi-threaded CPU
+// baselines (§5.1): static (equal contiguous chunks per thread) and dynamic
+// (work-stealing from a shared atomic counter).
+#ifndef SWIFTSPATIAL_COMMON_THREAD_POOL_H_
+#define SWIFTSPATIAL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace swiftspatial {
+
+/// Task scheduling policy for ParallelFor, mirroring OpenMP's
+/// schedule(static) and schedule(dynamic).
+enum class Schedule {
+  kStatic,
+  kDynamic,
+};
+
+const char* ScheduleToString(Schedule s);
+
+/// A fixed-size thread pool executing void() tasks.
+///
+/// The pool is started at construction and joined at destruction. Submit()
+/// enqueues a task; Wait() blocks until all submitted tasks have completed.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every previously submitted task has finished.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t outstanding_ = 0;  // queued + running tasks
+  bool stop_ = false;
+};
+
+/// Runs `body(i)` for every i in [0, n) on `num_threads` threads.
+///
+/// With Schedule::kStatic each thread receives one contiguous range of
+/// indices; with Schedule::kDynamic threads repeatedly claim chunks of
+/// `chunk` indices from a shared counter until the range is exhausted.
+/// The call blocks until all iterations are complete. `num_threads == 1`
+/// executes inline without spawning threads.
+void ParallelFor(std::size_t n, std::size_t num_threads, Schedule schedule,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t chunk = 1);
+
+/// Variant that also tells the body which worker (0..num_threads-1) runs it,
+/// so callers can maintain per-thread accumulators without sharing.
+void ParallelForWorker(
+    std::size_t n, std::size_t num_threads, Schedule schedule,
+    const std::function<void(std::size_t index, std::size_t worker)>& body,
+    std::size_t chunk = 1);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_COMMON_THREAD_POOL_H_

@@ -1,0 +1,100 @@
+#include "datagen/csv_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace swiftspatial {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Splits a CSV line into up to 5 float fields. Returns the field count or
+// -1 on a parse error.
+int ParseFields(const char* line, float out[4]) {
+  int count = 0;
+  const char* p = line;
+  while (*p != '\0' && *p != '\n' && *p != '\r') {
+    if (count == 4) return -1;  // too many fields
+    char* end = nullptr;
+    const float v = std::strtof(p, &end);
+    if (end == p) return -1;  // not a number
+    out[count++] = v;
+    p = end;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == ',') {
+      ++p;
+    } else if (*p != '\0' && *p != '\n' && *p != '\r') {
+      return -1;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsvDataset(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IOError("cannot open for reading: " + path);
+
+  std::vector<Box> boxes;
+  char line[512];
+  std::size_t line_no = 0;
+  bool first_data_line = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    // Skip blanks and comments.
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#') continue;
+
+    float v[4];
+    const int fields = ParseFields(p, v);
+    if (fields < 0 && first_data_line) {
+      // Tolerate a non-numeric header row.
+      first_data_line = false;
+      continue;
+    }
+    first_data_line = false;
+    if (fields == 2) {
+      boxes.push_back(Box(v[0], v[1], v[0], v[1]));
+    } else if (fields == 4) {
+      if (v[0] > v[2] || v[1] > v[3]) {
+        return Status::Corruption("inverted rectangle at line " +
+                                  std::to_string(line_no) + " of " + path);
+      }
+      boxes.push_back(Box(v[0], v[1], v[2], v[3]));
+    } else {
+      return Status::Corruption("malformed row at line " +
+                                std::to_string(line_no) + " of " + path);
+    }
+  }
+  return Dataset(path, std::move(boxes));
+}
+
+Status SaveCsvDataset(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  if (std::fprintf(f.get(), "min_x,min_y,max_x,max_y\n") < 0) {
+    return Status::IOError("write failed: " + path);
+  }
+  for (const Box& b : dataset.boxes()) {
+    if (std::fprintf(f.get(), "%.9g,%.9g,%.9g,%.9g\n",
+                     static_cast<double>(b.min_x), static_cast<double>(b.min_y),
+                     static_cast<double>(b.max_x),
+                     static_cast<double>(b.max_y)) < 0) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace swiftspatial

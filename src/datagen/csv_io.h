@@ -1,0 +1,30 @@
+// CSV ingestion for real-world data. The paper's OSM datasets ship as text
+// extracts; this reader loads rectangle datasets from files with one object
+// per line:
+//
+//   min_x,min_y,max_x,max_y        (rectangles / MBRs)
+//   x,y                            (points; stored as degenerate boxes)
+//
+// Blank lines and lines starting with '#' are ignored; a header line whose
+// first field is not numeric is skipped automatically.
+#ifndef SWIFTSPATIAL_DATAGEN_CSV_IO_H_
+#define SWIFTSPATIAL_DATAGEN_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+
+namespace swiftspatial {
+
+/// Reads a dataset from `path` (see file comment for the accepted formats).
+/// Fails with IOError if unreadable and Corruption on malformed rows,
+/// identifying the offending line number.
+Result<Dataset> LoadCsvDataset(const std::string& path);
+
+/// Writes `dataset` as min_x,min_y,max_x,max_y rows (with a header).
+Status SaveCsvDataset(const Dataset& dataset, const std::string& path);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_DATAGEN_CSV_IO_H_

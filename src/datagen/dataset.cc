@@ -1,0 +1,78 @@
+#include "datagen/dataset.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace swiftspatial {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53575354;  // "SWST"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Box Dataset::Extent() const {
+  Box out = Box::Empty();
+  for (const Box& b : boxes_) out.Expand(b);
+  return out;
+}
+
+bool Dataset::IsPointDataset() const {
+  for (const Box& b : boxes_) {
+    if (b.min_x != b.max_x || b.min_y != b.max_y) return false;
+  }
+  return true;
+}
+
+Status Dataset::SaveTo(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+
+  const uint64_t count = boxes_.size();
+  const uint32_t header[2] = {kMagic, kVersion};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::IOError("short write on header: " + path);
+  }
+  static_assert(sizeof(Box) == 4 * sizeof(Coord),
+                "Box must be 4 packed coordinates for serialisation");
+  if (count > 0 &&
+      std::fwrite(boxes_.data(), sizeof(Box), count, f.get()) != count) {
+    return Status::IOError("short write on boxes: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::LoadFrom(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for reading: " + path);
+
+  uint32_t header[2] = {0, 0};
+  uint64_t count = 0;
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
+      std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  if (header[0] != kMagic) return Status::Corruption("bad magic: " + path);
+  if (header[1] != kVersion) {
+    return Status::NotSupported("unsupported dataset version " +
+                                std::to_string(header[1]));
+  }
+  std::vector<Box> boxes(count);
+  if (count > 0 &&
+      std::fread(boxes.data(), sizeof(Box), count, f.get()) != count) {
+    return Status::Corruption("truncated boxes: " + path);
+  }
+  return Dataset(path, std::move(boxes));
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,127 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace swiftspatial {
+
+namespace {
+
+// Clamps a rectangle into the map so every object lies inside the extent.
+Box ClampToMap(double cx, double cy, double w, double h, double map_size) {
+  double min_x = cx - w / 2, max_x = cx + w / 2;
+  double min_y = cy - h / 2, max_y = cy + h / 2;
+  min_x = std::clamp(min_x, 0.0, map_size);
+  max_x = std::clamp(max_x, 0.0, map_size);
+  min_y = std::clamp(min_y, 0.0, map_size);
+  max_y = std::clamp(max_y, 0.0, map_size);
+  return Box(static_cast<Coord>(min_x), static_cast<Coord>(min_y),
+             static_cast<Coord>(max_x), static_cast<Coord>(max_y));
+}
+
+std::vector<Box> UniformBoxes(const UniformConfig& config, bool points) {
+  SWIFT_CHECK_GE(config.max_edge, config.min_edge);
+  Rng rng(config.seed);
+  std::vector<Box> boxes;
+  boxes.reserve(config.count);
+  const double m = config.map.map_size;
+  for (uint64_t i = 0; i < config.count; ++i) {
+    const double cx = rng.Uniform(0, m);
+    const double cy = rng.Uniform(0, m);
+    if (points) {
+      boxes.push_back(Box(static_cast<Coord>(cx), static_cast<Coord>(cy),
+                          static_cast<Coord>(cx), static_cast<Coord>(cy)));
+    } else {
+      const double w = rng.Uniform(config.min_edge, config.max_edge);
+      const double h = rng.Uniform(config.min_edge, config.max_edge);
+      boxes.push_back(ClampToMap(cx, cy, w, h, m));
+    }
+  }
+  return boxes;
+}
+
+std::vector<Box> OsmLikeBoxes(const OsmLikeConfig& config, bool points) {
+  SWIFT_CHECK_GE(config.num_clusters, 1u);
+  SWIFT_CHECK(config.background_fraction >= 0 &&
+              config.background_fraction <= 1);
+  Rng rng(config.seed);
+  const double m = config.map.map_size;
+
+  // Cluster centers uniform over the map; populations log-normal.
+  struct Cluster {
+    double cx, cy, radius;
+    double weight;
+  };
+  std::vector<Cluster> clusters(config.num_clusters);
+  double total_weight = 0;
+  for (auto& c : clusters) {
+    c.cx = rng.Uniform(0, m);
+    c.cy = rng.Uniform(0, m);
+    // City footprint also varies: bigger cities spread a bit wider.
+    c.weight = rng.LogNormal(0.0, config.size_sigma);
+    c.radius = m * config.cluster_radius_frac * (0.5 + std::sqrt(c.weight));
+    total_weight += c.weight;
+  }
+  // Cumulative distribution for cluster selection.
+  std::vector<double> cdf(clusters.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    acc += clusters[i].weight / total_weight;
+    cdf[i] = acc;
+  }
+
+  std::vector<Box> boxes;
+  boxes.reserve(config.count);
+  for (uint64_t i = 0; i < config.count; ++i) {
+    double cx, cy;
+    if (rng.NextDouble() < config.background_fraction) {
+      cx = rng.Uniform(0, m);
+      cy = rng.Uniform(0, m);
+    } else {
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      const auto& c = clusters[std::min<std::size_t>(
+          static_cast<std::size_t>(it - cdf.begin()), clusters.size() - 1)];
+      cx = std::clamp(rng.Gaussian(c.cx, c.radius), 0.0, m);
+      cy = std::clamp(rng.Gaussian(c.cy, c.radius), 0.0, m);
+    }
+    if (points) {
+      boxes.push_back(Box(static_cast<Coord>(cx), static_cast<Coord>(cy),
+                          static_cast<Coord>(cx), static_cast<Coord>(cy)));
+    } else {
+      const double w = rng.Uniform(config.min_edge, config.max_edge);
+      const double h = rng.Uniform(config.min_edge, config.max_edge);
+      boxes.push_back(ClampToMap(cx, cy, w, h, m));
+    }
+  }
+  return boxes;
+}
+
+}  // namespace
+
+Dataset GenerateUniform(const UniformConfig& config) {
+  return Dataset("uniform-" + std::to_string(config.count),
+                 UniformBoxes(config, /*points=*/false));
+}
+
+Dataset GenerateUniformPoints(const UniformConfig& config) {
+  return Dataset("uniform-points-" + std::to_string(config.count),
+                 UniformBoxes(config, /*points=*/true));
+}
+
+Dataset GenerateOsmLike(const OsmLikeConfig& config) {
+  return Dataset("osmlike-" + std::to_string(config.count),
+                 OsmLikeBoxes(config, /*points=*/false));
+}
+
+Dataset GenerateOsmLikePoints(const OsmLikeConfig& config) {
+  return Dataset("osmlike-points-" + std::to_string(config.count),
+                 OsmLikeBoxes(config, /*points=*/true));
+}
+
+}  // namespace swiftspatial

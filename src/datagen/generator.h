@@ -1,0 +1,73 @@
+// Workload generators reproducing the paper's evaluation datasets (§5.1):
+//
+//  * Uniform: a 10K x 10K map in which unit squares (or points) are placed
+//    uniformly at random.
+//  * OSM-like: the paper uses OpenStreetMap buildings (as MBRs) and nodes
+//    (points). We do not ship OSM data; this generator synthesizes the OSM
+//    property the evaluation depends on -- heavy spatial skew -- by placing
+//    objects in log-normal-sized Gaussian clusters ("cities") over the map,
+//    with a uniform rural background. See DESIGN.md, substitution table.
+#ifndef SWIFTSPATIAL_DATAGEN_GENERATOR_H_
+#define SWIFTSPATIAL_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace swiftspatial {
+
+/// Parameters shared by all generators.
+struct MapConfig {
+  /// Map side length; the paper uses a 10,000 x 10,000 map.
+  double map_size = 10000.0;
+};
+
+/// Uniform rectangle dataset: `count` axis-aligned rectangles whose centers
+/// are uniform over the map. Edge lengths are uniform in
+/// [min_edge, max_edge]; the paper's synthetic workload uses unit squares
+/// (min_edge == max_edge == 1).
+struct UniformConfig {
+  MapConfig map;
+  uint64_t count = 0;
+  double min_edge = 1.0;
+  double max_edge = 1.0;
+  uint64_t seed = 1;
+};
+
+/// OSM-like skewed dataset (see file comment). About `background_fraction`
+/// of the objects are uniform over the map; the rest belong to Gaussian
+/// clusters whose sizes follow a log-normal distribution.
+struct OsmLikeConfig {
+  MapConfig map;
+  uint64_t count = 0;
+  /// Expected number of clusters ("cities").
+  uint32_t num_clusters = 64;
+  /// Log-normal sigma of cluster populations; larger = more skew.
+  double size_sigma = 1.6;
+  /// Cluster radius as a fraction of map size (one standard deviation).
+  double cluster_radius_frac = 0.01;
+  /// Fraction of objects placed uniformly (rural background).
+  double background_fraction = 0.1;
+  /// Rectangle edge lengths, uniform in [min_edge, max_edge]. Buildings in
+  /// OSM are small relative to the map.
+  double min_edge = 0.5;
+  double max_edge = 4.0;
+  uint64_t seed = 2;
+};
+
+/// Generates uniform rectangles.
+Dataset GenerateUniform(const UniformConfig& config);
+
+/// Generates uniform points (degenerate boxes).
+Dataset GenerateUniformPoints(const UniformConfig& config);
+
+/// Generates OSM-like skewed rectangles.
+Dataset GenerateOsmLike(const OsmLikeConfig& config);
+
+/// Generates OSM-like skewed points (degenerate boxes), e.g. the "all
+/// nodes" subset the paper joins against buildings.
+Dataset GenerateOsmLikePoints(const OsmLikeConfig& config);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_DATAGEN_GENERATOR_H_

@@ -1,0 +1,56 @@
+#include "geometry/hilbert.h"
+
+#include "common/logging.h"
+
+namespace swiftspatial {
+
+namespace {
+
+// Rotates/flips a quadrant so the curve orientation is preserved.
+void Rot(uint64_t n, uint32_t* x, uint32_t* y, uint64_t rx, uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = static_cast<uint32_t>(n - 1 - *x);
+      *y = static_cast<uint32_t>(n - 1 - *y);
+    }
+    uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertD2XYInverse(uint32_t order, uint32_t x, uint32_t y) {
+  SWIFT_CHECK(order >= 1 && order <= 31);
+  const uint64_t n = 1ULL << order;
+  SWIFT_CHECK(x < n && y < n);
+  uint64_t d = 0;
+  for (uint64_t s = n / 2; s > 0; s /= 2) {
+    const uint64_t rx = (x & s) > 0 ? 1 : 0;
+    const uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    Rot(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertD2XY(uint32_t order, uint64_t d, uint32_t* x, uint32_t* y) {
+  SWIFT_CHECK(order >= 1 && order <= 31);
+  const uint64_t n = 1ULL << order;
+  SWIFT_CHECK(d < n * n);
+  uint32_t cx = 0, cy = 0;
+  uint64_t t = d;
+  for (uint64_t s = 1; s < n; s *= 2) {
+    const uint64_t rx = 1 & (t / 2);
+    const uint64_t ry = 1 & (t ^ rx);
+    Rot(s, &cx, &cy, rx, ry);
+    cx += static_cast<uint32_t>(s * rx);
+    cy += static_cast<uint32_t>(s * ry);
+    t /= 4;
+  }
+  *x = cx;
+  *y = cy;
+}
+
+}  // namespace swiftspatial

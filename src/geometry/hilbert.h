@@ -1,0 +1,19 @@
+// Hilbert space-filling curve encoding, used by the Hilbert R-tree bulk
+// loader (Kamel & Faloutsos [41]).
+#ifndef SWIFTSPATIAL_GEOMETRY_HILBERT_H_
+#define SWIFTSPATIAL_GEOMETRY_HILBERT_H_
+
+#include <cstdint>
+
+namespace swiftspatial {
+
+/// Maps 2-D cell coordinates (x, y) in a 2^order x 2^order grid to the
+/// distance along the Hilbert curve. `order` must be in [1, 31].
+uint64_t HilbertD2XYInverse(uint32_t order, uint32_t x, uint32_t y);
+
+/// Inverse mapping: curve distance -> (x, y).
+void HilbertD2XY(uint32_t order, uint64_t d, uint32_t* x, uint32_t* y);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_GEOMETRY_HILBERT_H_

@@ -1,0 +1,153 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace swiftspatial {
+
+Box Polygon::Mbr() const {
+  Box out = Box::Empty();
+  for (const Point& p : vertices_) out.Expand(Box::FromPoint(p));
+  return out;
+}
+
+bool Polygon::IsConvexCcw() const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const Point& c = vertices_[(i + 2) % n];
+    if (Cross(a, b, c) < 0) return false;
+  }
+  return true;
+}
+
+double Polygon::SignedArea() const {
+  const std::size_t n = vertices_.size();
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    acc += static_cast<double>(a.x) * b.y - static_cast<double>(b.x) * a.y;
+  }
+  return acc / 2.0;
+}
+
+bool PointInPolygon(const Point& p, const Polygon& poly) {
+  const auto& v = poly.vertices();
+  const std::size_t n = v.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    // Boundary counts as inside: check if p lies on edge (v[j], v[i]).
+    const double cr = Cross(v[j], v[i], p);
+    if (cr == 0 && std::min(v[j].x, v[i].x) <= p.x &&
+        p.x <= std::max(v[j].x, v[i].x) && std::min(v[j].y, v[i].y) <= p.y &&
+        p.y <= std::max(v[j].y, v[i].y)) {
+      return true;
+    }
+    // Crossing-number ray cast to the right.
+    if ((v[i].y > p.y) != (v[j].y > p.y)) {
+      const double t = (static_cast<double>(p.y) - v[i].y) /
+                       (static_cast<double>(v[j].y) - v[i].y);
+      const double xx = v[i].x + t * (static_cast<double>(v[j].x) - v[i].x);
+      if (p.x < xx) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  auto sgn = [](double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); };
+  const int d1 = sgn(Cross(b1, b2, a1));
+  const int d2 = sgn(Cross(b1, b2, a2));
+  const int d3 = sgn(Cross(a1, a2, b1));
+  const int d4 = sgn(Cross(a1, a2, b2));
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  auto on_segment = [](const Point& p, const Point& q, const Point& r) {
+    return std::min(p.x, r.x) <= q.x && q.x <= std::max(p.x, r.x) &&
+           std::min(p.y, r.y) <= q.y && q.y <= std::max(p.y, r.y);
+  };
+  if (d1 == 0 && on_segment(b1, a1, b2)) return true;
+  if (d2 == 0 && on_segment(b1, a2, b2)) return true;
+  if (d3 == 0 && on_segment(a1, b1, a2)) return true;
+  if (d4 == 0 && on_segment(a1, b2, a2)) return true;
+  return false;
+}
+
+bool PolygonsIntersect(const Polygon& a, const Polygon& b) {
+  const auto& va = a.vertices();
+  const auto& vb = b.vertices();
+  if (va.size() < 3 || vb.size() < 3) return false;
+  // Quick reject on MBRs.
+  if (!Intersects(a.Mbr(), b.Mbr())) return false;
+  // Any edge crossing?
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    const Point& a1 = va[i];
+    const Point& a2 = va[(i + 1) % va.size()];
+    for (std::size_t j = 0; j < vb.size(); ++j) {
+      const Point& b1 = vb[j];
+      const Point& b2 = vb[(j + 1) % vb.size()];
+      if (SegmentsIntersect(a1, a2, b1, b2)) return true;
+    }
+  }
+  // Full containment (no edge crossings): test one vertex each way.
+  if (PointInPolygon(va[0], b)) return true;
+  if (PointInPolygon(vb[0], a)) return true;
+  return false;
+}
+
+Polygon MakeConvexPolygon(uint64_t id, const Box& mbr, int num_vertices) {
+  SWIFT_CHECK_GE(num_vertices, 4);
+  // All vertices lie on the ellipse inscribed in the MBR. Distinct angles on
+  // a convex curve, sorted, always produce a convex CCW ring. The four
+  // axis-extreme angles (0, pi/2, pi, 3pi/2) are always included and emitted
+  // with exact edge-midpoint coordinates, so the polygon's MBR equals `mbr`
+  // (the filter works with tight MBRs).
+  Rng rng(id * 0x9e3779b97f4a7c15ULL + 1);
+  constexpr double kTau = 2.0 * std::numbers::pi;
+  std::vector<double> angles = {0.0, kTau / 4, kTau / 2, 3 * kTau / 4};
+  const int extra = num_vertices - 4;
+  for (int i = 0; i < extra; ++i) {
+    // Keep jittered angles strictly inside a quadrant so they never collide
+    // with the pinned axis angles.
+    const int quadrant = i % 4;
+    const double frac = 0.1 + 0.8 * rng.NextDouble();
+    angles.push_back((quadrant + frac) * (kTau / 4));
+  }
+  std::sort(angles.begin(), angles.end());
+
+  const double cx = (static_cast<double>(mbr.min_x) + mbr.max_x) / 2;
+  const double cy = (static_cast<double>(mbr.min_y) + mbr.max_y) / 2;
+  const double rx = (static_cast<double>(mbr.max_x) - mbr.min_x) / 2;
+  const double ry = (static_cast<double>(mbr.max_y) - mbr.min_y) / 2;
+
+  std::vector<Point> pts;
+  pts.reserve(angles.size());
+  for (double a : angles) {
+    if (a == 0.0) {
+      pts.push_back(Point{mbr.max_x, static_cast<Coord>(cy)});
+    } else if (a == kTau / 4) {
+      pts.push_back(Point{static_cast<Coord>(cx), mbr.max_y});
+    } else if (a == kTau / 2) {
+      pts.push_back(Point{mbr.min_x, static_cast<Coord>(cy)});
+    } else if (a == 3 * kTau / 4) {
+      pts.push_back(Point{static_cast<Coord>(cx), mbr.min_y});
+    } else {
+      pts.push_back(Point{static_cast<Coord>(cx + rx * std::cos(a)),
+                          static_cast<Coord>(cy + ry * std::sin(a))});
+    }
+  }
+  return Polygon(std::move(pts));
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,62 @@
+// Simple polygons for the refinement phase (§5.8). The filtering phase works
+// purely on MBRs; refinement re-checks candidate pairs against the actual
+// geometries. We synthesize convex polygons deterministically from an
+// object's id and MBR, so refinement can run without storing geometries in
+// the index -- mirroring how the paper's pipeline refines on the CPU after
+// the FPGA filter.
+#ifndef SWIFTSPATIAL_GEOMETRY_POLYGON_H_
+#define SWIFTSPATIAL_GEOMETRY_POLYGON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace swiftspatial {
+
+/// A polygon as a counter-clockwise vertex ring (no closing duplicate).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Minimum bounding rectangle of the vertex ring.
+  Box Mbr() const;
+
+  /// True if the ring is convex and counter-clockwise.
+  bool IsConvexCcw() const;
+
+  /// Signed area (positive for counter-clockwise rings).
+  double SignedArea() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// True iff point `p` is inside or on the boundary of `poly` (crossing
+/// number with boundary inclusion; works for any simple polygon).
+bool PointInPolygon(const Point& p, const Polygon& poly);
+
+/// True iff segments (a1,a2) and (b1,b2) intersect (including touching).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// Exact intersection test for two simple polygons: true if any edges cross
+/// or one polygon contains the other.
+bool PolygonsIntersect(const Polygon& a, const Polygon& b);
+
+/// Deterministically materializes a convex polygon inscribed in `mbr`.
+/// The shape depends only on (id, vertex count), so refinement can rebuild
+/// the geometry of object `id` at any time. The polygon touches all four
+/// MBR edges, making the MBR tight.
+Polygon MakeConvexPolygon(uint64_t id, const Box& mbr, int num_vertices = 8);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_GEOMETRY_POLYGON_H_

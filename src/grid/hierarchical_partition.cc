@@ -1,0 +1,95 @@
+#include "grid/hierarchical_partition.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "grid/uniform_grid.h"
+
+namespace swiftspatial {
+
+namespace {
+
+struct Splitter {
+  const Dataset& r;
+  const Dataset& s;
+  const HierarchicalPartitionOptions& options;
+  const Box extent;
+  HierarchicalPartition* out;
+
+  void Emit(TileTask task, int depth) {
+    const uint64_t work = static_cast<uint64_t>(task.r_objects.size()) *
+                          task.s_objects.size();
+    const uint64_t cap2 = static_cast<uint64_t>(options.tile_cap) *
+                          static_cast<uint64_t>(options.tile_cap);
+    if (task.r_objects.empty() || task.s_objects.empty()) return;
+    if (work <= cap2) {
+      // The emitted tile is the join's dedup tile; keep the global
+      // boundary closed (splitting above used the raw geometry).
+      task.tile = CloseTileAtExtentMax(task.tile, extent);
+      out->tasks.push_back(std::move(task));
+      return;
+    }
+    if (depth >= options.max_depth) {
+      ++out->over_cap_tiles;
+      task.tile = CloseTileAtExtentMax(task.tile, extent);
+      out->tasks.push_back(std::move(task));
+      return;
+    }
+    // Quarter the tile and re-assign its objects.
+    const Point c = task.tile.Center();
+    const Box quads[4] = {
+        Box(task.tile.min_x, task.tile.min_y, c.x, c.y),
+        Box(c.x, task.tile.min_y, task.tile.max_x, c.y),
+        Box(task.tile.min_x, c.y, c.x, task.tile.max_y),
+        Box(c.x, c.y, task.tile.max_x, task.tile.max_y),
+    };
+    for (const Box& q : quads) {
+      TileTask sub;
+      sub.tile = q;
+      for (ObjectId id : task.r_objects) {
+        if (Intersects(r.box(static_cast<std::size_t>(id)), q)) {
+          sub.r_objects.push_back(id);
+        }
+      }
+      if (sub.r_objects.empty()) continue;
+      for (ObjectId id : task.s_objects) {
+        if (Intersects(s.box(static_cast<std::size_t>(id)), q)) {
+          sub.s_objects.push_back(id);
+        }
+      }
+      Emit(std::move(sub), depth + 1);
+    }
+  }
+};
+
+}  // namespace
+
+HierarchicalPartition PartitionHierarchical(
+    const Dataset& r, const Dataset& s,
+    const HierarchicalPartitionOptions& options) {
+  SWIFT_CHECK_GE(options.tile_cap, 1);
+  SWIFT_CHECK_GE(options.initial_grid, 1);
+
+  HierarchicalPartition out;
+  out.tile_cap = options.tile_cap;
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+  if (extent.IsEmpty()) return out;
+
+  const UniformGrid grid(extent, options.initial_grid, options.initial_grid);
+  auto r_assign = grid.Assign(r);
+  auto s_assign = grid.Assign(s);
+
+  Splitter splitter{r, s, options, extent, &out};
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    if (r_assign[t].empty() || s_assign[t].empty()) continue;
+    TileTask task;
+    task.tile = grid.TileBoxByIndex(t);
+    task.r_objects = std::move(r_assign[t]);
+    task.s_objects = std::move(s_assign[t]);
+    splitter.Emit(std::move(task), 0);
+  }
+  return out;
+}
+
+}  // namespace swiftspatial

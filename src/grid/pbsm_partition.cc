@@ -1,0 +1,68 @@
+#include "grid/pbsm_partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace swiftspatial {
+
+namespace {
+
+// Assigns every object to the stripes its extent overlaps along the axis.
+void AssignToStripes(const Dataset& dataset, const Box& extent, Axis axis,
+                     int num_partitions,
+                     std::vector<std::vector<ObjectId>>* parts) {
+  const double lo = axis == Axis::kX ? extent.min_x : extent.min_y;
+  const double hi = axis == Axis::kX ? extent.max_x : extent.max_y;
+  const double width = (hi - lo) / num_partitions;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Box& b = dataset.box(i);
+    const double bmin = axis == Axis::kX ? b.min_x : b.min_y;
+    const double bmax = axis == Axis::kX ? b.max_x : b.max_y;
+    int p0 = width > 0 ? static_cast<int>((bmin - lo) / width) : 0;
+    int p1 = width > 0 ? static_cast<int>((bmax - lo) / width) : 0;
+    p0 = std::clamp(p0, 0, num_partitions - 1);
+    p1 = std::clamp(p1, 0, num_partitions - 1);
+    for (int p = p0; p <= p1; ++p) {
+      (*parts)[p].push_back(static_cast<ObjectId>(i));
+    }
+  }
+}
+
+}  // namespace
+
+StripePartition PartitionStripes(const Dataset& r, const Dataset& s,
+                                 int num_partitions, Axis axis) {
+  SWIFT_CHECK_GE(num_partitions, 1);
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+  SWIFT_CHECK(!extent.IsEmpty());
+
+  StripePartition out;
+  out.axis = axis;
+  out.stripes.reserve(num_partitions);
+  const double lo = axis == Axis::kX ? extent.min_x : extent.min_y;
+  const double hi = axis == Axis::kX ? extent.max_x : extent.max_y;
+  const double width = (hi - lo) / num_partitions;
+  for (int p = 0; p < num_partitions; ++p) {
+    const double a = lo + p * width;
+    const double b = p + 1 == num_partitions ? hi : lo + (p + 1) * width;
+    Box stripe;
+    if (axis == Axis::kX) {
+      stripe = Box(static_cast<Coord>(a), extent.min_y, static_cast<Coord>(b),
+                   extent.max_y);
+    } else {
+      stripe = Box(extent.min_x, static_cast<Coord>(a), extent.max_x,
+                   static_cast<Coord>(b));
+    }
+    // Stripes double as dedup tiles; keep the global boundary closed.
+    out.stripes.push_back(CloseTileAtExtentMax(stripe, extent));
+  }
+  out.r_parts.resize(num_partitions);
+  out.s_parts.resize(num_partitions);
+  AssignToStripes(r, extent, axis, num_partitions, &out.r_parts);
+  AssignToStripes(s, extent, axis, num_partitions, &out.s_parts);
+  return out;
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,36 @@
+// One-dimensional PBSM partitioning for the CPU baseline (§5.1): "we adopt
+// the one-dimensional PBSM, which partitions the data in one dimension and
+// sweeps the data in the other dimension" [69]. Objects are assigned to
+// every stripe they overlap; the tile-wise join plane-sweeps along the
+// non-partitioned axis and deduplicates with the reference-point rule.
+#ifndef SWIFTSPATIAL_GRID_PBSM_PARTITION_H_
+#define SWIFTSPATIAL_GRID_PBSM_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+
+namespace swiftspatial {
+
+/// Partition axis.
+enum class Axis { kX, kY };
+
+/// Output of 1-D PBSM partitioning: per-stripe object id lists for both
+/// inputs plus stripe geometry.
+struct StripePartition {
+  std::vector<Box> stripes;
+  std::vector<std::vector<ObjectId>> r_parts;
+  std::vector<std::vector<ObjectId>> s_parts;
+  Axis axis = Axis::kX;
+};
+
+/// Partitions datasets `r` and `s` into `num_partitions` equal-width stripes
+/// along `axis` over the union of their extents.
+StripePartition PartitionStripes(const Dataset& r, const Dataset& s,
+                                 int num_partitions, Axis axis);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_GRID_PBSM_PARTITION_H_

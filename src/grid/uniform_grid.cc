@@ -1,0 +1,63 @@
+#include "grid/uniform_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace swiftspatial {
+
+UniformGrid::UniformGrid(const Box& extent, int cols, int rows)
+    : extent_(extent), cols_(cols), rows_(rows) {
+  SWIFT_CHECK_GE(cols, 1);
+  SWIFT_CHECK_GE(rows, 1);
+  SWIFT_CHECK(!extent.IsEmpty());
+  tile_w_ = static_cast<double>(extent.Width()) / cols;
+  tile_h_ = static_cast<double>(extent.Height()) / rows;
+}
+
+Box UniformGrid::TileBox(int tx, int ty) const {
+  SWIFT_DCHECK(tx >= 0 && tx < cols_ && ty >= 0 && ty < rows_);
+  return Box(static_cast<Coord>(extent_.min_x + tx * tile_w_),
+             static_cast<Coord>(extent_.min_y + ty * tile_h_),
+             static_cast<Coord>(tx + 1 == cols_ ? extent_.max_x
+                                                : extent_.min_x + (tx + 1) * tile_w_),
+             static_cast<Coord>(ty + 1 == rows_ ? extent_.max_y
+                                                : extent_.min_y + (ty + 1) * tile_h_));
+}
+
+void UniformGrid::TileRange(const Box& b, int* tx0, int* ty0, int* tx1,
+                            int* ty1) const {
+  auto clamp_col = [this](double v) {
+    return std::clamp(static_cast<int>(v), 0, cols_ - 1);
+  };
+  auto clamp_row = [this](double v) {
+    return std::clamp(static_cast<int>(v), 0, rows_ - 1);
+  };
+  *tx0 = tile_w_ > 0 ? clamp_col((b.min_x - extent_.min_x) / tile_w_) : 0;
+  *tx1 = tile_w_ > 0 ? clamp_col((b.max_x - extent_.min_x) / tile_w_) : 0;
+  *ty0 = tile_h_ > 0 ? clamp_row((b.min_y - extent_.min_y) / tile_h_) : 0;
+  *ty1 = tile_h_ > 0 ? clamp_row((b.max_y - extent_.min_y) / tile_h_) : 0;
+}
+
+std::vector<std::vector<ObjectId>> UniformGrid::Assign(
+    const Dataset& dataset) const {
+  std::vector<std::vector<ObjectId>> assignment(num_tiles());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Box& b = dataset.box(i);
+    int tx0, ty0, tx1, ty1;
+    TileRange(b, &tx0, &ty0, &tx1, &ty1);
+    for (int ty = ty0; ty <= ty1; ++ty) {
+      for (int tx = tx0; tx <= tx1; ++tx) {
+        // TileRange clamps; re-check true overlap so clamped-out objects are
+        // not spuriously assigned to border tiles.
+        if (Intersects(b, TileBox(tx, ty))) {
+          assignment[ty * cols_ + tx].push_back(static_cast<ObjectId>(i));
+        }
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,48 @@
+// Uniform grid partitioning (§2.3): objects are assigned to every tile their
+// MBR intersects; tile-wise joins then use the reference-point rule to avoid
+// duplicate results.
+#ifndef SWIFTSPATIAL_GRID_UNIFORM_GRID_H_
+#define SWIFTSPATIAL_GRID_UNIFORM_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+
+namespace swiftspatial {
+
+/// A cols x rows uniform grid over an extent.
+class UniformGrid {
+ public:
+  UniformGrid(const Box& extent, int cols, int rows);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int num_tiles() const { return cols_ * rows_; }
+  const Box& extent() const { return extent_; }
+
+  /// Geometric bounds of tile (tx, ty).
+  Box TileBox(int tx, int ty) const;
+  Box TileBoxByIndex(int tile) const {
+    return TileBox(tile % cols_, tile / cols_);
+  }
+
+  /// Inclusive ranges of tiles a box overlaps.
+  void TileRange(const Box& b, int* tx0, int* ty0, int* tx1, int* ty1) const;
+
+  /// Per-tile object id lists: assignment[tile] holds every object whose MBR
+  /// intersects the tile (multi-assignment).
+  std::vector<std::vector<ObjectId>> Assign(const Dataset& dataset) const;
+
+ private:
+  Box extent_;
+  int cols_;
+  int rows_;
+  double tile_w_;
+  double tile_h_;
+};
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_GRID_UNIFORM_GRID_H_

@@ -1,0 +1,83 @@
+// SwiftSpatial accelerator: the top-level device model. Assembles the
+// simulated fabric of Fig. 2 -- N join units, read unit, burst buffers,
+// task queue manager, result write unit, and an on-chip scheduler -- runs a
+// join, and reports both the *functional* result (the true join output) and
+// the *performance* estimate (kernel cycles, DRAM traffic, host transfer
+// time).
+//
+// Two control flows are supported, matching the paper:
+//   RunSyncTraversal  -- BFS R-tree synchronous traversal (§3.4.1)
+//   RunPbsm           -- tile-pair join over a hierarchical partition
+//                        (§3.4.2)
+#ifndef SWIFTSPATIAL_HW_ACCELERATOR_H_
+#define SWIFTSPATIAL_HW_ACCELERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "grid/hierarchical_partition.h"
+#include "hw/config.h"
+#include "hw/scheduler.h"
+#include "hw/sim/dram.h"
+#include "join/result.h"
+#include "rtree/packed_rtree.h"
+
+namespace swiftspatial::hw {
+
+/// Outcome of one accelerator run.
+struct AcceleratorReport {
+  // Timing.
+  uint64_t kernel_cycles = 0;
+  double kernel_seconds = 0;
+  double host_transfer_seconds = 0;  ///< PCIe: indexes in, results out
+  double launch_seconds = 0;
+  double total_seconds = 0;
+
+  // Functional outcome and work counters.
+  uint64_t num_results = 0;
+  JoinStats stats;
+
+  // Memory system.
+  sim::DramStats dram;
+  double dram_utilization = 0;
+  uint64_t bytes_to_device = 0;
+  uint64_t bytes_from_device = 0;
+  uint64_t device_bytes_used = 0;
+
+  // Execution shape.
+  std::vector<LevelTrace> levels;
+  std::vector<uint64_t> unit_busy_cycles;
+  std::vector<uint64_t> unit_tasks;
+
+  /// Mean fraction of kernel time the join units spent busy.
+  double AvgUnitUtilization() const;
+};
+
+/// The simulated device. Stateless between runs; every Run* call builds a
+/// fresh memory layout and fabric.
+class Accelerator {
+ public:
+  explicit Accelerator(const AcceleratorConfig& config = AcceleratorConfig());
+
+  const AcceleratorConfig& config() const { return config_; }
+
+  /// Joins two packed R-trees with BFS synchronous traversal. If `result`
+  /// is non-null, the device's result buffer is copied into it.
+  AcceleratorReport RunSyncTraversal(const PackedRTree& r, const PackedRTree& s,
+                                     JoinResult* result = nullptr);
+
+  /// Joins two datasets over a pre-built hierarchical PBSM partition.
+  /// Over-cap tiles are split into block pairs of at most
+  /// `partition.tile_cap` objects per side.
+  AcceleratorReport RunPbsm(const Dataset& r, const Dataset& s,
+                            const HierarchicalPartition& partition,
+                            JoinResult* result = nullptr);
+
+ private:
+  AcceleratorConfig config_;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_ACCELERATOR_H_

@@ -1,0 +1,26 @@
+#include "hw/burst_buffer.h"
+
+#include "common/logging.h"
+
+namespace swiftspatial::hw {
+
+BurstBuffer::BurstBuffer(std::size_t burst_bytes, std::size_t item_bytes,
+                         bool enabled) {
+  SWIFT_CHECK_GE(item_bytes, 1u);
+  items_per_burst_ = enabled ? std::max<std::size_t>(1, burst_bytes / item_bytes)
+                             : 1;
+}
+
+std::vector<std::size_t> BurstBuffer::ChunkSizes(std::size_t items) {
+  std::vector<std::size_t> chunks;
+  while (items > 0) {
+    const std::size_t take = items < items_per_burst_ ? items : items_per_burst_;
+    chunks.push_back(take);
+    items -= take;
+  }
+  flushes_ += chunks.size();
+  for (const std::size_t c : chunks) items_out_ += c;
+  return chunks;
+}
+
+}  // namespace swiftspatial::hw

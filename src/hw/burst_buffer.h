@@ -1,0 +1,36 @@
+// Burst buffer (§3.5): sits after every join unit and coalesces small
+// 8-byte result/task writes into large sequential bursts. A burst is
+// emitted when the accumulated data reaches `burst_bytes` (default 4 KB) or
+// at the end of joining a node pair. The ablation switch turns coalescing
+// off, making every pair its own DRAM request (bench/ext_ablation).
+#ifndef SWIFTSPATIAL_HW_BURST_BUFFER_H_
+#define SWIFTSPATIAL_HW_BURST_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace swiftspatial::hw {
+
+class BurstBuffer {
+ public:
+  /// `item_bytes` is the size of one buffered element (8 for id pairs).
+  BurstBuffer(std::size_t burst_bytes, std::size_t item_bytes, bool enabled);
+
+  /// Splits `items` elements produced by one node-pair join into flush
+  /// chunks: full bursts plus the end-of-node remainder (or single-item
+  /// chunks when coalescing is disabled). Updates flush statistics.
+  std::vector<std::size_t> ChunkSizes(std::size_t items);
+
+  std::size_t items_per_burst() const { return items_per_burst_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t items_out() const { return items_out_; }
+
+ private:
+  std::size_t items_per_burst_;
+  uint64_t flushes_ = 0;
+  uint64_t items_out_ = 0;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_BURST_BUFFER_H_

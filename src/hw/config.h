@@ -1,0 +1,82 @@
+// Accelerator configuration: every timing/architecture constant of the
+// simulated SwiftSpatial device, with the values used in the paper's
+// prototype as defaults (Alveo U250, 200 MHz, 16 join units, 4 x DDR4).
+#ifndef SWIFTSPATIAL_HW_CONFIG_H_
+#define SWIFTSPATIAL_HW_CONFIG_H_
+
+#include <cstdint>
+
+#include "hw/sim/dram.h"
+
+namespace swiftspatial::hw {
+
+/// PBSM task dispatch policy (§3.4.2).
+enum class DispatchPolicy {
+  kStatic,   ///< task i -> unit (i mod N), regardless of idleness
+  kDynamic,  ///< task -> first join unit with a free slot
+};
+
+const char* DispatchPolicyToString(DispatchPolicy p);
+
+struct AcceleratorConfig {
+  /// Instantiated join units (paper sweeps 1..16).
+  int num_join_units = 16;
+
+  /// Kernel clock (§3.6: Vitis HLS at 200 MHz).
+  double clock_hz = 200e6;
+
+  sim::DramConfig dram;
+
+  /// Host link: effective PCIe gen3 x16 bandwidth for index/result
+  /// transfers, and per-invocation launch overhead.
+  double pcie_gbytes_per_sec = 12.0;
+  double kernel_launch_seconds = 30e-6;
+
+  /// Join-unit pipeline depth (Fig. 3: read -> evaluate -> emit).
+  int pipeline_depth = 3;
+
+  /// Scheduler overhead per dispatched task (round-robin bookkeeping and
+  /// command emission, §3.4.1).
+  int dispatch_cycles = 1;
+
+  /// Read-unit command processing overhead per node-pair fetch.
+  int read_issue_cycles = 2;
+
+  /// Burst buffer flush threshold in bytes (§3.5: "e.g., 4 KB").
+  std::size_t burst_bytes = 4096;
+  /// Ablation switch: disable result/task write bursting (each 8-byte pair
+  /// becomes its own DRAM request).
+  bool burst_buffer_enabled = true;
+
+  /// Scheduler task-cache capacity in tasks (§3.4.1 "burst loading");
+  /// 512 tasks = one 4 KB burst.
+  std::size_t scheduler_cache_tasks = 512;
+  /// Ablation switch: disable burst loading (scheduler fetches tasks one at
+  /// a time).
+  bool burst_loading_enabled = true;
+
+  /// Per-unit input queue depth (double buffering).
+  std::size_t unit_queue_depth = 2;
+  /// Shared stream FIFO depths (bursts).
+  std::size_t stream_fifo_depth = 64;
+  /// Scheduler -> read unit command queue depth.
+  std::size_t command_queue_depth = 16;
+
+  /// PBSM dispatch policy.
+  DispatchPolicy pbsm_policy = DispatchPolicy::kDynamic;
+  /// Max in-flight tasks per unit for dynamic dispatch.
+  int max_inflight_per_unit = 2;
+
+  /// Seconds represented by `cycles` at the configured clock.
+  double SecondsFor(uint64_t cycles) const {
+    return static_cast<double>(cycles) / clock_hz;
+  }
+  /// Host transfer time for `bytes` over PCIe.
+  double PcieSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (pcie_gbytes_per_sec * 1e9);
+  }
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_CONFIG_H_

@@ -1,0 +1,112 @@
+#include "hw/join_unit.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace swiftspatial::hw {
+
+JoinUnit::JoinUnit(int id, sim::Simulator* sim,
+                   const AcceleratorConfig* config,
+                   sim::Fifo<NodePairData>* input,
+                   sim::Fifo<TaskStreamItem>* tasks_out,
+                   sim::Fifo<ResultStreamItem>* results_out,
+                   sim::Fifo<DoneToken>* done_out)
+    : id_(id),
+      sim_(sim),
+      config_(config),
+      input_(input),
+      tasks_out_(tasks_out),
+      results_out_(results_out),
+      done_out_(done_out),
+      burst_(config->burst_bytes, sizeof(ResultPair),
+             config->burst_buffer_enabled) {}
+
+sim::Process JoinUnit::Run() {
+  for (;;) {
+    NodePairData d = co_await input_->Pop();
+    if (d.finish) co_return;
+
+    // The read unit issued the DRAM fetch; data is usable at ready_at.
+    co_await sim_->WaitUntil(d.ready_at);
+    const sim::Cycle start = sim_->now();
+
+    const int rc = static_cast<int>(d.r_entries.size());
+    const int sc = static_cast<int>(d.s_entries.size());
+
+    // --- Functional join. ---
+    std::vector<ResultPair> results;
+    std::vector<NodePairTask> next_tasks;
+    uint64_t predicates = 0;
+
+    const bool emit_results = d.pbsm || (d.r_leaf && d.s_leaf);
+    if (emit_results) {
+      predicates = static_cast<uint64_t>(rc) * sc;
+      for (const PackedEntry& re : d.r_entries) {
+        for (const PackedEntry& se : d.s_entries) {
+          if (!Intersects(re.box, se.box)) continue;
+          if (d.pbsm && !ReferencePointInTile(re.box, se.box, d.tile)) continue;
+          results.push_back({re.id, se.id});
+        }
+      }
+    } else if (!d.r_leaf && !d.s_leaf) {
+      predicates = static_cast<uint64_t>(rc) * sc;
+      for (const PackedEntry& re : d.r_entries) {
+        for (const PackedEntry& se : d.s_entries) {
+          if (Intersects(re.box, se.box)) next_tasks.push_back({re.id, se.id});
+        }
+      }
+    } else if (d.r_leaf) {
+      // Mixed heights: keep the leaf fixed, descend the directory (Alg. 2).
+      Box r_mbr = Box::Empty();
+      for (const PackedEntry& re : d.r_entries) r_mbr.Expand(re.box);
+      predicates = static_cast<uint64_t>(sc);
+      for (const PackedEntry& se : d.s_entries) {
+        if (Intersects(r_mbr, se.box)) next_tasks.push_back({d.r_index, se.id});
+      }
+    } else {
+      Box s_mbr = Box::Empty();
+      for (const PackedEntry& se : d.s_entries) s_mbr.Expand(se.box);
+      predicates = static_cast<uint64_t>(rc);
+      for (const PackedEntry& re : d.r_entries) {
+        if (Intersects(re.box, s_mbr)) next_tasks.push_back({re.id, d.s_index});
+      }
+    }
+
+    // --- Timing: SRAM fill + pipelined predicate evaluation. ---
+    const sim::Cycle load_cycles = static_cast<sim::Cycle>(std::max(rc, sc));
+    co_await sim_->Delay(load_cycles + predicates + config_->pipeline_depth);
+
+    // --- Emit through the burst buffer. ---
+    std::size_t offset = 0;
+    for (const std::size_t chunk : burst_.ChunkSizes(results.size())) {
+      ResultStreamItem item;
+      item.kind = ResultStreamItem::Kind::kBurst;
+      item.pairs.assign(results.begin() + offset,
+                        results.begin() + offset + chunk);
+      offset += chunk;
+      co_await results_out_->Push(std::move(item));
+    }
+    offset = 0;
+    for (const std::size_t chunk : burst_.ChunkSizes(next_tasks.size())) {
+      TaskStreamItem item;
+      item.kind = TaskStreamItem::Kind::kBurst;
+      item.tasks.assign(next_tasks.begin() + offset,
+                        next_tasks.begin() + offset + chunk);
+      offset += chunk;
+      co_await tasks_out_->Push(std::move(item));
+    }
+
+    tasks_joined_ += 1;
+    predicate_evaluations_ += predicates;
+    results_emitted_ += results.size();
+    intermediate_pairs_ += next_tasks.size();
+    busy_cycles_ += sim_->now() - start;
+
+    co_await done_out_->Push(DoneToken{id_});
+  }
+}
+
+}  // namespace swiftspatial::hw

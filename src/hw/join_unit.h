@@ -1,0 +1,64 @@
+// Join unit (§3.3, Figs. 3-4): joins one node/tile pair per task with a
+// nested-loop join. The hybrid-parallelism timing model charges:
+//
+//   max(|R|, |S|)             cycles to stream the pair into the SRAM slices
+//   (#predicate evaluations)  cycles for the pipelined nested loop
+//                             (one pair enters the pipeline per cycle)
+//   pipeline_depth            cycles of fill/drain
+//
+// Functionally the unit evaluates the real MBR predicates and emits the
+// qualifying pairs: object pairs (results) when both inputs are leaves or in
+// PBSM mode, node pairs (future tasks) otherwise. Output flows through the
+// per-unit burst buffer into the shared task/result streams; a full stream
+// back-pressures the unit, modelling pipeline stalls.
+#ifndef SWIFTSPATIAL_HW_JOIN_UNIT_H_
+#define SWIFTSPATIAL_HW_JOIN_UNIT_H_
+
+#include <cstdint>
+
+#include "hw/burst_buffer.h"
+#include "hw/config.h"
+#include "hw/messages.h"
+#include "hw/sim/fifo.h"
+#include "hw/sim/simulator.h"
+
+namespace swiftspatial::hw {
+
+class JoinUnit {
+ public:
+  JoinUnit(int id, sim::Simulator* sim, const AcceleratorConfig* config,
+           sim::Fifo<NodePairData>* input, sim::Fifo<TaskStreamItem>* tasks_out,
+           sim::Fifo<ResultStreamItem>* results_out,
+           sim::Fifo<DoneToken>* done_out);
+
+  /// The unit's process body; spawn on the simulator.
+  sim::Process Run();
+
+  int id() const { return id_; }
+  uint64_t tasks_joined() const { return tasks_joined_; }
+  uint64_t predicate_evaluations() const { return predicate_evaluations_; }
+  uint64_t results_emitted() const { return results_emitted_; }
+  uint64_t intermediate_pairs() const { return intermediate_pairs_; }
+  /// Cycles spent from task data arrival to output completion.
+  uint64_t busy_cycles() const { return busy_cycles_; }
+
+ private:
+  int id_;
+  sim::Simulator* sim_;
+  const AcceleratorConfig* config_;
+  sim::Fifo<NodePairData>* input_;
+  sim::Fifo<TaskStreamItem>* tasks_out_;
+  sim::Fifo<ResultStreamItem>* results_out_;
+  sim::Fifo<DoneToken>* done_out_;
+  BurstBuffer burst_;
+
+  uint64_t tasks_joined_ = 0;
+  uint64_t predicate_evaluations_ = 0;
+  uint64_t results_emitted_ = 0;
+  uint64_t intermediate_pairs_ = 0;
+  uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_JOIN_UNIT_H_

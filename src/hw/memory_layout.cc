@@ -1,0 +1,58 @@
+#include "hw/memory_layout.h"
+
+#include <cstring>
+#include <utility>
+
+namespace swiftspatial::hw {
+
+uint64_t MemoryLayout::AddRegion(std::string name) {
+  return AddRegion(std::move(name), {});
+}
+
+uint64_t MemoryLayout::AddRegion(std::string name, std::vector<uint8_t> bytes) {
+  const uint64_t base = kRegionStride * (regions_.size() + 1) +
+                        kChannelStagger * regions_.size();
+  regions_.push_back(Region{std::move(name), base, std::move(bytes)});
+  return base;
+}
+
+const MemoryLayout::Region& MemoryLayout::RegionFor(uint64_t addr) const {
+  const uint64_t index = addr / kRegionStride;
+  SWIFT_CHECK(index >= 1 && index <= regions_.size())
+      << "address outside any region: " << addr;
+  return regions_[index - 1];
+}
+
+MemoryLayout::Region& MemoryLayout::RegionFor(uint64_t addr) {
+  return const_cast<Region&>(
+      static_cast<const MemoryLayout*>(this)->RegionFor(addr));
+}
+
+void MemoryLayout::Write(uint64_t addr, const void* src, std::size_t n) {
+  Region& region = RegionFor(addr);
+  const uint64_t offset = addr - region.base;
+  SWIFT_CHECK_LT(offset + n, kRegionStride)
+      << "write overruns region " << region.name;
+  if (region.bytes.size() < offset + n) region.bytes.resize(offset + n);
+  std::memcpy(region.bytes.data() + offset, src, n);
+}
+
+void MemoryLayout::Read(uint64_t addr, void* dst, std::size_t n) const {
+  const Region& region = RegionFor(addr);
+  const uint64_t offset = addr - region.base;
+  SWIFT_CHECK_LE(offset + n, region.bytes.size())
+      << "read of unwritten memory in region " << region.name;
+  std::memcpy(dst, region.bytes.data() + offset, n);
+}
+
+std::size_t MemoryLayout::RegionSize(uint64_t base) const {
+  return RegionFor(base).bytes.size();
+}
+
+uint64_t MemoryLayout::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : regions_) total += r.bytes.size();
+  return total;
+}
+
+}  // namespace swiftspatial::hw

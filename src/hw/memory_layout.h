@@ -1,0 +1,74 @@
+// Physical address space management (§3.5): SwiftSpatial manages DRAM
+// directly, with no page tables or dynamic allocation. The address space is
+// a set of named regions at fixed base addresses (tree images, ping/pong
+// task queues, result buffer); write cursors only ever increment
+// (self-incrementing counters).
+//
+// The layout doubles as the *functional* memory: every simulated DRAM write
+// stores real bytes and every read returns them, so the simulated
+// accelerator computes the true join result while the Dram model charges
+// the time.
+#ifndef SWIFTSPATIAL_HW_MEMORY_LAYOUT_H_
+#define SWIFTSPATIAL_HW_MEMORY_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace swiftspatial::hw {
+
+/// Named, physically-addressed memory regions with functional backing.
+class MemoryLayout {
+ public:
+  /// Regions are spaced this far apart, so a region can grow without ever
+  /// overlapping its neighbour (the simulated device has 64 GB; region
+  /// *usage* is checked against it at the end of a run).
+  static constexpr uint64_t kRegionStride = 1ULL << 33;  // 8 GB
+
+  /// Region bases are additionally staggered by one channel-interleave line
+  /// each, so concurrent streams over different regions (e.g. the R and S
+  /// tile stores) start on different DRAM channels -- the simulated
+  /// counterpart of assigning each buffer its own DDR bank on the U250.
+  static constexpr uint64_t kChannelStagger = 4096;
+
+  /// Creates an empty region; returns its base address.
+  uint64_t AddRegion(std::string name);
+
+  /// Creates a region pre-loaded with `bytes` (e.g. a PackedRTree image).
+  uint64_t AddRegion(std::string name, std::vector<uint8_t> bytes);
+
+  /// Functional write; grows the region as needed.
+  void Write(uint64_t addr, const void* src, std::size_t n);
+
+  /// Functional read; reading beyond written bytes is a bug (checked).
+  void Read(uint64_t addr, void* dst, std::size_t n) const;
+
+  /// Bytes currently stored in the region that starts at `base`.
+  std::size_t RegionSize(uint64_t base) const;
+
+  /// Total bytes across all regions (device memory footprint).
+  uint64_t TotalBytes() const;
+
+  std::size_t num_regions() const { return regions_.size(); }
+  const std::string& RegionName(std::size_t i) const {
+    return regions_[i].name;
+  }
+
+ private:
+  struct Region {
+    std::string name;
+    uint64_t base;
+    std::vector<uint8_t> bytes;
+  };
+
+  const Region& RegionFor(uint64_t addr) const;
+  Region& RegionFor(uint64_t addr);
+
+  std::vector<Region> regions_;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_MEMORY_LAYOUT_H_

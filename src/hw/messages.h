@@ -1,0 +1,97 @@
+// Message types flowing between the simulated function units. Each struct
+// corresponds to one on-chip FIFO payload in Fig. 2 of the paper.
+#ifndef SWIFTSPATIAL_HW_MESSAGES_H_
+#define SWIFTSPATIAL_HW_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "join/result.h"
+#include "join/sync_traversal.h"
+#include "rtree/packed_rtree.h"
+#include "hw/sim/simulator.h"
+
+namespace swiftspatial::hw {
+
+/// Scheduler -> read unit: fetch a node (or tile block) pair and forward it
+/// to a join unit.
+struct ReadCommand {
+  enum class Kind { kJoin, kFinish };
+  Kind kind = Kind::kJoin;
+  int unit = 0;
+  // Node/block indices (written into intermediate task pairs) and their
+  // physical addresses/sizes.
+  int32_t r_index = 0;
+  int32_t s_index = 0;
+  uint64_t r_addr = 0;
+  uint64_t s_addr = 0;
+  uint32_t r_bytes = 0;
+  uint32_t s_bytes = 0;
+  /// PBSM mode: every qualifying pair is a result, deduplicated against
+  /// `tile` by the reference-point rule.
+  bool pbsm = false;
+  Box tile;
+};
+
+/// Read unit -> join unit: a fetched node pair. `ready_at` is the cycle the
+/// DRAM data arrives; the join unit may not consume it earlier.
+struct NodePairData {
+  bool finish = false;
+  sim::Cycle ready_at = 0;
+  int32_t r_index = 0;
+  int32_t s_index = 0;
+  bool r_leaf = true;
+  bool s_leaf = true;
+  bool pbsm = false;
+  Box tile;
+  std::vector<PackedEntry> r_entries;
+  std::vector<PackedEntry> s_entries;
+};
+
+/// Join units -> task queue manager stream.
+struct TaskStreamItem {
+  enum class Kind { kLevelStart, kBurst, kSync, kFinish };
+  Kind kind = Kind::kBurst;
+  /// kLevelStart: base address for this level's intermediate results.
+  uint64_t write_base = 0;
+  /// kBurst: qualifying directory pairs (future tasks).
+  std::vector<NodePairTask> tasks;
+};
+
+/// Join units -> result write unit stream.
+struct ResultStreamItem {
+  enum class Kind { kBurst, kSync, kFinish };
+  Kind kind = Kind::kBurst;
+  std::vector<ResultPair> pairs;
+};
+
+/// Scheduler -> task queue manager (read side): burst-load task descriptors.
+struct TaskFetchRequest {
+  enum class Kind { kFetch, kFinish };
+  Kind kind = Kind::kFetch;
+  uint64_t addr = 0;
+  uint32_t bytes = 0;
+};
+
+/// Task queue manager -> scheduler: raw task bytes plus data-arrival time.
+struct TaskFetchResponse {
+  std::vector<uint8_t> bytes;
+  sim::Cycle ready_at = 0;
+};
+
+/// Task queue manager / write unit -> scheduler sync acknowledgement.
+struct SyncResponse {
+  /// Pairs written since the last level start (TQM) or in total (write
+  /// unit).
+  uint64_t pairs_written = 0;
+};
+
+/// Join unit -> scheduler completion token.
+struct DoneToken {
+  int unit = 0;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_MESSAGES_H_

@@ -1,0 +1,172 @@
+#include "hw/multi_device.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "geometry/box.h"
+#include "grid/hierarchical_partition.h"
+#include "grid/uniform_grid.h"
+
+namespace swiftspatial::hw {
+
+const char* OutOfMemoryStrategyToString(OutOfMemoryStrategy s) {
+  switch (s) {
+    case OutOfMemoryStrategy::kMultipleDevices:
+      return "multiple-devices";
+    case OutOfMemoryStrategy::kSingleDeviceIterative:
+      return "single-device-iterative";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Conservative device-footprint estimate for planning: tile stores (entry
+// plus packing slack per side), task table, and result slack.
+uint64_t EstimatePartitionBytes(std::size_t nr, std::size_t ns) {
+  return 64ULL * (nr + ns) + (1ULL << 16);
+}
+
+struct SubJoinInput {
+  Box outer_tile;  // closed at the global extent max (dedup across tiles)
+  Dataset r;
+  Dataset s;
+  std::vector<ObjectId> r_map;  // local -> global ids
+  std::vector<ObjectId> s_map;
+};
+
+// Extracts the per-tile sub-datasets with local ids.
+std::vector<SubJoinInput> BuildSubInputs(const Dataset& r, const Dataset& s,
+                                         const UniformGrid& grid,
+                                         const Box& extent) {
+  const auto r_assign = grid.Assign(r);
+  const auto s_assign = grid.Assign(s);
+  std::vector<SubJoinInput> out;
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    if (r_assign[t].empty() || s_assign[t].empty()) continue;
+    SubJoinInput sub;
+    sub.outer_tile = CloseTileAtExtentMax(grid.TileBoxByIndex(t), extent);
+    std::vector<Box> r_boxes, s_boxes;
+    r_boxes.reserve(r_assign[t].size());
+    for (ObjectId id : r_assign[t]) {
+      r_boxes.push_back(r.box(static_cast<std::size_t>(id)));
+      sub.r_map.push_back(id);
+    }
+    s_boxes.reserve(s_assign[t].size());
+    for (ObjectId id : s_assign[t]) {
+      s_boxes.push_back(s.box(static_cast<std::size_t>(id)));
+      sub.s_map.push_back(id);
+    }
+    sub.r = Dataset("sub_r", std::move(r_boxes));
+    sub.s = Dataset("sub_s", std::move(s_boxes));
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
+                                          const MultiDeviceConfig& config,
+                                          JoinResult* result) {
+  SWIFT_CHECK_GE(config.max_grid, 1);
+  MultiDeviceReport report;
+  if (result != nullptr) result->mutable_pairs().clear();
+  if (r.empty() || s.empty()) return report;
+
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+
+  // --- Plan: smallest power-of-two grid whose partitions fit the device. --
+  int grid_res = 1;
+  for (;; grid_res *= 2) {
+    const UniformGrid grid(extent, grid_res, grid_res);
+    const auto r_assign = grid.Assign(r);
+    const auto s_assign = grid.Assign(s);
+    uint64_t worst = 0;
+    for (int t = 0; t < grid.num_tiles(); ++t) {
+      worst = std::max(worst, EstimatePartitionBytes(r_assign[t].size(),
+                                                     s_assign[t].size()));
+    }
+    if (worst <= config.device_memory_bytes) break;
+    if (grid_res >= config.max_grid) {
+      return Status::InvalidArgument(
+          "cannot fit partitions into device memory even at grid " +
+          std::to_string(grid_res) + " (worst partition needs ~" +
+          std::to_string(worst) + " bytes, capacity " +
+          std::to_string(config.device_memory_bytes) + ")");
+    }
+  }
+
+  Accelerator device(config.device);
+
+  // --- Execute, refining the grid if a partition's *actual* footprint
+  // (block stores grow with multi-assignment and over-cap splitting)
+  // overruns the device. ---
+  for (;; grid_res *= 2) {
+    report = MultiDeviceReport{};
+    if (result != nullptr) result->mutable_pairs().clear();
+    report.grid_resolution = grid_res;
+
+    const UniformGrid grid(extent, grid_res, grid_res);
+    auto subs = BuildSubInputs(r, s, grid, extent);
+    report.partitions = subs.size();
+    report.devices = config.strategy == OutOfMemoryStrategy::kMultipleDevices
+                         ? subs.size()
+                         : (subs.empty() ? 0 : 1);
+
+    HierarchicalPartitionOptions hp;
+    hp.tile_cap = config.tile_cap;
+
+    for (const SubJoinInput& sub : subs) {
+      // Scale the inner grid to the partition population to keep
+      // hierarchical splitting shallow.
+      hp.initial_grid = std::clamp(
+          static_cast<int>(std::max(sub.r.size(), sub.s.size()) / 64), 4, 64);
+      const auto partition = PartitionHierarchical(sub.r, sub.s, hp);
+
+      JoinResult local;
+      AcceleratorReport sub_report =
+          device.RunPbsm(sub.r, sub.s, partition, &local);
+      report.max_partition_bytes =
+          std::max(report.max_partition_bytes, sub_report.device_bytes_used);
+
+      // Cross-partition dedup: multi-assigned pairs are claimed only by the
+      // grid tile holding their reference point.
+      uint64_t kept = 0;
+      for (const ResultPair& p : local.pairs()) {
+        const ObjectId gr = sub.r_map[static_cast<std::size_t>(p.r)];
+        const ObjectId gs = sub.s_map[static_cast<std::size_t>(p.s)];
+        const Box& rb = r.box(static_cast<std::size_t>(gr));
+        const Box& sb = s.box(static_cast<std::size_t>(gs));
+        if (!ReferencePointInTile(rb, sb, sub.outer_tile)) continue;
+        ++kept;
+        if (result != nullptr) result->Add(gr, gs);
+      }
+      report.num_results += kept;
+
+      if (config.strategy == OutOfMemoryStrategy::kMultipleDevices) {
+        report.total_seconds =
+            std::max(report.total_seconds, sub_report.total_seconds);
+      } else {
+        report.total_seconds += sub_report.total_seconds;
+      }
+      report.sub_reports.push_back(std::move(sub_report));
+    }
+
+    if (report.max_partition_bytes <= config.device_memory_bytes) {
+      return report;
+    }
+    if (grid_res >= config.max_grid) {
+      return Status::InvalidArgument(
+          "a partition footprint of " +
+          std::to_string(report.max_partition_bytes) +
+          " bytes exceeds device memory (" +
+          std::to_string(config.device_memory_bytes) + ") even at grid " +
+          std::to_string(grid_res));
+    }
+  }
+}
+
+}  // namespace swiftspatial::hw

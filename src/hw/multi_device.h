@@ -1,0 +1,78 @@
+// Larger-than-device-memory joins (§6 "Handling datasets larger than FPGA
+// memory"). The paper sketches three solutions; this module implements the
+// first two:
+//
+//  * kMultipleDevices -- partition the data spatially and give each
+//    partition's sub-join to its own FPGA; sub-joins run concurrently and
+//    results are aggregated (the paper's "handled by multiple FPGAs before
+//    the results are aggregated").
+//  * kSingleDeviceIterative -- one FPGA processes all partitions in
+//    sequence ("a single FPGA can process all data partitions
+//    iteratively"), paying the per-partition transfer each time.
+//
+// Partitioning uses a uniform grid with multi-assignment plus the
+// reference-point rule, so the union of sub-join results is exactly the
+// global join (no duplicates, nothing lost). Within each partition the
+// device runs its PBSM flow over a hierarchical sub-partition.
+//
+// A device memory capacity (bytes) models the constraint: the planner
+// raises the grid resolution until every partition's working set fits.
+#ifndef SWIFTSPATIAL_HW_MULTI_DEVICE_H_
+#define SWIFTSPATIAL_HW_MULTI_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "hw/accelerator.h"
+
+namespace swiftspatial::hw {
+
+/// Execution strategy for out-of-memory joins (§6).
+enum class OutOfMemoryStrategy {
+  kMultipleDevices,
+  kSingleDeviceIterative,
+};
+
+const char* OutOfMemoryStrategyToString(OutOfMemoryStrategy s);
+
+struct MultiDeviceConfig {
+  AcceleratorConfig device;
+  /// Per-device DRAM capacity in bytes. The real U250 has 64 GB; tests and
+  /// benches use small values to force partitioning.
+  uint64_t device_memory_bytes = 64ULL << 30;
+  OutOfMemoryStrategy strategy = OutOfMemoryStrategy::kMultipleDevices;
+  /// Hierarchical-partition tile cap used inside each partition.
+  int tile_cap = 16;
+  /// Upper bound on the partition search (grid cells per axis).
+  int max_grid = 64;
+};
+
+/// Outcome of a partitioned join.
+struct MultiDeviceReport {
+  /// Partitions actually used (grid cells with work).
+  std::size_t partitions = 0;
+  int grid_resolution = 0;
+  /// Devices employed (= partitions for kMultipleDevices, 1 otherwise).
+  std::size_t devices = 0;
+  /// Modelled end-to-end seconds. Multiple devices: max over concurrent
+  /// sub-joins; iterative: sum over sequential ones.
+  double total_seconds = 0;
+  /// Largest per-partition device footprint (must fit device memory).
+  uint64_t max_partition_bytes = 0;
+  uint64_t num_results = 0;
+  /// Per-partition device reports, in grid order.
+  std::vector<AcceleratorReport> sub_reports;
+};
+
+/// Joins r and s under a device-memory constraint (see file comment).
+/// Fails with InvalidArgument when even the finest grid cannot fit a
+/// partition into device memory.
+Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
+                                          const MultiDeviceConfig& config,
+                                          JoinResult* result = nullptr);
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_MULTI_DEVICE_H_

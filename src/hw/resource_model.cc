@@ -1,0 +1,112 @@
+#include "hw/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace swiftspatial::hw {
+
+namespace {
+
+// Measured kernel utilisation from Table 1 (percent of U250).
+struct TablePoint {
+  int units;
+  ResourcePct pct;
+};
+constexpr int kNumPoints = 5;
+const TablePoint kKernelTable[kNumPoints] = {
+    {1, {0.67, 0.44, 2.46, 0.16}},
+    {2, {0.87, 0.55, 3.65, 0.21}},
+    {4, {1.24, 0.75, 6.03, 0.34}},
+    {8, {1.96, 1.13, 10.79, 0.60}},
+    {16, {3.35, 1.60, 28.05, 1.12}},
+};
+
+double Lerp(double x0, double y0, double x1, double y1, double x) {
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+ResourcePct Interpolate(int units) {
+  SWIFT_CHECK_GE(units, 1);
+  if (units <= kKernelTable[0].units) return kKernelTable[0].pct;
+  for (int i = 1; i < kNumPoints; ++i) {
+    if (units <= kKernelTable[i].units) {
+      const auto& lo = kKernelTable[i - 1];
+      const auto& hi = kKernelTable[i];
+      ResourcePct out;
+      out.lut = Lerp(lo.units, lo.pct.lut, hi.units, hi.pct.lut, units);
+      out.ff = Lerp(lo.units, lo.pct.ff, hi.units, hi.pct.ff, units);
+      out.bram = Lerp(lo.units, lo.pct.bram, hi.units, hi.pct.bram, units);
+      out.dsp = Lerp(lo.units, lo.pct.dsp, hi.units, hi.pct.dsp, units);
+      return out;
+    }
+  }
+  // Extrapolate beyond 16 units with the last segment's slope.
+  const auto& lo = kKernelTable[kNumPoints - 2];
+  const auto& hi = kKernelTable[kNumPoints - 1];
+  ResourcePct out;
+  out.lut = Lerp(lo.units, lo.pct.lut, hi.units, hi.pct.lut, units);
+  out.ff = Lerp(lo.units, lo.pct.ff, hi.units, hi.pct.ff, units);
+  out.bram = Lerp(lo.units, lo.pct.bram, hi.units, hi.pct.bram, units);
+  out.dsp = Lerp(lo.units, lo.pct.dsp, hi.units, hi.pct.dsp, units);
+  return out;
+}
+
+}  // namespace
+
+ResourcePct ResourceModel::KernelUsage(int num_units) {
+  return Interpolate(num_units);
+}
+
+ResourcePct ResourceModel::ShellUsage() {
+  return {10.89, 9.21, 14.96, 0.11};
+}
+
+ResourcePct ResourceModel::TotalUsage(int num_units) {
+  return KernelUsage(num_units) + ShellUsage();
+}
+
+DeviceSpec ResourceModel::U250() {
+  return {"Alveo U250", {1728000, 3456000, 2688, 12288}};
+}
+
+DeviceSpec ResourceModel::PynqZ2() {
+  return {"PYNQ-Z2", {53200, 106400, 140, 110}};
+}
+
+ResourceCount ResourceModel::KernelAbsolute(int num_units,
+                                            bool optimize_bram) {
+  const ResourcePct pct = KernelUsage(num_units);
+  const ResourceCount u250 = U250().total;
+  ResourceCount out;
+  out.lut = static_cast<uint64_t>(std::ceil(pct.lut / 100.0 * u250.lut));
+  out.ff = static_cast<uint64_t>(std::ceil(pct.ff / 100.0 * u250.ff));
+  double bram = pct.bram / 100.0 * u250.bram;
+  if (optimize_bram) bram *= kBramOptimizationFactor;
+  out.bram = static_cast<uint64_t>(std::ceil(bram));
+  out.dsp = static_cast<uint64_t>(std::ceil(pct.dsp / 100.0 * u250.dsp));
+  return out;
+}
+
+int ResourceModel::MaxUnitsOn(const DeviceSpec& device, double budget_fraction,
+                              bool optimize_bram) {
+  SWIFT_CHECK_GT(budget_fraction, 0.0);
+  int best = 0;
+  for (int units = 1; units <= 64; ++units) {
+    const ResourceCount need = KernelAbsolute(units, optimize_bram);
+    const bool fits =
+        need.lut <= budget_fraction * device.total.lut &&
+        need.ff <= budget_fraction * device.total.ff &&
+        need.bram <= budget_fraction * device.total.bram &&
+        need.dsp <= budget_fraction * device.total.dsp;
+    if (fits) {
+      best = units;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace swiftspatial::hw

@@ -1,0 +1,74 @@
+// FPGA resource model reproducing Table 1 of the paper. The measured Vivado
+// utilisation percentages for 1/2/4/8/16 join units (kernel) and the shell
+// are encoded directly; other unit counts interpolate or extrapolate
+// piecewise-linearly. Absolute counts use the U250 totals the paper lists,
+// which also drive the embedded-deployment feasibility analysis of §5.6
+// (PYNQ-Z2 with and without the shift-register FIFO optimisation).
+#ifndef SWIFTSPATIAL_HW_RESOURCE_MODEL_H_
+#define SWIFTSPATIAL_HW_RESOURCE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace swiftspatial::hw {
+
+/// Utilisation as a percentage of the Alveo U250's resources.
+struct ResourcePct {
+  double lut = 0;
+  double ff = 0;
+  double bram = 0;
+  double dsp = 0;
+
+  ResourcePct operator+(const ResourcePct& o) const {
+    return {lut + o.lut, ff + o.ff, bram + o.bram, dsp + o.dsp};
+  }
+};
+
+/// Absolute resource counts.
+struct ResourceCount {
+  uint64_t lut = 0;
+  uint64_t ff = 0;
+  uint64_t bram = 0;
+  uint64_t dsp = 0;
+};
+
+/// A target FPGA device.
+struct DeviceSpec {
+  std::string name;
+  ResourceCount total;
+};
+
+class ResourceModel {
+ public:
+  /// Kernel utilisation (percent of U250) for `num_units` join units.
+  static ResourcePct KernelUsage(int num_units);
+
+  /// Static shell utilisation (memory/PCIe controllers etc.).
+  static ResourcePct ShellUsage();
+
+  /// Shell + kernel.
+  static ResourcePct TotalUsage(int num_units);
+
+  /// Kernel utilisation in absolute element counts. `optimize_bram` applies
+  /// the §5.6 shift-register FIFO optimisation (BRAM use scaled down).
+  static ResourceCount KernelAbsolute(int num_units,
+                                      bool optimize_bram = false);
+
+  /// Largest join-unit count whose kernel fits within
+  /// `budget_fraction` of `device`'s resources.
+  static int MaxUnitsOn(const DeviceSpec& device, double budget_fraction,
+                        bool optimize_bram = false);
+
+  /// Alveo U250 (data-center card of the paper's prototype).
+  static DeviceSpec U250();
+
+  /// PYNQ-Z2 (low-end CPU-FPGA SoC discussed in §5.6).
+  static DeviceSpec PynqZ2();
+
+  /// BRAM scale factor of the shift-register optimisation.
+  static constexpr double kBramOptimizationFactor = 0.4;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_RESOURCE_MODEL_H_

@@ -1,0 +1,247 @@
+#include "hw/scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "join/sync_traversal.h"
+
+namespace swiftspatial::hw {
+
+const char* DispatchPolicyToString(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kStatic:
+      return "static";
+    case DispatchPolicy::kDynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+SyncTraversalScheduler::SyncTraversalScheduler(
+    sim::Simulator* sim, const AcceleratorConfig* config, SchedulerPorts ports,
+    TreeRef r_tree, TreeRef s_tree, uint64_t task_region_a,
+    uint64_t task_region_b)
+    : sim_(sim),
+      config_(config),
+      ports_(ports),
+      r_tree_(r_tree),
+      s_tree_(s_tree),
+      task_regions_{task_region_a, task_region_b} {}
+
+sim::Process SyncTraversalScheduler::Run() {
+  const int num_units = config_->num_join_units;
+  // Level 0's single task (the root pair) lives directly in the scheduler's
+  // SRAM; deeper levels are burst-loaded from the task queue regions.
+  std::deque<NodePairTask> cache = {{r_tree_.root, s_tree_.root}};
+  uint64_t level_tasks = 1;
+  int level = 0;
+
+  for (;;) {
+    // Announce where this level's intermediate pairs (= next level's tasks)
+    // will be written. Goes through the task stream so it is ordered before
+    // the join units' bursts.
+    TaskStreamItem start;
+    start.kind = TaskStreamItem::Kind::kLevelStart;
+    start.write_base = task_regions_[(level + 1) % 2];
+    co_await ports_.task_stream->Push(std::move(start));
+
+    const uint64_t read_base = task_regions_[level % 2];
+    uint64_t fetched = level == 0 ? 1 : 0;  // the root pair is pre-cached
+    uint64_t dispatched = 0;
+    const std::size_t cache_capacity =
+        config_->burst_loading_enabled ? config_->scheduler_cache_tasks : 1;
+
+    while (dispatched < level_tasks) {
+      if (cache.empty()) {
+        // Burst-load the next run of tasks into the cache (§3.4.1).
+        const uint64_t want = std::min<uint64_t>(cache_capacity,
+                                                 level_tasks - fetched);
+        TaskFetchRequest req;
+        req.addr = read_base + fetched * sizeof(NodePairTask);
+        req.bytes = static_cast<uint32_t>(want * sizeof(NodePairTask));
+        co_await ports_.fetch_requests->Push(std::move(req));
+        TaskFetchResponse resp = co_await ports_.fetch_responses->Pop();
+        co_await sim_->WaitUntil(resp.ready_at);
+        SWIFT_CHECK_EQ(resp.bytes.size(), want * sizeof(NodePairTask));
+        for (uint64_t i = 0; i < want; ++i) {
+          NodePairTask t;
+          std::memcpy(&t, resp.bytes.data() + i * sizeof(t), sizeof(t));
+          cache.push_back(t);
+        }
+        fetched += want;
+      }
+      const NodePairTask task = cache.front();
+      cache.pop_front();
+
+      ReadCommand cmd;
+      cmd.kind = ReadCommand::Kind::kJoin;
+      cmd.unit = static_cast<int>(dispatched % num_units);  // round robin
+      cmd.r_index = task.r;
+      cmd.s_index = task.s;
+      cmd.r_addr = r_tree_.base + static_cast<uint64_t>(task.r) * r_tree_.stride;
+      cmd.s_addr = s_tree_.base + static_cast<uint64_t>(task.s) * s_tree_.stride;
+      cmd.r_bytes = r_tree_.stride;
+      cmd.s_bytes = s_tree_.stride;
+      co_await sim_->Delay(config_->dispatch_cycles);
+      co_await ports_.read_commands->Push(std::move(cmd));
+      ++dispatched;
+    }
+
+    // Level barrier: every dispatched task acknowledges completion.
+    for (uint64_t i = 0; i < dispatched; ++i) {
+      (void)co_await ports_.done->Pop();
+    }
+
+    // Ask the task queue manager how many pairs the level produced; its
+    // reply also guarantees the writes have landed.
+    TaskStreamItem sync;
+    sync.kind = TaskStreamItem::Kind::kSync;
+    co_await ports_.task_stream->Push(std::move(sync));
+    const SyncResponse tqm = co_await ports_.tqm_sync->Pop();
+
+    levels_.push_back(LevelTrace{level, level_tasks, sim_->now()});
+    level_tasks = tqm.pairs_written;
+    ++level;
+    if (level_tasks == 0) break;
+  }
+
+  // Collect the final result count, then shut the fabric down.
+  ResultStreamItem rsync;
+  rsync.kind = ResultStreamItem::Kind::kSync;
+  co_await ports_.result_stream->Push(std::move(rsync));
+  const SyncResponse wr = co_await ports_.write_sync->Pop();
+  total_results_ = wr.pairs_written;
+
+  ReadCommand fin;
+  fin.kind = ReadCommand::Kind::kFinish;
+  co_await ports_.read_commands->Push(std::move(fin));
+  TaskStreamItem tfin;
+  tfin.kind = TaskStreamItem::Kind::kFinish;
+  co_await ports_.task_stream->Push(std::move(tfin));
+  ResultStreamItem rfin;
+  rfin.kind = ResultStreamItem::Kind::kFinish;
+  co_await ports_.result_stream->Push(std::move(rfin));
+  TaskFetchRequest ffin;
+  ffin.kind = TaskFetchRequest::Kind::kFinish;
+  co_await ports_.fetch_requests->Push(std::move(ffin));
+}
+
+PbsmScheduler::PbsmScheduler(sim::Simulator* sim,
+                             const AcceleratorConfig* config,
+                             SchedulerPorts ports, TreeRef r_blocks,
+                             TreeRef s_blocks, uint64_t task_table_base,
+                             uint64_t num_tasks)
+    : sim_(sim),
+      config_(config),
+      ports_(ports),
+      r_blocks_(r_blocks),
+      s_blocks_(s_blocks),
+      task_table_base_(task_table_base),
+      num_tasks_(num_tasks) {}
+
+sim::Process PbsmScheduler::Run() {
+  const int num_units = config_->num_join_units;
+  std::deque<PbsmTaskDesc> cache;
+  uint64_t fetched = 0;
+  uint64_t dispatched = 0;
+  uint64_t completed = 0;
+  std::vector<int> inflight(num_units, 0);
+  const std::size_t cache_capacity =
+      config_->burst_loading_enabled ? config_->scheduler_cache_tasks : 1;
+
+  while (dispatched < num_tasks_) {
+    if (cache.empty()) {
+      const uint64_t want =
+          std::min<uint64_t>(cache_capacity, num_tasks_ - fetched);
+      TaskFetchRequest req;
+      req.addr = task_table_base_ + fetched * sizeof(PbsmTaskDesc);
+      req.bytes = static_cast<uint32_t>(want * sizeof(PbsmTaskDesc));
+      co_await ports_.fetch_requests->Push(std::move(req));
+      TaskFetchResponse resp = co_await ports_.fetch_responses->Pop();
+      co_await sim_->WaitUntil(resp.ready_at);
+      for (uint64_t i = 0; i < want; ++i) {
+        PbsmTaskDesc d;
+        std::memcpy(&d, resp.bytes.data() + i * sizeof(d), sizeof(d));
+        cache.push_back(d);
+      }
+      fetched += want;
+    }
+    const PbsmTaskDesc desc = cache.front();
+    cache.pop_front();
+
+    // Drain completion tokens opportunistically (they free unit slots).
+    DoneToken token;
+    while (ports_.done->TryPop(&token)) {
+      --inflight[token.unit];
+      ++completed;
+    }
+
+    int unit;
+    if (config_->pbsm_policy == DispatchPolicy::kStatic) {
+      unit = static_cast<int>(dispatched % num_units);
+    } else {
+      // Dynamic: first unit with a free slot; if none, wait for a done
+      // token (§3.4.2 "allocated to the first available idle join unit").
+      for (;;) {
+        unit = -1;
+        for (int u = 0; u < num_units; ++u) {
+          const int candidate =
+              static_cast<int>((dispatched + u) % num_units);
+          if (inflight[candidate] < config_->max_inflight_per_unit) {
+            unit = candidate;
+            break;
+          }
+        }
+        if (unit >= 0) break;
+        token = co_await ports_.done->Pop();
+        --inflight[token.unit];
+        ++completed;
+      }
+    }
+    ++inflight[unit];
+
+    ReadCommand cmd;
+    cmd.kind = ReadCommand::Kind::kJoin;
+    cmd.unit = unit;
+    cmd.r_index = desc.r_block;
+    cmd.s_index = desc.s_block;
+    cmd.r_addr =
+        r_blocks_.base + static_cast<uint64_t>(desc.r_block) * r_blocks_.stride;
+    cmd.s_addr =
+        s_blocks_.base + static_cast<uint64_t>(desc.s_block) * s_blocks_.stride;
+    cmd.r_bytes = r_blocks_.stride;
+    cmd.s_bytes = s_blocks_.stride;
+    cmd.pbsm = true;
+    cmd.tile = desc.tile;
+    co_await sim_->Delay(config_->dispatch_cycles);
+    co_await ports_.read_commands->Push(std::move(cmd));
+    ++dispatched;
+  }
+
+  while (completed < dispatched) {
+    (void)co_await ports_.done->Pop();
+    ++completed;
+  }
+
+  ResultStreamItem rsync;
+  rsync.kind = ResultStreamItem::Kind::kSync;
+  co_await ports_.result_stream->Push(std::move(rsync));
+  const SyncResponse wr = co_await ports_.write_sync->Pop();
+  total_results_ = wr.pairs_written;
+  levels_.push_back(LevelTrace{0, num_tasks_, sim_->now()});
+
+  ReadCommand fin;
+  fin.kind = ReadCommand::Kind::kFinish;
+  co_await ports_.read_commands->Push(std::move(fin));
+  ResultStreamItem rfin;
+  rfin.kind = ResultStreamItem::Kind::kFinish;
+  co_await ports_.result_stream->Push(std::move(rfin));
+  TaskFetchRequest ffin;
+  ffin.kind = TaskFetchRequest::Kind::kFinish;
+  co_await ports_.fetch_requests->Push(std::move(ffin));
+}
+
+}  // namespace swiftspatial::hw

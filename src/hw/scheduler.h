@@ -1,0 +1,114 @@
+// On-chip schedulers (§3.4). Executing the control flow on chip is the
+// paper's answer to host-driven scheduling overhead: the scheduler talks
+// only to the other function units through FIFOs.
+//
+//  * SyncTraversalScheduler (§3.4.1, Fig. 5): BFS synchronous traversal.
+//    Per level it announces the level's write region to the task queue
+//    manager, burst-loads the previous level's qualifying pairs into its
+//    task cache, dispatches tasks round-robin to the join units via the
+//    read unit, and barriers on the units' done tokens before advancing.
+//
+//  * PbsmScheduler (§3.4.2): dispatches a pre-partitioned tile-pair task
+//    table, either statically (task i -> unit i mod N) or dynamically
+//    (first unit with a free slot).
+#ifndef SWIFTSPATIAL_HW_SCHEDULER_H_
+#define SWIFTSPATIAL_HW_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "hw/config.h"
+#include "hw/messages.h"
+#include "hw/sim/fifo.h"
+#include "hw/sim/simulator.h"
+#include "rtree/packed_rtree.h"
+
+namespace swiftspatial::hw {
+
+/// Location of one packed tree (or tile-block store) in device memory.
+struct TreeRef {
+  uint64_t base = 0;       ///< region base address
+  uint32_t stride = 0;     ///< bytes per node/block
+  NodeIndex root = 0;      ///< root node index (trees only)
+};
+
+/// Per-level progress record (BFS levels; PBSM runs emit one record).
+struct LevelTrace {
+  int level = 0;
+  uint64_t tasks = 0;
+  sim::Cycle end_cycle = 0;
+};
+
+/// PBSM task-table entry as stored in device memory.
+struct PbsmTaskDesc {
+  int32_t r_block = 0;
+  int32_t s_block = 0;
+  Box tile;
+};
+static_assert(sizeof(PbsmTaskDesc) == 24, "descriptor must match DRAM layout");
+
+/// Channels shared by both scheduler variants.
+struct SchedulerPorts {
+  sim::Fifo<ReadCommand>* read_commands = nullptr;
+  sim::Fifo<TaskFetchRequest>* fetch_requests = nullptr;
+  sim::Fifo<TaskFetchResponse>* fetch_responses = nullptr;
+  sim::Fifo<TaskStreamItem>* task_stream = nullptr;
+  sim::Fifo<ResultStreamItem>* result_stream = nullptr;
+  sim::Fifo<SyncResponse>* tqm_sync = nullptr;
+  sim::Fifo<SyncResponse>* write_sync = nullptr;
+  sim::Fifo<DoneToken>* done = nullptr;
+};
+
+class SyncTraversalScheduler {
+ public:
+  SyncTraversalScheduler(sim::Simulator* sim, const AcceleratorConfig* config,
+                         SchedulerPorts ports, TreeRef r_tree, TreeRef s_tree,
+                         uint64_t task_region_a, uint64_t task_region_b);
+
+  /// The scheduler's process body; spawn on the simulator.
+  sim::Process Run();
+
+  uint64_t total_results() const { return total_results_; }
+  const std::vector<LevelTrace>& levels() const { return levels_; }
+
+ private:
+  sim::Simulator* sim_;
+  const AcceleratorConfig* config_;
+  SchedulerPorts ports_;
+  TreeRef r_tree_;
+  TreeRef s_tree_;
+  uint64_t task_regions_[2];
+
+  uint64_t total_results_ = 0;
+  std::vector<LevelTrace> levels_;
+};
+
+class PbsmScheduler {
+ public:
+  PbsmScheduler(sim::Simulator* sim, const AcceleratorConfig* config,
+                SchedulerPorts ports, TreeRef r_blocks, TreeRef s_blocks,
+                uint64_t task_table_base, uint64_t num_tasks);
+
+  /// The scheduler's process body; spawn on the simulator.
+  sim::Process Run();
+
+  uint64_t total_results() const { return total_results_; }
+  const std::vector<LevelTrace>& levels() const { return levels_; }
+
+ private:
+  sim::Simulator* sim_;
+  const AcceleratorConfig* config_;
+  SchedulerPorts ports_;
+  TreeRef r_blocks_;
+  TreeRef s_blocks_;
+  uint64_t task_table_base_;
+  uint64_t num_tasks_;
+
+  uint64_t total_results_ = 0;
+  std::vector<LevelTrace> levels_;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_SCHEDULER_H_

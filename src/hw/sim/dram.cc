@@ -1,0 +1,82 @@
+#include "hw/sim/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace swiftspatial::hw::sim {
+
+Dram::Dram(Simulator* sim, const DramConfig& config)
+    : sim_(sim), config_(config) {
+  SWIFT_CHECK_GE(config_.num_channels, 1);
+  SWIFT_CHECK_GT(config_.bytes_per_cycle_per_channel, 0.0);
+  SWIFT_CHECK_GE(config_.banks_per_channel, 1);
+  channel_free_.assign(config_.num_channels, 0);
+  channel_open_rows_.assign(
+      config_.num_channels,
+      std::vector<uint64_t>(config_.banks_per_channel, ~0ULL));
+  channel_row_victim_.assign(config_.num_channels, 0);
+}
+
+Cycle Dram::Issue(uint64_t addr, uint64_t bytes, bool is_write) {
+  SWIFT_CHECK_GT(bytes, 0u);
+  if (is_write) {
+    ++stats_.num_writes;
+    stats_.bytes_written += bytes;
+  } else {
+    ++stats_.num_reads;
+    stats_.bytes_read += bytes;
+  }
+
+  // Split at interleave boundaries; sub-requests proceed in parallel on
+  // their channels, and the request completes when the last one does.
+  Cycle complete = 0;
+  uint64_t remaining = bytes;
+  uint64_t cursor = addr;
+  while (remaining > 0) {
+    const uint64_t in_line =
+        config_.interleave_bytes - (cursor % config_.interleave_bytes);
+    const uint64_t chunk = std::min<uint64_t>(remaining, in_line);
+    const int channel = static_cast<int>((cursor / config_.interleave_bytes) %
+                                         config_.num_channels);
+    const Cycle transfer = static_cast<Cycle>(
+        std::ceil(chunk / config_.bytes_per_cycle_per_channel));
+    auto& open_rows = channel_open_rows_[channel];
+    bool row_hit = false;
+    for (uint64_t& row : open_rows) {
+      if (row == cursor) {
+        row = cursor + chunk;
+        row_hit = true;
+        break;
+      }
+    }
+    if (row_hit) {
+      ++stats_.row_hits;
+    } else {
+      ++stats_.row_misses;
+      int& victim = channel_row_victim_[channel];
+      open_rows[victim] = cursor + chunk;
+      victim = (victim + 1) % config_.banks_per_channel;
+    }
+    const Cycle overhead = row_hit ? config_.sequential_overhead_cycles
+                                   : config_.request_overhead_cycles;
+    const Cycle busy = overhead + transfer;
+    const Cycle start = std::max(sim_->now(), channel_free_[channel]);
+    channel_free_[channel] = start + busy;
+    stats_.busy_cycles += busy;
+    complete = std::max(complete, start + busy + config_.extra_latency_cycles);
+    cursor += chunk;
+    remaining -= chunk;
+  }
+  return complete;
+}
+
+double Dram::Utilization() const {
+  const Cycle elapsed = sim_->now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(stats_.busy_cycles) /
+         (static_cast<double>(elapsed) * config_.num_channels);
+}
+
+}  // namespace swiftspatial::hw::sim

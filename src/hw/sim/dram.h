@@ -1,0 +1,88 @@
+// DRAM timing model for the accelerator's 4-channel DDR4 subsystem
+// (Alveo U250: 4 x 16 GB DDR4-2400, ~19.2 GB/s per channel).
+//
+// Each request occupies one channel for
+//     request_overhead_cycles + ceil(bytes / bytes_per_cycle)
+// cycles (row activation + command overhead, then burst transfer), and the
+// data arrives extra_latency_cycles after the channel finishes (pipelined
+// controller/PHY latency that does not occupy the channel). Requests
+// crossing the channel-interleave boundary are split. Channels serve
+// requests in issue order; queueing delay emerges from `channel_free_`.
+//
+// This is the mechanism behind the paper's observations that small R-tree
+// nodes make the join memory-bound (Figs. 11-13): per-request overhead
+// dominates short transfers, capping the node-pair fetch rate.
+#ifndef SWIFTSPATIAL_HW_SIM_DRAM_H_
+#define SWIFTSPATIAL_HW_SIM_DRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/sim/simulator.h"
+
+namespace swiftspatial::hw::sim {
+
+struct DramConfig {
+  int num_channels = 4;
+  /// 19.2 GB/s per channel at 200 MHz kernel clock = 96 bytes/cycle.
+  double bytes_per_cycle_per_channel = 96.0;
+  /// Channel occupancy per request before the transfer: row
+  /// activate/precharge plus controller command overhead for a random
+  /// access. Calibration constant (see DESIGN.md).
+  Cycle request_overhead_cycles = 25;
+  /// Reduced overhead when a request continues exactly where one of the
+  /// channel's open rows ended (row-buffer hit): sequential streams --
+  /// PBSM tile blocks, task-queue bursts, result writes -- pay this
+  /// instead. Each channel tracks `banks_per_channel` open rows, so several
+  /// interleaved sequential streams can coexist (DDR4 has 16 banks).
+  Cycle sequential_overhead_cycles = 4;
+  int banks_per_channel = 8;
+  /// Additional pipelined latency until data reaches the requester.
+  Cycle extra_latency_cycles = 30;
+  /// Address-interleave granularity across channels.
+  uint64_t interleave_bytes = 4096;
+};
+
+struct DramStats {
+  uint64_t num_reads = 0;
+  uint64_t num_writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  /// Total channel-busy cycles (sum over channels).
+  uint64_t busy_cycles = 0;
+  /// Sub-requests served at the open-row (sequential) overhead.
+  uint64_t row_hits = 0;
+  /// Sub-requests that paid the full random-access overhead.
+  uint64_t row_misses = 0;
+};
+
+/// Arithmetic multi-channel DRAM model (see file comment).
+class Dram {
+ public:
+  Dram(Simulator* sim, const DramConfig& config);
+
+  /// Issues a request at the current simulation time and returns the cycle
+  /// at which the data transfer completes (including latency). The caller
+  /// decides whether to wait (reads) or continue (posted writes).
+  Cycle Issue(uint64_t addr, uint64_t bytes, bool is_write);
+
+  const DramStats& stats() const { return stats_; }
+  const DramConfig& config() const { return config_; }
+
+  /// Aggregate utilisation in [0, 1] over the elapsed simulation time.
+  double Utilization() const;
+
+ private:
+  Simulator* sim_;
+  DramConfig config_;
+  DramStats stats_;
+  std::vector<Cycle> channel_free_;
+  /// Per channel: one "address one past the previous request" entry per
+  /// bank row buffer; a request starting at any of them is an open-row hit.
+  std::vector<std::vector<uint64_t>> channel_open_rows_;
+  std::vector<int> channel_row_victim_;  // round-robin replacement cursor
+};
+
+}  // namespace swiftspatial::hw::sim
+
+#endif  // SWIFTSPATIAL_HW_SIM_DRAM_H_

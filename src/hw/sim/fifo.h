@@ -1,0 +1,136 @@
+// Bounded FIFO channel connecting simulated hardware processes, the
+// modelling analogue of the on-chip FIFOs ("akin to pipes in a software
+// context", §3.2). push() suspends the producer while the FIFO is full --
+// back-pressure -- and pop() suspends the consumer while it is empty.
+// Transfers themselves are zero-latency; pipeline timing is charged
+// explicitly by the components.
+#ifndef SWIFTSPATIAL_HW_SIM_FIFO_H_
+#define SWIFTSPATIAL_HW_SIM_FIFO_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "hw/sim/simulator.h"
+
+namespace swiftspatial::hw::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  /// `capacity` is the maximum number of buffered items; pass
+  /// Fifo::kUnbounded for an unbounded channel (used where hardware would
+  /// use a wide status bus rather than a real FIFO, e.g. done signals).
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+  Fifo(Simulator* sim, std::size_t capacity, std::string name = "")
+      : sim_(sim), capacity_(capacity), name_(std::move(name)) {
+    SWIFT_CHECK_GE(capacity_, 1u);
+  }
+
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  struct [[nodiscard]] PushAwaiter {
+    Fifo* f;
+    T value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (f->items_.size() < f->capacity_ || !f->poppers_.empty()) {
+        f->Deliver(std::move(value));
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      f->pushers_.push_back(this);
+    }
+    void await_resume() {}
+  };
+
+  struct [[nodiscard]] PopAwaiter {
+    Fifo* f;
+    std::optional<T> value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!f->items_.empty()) {
+        value = std::move(f->items_.front());
+        f->items_.pop_front();
+        f->AdmitWaitingPusher();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      f->poppers_.push_back(this);
+    }
+    T await_resume() { return std::move(*value); }
+  };
+
+  /// Awaitable producer operation.
+  PushAwaiter Push(T value) { return PushAwaiter{this, std::move(value), {}}; }
+
+  /// Awaitable consumer operation.
+  PopAwaiter Pop() { return PopAwaiter{this, std::nullopt, {}}; }
+
+  /// Non-suspending pop; returns false when empty.
+  bool TryPop(T* out) {
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    AdmitWaitingPusher();
+    return true;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::string& name() const { return name_; }
+
+  /// High-water mark of buffered items (occupancy statistics).
+  std::size_t max_occupancy() const { return max_occupancy_; }
+
+ private:
+  // Places a value into the channel: directly into a waiting consumer if one
+  // exists, otherwise into the buffer.
+  void Deliver(T value) {
+    if (!poppers_.empty()) {
+      PopAwaiter* p = poppers_.front();
+      poppers_.pop_front();
+      p->value = std::move(value);
+      const auto h = p->handle;
+      sim_->Schedule(0, [h] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(value));
+    if (items_.size() > max_occupancy_) max_occupancy_ = items_.size();
+  }
+
+  // Called when buffer space frees up: completes one suspended producer.
+  void AdmitWaitingPusher() {
+    if (pushers_.empty()) return;
+    PushAwaiter* p = pushers_.front();
+    pushers_.pop_front();
+    Deliver(std::move(p->value));
+    const auto h = p->handle;
+    sim_->Schedule(0, [h] { h.resume(); });
+  }
+
+  Simulator* sim_;
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<T> items_;
+  std::deque<PushAwaiter*> pushers_;
+  std::deque<PopAwaiter*> poppers_;
+  std::size_t max_occupancy_ = 0;
+};
+
+}  // namespace swiftspatial::hw::sim
+
+#endif  // SWIFTSPATIAL_HW_SIM_FIFO_H_

@@ -1,0 +1,29 @@
+#include "hw/sim/simulator.h"
+
+#include <utility>
+
+namespace swiftspatial::hw::sim {
+
+void Simulator::Schedule(Cycle delay, Callback fn) {
+  queue_.push(Event{now_ + delay, seq_++, std::move(fn)});
+}
+
+void Simulator::Spawn(Process p) {
+  const auto handle = p.handle;
+  Schedule(0, [handle] { handle.resume(); });
+}
+
+Cycle Simulator::Run() {
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue top requires a const_cast; copy the
+    // small members and move the callback.
+    const Event& top = queue_.top();
+    now_ = top.time;
+    Callback fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    fn();
+  }
+  return now_;
+}
+
+}  // namespace swiftspatial::hw::sim

@@ -1,0 +1,99 @@
+// Discrete-event simulation engine used by the SwiftSpatial accelerator
+// model. Hardware function units (join units, scheduler, memory managers)
+// are C++20 coroutines that advance simulated time by awaiting Delay /
+// WaitUntil and exchange data through sim::Fifo channels, mirroring the
+// FIFO-connected dataflow architecture of the real design (Fig. 2).
+//
+// The engine is cycle-based: one time unit = one accelerator clock cycle.
+#ifndef SWIFTSPATIAL_HW_SIM_SIMULATOR_H_
+#define SWIFTSPATIAL_HW_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace swiftspatial::hw::sim {
+
+/// Simulated clock cycle count.
+using Cycle = uint64_t;
+
+/// Fire-and-forget coroutine representing one hardware process. The frame
+/// self-destroys when the process returns; processes must therefore be
+/// driven to completion (e.g. by finish tokens) before the Simulator is
+/// destroyed.
+class Process {
+ public:
+  struct promise_type {
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+/// Event-queue simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run `delay` cycles from now.
+  void Schedule(Cycle delay, Callback fn);
+
+  /// Starts a process: its body runs from the current simulation time.
+  void Spawn(Process p);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  Cycle Run();
+
+  Cycle now() const { return now_; }
+
+  /// Awaitable: resume `d` cycles later.
+  auto Delay(Cycle d) {
+    struct Awaiter {
+      Simulator* sim;
+      Cycle d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->Schedule(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Awaitable: resume at absolute time `t` (immediately if t <= now).
+  auto WaitUntil(Cycle t) {
+    const Cycle d = t > now_ ? t - now_ : 0;
+    return Delay(d);
+  }
+
+ private:
+  struct Event {
+    Cycle time;
+    uint64_t seq;  // FIFO tie-break for same-cycle events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycle now_ = 0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace swiftspatial::hw::sim
+
+#endif  // SWIFTSPATIAL_HW_SIM_SIMULATOR_H_

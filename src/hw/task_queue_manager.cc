@@ -1,0 +1,76 @@
+#include "hw/task_queue_manager.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace swiftspatial::hw {
+
+TaskQueueManager::TaskQueueManager(
+    sim::Simulator* sim, sim::Dram* dram, MemoryLayout* mem,
+    const AcceleratorConfig* config, sim::Fifo<TaskStreamItem>* task_stream,
+    sim::Fifo<SyncResponse>* sync_out,
+    sim::Fifo<TaskFetchRequest>* fetch_requests,
+    sim::Fifo<TaskFetchResponse>* fetch_responses)
+    : sim_(sim),
+      dram_(dram),
+      mem_(mem),
+      config_(config),
+      task_stream_(task_stream),
+      sync_out_(sync_out),
+      fetch_requests_(fetch_requests),
+      fetch_responses_(fetch_responses) {}
+
+sim::Process TaskQueueManager::RunWriter() {
+  for (;;) {
+    TaskStreamItem item = co_await task_stream_->Pop();
+    switch (item.kind) {
+      case TaskStreamItem::Kind::kLevelStart:
+        write_cursor_ = item.write_base;
+        level_pairs_ = 0;
+        break;
+      case TaskStreamItem::Kind::kBurst: {
+        if (item.tasks.empty()) break;
+        // Tasks are 8-byte (int32, int32) pairs, written sequentially --
+        // the self-incrementing-counter write path of §3.5.
+        static_assert(sizeof(NodePairTask) == 8);
+        const uint64_t bytes = item.tasks.size() * sizeof(NodePairTask);
+        mem_->Write(write_cursor_, item.tasks.data(), bytes);
+        last_write_complete_ = dram_->Issue(write_cursor_, bytes,
+                                            /*is_write=*/true);
+        write_cursor_ += bytes;
+        level_pairs_ += item.tasks.size();
+        total_pairs_written_ += item.tasks.size();
+        bursts_written_ += 1;
+        // Posted write: the manager only spends the handshake cycles; the
+        // channel time is tracked by the DRAM model.
+        co_await sim_->Delay(1);
+        break;
+      }
+      case TaskStreamItem::Kind::kSync:
+        // Level barrier: all of this level's bursts are already in the FIFO
+        // ahead of the sync marker; wait for the last write to land so the
+        // next level reads consistent data.
+        co_await sim_->WaitUntil(last_write_complete_);
+        co_await sync_out_->Push(SyncResponse{level_pairs_});
+        break;
+      case TaskStreamItem::Kind::kFinish:
+        co_return;
+    }
+  }
+}
+
+sim::Process TaskQueueManager::RunReader() {
+  for (;;) {
+    TaskFetchRequest req = co_await fetch_requests_->Pop();
+    if (req.kind == TaskFetchRequest::Kind::kFinish) co_return;
+    SWIFT_CHECK_GT(req.bytes, 0u);
+    TaskFetchResponse resp;
+    resp.ready_at = dram_->Issue(req.addr, req.bytes, /*is_write=*/false);
+    resp.bytes.resize(req.bytes);
+    mem_->Read(req.addr, resp.bytes.data(), req.bytes);
+    co_await fetch_responses_->Push(std::move(resp));
+  }
+}
+
+}  // namespace swiftspatial::hw

@@ -1,0 +1,62 @@
+// Task queue manager (§3.5, Fig. 6): persists intermediate node pairs
+// (future tasks) to DRAM and serves the scheduler's burst task loads. The
+// manager is modelled as two cooperating processes sharing the DRAM:
+//
+//  * the writer drains the shared task stream, appending bursts at the
+//    level's write cursor and counting pairs; level-start and sync markers
+//    arrive through the same FIFO, which guarantees they are ordered with
+//    respect to the join units' bursts;
+//  * the reader answers TaskFetchRequests with raw task bytes (the
+//    scheduler's "burst loading" cache fills, §3.4.1).
+#ifndef SWIFTSPATIAL_HW_TASK_QUEUE_MANAGER_H_
+#define SWIFTSPATIAL_HW_TASK_QUEUE_MANAGER_H_
+
+#include <cstdint>
+
+#include "hw/config.h"
+#include "hw/memory_layout.h"
+#include "hw/messages.h"
+#include "hw/sim/dram.h"
+#include "hw/sim/fifo.h"
+#include "hw/sim/simulator.h"
+
+namespace swiftspatial::hw {
+
+class TaskQueueManager {
+ public:
+  TaskQueueManager(sim::Simulator* sim, sim::Dram* dram, MemoryLayout* mem,
+                   const AcceleratorConfig* config,
+                   sim::Fifo<TaskStreamItem>* task_stream,
+                   sim::Fifo<SyncResponse>* sync_out,
+                   sim::Fifo<TaskFetchRequest>* fetch_requests,
+                   sim::Fifo<TaskFetchResponse>* fetch_responses);
+
+  /// Writer process: task stream -> DRAM.
+  sim::Process RunWriter();
+
+  /// Reader process: fetch requests -> DRAM -> task bytes.
+  sim::Process RunReader();
+
+  uint64_t total_pairs_written() const { return total_pairs_written_; }
+  uint64_t bursts_written() const { return bursts_written_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Dram* dram_;
+  MemoryLayout* mem_;
+  const AcceleratorConfig* config_;
+  sim::Fifo<TaskStreamItem>* task_stream_;
+  sim::Fifo<SyncResponse>* sync_out_;
+  sim::Fifo<TaskFetchRequest>* fetch_requests_;
+  sim::Fifo<TaskFetchResponse>* fetch_responses_;
+
+  uint64_t write_cursor_ = 0;
+  uint64_t level_pairs_ = 0;
+  uint64_t total_pairs_written_ = 0;
+  uint64_t bursts_written_ = 0;
+  sim::Cycle last_write_complete_ = 0;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_TASK_QUEUE_MANAGER_H_

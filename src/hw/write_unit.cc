@@ -1,0 +1,42 @@
+#include "hw/write_unit.h"
+
+namespace swiftspatial::hw {
+
+WriteUnit::WriteUnit(sim::Simulator* sim, sim::Dram* dram, MemoryLayout* mem,
+                     const AcceleratorConfig* config, uint64_t results_base,
+                     sim::Fifo<ResultStreamItem>* result_stream,
+                     sim::Fifo<SyncResponse>* sync_out)
+    : sim_(sim),
+      dram_(dram),
+      mem_(mem),
+      config_(config),
+      cursor_(results_base),
+      result_stream_(result_stream),
+      sync_out_(sync_out) {}
+
+sim::Process WriteUnit::Run() {
+  for (;;) {
+    ResultStreamItem item = co_await result_stream_->Pop();
+    switch (item.kind) {
+      case ResultStreamItem::Kind::kBurst: {
+        if (item.pairs.empty()) break;
+        const uint64_t bytes = item.pairs.size() * sizeof(ResultPair);
+        mem_->Write(cursor_, item.pairs.data(), bytes);
+        last_write_complete_ = dram_->Issue(cursor_, bytes, /*is_write=*/true);
+        cursor_ += bytes;
+        total_results_ += item.pairs.size();
+        bursts_written_ += 1;
+        co_await sim_->Delay(1);
+        break;
+      }
+      case ResultStreamItem::Kind::kSync:
+        co_await sim_->WaitUntil(last_write_complete_);
+        co_await sync_out_->Push(SyncResponse{total_results_});
+        break;
+      case ResultStreamItem::Kind::kFinish:
+        co_return;
+    }
+  }
+}
+
+}  // namespace swiftspatial::hw

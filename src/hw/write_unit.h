@@ -1,0 +1,49 @@
+// Result write unit (§3.5): drains the shared result stream and appends
+// final join results to the result region with a self-incrementing counter,
+// so join units never manage write addresses. A sync marker (pushed by the
+// scheduler after the last level completes) is answered with the total
+// result count once all posted writes have landed.
+#ifndef SWIFTSPATIAL_HW_WRITE_UNIT_H_
+#define SWIFTSPATIAL_HW_WRITE_UNIT_H_
+
+#include <cstdint>
+
+#include "hw/config.h"
+#include "hw/memory_layout.h"
+#include "hw/messages.h"
+#include "hw/sim/dram.h"
+#include "hw/sim/fifo.h"
+#include "hw/sim/simulator.h"
+
+namespace swiftspatial::hw {
+
+class WriteUnit {
+ public:
+  WriteUnit(sim::Simulator* sim, sim::Dram* dram, MemoryLayout* mem,
+            const AcceleratorConfig* config, uint64_t results_base,
+            sim::Fifo<ResultStreamItem>* result_stream,
+            sim::Fifo<SyncResponse>* sync_out);
+
+  /// The unit's process body; spawn on the simulator.
+  sim::Process Run();
+
+  uint64_t total_results() const { return total_results_; }
+  uint64_t bursts_written() const { return bursts_written_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Dram* dram_;
+  MemoryLayout* mem_;
+  const AcceleratorConfig* config_;
+  uint64_t cursor_;
+  sim::Fifo<ResultStreamItem>* result_stream_;
+  sim::Fifo<SyncResponse>* sync_out_;
+
+  uint64_t total_results_ = 0;
+  uint64_t bursts_written_ = 0;
+  sim::Cycle last_write_complete_ = 0;
+};
+
+}  // namespace swiftspatial::hw
+
+#endif  // SWIFTSPATIAL_HW_WRITE_UNIT_H_

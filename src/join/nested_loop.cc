@@ -1,0 +1,46 @@
+#include "join/nested_loop.h"
+
+namespace swiftspatial {
+
+JoinResult BruteForceJoin(const Dataset& r, const Dataset& s,
+                          JoinStats* stats) {
+  JoinResult out;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const Box& rb = r.box(i);
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      if (Intersects(rb, s.box(j))) {
+        out.Add(static_cast<ObjectId>(i), static_cast<ObjectId>(j));
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->predicate_evaluations += r.size() * s.size();
+    stats->tasks += 1;
+  }
+  return out;
+}
+
+void NestedLoopTileJoin(const Dataset& r, const Dataset& s,
+                        const std::vector<ObjectId>& r_ids,
+                        const std::vector<ObjectId>& s_ids,
+                        const Box* dedup_tile, JoinResult* out,
+                        JoinStats* stats) {
+  for (ObjectId ri : r_ids) {
+    const Box& rb = r.box(static_cast<std::size_t>(ri));
+    for (ObjectId si : s_ids) {
+      const Box& sb = s.box(static_cast<std::size_t>(si));
+      if (!Intersects(rb, sb)) continue;
+      if (dedup_tile != nullptr && !ReferencePointInTile(rb, sb, *dedup_tile)) {
+        continue;
+      }
+      out->Add(ri, si);
+    }
+  }
+  if (stats != nullptr) {
+    stats->predicate_evaluations +=
+        static_cast<uint64_t>(r_ids.size()) * s_ids.size();
+    stats->tasks += 1;
+  }
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,32 @@
+// Nested-loop joins: the all-pairs reference join used by tests, and the
+// tile-level nested loop that the SwiftSpatial join unit implements in
+// hardware (§3.3). The tile variant optionally applies the PBSM
+// reference-point rule for duplicate avoidance.
+#ifndef SWIFTSPATIAL_JOIN_NESTED_LOOP_H_
+#define SWIFTSPATIAL_JOIN_NESTED_LOOP_H_
+
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+#include "join/result.h"
+
+namespace swiftspatial {
+
+/// All-pairs reference join between two datasets (intersects predicate).
+/// O(|r| * |s|); intended for correctness baselines on small inputs.
+JoinResult BruteForceJoin(const Dataset& r, const Dataset& s,
+                          JoinStats* stats = nullptr);
+
+/// Joins the objects listed in `r_ids` x `s_ids`. If `dedup_tile` is
+/// non-null, a qualifying pair is emitted only when the reference point of
+/// its intersection lies inside the tile (PBSM duplicate avoidance).
+void NestedLoopTileJoin(const Dataset& r, const Dataset& s,
+                        const std::vector<ObjectId>& r_ids,
+                        const std::vector<ObjectId>& s_ids,
+                        const Box* dedup_tile, JoinResult* out,
+                        JoinStats* stats = nullptr);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_JOIN_NESTED_LOOP_H_

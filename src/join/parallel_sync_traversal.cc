@@ -1,0 +1,92 @@
+#include "join/parallel_sync_traversal.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "join/sync_traversal.h"
+
+namespace swiftspatial {
+
+const char* TraversalStrategyToString(TraversalStrategy s) {
+  switch (s) {
+    case TraversalStrategy::kBfs:
+      return "BFS";
+    case TraversalStrategy::kBfsDfs:
+      return "BFS-DFS";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Per-worker accumulation state, merged by a single thread at the end
+// (mirroring the paper's "a single thread subsequently merging the
+// results").
+struct WorkerState {
+  JoinResult result;
+  std::vector<NodePairTask> next;
+  JoinStats stats;
+};
+
+// Sequential DFS completing one subtree of tasks.
+void DfsFrom(const PackedRTree& r, const PackedRTree& s, NodePairTask root,
+             WorkerState* state) {
+  std::vector<NodePairTask> stack = {root};
+  std::vector<NodePairTask> next;
+  while (!stack.empty()) {
+    const NodePairTask task = stack.back();
+    stack.pop_back();
+    next.clear();
+    JoinNodePair(r, s, task.r, task.s, &next, &state->result, &state->stats);
+    stack.insert(stack.end(), next.begin(), next.end());
+  }
+}
+
+}  // namespace
+
+JoinResult ParallelSyncTraversal(const PackedRTree& r, const PackedRTree& s,
+                                 const ParallelSyncTraversalOptions& options,
+                                 JoinStats* stats) {
+  const std::size_t threads = std::max<std::size_t>(1, options.num_threads);
+  std::vector<NodePairTask> frontier = {{r.root(), s.root()}};
+
+  JoinResult out;
+  JoinStats total_stats;
+
+  const std::size_t dfs_threshold =
+      options.strategy == TraversalStrategy::kBfsDfs
+          ? options.dfs_switch_factor * threads
+          : static_cast<std::size_t>(-1);
+
+  while (!frontier.empty()) {
+    std::vector<WorkerState> workers(threads);
+    const bool dfs_phase = frontier.size() >= dfs_threshold;
+
+    ParallelForWorker(
+        frontier.size(), threads, options.schedule,
+        [&](std::size_t i, std::size_t w) {
+          WorkerState& state = workers[w];
+          if (dfs_phase) {
+            DfsFrom(r, s, frontier[i], &state);
+          } else {
+            JoinNodePair(r, s, frontier[i].r, frontier[i].s, &state.next,
+                         &state.result, &state.stats);
+          }
+        },
+        /*chunk=*/1);
+
+    std::vector<NodePairTask> next;
+    for (auto& w : workers) {
+      out.Merge(std::move(w.result));
+      total_stats += w.stats;
+      next.insert(next.end(), w.next.begin(), w.next.end());
+    }
+    if (dfs_phase) break;  // DFS drains every subtree; nothing remains.
+    frontier.swap(next);
+  }
+
+  if (stats != nullptr) *stats += total_stats;
+  return out;
+}
+
+}  // namespace swiftspatial

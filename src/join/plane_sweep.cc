@@ -1,0 +1,91 @@
+#include "join/plane_sweep.h"
+
+#include <algorithm>
+
+namespace swiftspatial {
+
+namespace {
+
+// One dataset's sweep state: objects sorted by min_x plus the active set of
+// objects whose extent still crosses the sweep line.
+struct SweepSide {
+  const Dataset* dataset;
+  std::vector<ObjectId> sorted;  // by ascending min_x
+  std::vector<ObjectId> active;
+  std::size_t cursor = 0;
+
+  const Box& BoxOf(ObjectId id) const {
+    return dataset->box(static_cast<std::size_t>(id));
+  }
+  bool Exhausted() const { return cursor >= sorted.size(); }
+  Coord FrontMinX() const { return BoxOf(sorted[cursor]).min_x; }
+
+  // Drops active objects that ended before the sweep line (max_x < x).
+  void RemoveInactive(Coord x) {
+    std::size_t i = 0;
+    while (i < active.size()) {
+      if (BoxOf(active[i]).max_x < x) {
+        active[i] = active.back();
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void PlaneSweepTileJoin(const Dataset& r, const Dataset& s,
+                        const std::vector<ObjectId>& r_ids,
+                        const std::vector<ObjectId>& s_ids,
+                        const Box* dedup_tile, JoinResult* out,
+                        JoinStats* stats) {
+  SweepSide rs{&r, r_ids, {}, 0};
+  SweepSide ss{&s, s_ids, {}, 0};
+  auto by_min_x = [](const Dataset& d) {
+    return [&d](ObjectId a, ObjectId b) {
+      const Coord ax = d.box(static_cast<std::size_t>(a)).min_x;
+      const Coord bx = d.box(static_cast<std::size_t>(b)).min_x;
+      if (ax != bx) return ax < bx;
+      return a < b;
+    };
+  };
+  std::sort(rs.sorted.begin(), rs.sorted.end(), by_min_x(r));
+  std::sort(ss.sorted.begin(), ss.sorted.end(), by_min_x(s));
+
+  uint64_t checks = 0;
+  while (!rs.Exhausted() || !ss.Exhausted()) {
+    const bool take_r =
+        ss.Exhausted() || (!rs.Exhausted() && rs.FrontMinX() <= ss.FrontMinX());
+    SweepSide& cur = take_r ? rs : ss;
+    SweepSide& opp = take_r ? ss : rs;
+
+    const ObjectId id = cur.sorted[cur.cursor++];
+    const Box& b = cur.BoxOf(id);
+    cur.active.push_back(id);
+    opp.RemoveInactive(b.min_x);
+    for (ObjectId oid : opp.active) {
+      const Box& ob = opp.BoxOf(oid);
+      ++checks;
+      // x-overlap is implied: ob.min_x <= b.min_x (insertion order) and
+      // ob.max_x >= b.min_x (RemoveInactive); only y must be tested.
+      if (b.max_y >= ob.min_y && ob.max_y >= b.min_y) {
+        const ObjectId rid = take_r ? id : oid;
+        const ObjectId sid = take_r ? oid : id;
+        if (dedup_tile != nullptr) {
+          const Box& rb = r.box(static_cast<std::size_t>(rid));
+          const Box& sb = s.box(static_cast<std::size_t>(sid));
+          if (!ReferencePointInTile(rb, sb, *dedup_tile)) continue;
+        }
+        out->Add(rid, sid);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->predicate_evaluations += checks;
+    stats->tasks += 1;
+  }
+}
+
+}  // namespace swiftspatial

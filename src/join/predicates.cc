@@ -1,0 +1,55 @@
+#include "join/predicates.h"
+
+#include "join/sync_traversal.h"
+#include "rtree/bulk_load.h"
+
+namespace swiftspatial {
+
+const char* SpatialPredicateToString(SpatialPredicate p) {
+  switch (p) {
+    case SpatialPredicate::kIntersects:
+      return "intersects";
+    case SpatialPredicate::kContains:
+      return "contains";
+    case SpatialPredicate::kWithin:
+      return "within";
+  }
+  return "unknown";
+}
+
+JoinResult BruteForcePredicateJoin(const Dataset& r, const Dataset& s,
+                                   SpatialPredicate predicate) {
+  JoinResult out;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      if (EvaluatePredicate(predicate, r.box(i), s.box(j))) {
+        out.Add(static_cast<ObjectId>(i), static_cast<ObjectId>(j));
+      }
+    }
+  }
+  return out;
+}
+
+JoinResult PredicateJoin(const Dataset& r, const Dataset& s,
+                         SpatialPredicate predicate, JoinStats* stats) {
+  if (r.empty() || s.empty()) return JoinResult();
+  // Intersection candidates are a superset of contains/within results
+  // (contained boxes necessarily intersect), so the standard filtering
+  // machinery applies unchanged.
+  BulkLoadOptions bl;
+  const PackedRTree rt = StrBulkLoad(r, bl);
+  const PackedRTree st = StrBulkLoad(s, bl);
+  JoinResult candidates = SyncTraversalDfs(rt, st, stats);
+  if (predicate == SpatialPredicate::kIntersects) return candidates;
+
+  JoinResult out;
+  for (const ResultPair& p : candidates.pairs()) {
+    if (EvaluatePredicate(predicate, r.box(static_cast<std::size_t>(p.r)),
+                          s.box(static_cast<std::size_t>(p.s)))) {
+      out.Add(p.r, p.s);
+    }
+  }
+  return out;
+}
+
+}  // namespace swiftspatial

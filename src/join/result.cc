@@ -1,0 +1,25 @@
+#include "join/result.h"
+
+#include <algorithm>
+
+namespace swiftspatial {
+
+void JoinResult::Merge(JoinResult&& other) {
+  if (pairs_.empty()) {
+    pairs_ = std::move(other.pairs_);
+  } else {
+    pairs_.insert(pairs_.end(), other.pairs_.begin(), other.pairs_.end());
+  }
+  other.pairs_.clear();
+}
+
+void JoinResult::Sort() { std::sort(pairs_.begin(), pairs_.end()); }
+
+bool JoinResult::SameMultiset(JoinResult& a, JoinResult& b) {
+  if (a.size() != b.size()) return false;
+  a.Sort();
+  b.Sort();
+  return a.pairs_ == b.pairs_;
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,94 @@
+#include "join/sync_traversal.h"
+
+namespace swiftspatial {
+
+void JoinNodePair(const PackedRTree& r, const PackedRTree& s,
+                  NodeIndex r_node, NodeIndex s_node,
+                  std::vector<NodePairTask>* next, JoinResult* out,
+                  JoinStats* stats) {
+  const NodeView rn = r.node(r_node);
+  const NodeView sn = s.node(s_node);
+  const int rc = rn.count();
+  const int sc = sn.count();
+  const std::size_t next_before = next->size();
+  if (stats != nullptr) {
+    stats->tasks += 1;
+    stats->predicate_evaluations += static_cast<uint64_t>(rc) * sc;
+  }
+
+  if (rn.is_leaf() && sn.is_leaf()) {
+    for (int i = 0; i < rc; ++i) {
+      const PackedEntry re = rn.entry(i);
+      for (int j = 0; j < sc; ++j) {
+        const PackedEntry se = sn.entry(j);
+        if (Intersects(re.box, se.box)) out->Add(re.id, se.id);
+      }
+    }
+    return;
+  }
+  if (!rn.is_leaf() && !sn.is_leaf()) {
+    for (int i = 0; i < rc; ++i) {
+      const PackedEntry re = rn.entry(i);
+      for (int j = 0; j < sc; ++j) {
+        const PackedEntry se = sn.entry(j);
+        if (Intersects(re.box, se.box)) next->push_back({re.id, se.id});
+      }
+    }
+    if (stats != nullptr) {
+      stats->intermediate_pairs += next->size() - next_before;
+    }
+    return;
+  }
+  // Mixed case: descend only the directory side (trees of differing
+  // heights), keeping the leaf node fixed.
+  if (rn.is_leaf()) {
+    const Box r_mbr = rn.Mbr();
+    for (int j = 0; j < sc; ++j) {
+      const PackedEntry se = sn.entry(j);
+      if (Intersects(r_mbr, se.box)) next->push_back({r_node, se.id});
+    }
+  } else {
+    const Box s_mbr = sn.Mbr();
+    for (int i = 0; i < rc; ++i) {
+      const PackedEntry re = rn.entry(i);
+      if (Intersects(re.box, s_mbr)) next->push_back({re.id, s_node});
+    }
+  }
+  if (stats != nullptr) {
+    stats->intermediate_pairs += next->size() - next_before;
+  }
+}
+
+JoinResult SyncTraversalDfs(const PackedRTree& r, const PackedRTree& s,
+                            JoinStats* stats) {
+  JoinResult out;
+  std::vector<NodePairTask> stack = {{r.root(), s.root()}};
+  std::vector<NodePairTask> next;
+  while (!stack.empty()) {
+    const NodePairTask task = stack.back();
+    stack.pop_back();
+    next.clear();
+    JoinNodePair(r, s, task.r, task.s, &next, &out, stats);
+    stack.insert(stack.end(), next.begin(), next.end());
+  }
+  return out;
+}
+
+JoinResult SyncTraversalBfs(const PackedRTree& r, const PackedRTree& s,
+                            JoinStats* stats,
+                            std::vector<std::size_t>* level_sizes) {
+  JoinResult out;
+  std::vector<NodePairTask> frontier = {{r.root(), s.root()}};
+  std::vector<NodePairTask> next;
+  while (!frontier.empty()) {
+    if (level_sizes != nullptr) level_sizes->push_back(frontier.size());
+    next.clear();
+    for (const NodePairTask& task : frontier) {
+      JoinNodePair(r, s, task.r, task.s, &next, &out, stats);
+    }
+    frontier.swap(next);
+  }
+  return out;
+}
+
+}  // namespace swiftspatial

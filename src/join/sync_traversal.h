@@ -1,0 +1,52 @@
+// R-tree synchronous traversal (Brinkhoff, Kriegel & Seeger [13]):
+// simultaneous traversal of two R-trees, pruning via directory MBRs.
+//
+//  * SyncTraversalDfs implements Algorithms 1-2 of the paper (depth-first).
+//  * SyncTraversalBfs implements the breadth-first variant [33] that the
+//    SwiftSpatial scheduler executes on chip (§3.4.1): the join proceeds
+//    level by level, with all qualifying node pairs of a level materialised
+//    as the next level's task list.
+//
+// Both operate on the flat PackedRTree layout shared with the simulated
+// accelerator.
+#ifndef SWIFTSPATIAL_JOIN_SYNC_TRAVERSAL_H_
+#define SWIFTSPATIAL_JOIN_SYNC_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/result.h"
+#include "rtree/packed_rtree.h"
+
+namespace swiftspatial {
+
+/// A node-pair join task.
+struct NodePairTask {
+  NodeIndex r = 0;
+  NodeIndex s = 0;
+};
+
+/// Joins one node pair: emits qualifying (object, object) pairs to `out`
+/// when both nodes are leaves, qualifying next-level tasks to `next`
+/// otherwise. Exactly the work one SwiftSpatial join unit performs per task
+/// (Fig. 4); shared by the CPU implementations and the simulator's
+/// functional model.
+void JoinNodePair(const PackedRTree& r, const PackedRTree& s,
+                  NodeIndex r_node, NodeIndex s_node,
+                  std::vector<NodePairTask>* next, JoinResult* out,
+                  JoinStats* stats);
+
+/// Depth-first synchronous traversal (Algorithms 1-2).
+JoinResult SyncTraversalDfs(const PackedRTree& r, const PackedRTree& s,
+                            JoinStats* stats = nullptr);
+
+/// Breadth-first synchronous traversal [33]; `level_sizes`, when non-null,
+/// receives the number of tasks at each level (the accelerator's task-queue
+/// occupancy trace).
+JoinResult SyncTraversalBfs(const PackedRTree& r, const PackedRTree& s,
+                            JoinStats* stats = nullptr,
+                            std::vector<std::size_t>* level_sizes = nullptr);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_JOIN_SYNC_TRAVERSAL_H_

@@ -1,0 +1,116 @@
+#include "quadtree/point_quadtree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace swiftspatial {
+
+PointQuadtree PointQuadtree::Build(const Dataset& points,
+                                   const QuadtreeOptions& options) {
+  SWIFT_CHECK_GE(options.leaf_capacity, 1);
+  PointQuadtree tree;
+  tree.points_.reserve(points.size());
+  tree.ids_.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Box& b = points.box(i);
+    tree.points_.push_back(Point{b.min_x, b.min_y});
+    tree.ids_.push_back(static_cast<ObjectId>(i));
+  }
+
+  Node root;
+  root.bounds = points.Extent();
+  root.begin = 0;
+  root.end = static_cast<uint32_t>(tree.points_.size());
+  tree.nodes_.push_back(root);
+  tree.height_ = 1;
+  if (!tree.points_.empty()) {
+    tree.BuildNode(0, 0, static_cast<uint32_t>(tree.points_.size()), 1,
+                   options.leaf_capacity, options.max_depth);
+  }
+  return tree;
+}
+
+void PointQuadtree::BuildNode(int32_t node_index, uint32_t begin, uint32_t end,
+                              int depth, int leaf_capacity, int max_depth) {
+  height_ = std::max(height_, depth);
+  Node& node = nodes_[node_index];
+  node.begin = begin;
+  node.end = end;
+  if (end - begin <= static_cast<uint32_t>(leaf_capacity) ||
+      depth >= max_depth) {
+    node.is_leaf = true;
+    return;
+  }
+  node.is_leaf = false;
+
+  const Point c = node.bounds.Center();
+  const Box bounds = node.bounds;
+
+  // In-place partition into quadrants: first by y (south/north), then by x.
+  auto first = points_.begin() + begin;
+  auto last = points_.begin() + end;
+  auto id_first = ids_.begin() + begin;
+
+  // Keep ids aligned with points through the partitions: permute both via an
+  // index sort of the range (simpler than a dual-pivot partition and the
+  // range is small relative to the whole build).
+  const uint32_t n = end - begin;
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  auto quadrant_of = [&](const Point& p) {
+    const int east = p.x > c.x ? 1 : 0;
+    const int north = p.y > c.y ? 1 : 0;
+    return north * 2 + east;  // SW=0, SE=1, NW=2, NE=3
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return quadrant_of(first[a]) < quadrant_of(first[b]);
+                   });
+  std::vector<Point> tmp_points(first, last);
+  std::vector<ObjectId> tmp_ids(id_first, id_first + n);
+  for (uint32_t i = 0; i < n; ++i) {
+    first[i] = tmp_points[order[i]];
+    id_first[i] = tmp_ids[order[i]];
+  }
+
+  // Quadrant sizes.
+  uint32_t counts[4] = {0, 0, 0, 0};
+  for (uint32_t i = 0; i < n; ++i) ++counts[quadrant_of(first[i])];
+
+  uint32_t child_begin = begin;
+  for (int q = 0; q < 4; ++q) {
+    if (counts[q] == 0) continue;
+    Node child;
+    switch (q) {
+      case 0:
+        child.bounds = Box(bounds.min_x, bounds.min_y, c.x, c.y);
+        break;
+      case 1:
+        child.bounds = Box(c.x, bounds.min_y, bounds.max_x, c.y);
+        break;
+      case 2:
+        child.bounds = Box(bounds.min_x, c.y, c.x, bounds.max_y);
+        break;
+      default:
+        child.bounds = Box(c.x, c.y, bounds.max_x, bounds.max_y);
+        break;
+    }
+    const int32_t child_index = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(child);
+    nodes_[node_index].child[q] = child_index;
+    BuildNode(child_index, child_begin, child_begin + counts[q], depth + 1,
+              leaf_capacity, max_depth);
+    child_begin += counts[q];
+  }
+}
+
+std::vector<ObjectId> PointQuadtree::WindowQuery(const Box& window) const {
+  std::vector<ObjectId> out;
+  ForEachInWindow(window, [&out](ObjectId id, const Point&) {
+    out.push_back(id);
+  });
+  return out;
+}
+
+}  // namespace swiftspatial

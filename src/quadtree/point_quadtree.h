@@ -1,0 +1,85 @@
+// Point quadtree in the style of cuSpatial's index (§5.1 of the paper):
+// only the *point* dataset is indexed; polygons are evaluated against it as
+// batched window queries. Leaf capacity defaults to 128, the value the paper
+// tuned for cuSpatial.
+#ifndef SWIFTSPATIAL_QUADTREE_POINT_QUADTREE_H_
+#define SWIFTSPATIAL_QUADTREE_POINT_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace swiftspatial {
+
+struct QuadtreeOptions {
+  /// Split a node when it holds more than this many points.
+  int leaf_capacity = 128;
+  /// Hard recursion limit (guards against coincident points).
+  int max_depth = 16;
+};
+
+/// Immutable PR quadtree over a point dataset.
+class PointQuadtree {
+ public:
+  /// Builds over `points` (each box must be degenerate; its min corner is
+  /// used as the point).
+  static PointQuadtree Build(const Dataset& points,
+                             const QuadtreeOptions& options = {});
+
+  /// Ids of all points inside `window` (closed boundaries).
+  std::vector<ObjectId> WindowQuery(const Box& window) const;
+
+  /// Calls `fn(id, point)` for every point inside `window`.
+  template <typename Fn>
+  void ForEachInWindow(const Box& window, Fn&& fn) const;
+
+  std::size_t num_points() const { return points_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    Box bounds;
+    // Children node indices (quadrant order SW, SE, NW, NE); -1 when absent.
+    int32_t child[4] = {-1, -1, -1, -1};
+    // Leaf payload: range [begin, end) into points_/ids_.
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool is_leaf = true;
+  };
+
+  void BuildNode(int32_t node_index, uint32_t begin, uint32_t end, int depth,
+                 int leaf_capacity, int max_depth);
+
+  std::vector<Node> nodes_;
+  std::vector<Point> points_;  // permuted into build order
+  std::vector<ObjectId> ids_;  // parallel to points_
+  int height_ = 0;
+};
+
+template <typename Fn>
+void PointQuadtree::ForEachInWindow(const Box& window, Fn&& fn) const {
+  if (nodes_.empty()) return;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (!Intersects(n.bounds, window)) continue;
+    if (n.is_leaf) {
+      for (uint32_t i = n.begin; i < n.end; ++i) {
+        if (ContainsPoint(window, points_[i])) fn(ids_[i], points_[i]);
+      }
+    } else {
+      for (int c = 0; c < 4; ++c) {
+        if (n.child[c] >= 0) stack.push_back(n.child[c]);
+      }
+    }
+  }
+}
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_QUADTREE_POINT_QUADTREE_H_

@@ -1,0 +1,68 @@
+#include "refine/refinement.h"
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "geometry/polygon.h"
+
+namespace swiftspatial {
+
+namespace {
+
+// Exact test for one candidate pair.
+bool VerifyPair(const Dataset& r, GeometryKind r_kind, const Dataset& s,
+                GeometryKind s_kind, ResultPair pair, int vertices) {
+  const Box& rb = r.box(static_cast<std::size_t>(pair.r));
+  const Box& sb = s.box(static_cast<std::size_t>(pair.s));
+
+  if (r_kind == GeometryKind::kPoint && s_kind == GeometryKind::kPoint) {
+    // Point-point: MBR test is already exact.
+    return Intersects(rb, sb);
+  }
+  if (r_kind == GeometryKind::kPoint) {
+    const Polygon sp = MakeConvexPolygon(static_cast<uint64_t>(pair.s), sb,
+                                         vertices);
+    return PointInPolygon(Point{rb.min_x, rb.min_y}, sp);
+  }
+  if (s_kind == GeometryKind::kPoint) {
+    const Polygon rp = MakeConvexPolygon(static_cast<uint64_t>(pair.r), rb,
+                                         vertices);
+    return PointInPolygon(Point{sb.min_x, sb.min_y}, rp);
+  }
+  const Polygon rp =
+      MakeConvexPolygon(static_cast<uint64_t>(pair.r), rb, vertices);
+  const Polygon sp =
+      MakeConvexPolygon(static_cast<uint64_t>(pair.s), sb, vertices);
+  return PolygonsIntersect(rp, sp);
+}
+
+}  // namespace
+
+JoinResult Refine(const Dataset& r, GeometryKind r_kind, const Dataset& s,
+                  GeometryKind s_kind,
+                  const std::vector<ResultPair>& candidates,
+                  const RefinementOptions& options, RefinementStats* stats) {
+  const std::size_t threads = std::max<std::size_t>(1, options.num_threads);
+  std::vector<JoinResult> workers(threads);
+
+  ParallelForWorker(
+      candidates.size(), threads, Schedule::kDynamic,
+      [&](std::size_t i, std::size_t w) {
+        if (VerifyPair(r, r_kind, s, s_kind, candidates[i],
+                       options.polygon_vertices)) {
+          workers[w].Add(candidates[i].r, candidates[i].s);
+        }
+      },
+      /*chunk=*/512);
+
+  JoinResult out;
+  for (auto& w : workers) out.Merge(std::move(w));
+  if (stats != nullptr) {
+    stats->candidates = candidates.size();
+    stats->verified = out.size();
+    stats->false_positives = candidates.size() - out.size();
+  }
+  return out;
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,45 @@
+// Refinement phase (§2.1, §5.8): re-checks the filter's candidate pairs
+// against actual geometries to remove MBR false positives. Geometries are
+// materialised deterministically from (id, MBR) via MakeConvexPolygon, so
+// the filter pipeline stays MBR-only -- exactly the paper's split where the
+// FPGA filters on MBRs and the CPU refines.
+#ifndef SWIFTSPATIAL_REFINE_REFINEMENT_H_
+#define SWIFTSPATIAL_REFINE_REFINEMENT_H_
+
+#include <cstddef>
+
+#include "datagen/dataset.h"
+#include "join/result.h"
+
+namespace swiftspatial {
+
+/// What each dataset's MBRs stand for during refinement.
+enum class GeometryKind {
+  kPoint,    ///< degenerate boxes; the object is the point itself
+  kPolygon,  ///< the object is a convex polygon inscribed in the MBR
+};
+
+struct RefinementOptions {
+  std::size_t num_threads = 1;
+  /// Vertices per materialised polygon (complexity knob; more vertices =
+  /// costlier refinement, like real building footprints).
+  int polygon_vertices = 8;
+};
+
+/// Statistics from a refinement run.
+struct RefinementStats {
+  std::size_t candidates = 0;
+  std::size_t verified = 0;
+  std::size_t false_positives = 0;
+};
+
+/// Verifies `candidates` (pairs of ids into `r` and `s`) with exact
+/// geometry tests and returns the surviving pairs.
+JoinResult Refine(const Dataset& r, GeometryKind r_kind, const Dataset& s,
+                  GeometryKind s_kind, const std::vector<ResultPair>& candidates,
+                  const RefinementOptions& options,
+                  RefinementStats* stats = nullptr);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_REFINE_REFINEMENT_H_

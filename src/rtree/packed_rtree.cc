@@ -1,0 +1,158 @@
+#include "rtree/packed_rtree.h"
+
+#include <cstring>
+#include <string>
+
+namespace swiftspatial {
+
+PackedRTree PackedRTree::FromLevels(
+    std::vector<std::vector<BuildNode>> levels, int max_entries) {
+  SWIFT_CHECK(!levels.empty());
+  SWIFT_CHECK_GE(max_entries, 2);
+  SWIFT_CHECK_EQ(levels.back().size(), 1u);  // single root
+
+  PackedRTree tree;
+  tree.max_entries_ = max_entries;
+  tree.height_ = static_cast<int>(levels.size());
+  tree.node_stride_ = StrideFor(max_entries);
+  tree.num_leaves_ = levels.front().size();
+
+  std::size_t total = 0;
+  for (const auto& level : levels) total += level.size();
+  tree.num_nodes_ = total;
+  tree.bytes_.assign(total * tree.node_stride_, 0);
+
+  // Assign global indices level by level, leaves first.
+  std::vector<NodeIndex> level_base(levels.size());
+  NodeIndex next = 0;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    level_base[l] = next;
+    next += static_cast<NodeIndex>(levels[l].size());
+  }
+  tree.root_ = level_base.back();
+
+  std::size_t objects = 0;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    for (std::size_t n = 0; n < levels[l].size(); ++n) {
+      const BuildNode& src = levels[l][n];
+      SWIFT_CHECK_LE(src.entries.size(),
+                     static_cast<std::size_t>(max_entries));
+      uint8_t* base =
+          tree.bytes_.data() +
+          static_cast<std::size_t>(level_base[l] + static_cast<NodeIndex>(n)) *
+              tree.node_stride_;
+      const uint16_t count = static_cast<uint16_t>(src.entries.size());
+      std::memcpy(base, &count, sizeof(count));
+      base[2] = src.is_leaf ? 1 : 0;
+      for (std::size_t e = 0; e < src.entries.size(); ++e) {
+        PackedEntry entry = src.entries[e];
+        if (!src.is_leaf) {
+          // Child references are level-local during construction; rewrite to
+          // global node indices.
+          SWIFT_CHECK_GT(l, 0u);
+          SWIFT_CHECK(entry.id >= 0 &&
+                      static_cast<std::size_t>(entry.id) < levels[l - 1].size());
+          entry.id += level_base[l - 1];
+        } else {
+          ++objects;
+        }
+        std::memcpy(base + 8 + e * sizeof(PackedEntry), &entry, sizeof(entry));
+      }
+    }
+  }
+  tree.num_objects_ = objects;
+  return tree;
+}
+
+std::vector<ObjectId> PackedRTree::WindowQuery(const Box& window) const {
+  std::vector<ObjectId> out;
+  if (num_nodes_ == 0) return out;
+  std::vector<NodeIndex> stack = {root_};
+  while (!stack.empty()) {
+    const NodeView nv = node(stack.back());
+    stack.pop_back();
+    const int n = nv.count();
+    if (nv.is_leaf()) {
+      for (int i = 0; i < n; ++i) {
+        const PackedEntry e = nv.entry(i);
+        if (Intersects(e.box, window)) out.push_back(e.id);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        const PackedEntry e = nv.entry(i);
+        if (Intersects(e.box, window)) stack.push_back(e.id);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t PackedRTree::CountObjects() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    const NodeView nv = node(static_cast<NodeIndex>(i));
+    if (nv.is_leaf()) total += nv.count();
+  }
+  return total;
+}
+
+Status PackedRTree::Validate() const {
+  if (num_nodes_ == 0) return Status::OK();
+  std::vector<int> visited(num_nodes_, 0);
+  // (node, depth) DFS from the root.
+  struct Item {
+    NodeIndex idx;
+    int depth;
+  };
+  std::vector<Item> stack = {{root_, 0}};
+  int leaf_depth = -1;
+  std::size_t reached = 0;
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (item.idx < 0 || static_cast<std::size_t>(item.idx) >= num_nodes_) {
+      return Status::Corruption("child index out of range: " +
+                                std::to_string(item.idx));
+    }
+    if (visited[item.idx]++) {
+      return Status::Corruption("node visited twice: " +
+                                std::to_string(item.idx));
+    }
+    ++reached;
+    const NodeView nv = node(item.idx);
+    const int n = nv.count();
+    if (n == 0 && num_objects_ > 0) {
+      return Status::Corruption("empty node: " + std::to_string(item.idx));
+    }
+    if (n > max_entries_) {
+      return Status::Corruption("node overflow: " + std::to_string(item.idx));
+    }
+    if (nv.is_leaf()) {
+      if (leaf_depth == -1) leaf_depth = item.depth;
+      if (leaf_depth != item.depth) {
+        return Status::Corruption("leaves at different depths");
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        const PackedEntry e = nv.entry(i);
+        const NodeView child = node(e.id);
+        if (!Contains(e.box, child.Mbr())) {
+          return Status::Corruption("directory MBR does not cover child " +
+                                    std::to_string(e.id));
+        }
+        stack.push_back({e.id, item.depth + 1});
+      }
+    }
+  }
+  if (reached != num_nodes_) {
+    return Status::Corruption("unreachable nodes: " +
+                              std::to_string(num_nodes_ - reached) +
+                              " of " + std::to_string(num_nodes_));
+  }
+  if (CountObjects() != num_objects_) {
+    return Status::Corruption("object count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,665 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace swiftspatial {
+
+const char* InsertionPolicyToString(InsertionPolicy p) {
+  switch (p) {
+    case InsertionPolicy::kGuttman:
+      return "guttman";
+    case InsertionPolicy::kRStar:
+      return "r-star";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int DefaultMinEntries(int max_entries) {
+  // 40% fill is the common dynamic R-tree default; never below 2, never
+  // above M/2 (required for splits to succeed).
+  return std::clamp(static_cast<int>(max_entries * 0.4), 2, max_entries / 2);
+}
+
+// Overlap area of `box` with every sibling MBR except index `skip`
+// (R* ChooseSubtree metric).
+template <typename Slots>
+double OverlapWithSiblings(const Slots& slots, std::size_t skip,
+                           const Box& box) {
+  double overlap = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i == skip) continue;
+    overlap += Intersection(box, slots[i].box).Area();
+  }
+  return overlap;
+}
+
+}  // namespace
+
+struct RTree::Node {
+  Node* parent = nullptr;
+  bool is_leaf = true;
+  struct Slot {
+    Box box;
+    ObjectId id = 0;                // valid when the node is a leaf
+    std::unique_ptr<Node> child;    // valid when the node is a directory
+  };
+  std::vector<Slot> slots;
+
+  Box Mbr() const {
+    Box out = Box::Empty();
+    for (const auto& s : slots) out.Expand(s.box);
+    return out;
+  }
+};
+
+RTree::RTree(const RTreeOptions& options) : options_(options) {
+  SWIFT_CHECK_GE(options_.max_entries, 4);
+  if (options_.min_entries == 0) {
+    options_.min_entries = DefaultMinEntries(options_.max_entries);
+  }
+  SWIFT_CHECK_GE(options_.min_entries, 2);
+  SWIFT_CHECK_LE(options_.min_entries, options_.max_entries / 2);
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+int RTree::height() const {
+  if (!root_) return 0;
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    n = n->slots.front().child.get();
+    ++h;
+  }
+  return h;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Box& box) const {
+  while (!node->is_leaf) {
+    Node::Slot* best = nullptr;
+    const bool children_are_leaves = node->slots.front().child->is_leaf;
+    if (options_.policy == InsertionPolicy::kRStar && children_are_leaves) {
+      // R* ChooseSubtree at the leaf level: least overlap enlargement,
+      // ties broken by area enlargement, then area.
+      double best_overlap = std::numeric_limits<double>::infinity();
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < node->slots.size(); ++i) {
+        auto& slot = node->slots[i];
+        Box merged = slot.box;
+        merged.Expand(box);
+        const double overlap_delta =
+            OverlapWithSiblings(node->slots, i, merged) -
+            OverlapWithSiblings(node->slots, i, slot.box);
+        const double enlargement = slot.box.Enlargement(box);
+        const double area = slot.box.Area();
+        const bool better =
+            overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap &&
+             (enlargement < best_enlargement ||
+              (enlargement == best_enlargement && area < best_area)));
+        if (better) {
+          best = &slot;
+          best_overlap = overlap_delta;
+          best_enlargement = enlargement;
+          best_area = area;
+        }
+      }
+    } else {
+      // Guttman (and R* at directory levels): least area enlargement.
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (auto& slot : node->slots) {
+        const double enlargement = slot.box.Enlargement(box);
+        const double area = slot.box.Area();
+        if (enlargement < best_enlargement ||
+            (enlargement == best_enlargement && area < best_area)) {
+          best = &slot;
+          best_enlargement = enlargement;
+          best_area = area;
+        }
+      }
+    }
+    SWIFT_DCHECK(best != nullptr);
+    node = best->child.get();
+  }
+  return node;
+}
+
+void RTree::AdjustUpward(Node* node) {
+  // Refresh cached slot MBRs along the path to the root.
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    for (auto& slot : parent->slots) {
+      if (slot.child.get() == node) {
+        slot.box = node->Mbr();
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+void RTree::SplitNode(Node* node) {
+  // Guttman's quadratic split on node->slots.
+  const int m = options_.min_entries;
+  auto slots = std::move(node->slots);
+  node->slots.clear();
+
+  // Seed selection: the pair wasting the most area if grouped together.
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    for (std::size_t j = i + 1; j < slots.size(); ++j) {
+      Box merged = slots[i].box;
+      merged.Expand(slots[j].box);
+      const double waste =
+          merged.Area() - slots[i].box.Area() - slots[j].box.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+
+  Box mbr_a = slots[seed_a].box;
+  Box mbr_b = slots[seed_b].box;
+  std::vector<Node::Slot> rest;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i == seed_a) {
+      node->slots.push_back(std::move(slots[i]));
+    } else if (i == seed_b) {
+      sibling->slots.push_back(std::move(slots[i]));
+    } else {
+      rest.push_back(std::move(slots[i]));
+    }
+  }
+
+  while (!rest.empty()) {
+    // If one group must take all remaining entries to reach the minimum,
+    // assign them wholesale.
+    const std::size_t remaining = rest.size();
+    if (node->slots.size() + remaining == static_cast<std::size_t>(m)) {
+      for (auto& s : rest) {
+        mbr_a.Expand(s.box);
+        node->slots.push_back(std::move(s));
+      }
+      break;
+    }
+    if (sibling->slots.size() + remaining == static_cast<std::size_t>(m)) {
+      for (auto& s : rest) {
+        mbr_b.Expand(s.box);
+        sibling->slots.push_back(std::move(s));
+      }
+      break;
+    }
+    // PickNext: entry with the greatest preference difference.
+    std::size_t pick = 0;
+    double best_diff = -1;
+    double d_a_pick = 0, d_b_pick = 0;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      const double da = mbr_a.Enlargement(rest[i].box);
+      const double db = mbr_b.Enlargement(rest[i].box);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d_a_pick = da;
+        d_b_pick = db;
+      }
+    }
+    Node::Slot slot = std::move(rest[pick]);
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(pick));
+    bool to_a;
+    if (d_a_pick != d_b_pick) {
+      to_a = d_a_pick < d_b_pick;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      to_a = mbr_a.Area() < mbr_b.Area();
+    } else {
+      to_a = node->slots.size() <= sibling->slots.size();
+    }
+    if (to_a) {
+      mbr_a.Expand(slot.box);
+      node->slots.push_back(std::move(slot));
+    } else {
+      mbr_b.Expand(slot.box);
+      sibling->slots.push_back(std::move(slot));
+    }
+  }
+
+  AttachSibling(node, std::move(sibling));
+}
+
+// R* split [11]: choose the split axis by minimum margin sum over all valid
+// distributions, then the distribution on that axis with minimum overlap
+// (ties: minimum total area).
+void RTree::SplitNodeRStar(Node* node) {
+  const int m = options_.min_entries;
+  auto slots = std::move(node->slots);
+  node->slots.clear();
+  const int count = static_cast<int>(slots.size());
+
+  // Index orders: {x-min, x-max, y-min, y-max}.
+  std::array<std::vector<int>, 4> orders;
+  for (auto& o : orders) {
+    o.resize(count);
+    for (int i = 0; i < count; ++i) o[i] = i;
+  }
+  auto key = [&slots](int axis_key, int i) -> Coord {
+    const Box& b = slots[i].box;
+    switch (axis_key) {
+      case 0:
+        return b.min_x;
+      case 1:
+        return b.max_x;
+      case 2:
+        return b.min_y;
+      default:
+        return b.max_y;
+    }
+  };
+  for (int k = 0; k < 4; ++k) {
+    std::sort(orders[k].begin(), orders[k].end(),
+              [&](int a, int b) { return key(k, a) < key(k, b); });
+  }
+
+  // Prefix/suffix MBRs for one order; distributions split after position
+  // k in [m, count - m].
+  auto distributions = [&](const std::vector<int>& order,
+                           const auto& visit) {
+    std::vector<Box> prefix(count), suffix(count);
+    Box acc = Box::Empty();
+    for (int i = 0; i < count; ++i) {
+      acc.Expand(slots[order[i]].box);
+      prefix[i] = acc;
+    }
+    acc = Box::Empty();
+    for (int i = count - 1; i >= 0; --i) {
+      acc.Expand(slots[order[i]].box);
+      suffix[i] = acc;
+    }
+    for (int k = m; k <= count - m; ++k) {
+      visit(prefix[k - 1], suffix[k], k);
+    }
+  };
+
+  // Axis choice by margin sum (orders 0-1 = x, 2-3 = y).
+  double margin[2] = {0, 0};
+  for (int k = 0; k < 4; ++k) {
+    distributions(orders[k], [&](const Box& a, const Box& b, int) {
+      margin[k / 2] += a.Perimeter() + b.Perimeter();
+    });
+  }
+  const int axis = margin[0] <= margin[1] ? 0 : 1;
+
+  // Distribution choice on the winning axis: min overlap, ties min area.
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  int best_order = 2 * axis;
+  int best_k = m;
+  for (int k = 2 * axis; k < 2 * axis + 2; ++k) {
+    distributions(orders[k], [&](const Box& a, const Box& b, int cut) {
+      const double overlap = Intersection(a, b).Area();
+      const double area = a.Area() + b.Area();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_order = k;
+        best_k = cut;
+      }
+    });
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  const std::vector<int>& order = orders[best_order];
+  for (int i = 0; i < count; ++i) {
+    auto& dst = i < best_k ? node->slots : sibling->slots;
+    dst.push_back(std::move(slots[order[i]]));
+  }
+  AttachSibling(node, std::move(sibling));
+}
+
+void RTree::AttachSibling(Node* node, std::unique_ptr<Node> sibling) {
+  // Fix parent pointers of moved children.
+  if (!sibling->is_leaf) {
+    for (auto& s : sibling->slots) s.child->parent = sibling.get();
+  }
+
+  if (node->parent == nullptr) {
+    // Grow the tree: new root adopting both halves.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    auto old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->slots.push_back(
+        {old_root->Mbr(), 0, std::move(old_root)});
+    new_root->slots.push_back({sibling->Mbr(), 0, std::move(sibling)});
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  sibling->parent = parent;
+  // Update the slot covering `node`, then add the sibling.
+  for (auto& slot : parent->slots) {
+    if (slot.child.get() == node) {
+      slot.box = node->Mbr();
+      break;
+    }
+  }
+  parent->slots.push_back({sibling->Mbr(), 0, std::move(sibling)});
+  AdjustUpward(parent);
+  if (parent->slots.size() > static_cast<std::size_t>(options_.max_entries)) {
+    HandleOverflow(parent);
+  }
+}
+
+void RTree::HandleOverflow(Node* node) {
+  if (options_.policy == InsertionPolicy::kRStar) {
+    SplitNodeRStar(node);
+  } else {
+    SplitNode(node);
+  }
+}
+
+void RTree::Insert(ObjectId id, const Box& box) {
+  InsertRecord(id, box,
+               /*allow_reinsert=*/options_.policy == InsertionPolicy::kRStar);
+}
+
+void RTree::InsertRecord(ObjectId id, const Box& box, bool allow_reinsert) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->is_leaf = true;
+  }
+  Node* leaf = ChooseLeaf(root_.get(), box);
+  leaf->slots.push_back({box, id, nullptr});
+  AdjustUpward(leaf);
+  ++size_;
+  if (leaf->slots.size() > static_cast<std::size_t>(options_.max_entries)) {
+    if (allow_reinsert && !reinserting_ && leaf != root_.get()) {
+      ForcedReinsert(leaf);
+    } else {
+      HandleOverflow(leaf);
+    }
+  }
+}
+
+// R* forced reinsertion [11]: instead of splitting immediately, the p
+// entries of the overflowing leaf whose centers lie furthest from the
+// node's center are removed and re-inserted, letting them migrate to
+// better-fitting nodes. Applied once per public Insert.
+void RTree::ForcedReinsert(Node* leaf) {
+  const std::size_t count = leaf->slots.size();
+  std::size_t p = static_cast<std::size_t>(
+      std::ceil(options_.reinsert_fraction * static_cast<double>(count)));
+  p = std::clamp<std::size_t>(p, 1,
+                              count -
+                                  static_cast<std::size_t>(
+                                      options_.min_entries));
+  const Point center = leaf->Mbr().Center();
+  std::sort(leaf->slots.begin(), leaf->slots.end(),
+            [&center](const Node::Slot& a, const Node::Slot& b) {
+              return Distance(a.box.Center(), center) <
+                     Distance(b.box.Center(), center);
+            });
+  std::vector<std::pair<ObjectId, Box>> evicted;
+  evicted.reserve(p);
+  for (std::size_t i = count - p; i < count; ++i) {
+    evicted.emplace_back(leaf->slots[i].id, leaf->slots[i].box);
+  }
+  leaf->slots.resize(count - p);
+  AdjustUpward(leaf);
+  size_ -= evicted.size();
+
+  reinserting_ = true;
+  // Re-insert closest-first (the classic "reinsert in increasing distance"
+  // variant), allowing splits but no nested reinsertion.
+  for (auto it = evicted.rbegin(); it != evicted.rend(); ++it) {
+    InsertRecord(it->first, it->second, /*allow_reinsert=*/false);
+  }
+  reinserting_ = false;
+}
+
+RTree::Node* RTree::FindLeaf(Node* node, ObjectId id, const Box& box) const {
+  if (node->is_leaf) {
+    for (const auto& slot : node->slots) {
+      if (slot.id == id && slot.box == box) return node;
+    }
+    return nullptr;
+  }
+  for (const auto& slot : node->slots) {
+    if (Contains(slot.box, box)) {
+      Node* found = FindLeaf(slot.child.get(), id, box);
+      if (found != nullptr) return found;
+    }
+  }
+  return nullptr;
+}
+
+void RTree::CondenseTree(Node* leaf) {
+  // Walk upward removing underfull nodes; re-insert orphaned records.
+  std::vector<std::unique_ptr<Node>> orphans;
+  Node* node = leaf;
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    if (node->slots.size() < static_cast<std::size_t>(options_.min_entries)) {
+      // Detach `node` from its parent.
+      for (std::size_t i = 0; i < parent->slots.size(); ++i) {
+        if (parent->slots[i].child.get() == node) {
+          orphans.push_back(std::move(parent->slots[i].child));
+          parent->slots.erase(parent->slots.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else {
+      // Tighten the covering MBR.
+      for (auto& slot : parent->slots) {
+        if (slot.child.get() == node) {
+          slot.box = node->Mbr();
+          break;
+        }
+      }
+    }
+    node = parent;
+  }
+
+  // Shrink the root if it lost all but one child.
+  if (!root_->is_leaf && root_->slots.size() == 1) {
+    auto child = std::move(root_->slots.front().child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (root_->is_leaf && root_->slots.empty()) {
+    root_.reset();
+  }
+
+  // Re-insert all records from orphaned subtrees.
+  std::vector<std::pair<ObjectId, Box>> records;
+  std::vector<Node*> stack;
+  for (auto& o : orphans) stack.push_back(o.get());
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      for (const auto& s : n->slots) records.emplace_back(s.id, s.box);
+    } else {
+      for (const auto& s : n->slots) stack.push_back(s.child.get());
+    }
+  }
+  size_ -= records.size();
+  for (const auto& [id, box] : records) Insert(id, box);
+}
+
+Status RTree::Delete(ObjectId id, const Box& box) {
+  if (!root_) return Status::NotFound("delete from empty tree");
+  Node* leaf = FindLeaf(root_.get(), id, box);
+  if (leaf == nullptr) {
+    return Status::NotFound("record not found: id=" + std::to_string(id));
+  }
+  for (std::size_t i = 0; i < leaf->slots.size(); ++i) {
+    if (leaf->slots[i].id == id && leaf->slots[i].box == box) {
+      leaf->slots.erase(leaf->slots.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  --size_;
+  CondenseTree(leaf);
+  return Status::OK();
+}
+
+std::vector<ObjectId> RTree::WindowQuery(const Box& window) const {
+  std::vector<ObjectId> out;
+  if (!root_) return out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const auto& slot : n->slots) {
+      if (!Intersects(slot.box, window)) continue;
+      if (n->is_leaf) {
+        out.push_back(slot.id);
+      } else {
+        stack.push_back(slot.child.get());
+      }
+    }
+  }
+  return out;
+}
+
+Status RTree::Validate() const {
+  if (!root_) {
+    if (size_ != 0) return Status::Corruption("empty tree with nonzero size");
+    return Status::OK();
+  }
+  struct Item {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Item> stack = {{root_.get(), 0}};
+  int leaf_depth = -1;
+  std::size_t records = 0;
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    const bool is_root = node == root_.get();
+    const auto count = node->slots.size();
+    if (!is_root && count < static_cast<std::size_t>(options_.min_entries)) {
+      return Status::Corruption("node underflow");
+    }
+    if (count > static_cast<std::size_t>(options_.max_entries)) {
+      return Status::Corruption("node overflow");
+    }
+    if (node->is_leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (leaf_depth != depth) {
+        return Status::Corruption("leaves at different depths");
+      }
+      records += count;
+    } else {
+      if (is_root && count < 2) {
+        return Status::Corruption("directory root with fewer than 2 children");
+      }
+      for (const auto& slot : node->slots) {
+        if (slot.child->parent != node) {
+          return Status::Corruption("broken parent pointer");
+        }
+        if (!Contains(slot.box, slot.child->Mbr())) {
+          return Status::Corruption("slot MBR does not cover child");
+        }
+        stack.push_back({slot.child.get(), depth + 1});
+      }
+    }
+  }
+  if (records != size_) {
+    return Status::Corruption("record count mismatch: " +
+                              std::to_string(records) + " vs " +
+                              std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+PackedRTree RTree::Pack() const {
+  SWIFT_CHECK(root_ != nullptr) << "cannot pack an empty tree";
+  // Gather nodes per depth (root depth 0).
+  std::vector<std::vector<const Node*>> by_depth;
+  struct Item {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Item> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (by_depth.size() <= static_cast<std::size_t>(depth)) {
+      by_depth.resize(depth + 1);
+    }
+    by_depth[depth].push_back(node);
+    if (!node->is_leaf) {
+      for (const auto& slot : node->slots) {
+        stack.push_back({slot.child.get(), depth + 1});
+      }
+    }
+  }
+
+  // Local index of each node within its level.
+  std::vector<std::vector<PackedRTree::BuildNode>> levels(by_depth.size());
+  // Level-local index of every node in the level below the current one.
+  std::unordered_map<const Node*, int32_t> lower;
+
+  for (std::size_t d = by_depth.size(); d-- > 0;) {
+    std::unordered_map<const Node*, int32_t> current;
+    current.reserve(by_depth[d].size());
+    auto& level_out = levels[by_depth.size() - 1 - d];  // leaf-first ordering
+    for (const Node* node : by_depth[d]) {
+      current.emplace(node, static_cast<int32_t>(current.size()));
+      PackedRTree::BuildNode bn;
+      bn.is_leaf = node->is_leaf;
+      for (const auto& slot : node->slots) {
+        int32_t ref;
+        if (node->is_leaf) {
+          ref = slot.id;
+        } else {
+          auto it = lower.find(slot.child.get());
+          SWIFT_CHECK(it != lower.end());
+          ref = it->second;
+        }
+        bn.entries.push_back({slot.box, ref});
+      }
+      level_out.push_back(std::move(bn));
+    }
+    lower = std::move(current);
+  }
+  return PackedRTree::FromLevels(std::move(levels), options_.max_entries);
+}
+
+RTree RTree::BuildByInsertion(const Dataset& dataset,
+                              const RTreeOptions& options) {
+  RTree tree(options);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    tree.Insert(static_cast<ObjectId>(i), dataset.box(i));
+  }
+  return tree;
+}
+
+}  // namespace swiftspatial

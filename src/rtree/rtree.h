@@ -1,0 +1,108 @@
+// Dynamic R-tree (Guttman [30]): ChooseLeaf by least area enlargement,
+// quadratic node split, tree condensation with re-insertion on delete.
+//
+// The paper's motivation for supporting R-tree synchronous traversal is that
+// spatial systems already maintain dynamic R-trees (§3.2); this class plays
+// that role. For joins, Pack() snapshots the tree into the flat PackedRTree
+// layout shared by the CPU baselines and the simulated accelerator, which
+// models the "up-to-date indexes are transferred to the accelerator" flow of
+// §4.
+#ifndef SWIFTSPATIAL_RTREE_RTREE_H_
+#define SWIFTSPATIAL_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+#include "rtree/packed_rtree.h"
+
+namespace swiftspatial {
+
+/// Insertion algorithm for the dynamic tree (§2.2): Guttman's original
+/// quadratic-split insertion [30], or the R*-tree refinements [11]
+/// (overlap-minimising subtree choice, margin-driven splits, and forced
+/// reinsertion at the leaf level), which trade insert cost for better
+/// topology.
+enum class InsertionPolicy {
+  kGuttman,
+  kRStar,
+};
+
+const char* InsertionPolicyToString(InsertionPolicy p);
+
+struct RTreeOptions {
+  /// Maximum entries per node (M). Paper default 16.
+  int max_entries = 16;
+  /// Minimum entries per node (m), 2 <= m <= M/2. 0 means M * 0.4 (a common
+  /// default giving good splits).
+  int min_entries = 0;
+  InsertionPolicy policy = InsertionPolicy::kGuttman;
+  /// R* forced-reinsertion share of a overflowing leaf (classic p = 30%).
+  double reinsert_fraction = 0.3;
+};
+
+/// Dynamic R-tree over (ObjectId, Box) records.
+class RTree {
+ public:
+  explicit RTree(const RTreeOptions& options = RTreeOptions());
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Inserts one record. Multiple records may share an id (the tree does not
+  /// enforce uniqueness); Delete removes one matching record.
+  void Insert(ObjectId id, const Box& box);
+
+  /// Removes one record matching (id, box) exactly. Returns NotFound if no
+  /// such record exists.
+  Status Delete(ObjectId id, const Box& box);
+
+  /// All object ids whose MBR intersects `window`.
+  std::vector<ObjectId> WindowQuery(const Box& window) const;
+
+  std::size_t size() const { return size_; }
+  /// Tree height in levels; 1 = the root is a leaf. 0 only when empty.
+  int height() const;
+
+  /// Checks Guttman invariants: entry bounds (except root), uniform leaf
+  /// depth, covering directory MBRs, record count.
+  Status Validate() const;
+
+  /// Serialises the current tree into the flat accelerator layout.
+  PackedRTree Pack() const;
+
+  /// Convenience: bulk construction by repeated insertion (the "dynamic"
+  /// construction of §2.2, as opposed to STR/Hilbert bulk loading).
+  static RTree BuildByInsertion(const Dataset& dataset,
+                                const RTreeOptions& options = RTreeOptions());
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  Node* ChooseLeaf(Node* node, const Box& box) const;
+  void AdjustUpward(Node* node);
+  void HandleOverflow(Node* node);
+  void SplitNode(Node* node);
+  void SplitNodeRStar(Node* node);
+  void AttachSibling(Node* node, std::unique_ptr<Node> sibling);
+  void CondenseTree(Node* leaf);
+  Node* FindLeaf(Node* node, ObjectId id, const Box& box) const;
+  void InsertRecord(ObjectId id, const Box& box, bool allow_reinsert);
+  void ForcedReinsert(Node* leaf);
+
+  RTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  bool reinserting_ = false;  // prevents recursive forced reinsertion
+};
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_RTREE_RTREE_H_

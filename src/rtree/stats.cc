@@ -1,0 +1,77 @@
+#include "rtree/stats.h"
+
+#include <vector>
+
+namespace swiftspatial {
+
+TreeQualityStats ComputeTreeQuality(const PackedRTree& tree) {
+  TreeQualityStats out;
+  out.num_nodes = tree.num_nodes();
+  out.num_leaves = tree.num_leaves();
+  out.height = tree.height();
+
+  std::vector<Box> leaf_mbrs;
+  leaf_mbrs.reserve(tree.num_leaves());
+  double fill = 0;
+  for (std::size_t n = 0; n < tree.num_nodes(); ++n) {
+    const NodeView nv = tree.node(static_cast<NodeIndex>(n));
+    if (!nv.is_leaf()) continue;
+    const Box mbr = nv.Mbr();
+    leaf_mbrs.push_back(mbr);
+    fill += static_cast<double>(nv.count()) / tree.max_entries();
+    out.total_leaf_area += mbr.Area();
+    out.total_leaf_perimeter += mbr.Perimeter();
+  }
+  if (!leaf_mbrs.empty()) {
+    out.avg_leaf_fill = fill / static_cast<double>(leaf_mbrs.size());
+  }
+  for (std::size_t i = 0; i < leaf_mbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < leaf_mbrs.size(); ++j) {
+      if (Intersects(leaf_mbrs[i], leaf_mbrs[j])) {
+        out.leaf_overlap_area += Intersection(leaf_mbrs[i], leaf_mbrs[j]).Area();
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectId> WindowQueryCounting(const PackedRTree& tree,
+                                          const Box& window,
+                                          std::size_t* nodes_visited) {
+  std::vector<ObjectId> out;
+  std::size_t visited = 0;
+  if (tree.num_nodes() > 0) {
+    std::vector<NodeIndex> stack = {tree.root()};
+    while (!stack.empty()) {
+      const NodeView nv = tree.node(stack.back());
+      stack.pop_back();
+      ++visited;
+      const int n = nv.count();
+      for (int i = 0; i < n; ++i) {
+        const PackedEntry e = nv.entry(i);
+        if (!Intersects(e.box, window)) continue;
+        if (nv.is_leaf()) {
+          out.push_back(e.id);
+        } else {
+          stack.push_back(e.id);
+        }
+      }
+    }
+  }
+  if (nodes_visited != nullptr) *nodes_visited = visited;
+  return out;
+}
+
+double AvgNodeAccesses(const PackedRTree& tree,
+                       const std::vector<Box>& windows) {
+  if (windows.empty()) return 0;
+  std::size_t total = 0;
+  for (const Box& w : windows) {
+    std::size_t visited = 0;
+    WindowQueryCounting(tree, w, &visited);
+    total += visited;
+  }
+  return static_cast<double>(total) / static_cast<double>(windows.size());
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,60 @@
+// Umbrella header: the SwiftSpatial public API in one include.
+//
+//   #include "swiftspatial/swiftspatial.h"
+//
+// Typical flow (see examples/quickstart.cpp):
+//   Dataset           -- datagen/: generate, or load from CSV / binary
+//   PackedRTree       -- rtree/: STR/Hilbert bulk load, or RTree::Pack()
+//   join algorithms   -- join/: CPU baselines (sync traversal, PBSM, ...)
+//   hw::Accelerator   -- hw/: the simulated SwiftSpatial device
+//   Refine            -- refine/: exact-geometry verification
+#ifndef SWIFTSPATIAL_SWIFTSPATIAL_H_
+#define SWIFTSPATIAL_SWIFTSPATIAL_H_
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+#include "geometry/box.h"
+#include "geometry/hilbert.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+#include "datagen/csv_io.h"
+#include "datagen/dataset.h"
+#include "datagen/generator.h"
+
+#include "rtree/bulk_load.h"
+#include "rtree/packed_rtree.h"
+#include "rtree/rtree.h"
+#include "rtree/stats.h"
+
+#include "quadtree/point_quadtree.h"
+
+#include "grid/hierarchical_partition.h"
+#include "grid/pbsm_partition.h"
+#include "grid/uniform_grid.h"
+
+#include "join/cuspatial_like.h"
+#include "join/engine_baselines.h"
+#include "join/nested_loop.h"
+#include "join/parallel_sync_traversal.h"
+#include "join/pbsm.h"
+#include "join/plane_sweep.h"
+#include "join/predicates.h"
+#include "join/result.h"
+#include "join/sync_traversal.h"
+
+#include "refine/refinement.h"
+
+#include "hw/accelerator.h"
+#include "hw/multi_device.h"
+#include "hw/power_model.h"
+#include "hw/resource_model.h"
+
+#include "faas/service.h"
+
+#endif  // SWIFTSPATIAL_SWIFTSPATIAL_H_

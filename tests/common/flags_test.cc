@@ -1,0 +1,51 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swiftspatial {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()),
+                      const_cast<char**>(args.data()));
+}
+
+TEST(Flags, ParsesKeyValue) {
+  const Flags f = ParseArgs({"--scale=100000", "--name=osm"});
+  EXPECT_EQ(f.GetInt("scale", 0), 100000);
+  EXPECT_EQ(f.GetString("name", ""), "osm");
+}
+
+TEST(Flags, BooleanForms) {
+  const Flags f = ParseArgs({"--full", "--verbose=false", "--fast=0"});
+  EXPECT_TRUE(f.GetBool("full", false));
+  EXPECT_FALSE(f.GetBool("verbose", true));
+  EXPECT_FALSE(f.GetBool("fast", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(f.GetBool("missing", true));
+  EXPECT_EQ(f.GetString("missing", "dft"), "dft");
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(Flags, DoubleParsing) {
+  const Flags f = ParseArgs({"--ratio=2.75"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0), 2.75);
+}
+
+TEST(Flags, NonFlagArgumentsIgnored) {
+  const Flags f = ParseArgs({"positional", "--x=1", "-y=2"});
+  EXPECT_TRUE(f.Has("x"));
+  EXPECT_FALSE(f.Has("y"));
+  EXPECT_FALSE(f.Has("positional"));
+}
+
+}  // namespace
+}  // namespace swiftspatial

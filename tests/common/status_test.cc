@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftspatial {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad node size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad node size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad node size");
+}
+
+TEST(Status, AllFactoriesProduceTheirCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MutableAccess) {
+  Result<std::string> r(std::string("abc"));
+  r->append("def");
+  EXPECT_EQ(r.value(), "abcdef");
+}
+
+Status Fails() { return Status::Aborted("stop"); }
+Status Propagates() {
+  SWIFT_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,71 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/stopwatch.h"
+
+namespace swiftspatial {
+namespace {
+
+std::string Render(TablePrinter& table) {
+  std::FILE* f = std::tmpfile();
+  table.Print(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) out += buf;
+  std::fclose(f);
+  return out;
+}
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter table("demo", {"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = Render(table);
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| beta "), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsPadToWidestCell) {
+  TablePrinter table("", {"x"});
+  table.AddRow({"longest-cell"});
+  table.AddRow({"s"});
+  const std::string out = Render(table);
+  // The short row must be padded to the widest cell's width.
+  EXPECT_NE(out.find("| s            |"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FmtSci(12345.678, 2), "1.23e+04");
+}
+
+TEST(TablePrinter, EmptyTitleOmitted) {
+  TablePrinter table("", {"a"});
+  table.AddRow({"1"});
+  const std::string out = Render(table);
+  EXPECT_EQ(out.find("=="), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  // Burn a little CPU deterministically.
+  volatile double acc = 0;
+  for (int i = 0; i < 2000000; ++i) acc += i * 0.5;
+  const double first = sw.ElapsedSeconds();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), first * 1e3);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), first + 1.0);
+  EXPECT_GE(sw.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace swiftspatial {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+class ParallelForTest
+    : public ::testing::TestWithParam<std::tuple<Schedule, std::size_t>> {};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const auto [schedule, threads] = GetParam();
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, threads, schedule,
+              [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForTest, WorkerIdsInRange) {
+  const auto [schedule, threads] = GetParam();
+  std::atomic<bool> bad{false};
+  ParallelForWorker(500, threads, schedule,
+                    [&bad, threads = threads](std::size_t, std::size_t w) {
+                      if (w >= threads) bad = true;
+                    });
+  EXPECT_FALSE(bad.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesAndThreads, ParallelForTest,
+    ::testing::Combine(::testing::Values(Schedule::kStatic,
+                                         Schedule::kDynamic),
+                       ::testing::Values<std::size_t>(1, 2, 4, 8)));
+
+TEST(ParallelFor, ZeroIterations) {
+  int runs = 0;
+  ParallelFor(0, 4, Schedule::kDynamic, [&runs](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  // With one thread, iterations must run on the calling thread in order.
+  std::vector<std::size_t> order;
+  ParallelFor(10, 1, Schedule::kStatic,
+              [&order](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, DynamicChunking) {
+  const std::size_t n = 97;  // not a multiple of the chunk
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(
+      n, 3, Schedule::kDynamic, [&hits](std::size_t i) { hits[i].fetch_add(1); },
+      /*chunk=*/8);
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, static_cast<int>(n));
+}
+
+TEST(ScheduleToString, Names) {
+  EXPECT_STREQ(ScheduleToString(Schedule::kStatic), "static");
+  EXPECT_STREQ(ScheduleToString(Schedule::kDynamic), "dynamic");
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,119 @@
+#include "datagen/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CsvIo, ReadsRectangles) {
+  const std::string path = TempPath("rects.csv");
+  WriteFile(path,
+            "min_x,min_y,max_x,max_y\n"
+            "0,0,1,1\n"
+            "2.5,3.5,4.5,5.5\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  ASSERT_EQ(d->size(), 2u);
+  EXPECT_EQ(d->box(0), Box(0, 0, 1, 1));
+  EXPECT_EQ(d->box(1), Box(2.5, 3.5, 4.5, 5.5));
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, ReadsPointsAsDegenerateBoxes) {
+  const std::string path = TempPath("points.csv");
+  WriteFile(path, "10,20\n30,40\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->size(), 2u);
+  EXPECT_TRUE(d->IsPointDataset());
+  EXPECT_EQ(d->box(1), Box(30, 40, 30, 40));
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, SkipsCommentsAndBlanks) {
+  const std::string path = TempPath("comments.csv");
+  WriteFile(path,
+            "# a comment\n"
+            "\n"
+            "0,0,1,1\n"
+            "   # indented comment\n"
+            "1,1,2,2\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, RejectsMalformedRow) {
+  const std::string path = TempPath("bad.csv");
+  WriteFile(path, "0,0,1,1\nnot,a,number,row\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(d.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, RejectsInvertedRectangle) {
+  const std::string path = TempPath("inverted.csv");
+  WriteFile(path, "5,5,1,1\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, RejectsWrongFieldCount) {
+  const std::string path = TempPath("three.csv");
+  WriteFile(path, "1,2,3\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_FALSE(d.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, MissingFileIsIOError) {
+  auto d = LoadCsvDataset(TempPath("no_such.csv"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvIo, SaveLoadRoundTrip) {
+  const Dataset original = testutil::Uniform(500, 600);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsvDataset(original, path).ok());
+  auto loaded = LoadCsvDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // %.9g prints floats exactly.
+    EXPECT_EQ(loaded->box(i), original.box(i)) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, EmptyFileGivesEmptyDataset) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  auto d = LoadCsvDataset(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swiftspatial

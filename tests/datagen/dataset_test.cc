@@ -1,0 +1,105 @@
+#include "datagen/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Dataset, BasicAccessors) {
+  Dataset d("two", {Box(0, 0, 1, 1), Box(2, 2, 3, 3)});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.name(), "two");
+  EXPECT_EQ(d.box(1), Box(2, 2, 3, 3));
+  EXPECT_EQ(d.Extent(), Box(0, 0, 3, 3));
+}
+
+TEST(Dataset, PointDatasetDetection) {
+  Dataset points("p", {Box(1, 1, 1, 1), Box(2, 3, 2, 3)});
+  EXPECT_TRUE(points.IsPointDataset());
+  Dataset mixed("m", {Box(1, 1, 1, 1), Box(2, 3, 4, 5)});
+  EXPECT_FALSE(mixed.IsPointDataset());
+}
+
+TEST(Dataset, EmptyExtentIsEmpty) {
+  Dataset d("empty", {});
+  EXPECT_TRUE(d.Extent().IsEmpty());
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  const Dataset original = testutil::Uniform(1000, 77);
+  const std::string path = TempPath("roundtrip.swst");
+  ASSERT_TRUE(original.SaveTo(path).ok());
+
+  auto loaded = Dataset::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->box(i), original.box(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, SaveLoadEmptyDataset) {
+  const Dataset empty("none", {});
+  const std::string path = TempPath("empty.swst");
+  ASSERT_TRUE(empty.SaveTo(path).ok());
+  auto loaded = Dataset::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadMissingFileFails) {
+  auto r = Dataset::LoadFrom(TempPath("does_not_exist.swst"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(Dataset, LoadRejectsBadMagic) {
+  const std::string path = TempPath("garbage.swst");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[32] = "not a dataset file at all";
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+
+  auto r = Dataset::LoadFrom(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadRejectsTruncatedFile) {
+  // Write a valid file, then truncate the box payload.
+  const Dataset original = testutil::Uniform(100, 5);
+  const std::string path = TempPath("truncated.swst");
+  ASSERT_TRUE(original.SaveTo(path).ok());
+  // Rewrite with only half the bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(16 + 100 * sizeof(Box));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, got / 2, f);
+  std::fclose(f);
+
+  auto r = Dataset::LoadFrom(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,131 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "grid/uniform_grid.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(GenerateUniform, CountAndBounds) {
+  UniformConfig cfg;
+  cfg.count = 5000;
+  cfg.seed = 1;
+  const Dataset d = GenerateUniform(cfg);
+  EXPECT_EQ(d.size(), 5000u);
+  const Box extent = d.Extent();
+  EXPECT_GE(extent.min_x, 0);
+  EXPECT_GE(extent.min_y, 0);
+  EXPECT_LE(extent.max_x, cfg.map.map_size);
+  EXPECT_LE(extent.max_y, cfg.map.map_size);
+}
+
+TEST(GenerateUniform, UnitSquaresByDefault) {
+  UniformConfig cfg;
+  cfg.count = 1000;
+  cfg.seed = 2;
+  const Dataset d = GenerateUniform(cfg);
+  for (const Box& b : d.boxes()) {
+    EXPECT_LE(b.Width(), 1.001f);
+    EXPECT_LE(b.Height(), 1.001f);
+  }
+}
+
+TEST(GenerateUniform, DeterministicForSeed) {
+  UniformConfig cfg;
+  cfg.count = 500;
+  cfg.seed = 33;
+  const Dataset a = GenerateUniform(cfg);
+  const Dataset b = GenerateUniform(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.box(i), b.box(i));
+  cfg.seed = 34;
+  const Dataset c = GenerateUniform(cfg);
+  bool same = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.box(i) == c.box(i))) same = false;
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(GenerateUniformPoints, DegenerateBoxes) {
+  UniformConfig cfg;
+  cfg.count = 300;
+  cfg.seed = 3;
+  const Dataset d = GenerateUniformPoints(cfg);
+  EXPECT_TRUE(d.IsPointDataset());
+}
+
+TEST(GenerateOsmLike, CountAndBounds) {
+  OsmLikeConfig cfg;
+  cfg.count = 5000;
+  cfg.seed = 4;
+  const Dataset d = GenerateOsmLike(cfg);
+  EXPECT_EQ(d.size(), 5000u);
+  const Box extent = d.Extent();
+  EXPECT_GE(extent.min_x, 0);
+  EXPECT_LE(extent.max_x, cfg.map.map_size);
+}
+
+// The OSM-like generator must actually be skewed: the densest grid tile
+// should hold far more than a uniform share of the objects.
+TEST(GenerateOsmLike, IsSpatiallySkewed) {
+  const uint64_t n = 20000;
+  OsmLikeConfig skew_cfg;
+  skew_cfg.count = n;
+  skew_cfg.seed = 5;
+  const Dataset skewed = GenerateOsmLike(skew_cfg);
+  UniformConfig uni_cfg;
+  uni_cfg.count = n;
+  uni_cfg.seed = 5;
+  const Dataset uniform = GenerateUniform(uni_cfg);
+
+  auto max_tile_load = [](const Dataset& d) {
+    const UniformGrid grid(Box(0, 0, 10000, 10000), 32, 32);
+    const auto assign = grid.Assign(d);
+    std::size_t mx = 0;
+    for (const auto& tile : assign) mx = std::max(mx, tile.size());
+    return mx;
+  };
+  const std::size_t skew_max = max_tile_load(skewed);
+  const std::size_t uni_max = max_tile_load(uniform);
+  // Uniform: ~n/1024 per tile. Skewed: clusters concentrate mass.
+  EXPECT_GT(skew_max, 4 * uni_max)
+      << "skewed max " << skew_max << " vs uniform max " << uni_max;
+}
+
+TEST(GenerateOsmLikePoints, DegenerateAndSkewed) {
+  OsmLikeConfig cfg;
+  cfg.count = 2000;
+  cfg.seed = 6;
+  const Dataset d = GenerateOsmLikePoints(cfg);
+  EXPECT_TRUE(d.IsPointDataset());
+  EXPECT_EQ(d.size(), 2000u);
+}
+
+TEST(GenerateOsmLike, BackgroundFractionZeroAndOne) {
+  OsmLikeConfig cfg;
+  cfg.count = 1000;
+  cfg.seed = 7;
+  cfg.background_fraction = 1.0;  // degenerates to uniform
+  const Dataset all_background = GenerateOsmLike(cfg);
+  EXPECT_EQ(all_background.size(), 1000u);
+  cfg.background_fraction = 0.0;  // all clustered
+  const Dataset all_clustered = GenerateOsmLike(cfg);
+  EXPECT_EQ(all_clustered.size(), 1000u);
+}
+
+TEST(Generators, NamesEncodeShapeAndCount) {
+  UniformConfig cfg;
+  cfg.count = 10;
+  EXPECT_NE(GenerateUniform(cfg).name().find("uniform-10"), std::string::npos);
+  OsmLikeConfig ocfg;
+  ocfg.count = 10;
+  EXPECT_NE(GenerateOsmLike(ocfg).name().find("osmlike-10"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,120 @@
+#include "geometry/box.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(Box, BasicAccessors) {
+  const Box b(1, 2, 5, 10);
+  EXPECT_FLOAT_EQ(b.Width(), 4);
+  EXPECT_FLOAT_EQ(b.Height(), 8);
+  EXPECT_DOUBLE_EQ(b.Area(), 32.0);
+  EXPECT_DOUBLE_EQ(b.Perimeter(), 24.0);
+  EXPECT_EQ(b.Center(), (Point{3, 6}));
+  EXPECT_FALSE(b.IsEmpty());
+}
+
+TEST(Box, EmptyIdentityForExpand) {
+  Box e = Box::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  e.Expand(Box(3, 4, 5, 6));
+  EXPECT_EQ(e, Box(3, 4, 5, 6));
+}
+
+TEST(Box, IntersectsOverlapping) {
+  EXPECT_TRUE(Intersects(Box(0, 0, 2, 2), Box(1, 1, 3, 3)));
+  EXPECT_TRUE(Intersects(Box(1, 1, 3, 3), Box(0, 0, 2, 2)));
+}
+
+TEST(Box, IntersectsTouchingEdge) {
+  // Closed boundaries: touching counts as intersecting (the hardware
+  // comparison is >=).
+  EXPECT_TRUE(Intersects(Box(0, 0, 1, 1), Box(1, 0, 2, 1)));
+  EXPECT_TRUE(Intersects(Box(0, 0, 1, 1), Box(0, 1, 1, 2)));
+  EXPECT_TRUE(Intersects(Box(0, 0, 1, 1), Box(1, 1, 2, 2)));  // corner touch
+}
+
+TEST(Box, DisjointDoNotIntersect) {
+  EXPECT_FALSE(Intersects(Box(0, 0, 1, 1), Box(2, 0, 3, 1)));
+  EXPECT_FALSE(Intersects(Box(0, 0, 1, 1), Box(0, 2, 1, 3)));
+}
+
+TEST(Box, ContainsAndContainsPoint) {
+  const Box outer(0, 0, 10, 10);
+  EXPECT_TRUE(Contains(outer, Box(2, 2, 8, 8)));
+  EXPECT_TRUE(Contains(outer, outer));  // closed: contains itself
+  EXPECT_FALSE(Contains(outer, Box(2, 2, 11, 8)));
+  EXPECT_TRUE(ContainsPoint(outer, Point{0, 0}));
+  EXPECT_TRUE(ContainsPoint(outer, Point{10, 10}));
+  EXPECT_FALSE(ContainsPoint(outer, Point{10.5, 5}));
+}
+
+TEST(Box, IntersectionGeometry) {
+  const Box i = Intersection(Box(0, 0, 4, 4), Box(2, 1, 6, 3));
+  EXPECT_EQ(i, Box(2, 1, 4, 3));
+  EXPECT_TRUE(Intersection(Box(0, 0, 1, 1), Box(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(Box, EnlargementZeroWhenContained) {
+  const Box b(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(b.Enlargement(Box(1, 1, 2, 2)), 0.0);
+  EXPECT_GT(b.Enlargement(Box(9, 9, 12, 12)), 0.0);
+}
+
+TEST(Box, PointBoxRoundTrip) {
+  const Box p = Box::FromPoint(Point{3.5, -2.25});
+  EXPECT_FLOAT_EQ(p.min_x, 3.5);
+  EXPECT_FLOAT_EQ(p.max_x, 3.5);
+  EXPECT_DOUBLE_EQ(p.Area(), 0.0);
+  EXPECT_TRUE(Intersects(p, Box(3, -3, 4, -2)));
+}
+
+// Property: the reference-point rule assigns every intersecting pair to
+// exactly one tile of a grid covering the intersection.
+TEST(Box, ReferencePointAssignsExactlyOneTile) {
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x1 = rng.Uniform(0, 90), y1 = rng.Uniform(0, 90);
+    const double x2 = rng.Uniform(0, 90), y2 = rng.Uniform(0, 90);
+    const Box r(static_cast<Coord>(x1), static_cast<Coord>(y1),
+                static_cast<Coord>(x1 + rng.Uniform(1, 10)),
+                static_cast<Coord>(y1 + rng.Uniform(1, 10)));
+    const Box s(static_cast<Coord>(x2), static_cast<Coord>(y2),
+                static_cast<Coord>(x2 + rng.Uniform(1, 10)),
+                static_cast<Coord>(y2 + rng.Uniform(1, 10)));
+    if (!Intersects(r, s)) continue;
+    // 10 x 10 grid of 10-unit tiles over [0, 100).
+    int owners = 0;
+    for (int ty = 0; ty < 10; ++ty) {
+      for (int tx = 0; tx < 10; ++tx) {
+        const Box tile(static_cast<Coord>(10 * tx), static_cast<Coord>(10 * ty),
+                       static_cast<Coord>(10 * (tx + 1)),
+                       static_cast<Coord>(10 * (ty + 1)));
+        if (ReferencePointInTile(r, s, tile)) ++owners;
+      }
+    }
+    EXPECT_EQ(owners, 1) << r.ToString() << " vs " << s.ToString();
+  }
+}
+
+TEST(Box, IntersectsIsSymmetric) {
+  Rng rng(43);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Box a(static_cast<Coord>(rng.Uniform(0, 50)),
+                static_cast<Coord>(rng.Uniform(0, 50)),
+                static_cast<Coord>(rng.Uniform(50, 100)),
+                static_cast<Coord>(rng.Uniform(50, 100)));
+    const Box b(static_cast<Coord>(rng.Uniform(0, 100)),
+                static_cast<Coord>(rng.Uniform(0, 100)),
+                static_cast<Coord>(rng.Uniform(0, 100) + 100),
+                static_cast<Coord>(rng.Uniform(0, 100) + 100));
+    EXPECT_EQ(Intersects(a, b), Intersects(b, a));
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,72 @@
+#include "geometry/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+namespace swiftspatial {
+namespace {
+
+TEST(Hilbert, Order1Curve) {
+  // The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+  EXPECT_EQ(HilbertD2XYInverse(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertD2XYInverse(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertD2XYInverse(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertD2XYInverse(1, 1, 0), 3u);
+}
+
+TEST(Hilbert, RoundTripOrder4) {
+  const uint32_t order = 4;
+  const uint64_t n = 1ull << order;
+  for (uint64_t d = 0; d < n * n; ++d) {
+    uint32_t x, y;
+    HilbertD2XY(order, d, &x, &y);
+    EXPECT_EQ(HilbertD2XYInverse(order, x, y), d);
+  }
+}
+
+TEST(Hilbert, BijectiveOrder5) {
+  const uint32_t order = 5;
+  const uint32_t n = 1u << order;
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      const uint64_t d = HilbertD2XYInverse(order, x, y);
+      EXPECT_LT(d, static_cast<uint64_t>(n) * n);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n) * n);
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreNeighbors) {
+  // The defining locality property: consecutive curve positions are
+  // adjacent cells (Manhattan distance 1).
+  const uint32_t order = 6;
+  const uint64_t total = 1ull << (2 * order);
+  uint32_t px, py;
+  HilbertD2XY(order, 0, &px, &py);
+  for (uint64_t d = 1; d < total; ++d) {
+    uint32_t x, y;
+    HilbertD2XY(order, d, &x, &y);
+    const int dist = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                     std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(dist, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, HighOrderRoundTripSamples) {
+  const uint32_t order = 16;
+  for (uint64_t d : {0ull, 1ull, 12345ull, 999999999ull,
+                     (1ull << 32) - 1}) {
+    uint32_t x, y;
+    HilbertD2XY(order, d, &x, &y);
+    EXPECT_EQ(HilbertD2XYInverse(order, x, y), d);
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial

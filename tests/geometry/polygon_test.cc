@@ -1,0 +1,126 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace swiftspatial {
+namespace {
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(Polygon, MbrAndArea) {
+  const Polygon p = UnitSquare();
+  EXPECT_EQ(p.Mbr(), Box(0, 0, 1, 1));
+  EXPECT_DOUBLE_EQ(p.SignedArea(), 1.0);
+  EXPECT_TRUE(p.IsConvexCcw());
+}
+
+TEST(Polygon, ClockwiseIsNotCcw) {
+  const Polygon p({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_LT(p.SignedArea(), 0.0);
+  EXPECT_FALSE(p.IsConvexCcw());
+}
+
+TEST(PointInPolygon, InsideOutsideBoundary) {
+  const Polygon p = UnitSquare();
+  EXPECT_TRUE(PointInPolygon(Point{0.5, 0.5}, p));
+  EXPECT_FALSE(PointInPolygon(Point{1.5, 0.5}, p));
+  EXPECT_FALSE(PointInPolygon(Point{-0.1, 0.5}, p));
+  // Boundary counts as inside.
+  EXPECT_TRUE(PointInPolygon(Point{0, 0.5}, p));
+  EXPECT_TRUE(PointInPolygon(Point{1, 1}, p));
+}
+
+TEST(PointInPolygon, ConcavePolygon) {
+  // An L-shape: the notch is outside.
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(PointInPolygon(Point{0.5, 1.5}, l));
+  EXPECT_TRUE(PointInPolygon(Point{1.5, 0.5}, l));
+  EXPECT_FALSE(PointInPolygon(Point{1.5, 1.5}, l));
+}
+
+TEST(SegmentsIntersect, CrossingAndParallel) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Touching at an endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // Collinear disjoint.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(PolygonsIntersect, OverlappingSquares) {
+  const Polygon a = UnitSquare();
+  const Polygon b({{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {0.5, 1.5}});
+  EXPECT_TRUE(PolygonsIntersect(a, b));
+}
+
+TEST(PolygonsIntersect, DisjointSquares) {
+  const Polygon a = UnitSquare();
+  const Polygon b({{3, 3}, {4, 3}, {4, 4}, {3, 4}});
+  EXPECT_FALSE(PolygonsIntersect(a, b));
+}
+
+TEST(PolygonsIntersect, FullContainment) {
+  const Polygon outer({{-1, -1}, {2, -1}, {2, 2}, {-1, 2}});
+  const Polygon inner = UnitSquare();
+  EXPECT_TRUE(PolygonsIntersect(outer, inner));
+  EXPECT_TRUE(PolygonsIntersect(inner, outer));
+}
+
+TEST(PolygonsIntersect, MbrOverlapButGeometryDisjoint) {
+  // A large lower-left triangle and a small triangle tucked into the
+  // upper-right corner of its MBR: the MBRs overlap but the shapes do not.
+  // The refinement phase exists exactly for this case.
+  const Polygon a({{0, 0}, {10, 0}, {0, 10}});
+  const Polygon b({{9, 9}, {10, 9}, {10, 10}});
+  EXPECT_TRUE(Intersects(a.Mbr(), b.Mbr()));
+  EXPECT_FALSE(PolygonsIntersect(a, b));
+}
+
+class MakeConvexPolygonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MakeConvexPolygonTest, ConvexCcwTightMbr) {
+  const int vertices = GetParam();
+  Rng rng(99);
+  for (uint64_t id = 0; id < 200; ++id) {
+    const Box mbr(static_cast<Coord>(rng.Uniform(0, 100)),
+                  static_cast<Coord>(rng.Uniform(0, 100)),
+                  static_cast<Coord>(rng.Uniform(100, 200)),
+                  static_cast<Coord>(rng.Uniform(100, 200)));
+    const Polygon p = MakeConvexPolygon(id, mbr, vertices);
+    EXPECT_EQ(p.size(), static_cast<std::size_t>(vertices));
+    EXPECT_TRUE(p.IsConvexCcw()) << "id=" << id;
+    const Box got = p.Mbr();
+    EXPECT_NEAR(got.min_x, mbr.min_x, 1e-3);
+    EXPECT_NEAR(got.min_y, mbr.min_y, 1e-3);
+    EXPECT_NEAR(got.max_x, mbr.max_x, 1e-3);
+    EXPECT_NEAR(got.max_y, mbr.max_y, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VertexCounts, MakeConvexPolygonTest,
+                         ::testing::Values(4, 6, 8, 12, 16, 32));
+
+TEST(MakeConvexPolygon, DeterministicPerId) {
+  const Box mbr(0, 0, 10, 10);
+  const Polygon a = MakeConvexPolygon(42, mbr, 8);
+  const Polygon b = MakeConvexPolygon(42, mbr, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.vertices()[i], b.vertices()[i]);
+  }
+  const Polygon c = MakeConvexPolygon(43, mbr, 8);
+  bool identical = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.vertices()[i] == c.vertices()[i])) identical = false;
+  }
+  EXPECT_FALSE(identical) << "different ids must differ";
+}
+
+}  // namespace
+}  // namespace swiftspatial

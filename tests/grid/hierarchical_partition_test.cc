@@ -1,0 +1,122 @@
+#include "grid/hierarchical_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(HierarchicalPartition, RespectsWorkloadCap) {
+  const Dataset r = testutil::Uniform(3000, 20);
+  const Dataset s = testutil::Uniform(3000, 21);
+  HierarchicalPartitionOptions opt;
+  opt.tile_cap = 16;
+  const auto p = PartitionHierarchical(r, s, opt);
+  EXPECT_EQ(p.tile_cap, 16);
+  EXPECT_EQ(p.over_cap_tiles, 0u);
+  for (const TileTask& t : p.tasks) {
+    EXPECT_LE(t.r_objects.size() * t.s_objects.size(), 16u * 16u)
+        << "tile workload over cap";
+    EXPECT_FALSE(t.r_objects.empty());
+    EXPECT_FALSE(t.s_objects.empty());
+  }
+}
+
+TEST(HierarchicalPartition, SkewTriggersDeepSplits) {
+  const Dataset r = testutil::Skewed(5000, 22);
+  const Dataset s = testutil::Skewed(5000, 23);
+  HierarchicalPartitionOptions coarse;
+  coarse.tile_cap = 16;
+  coarse.initial_grid = 4;  // badly matched to the skew: must split a lot
+  const auto p = PartitionHierarchical(r, s, coarse);
+  EXPECT_GT(p.tasks.size(), 16u * 16u / 4u);
+  for (const TileTask& t : p.tasks) {
+    if (p.over_cap_tiles == 0) {
+      EXPECT_LE(t.r_objects.size() * t.s_objects.size(), 16u * 16u);
+    }
+  }
+}
+
+// The defining correctness property: joining all emitted tiles with the
+// reference-point dedup reproduces the exact join result.
+TEST(HierarchicalPartition, TileJoinsReproduceBruteForce) {
+  const Dataset r = testutil::Uniform(1200, 24, 1000.0, /*max_edge=*/20.0);
+  const Dataset s = testutil::Uniform(1000, 25, 1000.0, /*max_edge=*/20.0);
+  HierarchicalPartitionOptions opt;
+  opt.tile_cap = 8;
+  const auto p = PartitionHierarchical(r, s, opt);
+
+  JoinResult got;
+  for (const TileTask& t : p.tasks) {
+    NestedLoopTileJoin(r, s, t.r_objects, t.s_objects, &t.tile, &got);
+  }
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(HierarchicalPartition, CoincidentObjectsHitDepthLimit) {
+  // 100 identical rectangles on both sides cannot be split below the cap;
+  // the partitioner must terminate and report over-cap tiles.
+  std::vector<Box> same(100, Box(10, 10, 11, 11));
+  const Dataset r("r", same);
+  const Dataset s("s", same);
+  HierarchicalPartitionOptions opt;
+  opt.tile_cap = 4;
+  opt.max_depth = 5;
+  const auto p = PartitionHierarchical(r, s, opt);
+  EXPECT_GT(p.over_cap_tiles, 0u);
+
+  // Still correct despite the cap violation.
+  JoinResult got;
+  for (const TileTask& t : p.tasks) {
+    NestedLoopTileJoin(r, s, t.r_objects, t.s_objects, &t.tile, &got);
+  }
+  EXPECT_EQ(got.size(), 100u * 100u);
+}
+
+TEST(HierarchicalPartition, DisjointDatasetsYieldNoTasks) {
+  Dataset r("left", {Box(0, 0, 1, 1), Box(2, 2, 3, 3)});
+  Dataset s("right", {Box(100, 100, 101, 101)});
+  const auto p = PartitionHierarchical(r, s, {});
+  // Tiles holding only one side are never emitted.
+  for (const TileTask& t : p.tasks) {
+    EXPECT_FALSE(t.r_objects.empty());
+    EXPECT_FALSE(t.s_objects.empty());
+  }
+  JoinResult got;
+  for (const TileTask& t : p.tasks) {
+    NestedLoopTileJoin(r, s, t.r_objects, t.s_objects, &t.tile, &got);
+  }
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(HierarchicalPartition, EmptyInput) {
+  Dataset r("none", {});
+  Dataset s("none", {});
+  const auto p = PartitionHierarchical(r, s, {});
+  EXPECT_TRUE(p.tasks.empty());
+}
+
+class TileCapTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileCapTest, CorrectForAllCaps) {
+  const int cap = GetParam();
+  const Dataset r = testutil::Skewed(800, 26);
+  const Dataset s = testutil::Uniform(800, 27);
+  HierarchicalPartitionOptions opt;
+  opt.tile_cap = cap;
+  const auto p = PartitionHierarchical(r, s, opt);
+  JoinResult got;
+  for (const TileTask& t : p.tasks) {
+    NestedLoopTileJoin(r, s, t.r_objects, t.s_objects, &t.tile, &got);
+  }
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got)) << "cap=" << cap;
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, TileCapTest, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace swiftspatial

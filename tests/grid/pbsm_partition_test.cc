@@ -1,0 +1,74 @@
+#include "grid/pbsm_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(PartitionStripes, StripesTileTheExtent) {
+  const Dataset r = testutil::Uniform(500, 10);
+  const Dataset s = testutil::Uniform(500, 11);
+  const StripePartition p = PartitionStripes(r, s, 16, Axis::kX);
+  ASSERT_EQ(p.stripes.size(), 16u);
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+  EXPECT_FLOAT_EQ(p.stripes.front().min_x, extent.min_x);
+  // Edges touching the extent max are pushed open (closed-boundary dedup).
+  EXPECT_GE(p.stripes.back().max_x, extent.max_x);
+  for (std::size_t i = 1; i + 1 < p.stripes.size(); ++i) {
+    EXPECT_FLOAT_EQ(p.stripes[i].min_x, p.stripes[i - 1].max_x);
+  }
+  EXPECT_FLOAT_EQ(p.stripes.back().min_x,
+                  p.stripes[p.stripes.size() - 2].max_x);
+}
+
+class StripeAxisTest : public ::testing::TestWithParam<Axis> {};
+
+TEST_P(StripeAxisTest, EveryObjectInItsOverlappingStripes) {
+  const Axis axis = GetParam();
+  const Dataset r = testutil::Uniform(800, 12, 1000.0, /*max_edge=*/50.0);
+  const Dataset s = testutil::Uniform(800, 13, 1000.0, /*max_edge=*/50.0);
+  const StripePartition p = PartitionStripes(r, s, 20, axis);
+
+  auto check = [&p](const Dataset& d,
+                    const std::vector<std::vector<ObjectId>>& parts) {
+    std::vector<int> count(d.size(), 0);
+    for (std::size_t i = 0; i < p.stripes.size(); ++i) {
+      for (ObjectId id : parts[i]) {
+        ++count[id];
+        EXPECT_TRUE(Intersects(d.box(static_cast<std::size_t>(id)),
+                               p.stripes[i]));
+      }
+    }
+    for (std::size_t i = 0; i < d.size(); ++i) EXPECT_GE(count[i], 1) << i;
+  };
+  check(r, p.r_parts);
+  check(s, p.s_parts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, StripeAxisTest,
+                         ::testing::Values(Axis::kX, Axis::kY));
+
+TEST(PartitionStripes, WideObjectsSpanMultipleStripes) {
+  Dataset r("wide", {Box(0, 0, 1000, 1)});
+  Dataset s("narrow", {Box(500, 0, 501, 1)});
+  const StripePartition p = PartitionStripes(r, s, 10, Axis::kX);
+  int stripes_with_r = 0;
+  for (const auto& part : p.r_parts) {
+    if (!part.empty()) ++stripes_with_r;
+  }
+  EXPECT_EQ(stripes_with_r, 10);
+}
+
+TEST(PartitionStripes, SinglePartitionHoldsEverything) {
+  const Dataset r = testutil::Uniform(200, 14);
+  const Dataset s = testutil::Uniform(300, 15);
+  const StripePartition p = PartitionStripes(r, s, 1, Axis::kX);
+  EXPECT_EQ(p.r_parts[0].size(), 200u);
+  EXPECT_EQ(p.s_parts[0].size(), 300u);
+}
+
+}  // namespace
+}  // namespace swiftspatial

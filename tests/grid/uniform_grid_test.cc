@@ -1,0 +1,71 @@
+#include "grid/uniform_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(UniformGrid, TileGeometryCoversExtent) {
+  const UniformGrid grid(Box(0, 0, 100, 50), 4, 2);
+  EXPECT_EQ(grid.num_tiles(), 8);
+  EXPECT_EQ(grid.TileBox(0, 0), Box(0, 0, 25, 25));
+  EXPECT_EQ(grid.TileBox(3, 1), Box(75, 25, 100, 50));
+  // Tiles tile the extent exactly: union of all tile boxes = extent.
+  Box u = Box::Empty();
+  for (int t = 0; t < grid.num_tiles(); ++t) u.Expand(grid.TileBoxByIndex(t));
+  EXPECT_EQ(u, Box(0, 0, 100, 50));
+}
+
+TEST(UniformGrid, TileRangeClamped) {
+  const UniformGrid grid(Box(0, 0, 100, 100), 10, 10);
+  int x0, y0, x1, y1;
+  grid.TileRange(Box(-50, -50, 5, 5), &x0, &y0, &x1, &y1);
+  EXPECT_EQ(x0, 0);
+  EXPECT_EQ(y0, 0);
+  grid.TileRange(Box(95, 95, 500, 500), &x0, &y0, &x1, &y1);
+  EXPECT_EQ(x1, 9);
+  EXPECT_EQ(y1, 9);
+}
+
+TEST(UniformGrid, AssignmentCoversEveryObject) {
+  const Dataset d = testutil::Uniform(1000, 8);
+  const UniformGrid grid(d.Extent(), 8, 8);
+  const auto assign = grid.Assign(d);
+  std::vector<int> seen(d.size(), 0);
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    const Box tile = grid.TileBoxByIndex(t);
+    for (ObjectId id : assign[t]) {
+      ++seen[id];
+      EXPECT_TRUE(Intersects(d.box(static_cast<std::size_t>(id)), tile));
+    }
+  }
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(seen[i], 1) << "object " << i << " unassigned";
+  }
+}
+
+TEST(UniformGrid, MultiTileObjectsAssignedToAllOverlaps) {
+  // One big box spanning the whole extent lands in every tile.
+  Dataset d("big", {Box(0, 0, 100, 100), Box(10, 10, 11, 11)});
+  const UniformGrid grid(Box(0, 0, 100, 100), 4, 4);
+  const auto assign = grid.Assign(d);
+  int big_count = 0;
+  for (const auto& tile : assign) {
+    for (ObjectId id : tile) {
+      if (id == 0) ++big_count;
+    }
+  }
+  EXPECT_EQ(big_count, 16);
+}
+
+TEST(UniformGrid, SingleTileGrid) {
+  const Dataset d = testutil::Uniform(100, 9);
+  const UniformGrid grid(d.Extent(), 1, 1);
+  const auto assign = grid.Assign(d);
+  EXPECT_EQ(assign[0].size(), d.size());
+}
+
+}  // namespace
+}  // namespace swiftspatial

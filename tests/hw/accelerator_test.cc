@@ -1,0 +1,182 @@
+// End-to-end tests of the simulated accelerator: functional equivalence
+// with the software joins, timing sanity, and configuration behaviour.
+#include "hw/accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "grid/hierarchical_partition.h"
+#include "join/nested_loop.h"
+#include "join/sync_traversal.h"
+#include "rtree/bulk_load.h"
+
+namespace swiftspatial {
+namespace {
+
+Dataset SmallUniform(uint64_t n, uint64_t seed, double edge = 12.0) {
+  UniformConfig cfg;
+  cfg.map.map_size = 1000.0;
+  cfg.count = n;
+  cfg.min_edge = 1.0;
+  cfg.max_edge = edge;
+  cfg.seed = seed;
+  return GenerateUniform(cfg);
+}
+
+hw::AcceleratorConfig TestConfig(int units) {
+  hw::AcceleratorConfig cfg;
+  cfg.num_join_units = units;
+  return cfg;
+}
+
+TEST(AcceleratorSyncTraversal, MatchesSoftwareJoin) {
+  const Dataset r = SmallUniform(700, 11);
+  const Dataset s = SmallUniform(600, 22);
+  BulkLoadOptions bl;
+  bl.max_entries = 8;
+  const PackedRTree rt = StrBulkLoad(r, bl);
+  const PackedRTree st = StrBulkLoad(s, bl);
+
+  JoinResult expected = SyncTraversalDfs(rt, st);
+  hw::Accelerator acc(TestConfig(4));
+  JoinResult got;
+  const auto report = acc.RunSyncTraversal(rt, st, &got);
+
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+  EXPECT_EQ(report.num_results, expected.size());
+  EXPECT_GT(report.kernel_cycles, 0u);
+}
+
+TEST(AcceleratorSyncTraversal, MatchesBruteForce) {
+  const Dataset r = SmallUniform(300, 33);
+  const Dataset s = SmallUniform(250, 44);
+  BulkLoadOptions bl;
+  bl.max_entries = 16;
+  const PackedRTree rt = StrBulkLoad(r, bl);
+  const PackedRTree st = StrBulkLoad(s, bl);
+
+  JoinResult expected = BruteForceJoin(r, s);
+  hw::Accelerator acc(TestConfig(8));
+  JoinResult got;
+  acc.RunSyncTraversal(rt, st, &got);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(AcceleratorSyncTraversal, DifferentTreeHeights) {
+  // A large and a tiny dataset produce trees of different heights,
+  // exercising the mixed leaf/directory path.
+  const Dataset r = SmallUniform(900, 55);
+  const Dataset s = SmallUniform(20, 66, /*edge=*/40.0);
+  BulkLoadOptions bl;
+  bl.max_entries = 8;
+  const PackedRTree rt = StrBulkLoad(r, bl);
+  const PackedRTree st = StrBulkLoad(s, bl);
+  ASSERT_NE(rt.height(), st.height());
+
+  JoinResult expected = BruteForceJoin(r, s);
+  hw::Accelerator acc(TestConfig(2));
+  JoinResult got;
+  acc.RunSyncTraversal(rt, st, &got);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(AcceleratorSyncTraversal, MoreUnitsNotSlower) {
+  const Dataset r = SmallUniform(1500, 77);
+  const Dataset s = SmallUniform(1500, 88);
+  BulkLoadOptions bl;
+  bl.max_entries = 16;
+  const PackedRTree rt = StrBulkLoad(r, bl);
+  const PackedRTree st = StrBulkLoad(s, bl);
+
+  hw::Accelerator one(TestConfig(1));
+  hw::Accelerator sixteen(TestConfig(16));
+  const auto r1 = one.RunSyncTraversal(rt, st);
+  const auto r16 = sixteen.RunSyncTraversal(rt, st);
+  EXPECT_EQ(r1.num_results, r16.num_results);
+  // 16 units should be clearly faster on a compute-heavy workload.
+  EXPECT_LT(r16.kernel_cycles, r1.kernel_cycles);
+}
+
+TEST(AcceleratorPbsm, MatchesBruteForce) {
+  const Dataset r = SmallUniform(800, 99);
+  const Dataset s = SmallUniform(700, 111);
+  HierarchicalPartitionOptions opt;
+  opt.tile_cap = 16;
+  opt.initial_grid = 8;
+  const auto partition = PartitionHierarchical(r, s, opt);
+
+  JoinResult expected = BruteForceJoin(r, s);
+  hw::Accelerator acc(TestConfig(4));
+  JoinResult got;
+  const auto report = acc.RunPbsm(r, s, partition, &got);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+  EXPECT_EQ(report.num_results, expected.size());
+}
+
+TEST(AcceleratorPbsm, StaticAndDynamicPoliciesAgree) {
+  const Dataset r = SmallUniform(600, 123);
+  const Dataset s = SmallUniform(500, 321);
+  HierarchicalPartitionOptions opt;
+  opt.tile_cap = 8;
+  const auto partition = PartitionHierarchical(r, s, opt);
+
+  hw::AcceleratorConfig cs = TestConfig(4);
+  cs.pbsm_policy = hw::DispatchPolicy::kStatic;
+  hw::AcceleratorConfig cd = TestConfig(4);
+  cd.pbsm_policy = hw::DispatchPolicy::kDynamic;
+
+  JoinResult a, b;
+  hw::Accelerator(cs).RunPbsm(r, s, partition, &a);
+  hw::Accelerator(cd).RunPbsm(r, s, partition, &b);
+  EXPECT_TRUE(JoinResult::SameMultiset(a, b));
+}
+
+TEST(AcceleratorReport, TimingBreakdownConsistent) {
+  const Dataset r = SmallUniform(400, 5);
+  const Dataset s = SmallUniform(400, 6);
+  BulkLoadOptions bl;
+  const PackedRTree rt = StrBulkLoad(r, bl);
+  const PackedRTree st = StrBulkLoad(s, bl);
+  const auto report = hw::Accelerator(TestConfig(4)).RunSyncTraversal(rt, st);
+
+  EXPECT_GT(report.bytes_to_device, 0u);
+  EXPECT_DOUBLE_EQ(
+      report.total_seconds,
+      report.kernel_seconds + report.host_transfer_seconds +
+          report.launch_seconds);
+  EXPECT_GT(report.dram.bytes_read, 0u);
+  EXPECT_GE(report.dram_utilization, 0.0);
+  EXPECT_LE(report.dram_utilization, 1.0);
+  EXPECT_EQ(report.unit_busy_cycles.size(), 4u);
+  // Levels: root level plus at least one more for a 400-object tree.
+  EXPECT_GE(report.levels.size(), 2u);
+}
+
+TEST(AcceleratorPbsm, EmptyOverlapProducesNoResults) {
+  // Two datasets in disjoint halves of the map.
+  UniformConfig ca;
+  ca.map.map_size = 400.0;
+  ca.count = 100;
+  ca.seed = 7;
+  Dataset r = GenerateUniform(ca);
+  for (Box& b : r.mutable_boxes()) {
+    b.min_x = b.min_x / 10;  // squeeze into [0, 40]
+    b.max_x = b.max_x / 10;
+  }
+  UniformConfig cb = ca;
+  cb.seed = 8;
+  Dataset s = GenerateUniform(cb);
+  for (Box& b : s.mutable_boxes()) {
+    b.min_x = static_cast<Coord>(b.min_x / 10 + 300);  // [300, 340]
+    b.max_x = static_cast<Coord>(b.max_x / 10 + 300);
+  }
+  const auto partition = PartitionHierarchical(r, s, {});
+  hw::Accelerator acc(TestConfig(2));
+  JoinResult got;
+  const auto report = acc.RunPbsm(r, s, partition, &got);
+  EXPECT_EQ(report.num_results, 0u);
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace swiftspatial

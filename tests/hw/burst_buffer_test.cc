@@ -1,0 +1,65 @@
+#include "hw/burst_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace swiftspatial::hw {
+namespace {
+
+TEST(BurstBuffer, SmallOutputSingleFlush) {
+  BurstBuffer bb(4096, 8, /*enabled=*/true);
+  EXPECT_EQ(bb.items_per_burst(), 512u);
+  const auto chunks = bb.ChunkSizes(100);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], 100u);
+}
+
+TEST(BurstBuffer, LargeOutputSplitsAtThreshold) {
+  BurstBuffer bb(4096, 8, true);
+  const auto chunks = bb.ChunkSizes(1200);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], 512u);
+  EXPECT_EQ(chunks[1], 512u);
+  EXPECT_EQ(chunks[2], 176u);
+  EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0u), 1200u);
+}
+
+TEST(BurstBuffer, ExactMultiple) {
+  BurstBuffer bb(4096, 8, true);
+  const auto chunks = bb.ChunkSizes(1024);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], 512u);
+  EXPECT_EQ(chunks[1], 512u);
+}
+
+TEST(BurstBuffer, ZeroItemsNoFlush) {
+  BurstBuffer bb(4096, 8, true);
+  EXPECT_TRUE(bb.ChunkSizes(0).empty());
+  EXPECT_EQ(bb.flushes(), 0u);
+}
+
+TEST(BurstBuffer, DisabledEmitsSingleItems) {
+  BurstBuffer bb(4096, 8, /*enabled=*/false);
+  EXPECT_EQ(bb.items_per_burst(), 1u);
+  const auto chunks = bb.ChunkSizes(5);
+  EXPECT_EQ(chunks.size(), 5u);
+  for (const auto c : chunks) EXPECT_EQ(c, 1u);
+}
+
+TEST(BurstBuffer, StatsAccumulate) {
+  BurstBuffer bb(4096, 8, true);
+  bb.ChunkSizes(600);   // 2 flushes
+  bb.ChunkSizes(100);   // 1 flush
+  EXPECT_EQ(bb.flushes(), 3u);
+  EXPECT_EQ(bb.items_out(), 700u);
+}
+
+TEST(BurstBuffer, OddItemSizes) {
+  // 24-byte PBSM descriptors: 4096 / 24 = 170 per burst.
+  BurstBuffer bb(4096, 24, true);
+  EXPECT_EQ(bb.items_per_burst(), 170u);
+}
+
+}  // namespace
+}  // namespace swiftspatial::hw

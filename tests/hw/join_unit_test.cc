@@ -1,0 +1,186 @@
+// Direct tests of one join unit's functional and timing behaviour -- the
+// unit-level analogue of the paper's Fig. 13 microbenchmark.
+#include "hw/join_unit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hw/messages.h"
+
+namespace swiftspatial::hw {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  AcceleratorConfig config;
+  sim::Fifo<NodePairData> input;
+  sim::Fifo<TaskStreamItem> tasks;
+  sim::Fifo<ResultStreamItem> results;
+  sim::Fifo<DoneToken> done;
+  JoinUnit unit;
+
+  Harness()
+      : input(&sim, 4),
+        tasks(&sim, sim::Fifo<TaskStreamItem>::kUnbounded),
+        results(&sim, sim::Fifo<ResultStreamItem>::kUnbounded),
+        done(&sim, sim::Fifo<DoneToken>::kUnbounded),
+        unit(0, &sim, &config, &input, &tasks, &results, &done) {}
+
+  // Feeds the items plus a finish marker and runs to completion.
+  void Feed(std::vector<NodePairData> items) {
+    auto feeder = [](sim::Fifo<NodePairData>* in,
+                     std::vector<NodePairData> batch) -> sim::Process {
+      for (auto& d : batch) co_await in->Push(std::move(d));
+      NodePairData fin;
+      fin.finish = true;
+      co_await in->Push(std::move(fin));
+    };
+    sim.Spawn(feeder(&input, std::move(items)));
+    sim.Spawn(unit.Run());
+    sim.Run();
+  }
+};
+
+NodePairData LeafPair(int rc, int sc, uint64_t seed = 1) {
+  Rng rng(seed);
+  NodePairData d;
+  d.r_leaf = d.s_leaf = true;
+  for (int i = 0; i < rc; ++i) {
+    const Coord x = static_cast<Coord>(rng.Uniform(0, 100));
+    const Coord y = static_cast<Coord>(rng.Uniform(0, 100));
+    d.r_entries.push_back({Box(x, y, x + 5, y + 5), i});
+  }
+  for (int j = 0; j < sc; ++j) {
+    const Coord x = static_cast<Coord>(rng.Uniform(0, 100));
+    const Coord y = static_cast<Coord>(rng.Uniform(0, 100));
+    d.s_entries.push_back({Box(x, y, x + 5, y + 5), 1000 + j});
+  }
+  return d;
+}
+
+TEST(JoinUnit, LeafPairEmitsCorrectResults) {
+  Harness h;
+  NodePairData d = LeafPair(8, 8);
+  // Expected results by direct evaluation.
+  std::size_t expected = 0;
+  for (const auto& re : d.r_entries) {
+    for (const auto& se : d.s_entries) {
+      if (Intersects(re.box, se.box)) ++expected;
+    }
+  }
+  h.Feed({d});
+  EXPECT_EQ(h.unit.results_emitted(), expected);
+  EXPECT_EQ(h.unit.tasks_joined(), 1u);
+  EXPECT_EQ(h.unit.predicate_evaluations(), 64u);
+  EXPECT_EQ(h.done.size(), 1u);
+}
+
+TEST(JoinUnit, OnePredicatePerCycleSteadyState) {
+  // The paper's headline unit property: for node size n, the join takes
+  // ~n^2 cycles, i.e. cycles/predicate -> 1 for medium nodes (Fig. 13).
+  for (int n : {8, 16, 32, 64}) {
+    Harness h;
+    h.Feed({LeafPair(n, n, 7)});
+    const double cycles = static_cast<double>(h.sim.now());
+    const double predicates = static_cast<double>(n) * n;
+    const double per_predicate = cycles / predicates;
+    EXPECT_GE(per_predicate, 1.0) << "n=" << n;
+    // Load + pipeline overhead amortises away for larger nodes.
+    const double bound = 1.0 + (static_cast<double>(n) + 5.0) / predicates;
+    EXPECT_LE(per_predicate, bound + 0.05) << "n=" << n;
+  }
+}
+
+TEST(JoinUnit, DirectoryPairEmitsTasks) {
+  Harness h;
+  // Directory entries are large child MBRs; make them overlap for certain.
+  NodePairData d;
+  d.r_leaf = d.s_leaf = false;
+  for (int i = 0; i < 4; ++i) {
+    d.r_entries.push_back(
+        {Box(static_cast<Coord>(10 * i), 0, static_cast<Coord>(10 * i + 30),
+             50),
+         i});
+    d.s_entries.push_back(
+        {Box(static_cast<Coord>(10 * i + 5), 10,
+             static_cast<Coord>(10 * i + 35), 60),
+         100 + i});
+  }
+  h.Feed({d});
+  EXPECT_EQ(h.unit.results_emitted(), 0u);
+  EXPECT_GT(h.unit.intermediate_pairs(), 0u);
+  EXPECT_GE(h.tasks.size(), 1u);
+  EXPECT_EQ(h.results.size(), 0u);
+}
+
+TEST(JoinUnit, MixedPairKeepsLeafFixed) {
+  Harness h;
+  NodePairData d = LeafPair(4, 6);
+  d.r_leaf = true;
+  d.s_leaf = false;
+  d.r_index = 99;
+  h.Feed({d});
+  // Only the directory side is enumerated: sc predicates.
+  EXPECT_EQ(h.unit.predicate_evaluations(), 6u);
+  TaskStreamItem item;
+  bool got_any = false;
+  while (h.tasks.TryPop(&item)) {
+    for (const NodePairTask& t : item.tasks) {
+      EXPECT_EQ(t.r, 99);  // leaf index propagated
+      got_any = true;
+    }
+  }
+  EXPECT_TRUE(got_any);
+}
+
+TEST(JoinUnit, PbsmModeAppliesDedupRule) {
+  Harness h;
+  NodePairData d;
+  d.pbsm = true;
+  d.r_leaf = d.s_leaf = true;
+  d.tile = Box(0, 0, 10, 10);
+  // Pair intersecting inside the tile: kept.
+  d.r_entries.push_back({Box(1, 1, 3, 3), 0});
+  d.s_entries.push_back({Box(2, 2, 4, 4), 0});
+  // Pair whose reference point (12, 12) lies outside the tile: dropped.
+  d.r_entries.push_back({Box(12, 12, 14, 14), 1});
+  d.s_entries.push_back({Box(12, 12, 15, 15), 1});
+  h.Feed({d});
+  EXPECT_EQ(h.unit.results_emitted(), 1u);
+}
+
+TEST(JoinUnit, RespectsDataReadyTime) {
+  Harness h;
+  NodePairData d = LeafPair(2, 2);
+  d.ready_at = 500;  // DRAM data lands late
+  h.Feed({d});
+  EXPECT_GE(h.sim.now(), 500u);
+}
+
+TEST(JoinUnit, LargeOutputSplitsIntoBursts) {
+  Harness h;
+  // All-overlapping 64x64 leaf join: 4096 results = 32 KB > one 4 KB burst.
+  NodePairData d;
+  d.r_leaf = d.s_leaf = true;
+  for (int i = 0; i < 64; ++i) {
+    d.r_entries.push_back({Box(0, 0, 10, 10), i});
+    d.s_entries.push_back({Box(5, 5, 15, 15), i});
+  }
+  h.Feed({d});
+  EXPECT_EQ(h.unit.results_emitted(), 4096u);
+  EXPECT_EQ(h.results.size(), 8u);  // 4096 pairs / 512 per burst
+}
+
+TEST(JoinUnit, ProcessesQueueOfTasksSerially) {
+  Harness h;
+  std::vector<NodePairData> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(LeafPair(8, 8, 100 + i));
+  h.Feed(batch);
+  EXPECT_EQ(h.unit.tasks_joined(), 10u);
+  EXPECT_EQ(h.done.size(), 10u);
+  // Serial lower bound: 10 tasks x (8 load + 64 join + 3 pipeline).
+  EXPECT_GE(h.sim.now(), 10u * (8 + 64 + 3));
+}
+
+}  // namespace
+}  // namespace swiftspatial::hw

@@ -1,0 +1,85 @@
+#include "hw/memory_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace swiftspatial::hw {
+namespace {
+
+TEST(MemoryLayout, RegionsGetDistinctBases) {
+  MemoryLayout mem;
+  const uint64_t a = mem.AddRegion("a");
+  const uint64_t b = mem.AddRegion("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b - a, MemoryLayout::kRegionStride + MemoryLayout::kChannelStagger);
+  EXPECT_EQ(mem.num_regions(), 2u);
+  EXPECT_EQ(mem.RegionName(0), "a");
+}
+
+TEST(MemoryLayout, PreloadedRegionReadable) {
+  MemoryLayout mem;
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  const uint64_t base = mem.AddRegion("tree", data);
+  uint8_t out[5];
+  mem.Read(base, out, 5);
+  EXPECT_EQ(0, std::memcmp(out, data.data(), 5));
+  EXPECT_EQ(mem.RegionSize(base), 5u);
+}
+
+TEST(MemoryLayout, WriteReadRoundTripAtOffset) {
+  MemoryLayout mem;
+  const uint64_t base = mem.AddRegion("results");
+  const uint64_t value = 0xdeadbeefcafef00dULL;
+  mem.Write(base + 1024, &value, sizeof(value));
+  uint64_t out = 0;
+  mem.Read(base + 1024, &out, sizeof(out));
+  EXPECT_EQ(out, value);
+  EXPECT_EQ(mem.RegionSize(base), 1024 + sizeof(value));
+}
+
+TEST(MemoryLayout, RegionsGrowIndependently) {
+  MemoryLayout mem;
+  const uint64_t a = mem.AddRegion("a");
+  const uint64_t b = mem.AddRegion("b");
+  const int x = 42;
+  mem.Write(a + 100, &x, sizeof(x));
+  mem.Write(b, &x, sizeof(x));
+  EXPECT_EQ(mem.RegionSize(a), 104u);
+  EXPECT_EQ(mem.RegionSize(b), 4u);
+  EXPECT_EQ(mem.TotalBytes(), 108u);
+}
+
+TEST(MemoryLayout, SequentialAppendPattern) {
+  // The write units' self-incrementing counter pattern.
+  MemoryLayout mem;
+  const uint64_t base = mem.AddRegion("results");
+  uint64_t cursor = base;
+  for (uint32_t i = 0; i < 100; ++i) {
+    mem.Write(cursor, &i, sizeof(i));
+    cursor += sizeof(i);
+  }
+  for (uint32_t i = 0; i < 100; ++i) {
+    uint32_t v;
+    mem.Read(base + i * sizeof(uint32_t), &v, sizeof(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(MemoryLayoutDeath, ReadOfUnwrittenMemoryAborts) {
+  MemoryLayout mem;
+  const uint64_t base = mem.AddRegion("a");
+  uint8_t out;
+  EXPECT_DEATH(mem.Read(base + 10, &out, 1), "unwritten");
+}
+
+TEST(MemoryLayoutDeath, AddressOutsideRegionsAborts) {
+  MemoryLayout mem;
+  mem.AddRegion("only");
+  uint8_t out;
+  EXPECT_DEATH(mem.Read(0, &out, 1), "outside");
+}
+
+}  // namespace
+}  // namespace swiftspatial::hw

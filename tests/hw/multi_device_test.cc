@@ -1,0 +1,123 @@
+#include "hw/multi_device.h"
+
+#include <gtest/gtest.h>
+
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial::hw {
+namespace {
+
+MultiDeviceConfig SmallDeviceConfig(uint64_t memory_bytes,
+                                    OutOfMemoryStrategy strategy) {
+  MultiDeviceConfig cfg;
+  cfg.device.num_join_units = 4;
+  cfg.device_memory_bytes = memory_bytes;
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+TEST(PartitionedJoin, FitsWithoutPartitioningWhenMemoryLarge) {
+  const Dataset r = testutil::Uniform(800, 300);
+  const Dataset s = testutil::Uniform(800, 301);
+  JoinResult got;
+  auto report = PartitionedJoin(
+      r, s, SmallDeviceConfig(1ULL << 30, OutOfMemoryStrategy::kMultipleDevices),
+      &got);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->grid_resolution, 1);
+  EXPECT_EQ(report->partitions, 1u);
+
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+class PartitionedJoinStrategyTest
+    : public ::testing::TestWithParam<OutOfMemoryStrategy> {};
+
+TEST_P(PartitionedJoinStrategyTest, ConstrainedMemoryStillExact) {
+  const Dataset r = testutil::Uniform(2000, 302, 1000.0, /*max_edge=*/15.0);
+  const Dataset s = testutil::Uniform(2000, 303, 1000.0, /*max_edge=*/15.0);
+  // ~256 KB forces several grid refinements.
+  JoinResult got;
+  auto report =
+      PartitionedJoin(r, s, SmallDeviceConfig(256 << 10, GetParam()), &got);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->grid_resolution, 1);
+  EXPECT_GT(report->partitions, 1u);
+  EXPECT_LE(report->max_partition_bytes, 256u << 10);
+
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+  EXPECT_EQ(report->num_results, expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PartitionedJoinStrategyTest,
+    ::testing::Values(OutOfMemoryStrategy::kMultipleDevices,
+                      OutOfMemoryStrategy::kSingleDeviceIterative));
+
+TEST(PartitionedJoin, ObjectsSpanningPartitionBoundaries) {
+  // Objects a good fraction of a partition tile wide: many straddle tile
+  // boundaries, get multi-assigned, and stress the cross-partition dedup.
+  const Dataset r = testutil::Uniform(1500, 304, 1000.0, /*max_edge=*/40.0);
+  const Dataset s = testutil::Uniform(1500, 305, 1000.0, /*max_edge=*/40.0);
+  MultiDeviceConfig cfg =
+      SmallDeviceConfig(128 << 10, OutOfMemoryStrategy::kMultipleDevices);
+  cfg.max_grid = 16;
+  JoinResult got;
+  auto report = PartitionedJoin(r, s, cfg, &got);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GT(report->partitions, 1u);
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(PartitionedJoin, IterativeSumsTimeMultiDeviceTakesMax) {
+  const Dataset r = testutil::Skewed(1500, 306);
+  const Dataset s = testutil::Skewed(1500, 307);
+  auto multi = PartitionedJoin(
+      r, s,
+      SmallDeviceConfig(128 << 10, OutOfMemoryStrategy::kMultipleDevices));
+  auto iter = PartitionedJoin(
+      r, s,
+      SmallDeviceConfig(128 << 10,
+                        OutOfMemoryStrategy::kSingleDeviceIterative));
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(iter.ok());
+  ASSERT_GT(multi->partitions, 1u);
+  EXPECT_EQ(multi->partitions, iter->partitions);
+  EXPECT_EQ(multi->num_results, iter->num_results);
+  EXPECT_EQ(multi->devices, multi->partitions);
+  EXPECT_EQ(iter->devices, 1u);
+  // Concurrent sub-joins finish no later than sequential ones.
+  EXPECT_LT(multi->total_seconds, iter->total_seconds);
+  double sum = 0;
+  for (const auto& sub : iter->sub_reports) sum += sub.total_seconds;
+  EXPECT_DOUBLE_EQ(iter->total_seconds, sum);
+}
+
+TEST(PartitionedJoin, ImpossibleCapacityFails) {
+  const Dataset r = testutil::Uniform(5000, 308);
+  const Dataset s = testutil::Uniform(5000, 309);
+  MultiDeviceConfig cfg =
+      SmallDeviceConfig(1 << 10, OutOfMemoryStrategy::kMultipleDevices);
+  cfg.max_grid = 4;  // far too coarse for a 1 KB device
+  auto report = PartitionedJoin(r, s, cfg);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionedJoin, EmptyInputs) {
+  const Dataset none("none", {});
+  const Dataset some = testutil::Uniform(10, 310);
+  auto report = PartitionedJoin(
+      none, some,
+      SmallDeviceConfig(1 << 20, OutOfMemoryStrategy::kMultipleDevices));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_results, 0u);
+  EXPECT_EQ(report->partitions, 0u);
+}
+
+}  // namespace
+}  // namespace swiftspatial::hw

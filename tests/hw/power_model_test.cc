@@ -1,0 +1,51 @@
+#include "hw/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftspatial::hw {
+namespace {
+
+TEST(PowerModel, ReproducesPaperOperatingPoints) {
+  // §5.7's three measured numbers.
+  EXPECT_NEAR(PowerModel::FpgaWatts(16), PowerModel::kPaperFpgaWatts, 0.01);
+  EXPECT_NEAR(PowerModel::CpuWatts(16, 16), PowerModel::kPaperCpuWatts, 0.01);
+  EXPECT_NEAR(PowerModel::GpuWatts(PowerModel::GpuOccupancyForBatch(20000)),
+              PowerModel::kPaperGpuWatts, 0.5);
+}
+
+TEST(PowerModel, ReproducesPaperRatios) {
+  // "6.16x less power" (CPU/FPGA) and "4.04x lower" (GPU/FPGA).
+  const double fpga = PowerModel::FpgaWatts(16);
+  EXPECT_NEAR(PowerModel::kPaperCpuWatts / fpga, 6.16, 0.01);
+  EXPECT_NEAR(PowerModel::kPaperGpuWatts / fpga, 4.04, 0.01);
+}
+
+TEST(PowerModel, FpgaScalesWithUnits) {
+  EXPECT_LT(PowerModel::FpgaWatts(1), PowerModel::FpgaWatts(16));
+  // Static floor dominates at low unit counts.
+  EXPECT_GT(PowerModel::FpgaWatts(1), 15.0);
+}
+
+TEST(PowerModel, CpuScalesWithThreads) {
+  EXPECT_LT(PowerModel::CpuWatts(1, 16), PowerModel::CpuWatts(16, 16));
+  // Over-subscription clamps at the peak.
+  EXPECT_DOUBLE_EQ(PowerModel::CpuWatts(32, 16), PowerModel::CpuWatts(16, 16));
+  // Idle floor.
+  EXPECT_NEAR(PowerModel::CpuWatts(0, 16), 60.0, 0.01);
+}
+
+TEST(PowerModel, GpuOccupancyClamped) {
+  EXPECT_DOUBLE_EQ(PowerModel::GpuOccupancyForBatch(0), 0.0);
+  EXPECT_DOUBLE_EQ(PowerModel::GpuOccupancyForBatch(1u << 30), 1.0);
+  EXPECT_DOUBLE_EQ(PowerModel::GpuWatts(1.0), 400.0);
+  EXPECT_DOUBLE_EQ(PowerModel::GpuWatts(0.0), 55.0);
+}
+
+TEST(PowerModel, FpgaAlwaysBelowBusyCpu) {
+  for (int units = 1; units <= 16; ++units) {
+    EXPECT_LT(PowerModel::FpgaWatts(units), PowerModel::CpuWatts(16, 16));
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial::hw

@@ -1,0 +1,83 @@
+#include "hw/resource_model.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftspatial::hw {
+namespace {
+
+TEST(ResourceModel, ReproducesTable1Points) {
+  // The measured Table 1 rows must come back exactly.
+  const ResourcePct k1 = ResourceModel::KernelUsage(1);
+  EXPECT_DOUBLE_EQ(k1.lut, 0.67);
+  EXPECT_DOUBLE_EQ(k1.bram, 2.46);
+  const ResourcePct k16 = ResourceModel::KernelUsage(16);
+  EXPECT_DOUBLE_EQ(k16.lut, 3.35);
+  EXPECT_DOUBLE_EQ(k16.ff, 1.60);
+  EXPECT_DOUBLE_EQ(k16.bram, 28.05);
+  EXPECT_DOUBLE_EQ(k16.dsp, 1.12);
+}
+
+TEST(ResourceModel, ShellPlusKernelMatchesTable1TotalRow) {
+  const ResourcePct total = ResourceModel::TotalUsage(16);
+  EXPECT_NEAR(total.lut, 14.24, 1e-9);
+  EXPECT_NEAR(total.ff, 10.81, 1e-9);
+  EXPECT_NEAR(total.bram, 43.01, 1e-9);
+  EXPECT_NEAR(total.dsp, 1.23, 1e-9);
+}
+
+TEST(ResourceModel, InterpolationMonotonic) {
+  double prev = 0;
+  for (int units = 1; units <= 32; ++units) {
+    const ResourcePct k = ResourceModel::KernelUsage(units);
+    EXPECT_GE(k.lut, prev) << units;
+    prev = k.lut;
+    EXPECT_GT(k.bram, 0);
+    EXPECT_GT(k.ff, 0);
+  }
+}
+
+TEST(ResourceModel, KernelUnder30PercentAt16Units) {
+  // §5.6: "an accelerator kernel equipped with 16 join units consumes less
+  // than 30% of the total hardware resources" (BRAM is the maximum).
+  const ResourcePct k = ResourceModel::KernelUsage(16);
+  EXPECT_LT(k.lut, 30.0);
+  EXPECT_LT(k.ff, 30.0);
+  EXPECT_LT(k.bram, 30.0);
+  EXPECT_LT(k.dsp, 30.0);
+}
+
+TEST(ResourceModel, AbsoluteCountsScaleWithU250) {
+  const ResourceCount abs = ResourceModel::KernelAbsolute(16);
+  // 3.35% of 1,728,000 LUTs ~= 57,888.
+  EXPECT_NEAR(static_cast<double>(abs.lut), 0.0335 * 1728000, 100);
+  // 28.05% of 2,688 BRAMs ~= 754.
+  EXPECT_NEAR(static_cast<double>(abs.bram), 0.2805 * 2688, 2);
+}
+
+TEST(ResourceModel, BramOptimizationReducesBram) {
+  const ResourceCount plain = ResourceModel::KernelAbsolute(4, false);
+  const ResourceCount opt = ResourceModel::KernelAbsolute(4, true);
+  EXPECT_LT(opt.bram, plain.bram);
+  EXPECT_EQ(opt.lut, plain.lut);
+}
+
+TEST(ResourceModel, PynqZ2FeasibilityMatchesSection56) {
+  // §5.6: one-to-two units fit a PYNQ-Z2 under a conservative 60% budget;
+  // with the shift-register FIFO optimisation, up to four.
+  const DeviceSpec z2 = ResourceModel::PynqZ2();
+  const int plain = ResourceModel::MaxUnitsOn(z2, 0.60, false);
+  EXPECT_GE(plain, 1);
+  EXPECT_LE(plain, 2);
+  const int optimized = ResourceModel::MaxUnitsOn(z2, 0.60, true);
+  EXPECT_GE(optimized, plain);
+  EXPECT_GE(optimized, 3);
+  EXPECT_LE(optimized, 5);
+}
+
+TEST(ResourceModel, U250Fits16UnitsEasily) {
+  const DeviceSpec u250 = ResourceModel::U250();
+  EXPECT_GE(ResourceModel::MaxUnitsOn(u250, 0.60, false), 16);
+}
+
+}  // namespace
+}  // namespace swiftspatial::hw

@@ -1,0 +1,90 @@
+#include "hw/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swiftspatial::hw::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&order] { order.push_back(3); });
+  sim.Schedule(10, [&order] { order.push_back(1); });
+  sim.Schedule(20, [&order] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameCycleEventsFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  Cycle inner_time = 0;
+  sim.Schedule(10, [&sim, &inner_time] {
+    sim.Schedule(5, [&sim, &inner_time] { inner_time = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 15u);
+}
+
+TEST(Simulator, ProcessDelays) {
+  Simulator sim;
+  std::vector<Cycle> stamps;
+  auto proc = [](Simulator* s, std::vector<Cycle>* out) -> Process {
+    out->push_back(s->now());
+    co_await s->Delay(7);
+    out->push_back(s->now());
+    co_await s->Delay(3);
+    out->push_back(s->now());
+  };
+  sim.Spawn(proc(&sim, &stamps));
+  sim.Run();
+  EXPECT_EQ(stamps, (std::vector<Cycle>{0, 7, 10}));
+}
+
+TEST(Simulator, WaitUntilPastIsImmediate) {
+  Simulator sim;
+  Cycle when = 999;
+  auto proc = [](Simulator* s, Cycle* out) -> Process {
+    co_await s->Delay(20);
+    co_await s->WaitUntil(5);  // already past: no extra delay
+    *out = s->now();
+  };
+  sim.Spawn(proc(&sim, &when));
+  sim.Run();
+  EXPECT_EQ(when, 20u);
+}
+
+TEST(Simulator, TwoProcessesInterleave) {
+  Simulator sim;
+  std::vector<std::pair<int, Cycle>> log;
+  auto proc = [](Simulator* s, int id, Cycle step,
+                 std::vector<std::pair<int, Cycle>>* out) -> Process {
+    for (int i = 0; i < 3; ++i) {
+      co_await s->Delay(step);
+      out->push_back({id, s->now()});
+    }
+  };
+  sim.Spawn(proc(&sim, 1, 10, &log));
+  sim.Spawn(proc(&sim, 2, 15, &log));
+  sim.Run();
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log[0], (std::pair<int, Cycle>{1, 10}));
+  EXPECT_EQ(log[1], (std::pair<int, Cycle>{2, 15}));
+  EXPECT_EQ(log[2], (std::pair<int, Cycle>{1, 20}));
+  EXPECT_EQ(log[5], (std::pair<int, Cycle>{2, 45}));
+}
+
+}  // namespace
+}  // namespace swiftspatial::hw::sim

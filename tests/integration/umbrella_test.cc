@@ -1,0 +1,51 @@
+// Compile-level test of the umbrella header: every public module must be
+// includable together, and a minimal cross-module flow must work through
+// it alone.
+#include "swiftspatial/swiftspatial.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftspatial {
+namespace {
+
+TEST(UmbrellaHeader, CrossModuleFlowCompilesAndRuns) {
+  UniformConfig cfg;
+  cfg.count = 200;
+  cfg.seed = 1;
+  const Dataset r = GenerateUniform(cfg);
+  cfg.seed = 2;
+  const Dataset s = GenerateUniform(cfg);
+
+  BulkLoadOptions bl;
+  const PackedRTree rt = StrBulkLoad(r, bl);
+  const PackedRTree st = StrBulkLoad(s, bl);
+
+  JoinResult cpu = SyncTraversalDfs(rt, st);
+  hw::Accelerator device;
+  JoinResult dev;
+  device.RunSyncTraversal(rt, st, &dev);
+  EXPECT_TRUE(JoinResult::SameMultiset(cpu, dev));
+}
+
+TEST(UmbrellaHeader, TouchesEveryModule) {
+  // One symbol per module keeps the include set honest.
+  EXPECT_TRUE(Status::OK().ok());                                  // common
+  EXPECT_TRUE(Intersects(Box(0, 0, 1, 1), Box(1, 1, 2, 2)));       // geometry
+  EXPECT_EQ(HilbertD2XYInverse(1, 0, 0), 0u);                      // hilbert
+  EXPECT_FALSE(Dataset("d", {Box(0, 0, 1, 1)}).IsPointDataset());  // datagen
+  EXPECT_EQ(PackedRTree::StrideFor(16), 384u);                     // rtree
+  EXPECT_STREQ(SpatialPredicateToString(SpatialPredicate::kWithin),
+               "within");                                          // join
+  EXPECT_GT(hw::PowerModel::FpgaWatts(16), 20.0);                  // hw
+  EXPECT_STREQ(
+      hw::OutOfMemoryStrategyToString(
+          hw::OutOfMemoryStrategy::kMultipleDevices),
+      "multiple-devices");                                         // multi_dev
+  faas::FaasConfig fc;
+  EXPECT_EQ(faas::SpatialJoinService(fc).units_per_kernel(), 16);  // faas
+  RefinementOptions ro;
+  EXPECT_EQ(ro.polygon_vertices, 8);                               // refine
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,75 @@
+#include "join/cuspatial_like.h"
+
+#include <gtest/gtest.h>
+
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(CuSpatialLikeJoin, MatchesBruteForce) {
+  const Dataset points = testutil::UniformPoints(2000, 120);
+  const Dataset polys = testutil::Uniform(500, 121, 1000.0, /*max_edge=*/30.0);
+  CuSpatialLikeOptions opt;
+  JoinResult got = CuSpatialLikeJoin(points, polys, opt);
+  JoinResult expected = BruteForceJoin(points, polys);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(CuSpatialLikeJoin, BatchBoundaryInvariant) {
+  // Results must not depend on how the polygon stream is batched.
+  const Dataset points = testutil::UniformPoints(1500, 122);
+  const Dataset polys = testutil::Uniform(777, 123, 1000.0, /*max_edge=*/20.0);
+  CuSpatialLikeOptions small_batches, one_batch;
+  small_batches.batch_size = 100;  // forces 8 batches, last one partial
+  one_batch.batch_size = 1 << 20;
+  JoinResult a = CuSpatialLikeJoin(points, polys, small_batches);
+  JoinResult b = CuSpatialLikeJoin(points, polys, one_batch);
+  EXPECT_TRUE(JoinResult::SameMultiset(a, b));
+}
+
+TEST(CuSpatialLikeJoin, TwoPassCountsMatchWrites) {
+  const Dataset points = testutil::UniformPoints(1000, 124);
+  const Dataset polys = testutil::Uniform(300, 125, 1000.0, /*max_edge=*/40.0);
+  JoinStats stats;
+  CuSpatialLikeOptions opt;
+  opt.batch_size = 128;
+  JoinResult got = CuSpatialLikeJoin(points, polys, opt, &stats);
+  // Each result traverses the index twice (count pass + write pass).
+  EXPECT_EQ(stats.predicate_evaluations, 2 * got.size());
+  EXPECT_EQ(stats.tasks, (polys.size() + 127) / 128);
+}
+
+TEST(CuSpatialLikeJoin, ParallelThreadsAgree) {
+  const Dataset points = testutil::UniformPoints(2000, 126);
+  const Dataset polys = testutil::Skewed(400, 127);
+  CuSpatialLikeOptions serial, parallel;
+  serial.num_threads = 1;
+  parallel.num_threads = 4;
+  JoinResult a = CuSpatialLikeJoin(points, polys, serial);
+  JoinResult b = CuSpatialLikeJoin(points, polys, parallel);
+  EXPECT_TRUE(JoinResult::SameMultiset(a, b));
+}
+
+TEST(CuSpatialLikeJoin, EmptyInputs) {
+  const Dataset none("none", {});
+  const Dataset polys = testutil::Uniform(50, 128);
+  EXPECT_TRUE(CuSpatialLikeJoin(none, polys, {}).empty());
+  EXPECT_TRUE(CuSpatialLikeJoin(testutil::UniformPoints(50, 129), none, {})
+                  .empty());
+}
+
+TEST(CuSpatialLikeJoin, LeafCapacityInvariant) {
+  const Dataset points = testutil::UniformPoints(1000, 130);
+  const Dataset polys = testutil::Uniform(200, 131, 1000.0, /*max_edge=*/35.0);
+  CuSpatialLikeOptions coarse, fine;
+  coarse.quadtree_leaf_capacity = 512;
+  fine.quadtree_leaf_capacity = 8;
+  JoinResult a = CuSpatialLikeJoin(points, polys, coarse);
+  JoinResult b = CuSpatialLikeJoin(points, polys, fine);
+  EXPECT_TRUE(JoinResult::SameMultiset(a, b));
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,126 @@
+// Cross-algorithm equivalence property test: every join implementation in
+// the library -- CPU algorithms, system-style baselines, and the simulated
+// accelerator in both modes -- must produce the identical result multiset on
+// the same inputs, across dataset shapes and sizes. This is the library's
+// strongest integration invariant.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "grid/hierarchical_partition.h"
+#include "hw/accelerator.h"
+#include "join/engine_baselines.h"
+#include "join/nested_loop.h"
+#include "join/parallel_sync_traversal.h"
+#include "join/pbsm.h"
+#include "join/sync_traversal.h"
+#include "rtree/bulk_load.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+enum class Shape { kUniform, kSkewed, kMixed };
+
+std::string ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kUniform:
+      return "Uniform";
+    case Shape::kSkewed:
+      return "Skewed";
+    case Shape::kMixed:
+      return "Mixed";
+  }
+  return "?";
+}
+
+class JoinEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Shape, int>> {
+ protected:
+  void SetUp() override {
+    const auto [shape, scale] = GetParam();
+    switch (shape) {
+      case Shape::kUniform:
+        r_ = testutil::Uniform(scale, 1000 + scale);
+        s_ = testutil::Uniform(scale, 2000 + scale);
+        break;
+      case Shape::kSkewed:
+        r_ = testutil::Skewed(scale, 3000 + scale);
+        s_ = testutil::Skewed(scale, 4000 + scale);
+        break;
+      case Shape::kMixed:
+        r_ = testutil::UniformPoints(scale, 5000 + scale);
+        s_ = testutil::Skewed(scale, 6000 + scale);
+        break;
+    }
+    expected_ = BruteForceJoin(r_, s_);
+  }
+
+  void Check(JoinResult got, const std::string& label) {
+    EXPECT_TRUE(JoinResult::SameMultiset(expected_, got))
+        << label << " diverges: expected " << expected_.size() << " pairs, got "
+        << got.size();
+  }
+
+  Dataset r_, s_;
+  JoinResult expected_;
+};
+
+TEST_P(JoinEquivalenceTest, AllAlgorithmsAgree) {
+  BulkLoadOptions bl;
+  bl.max_entries = 8;
+  const PackedRTree rt = StrBulkLoad(r_, bl);
+  const PackedRTree st = StrBulkLoad(s_, bl);
+
+  Check(SyncTraversalDfs(rt, st), "SyncTraversalDfs");
+  Check(SyncTraversalBfs(rt, st), "SyncTraversalBfs");
+
+  ParallelSyncTraversalOptions pst;
+  pst.num_threads = 2;
+  Check(ParallelSyncTraversal(rt, st, pst), "ParallelSyncTraversal");
+
+  PbsmOptions pbsm;
+  pbsm.num_partitions = 32;
+  pbsm.num_threads = 2;
+  Check(PbsmSpatialJoin(r_, s_, pbsm), "PbsmSpatialJoin");
+
+  Check(InterpretedEngineJoin(r_, s_, {}), "InterpretedEngineJoin");
+
+  BigDataFrameworkOptions bdf;
+  bdf.num_partitions = 16;
+  Check(BigDataFrameworkJoin(r_, s_, bdf), "BigDataFrameworkJoin");
+
+  // Hilbert-loaded trees must agree with STR-loaded ones.
+  BulkLoadOptions hil;
+  hil.max_entries = 16;
+  Check(SyncTraversalDfs(HilbertBulkLoad(r_, hil), HilbertBulkLoad(s_, hil)),
+        "Hilbert trees");
+
+  // Simulated accelerator, both control flows.
+  hw::AcceleratorConfig acfg;
+  acfg.num_join_units = 4;
+  hw::Accelerator acc(acfg);
+  JoinResult acc_sync;
+  acc.RunSyncTraversal(rt, st, &acc_sync);
+  Check(std::move(acc_sync), "Accelerator sync traversal");
+
+  HierarchicalPartitionOptions hp;
+  hp.tile_cap = 8;
+  JoinResult acc_pbsm;
+  acc.RunPbsm(r_, s_, PartitionHierarchical(r_, s_, hp), &acc_pbsm);
+  Check(std::move(acc_pbsm), "Accelerator PBSM");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndScales, JoinEquivalenceTest,
+    ::testing::Combine(::testing::Values(Shape::kUniform, Shape::kSkewed,
+                                         Shape::kMixed),
+                       ::testing::Values(64, 512, 1500)),
+    [](const ::testing::TestParamInfo<JoinEquivalenceTest::ParamType>& info) {
+      return ShapeName(std::get<0>(info.param)) +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,97 @@
+#include "join/nested_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(BruteForceJoin, TinyKnownCase) {
+  Dataset r("r", {Box(0, 0, 2, 2), Box(5, 5, 6, 6)});
+  Dataset s("s", {Box(1, 1, 3, 3), Box(10, 10, 11, 11)});
+  JoinResult out = BruteForceJoin(r, s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.pairs()[0], (ResultPair{0, 0}));
+}
+
+TEST(BruteForceJoin, CountsPredicates) {
+  Dataset r("r", {Box(0, 0, 1, 1), Box(2, 2, 3, 3), Box(4, 4, 5, 5)});
+  Dataset s("s", {Box(0, 0, 9, 9), Box(20, 20, 21, 21)});
+  JoinStats stats;
+  JoinResult out = BruteForceJoin(r, s, &stats);
+  EXPECT_EQ(stats.predicate_evaluations, 6u);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(BruteForceJoin, EmptyInputs) {
+  Dataset empty("e", {});
+  Dataset one("o", {Box(0, 0, 1, 1)});
+  EXPECT_TRUE(BruteForceJoin(empty, one).empty());
+  EXPECT_TRUE(BruteForceJoin(one, empty).empty());
+  EXPECT_TRUE(BruteForceJoin(empty, empty).empty());
+}
+
+TEST(NestedLoopTileJoin, SubsetJoin) {
+  const Dataset r = testutil::Uniform(100, 30);
+  const Dataset s = testutil::Uniform(100, 31);
+  // Join only the first half of r against the second half of s.
+  std::vector<ObjectId> r_ids, s_ids;
+  for (ObjectId i = 0; i < 50; ++i) r_ids.push_back(i);
+  for (ObjectId i = 50; i < 100; ++i) s_ids.push_back(i);
+
+  JoinResult got;
+  NestedLoopTileJoin(r, s, r_ids, s_ids, nullptr, &got);
+
+  JoinResult expected;
+  for (ObjectId i : r_ids) {
+    for (ObjectId j : s_ids) {
+      if (Intersects(r.box(static_cast<std::size_t>(i)),
+                     s.box(static_cast<std::size_t>(j)))) {
+        expected.Add(i, j);
+      }
+    }
+  }
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(NestedLoopTileJoin, DedupTileFiltersByReferencePoint) {
+  // Two rectangles intersecting around (5, 5).
+  Dataset r("r", {Box(4, 4, 6, 6)});
+  Dataset s("s", {Box(5, 5, 7, 7)});
+  const std::vector<ObjectId> ids = {0};
+
+  // Intersection is [5,6]x[5,6]; reference point (5, 5).
+  Box owning_tile(0, 0, 5.5, 5.5);
+  Box other_tile(5.5, 0, 10, 5.5);
+  JoinResult in_owner, in_other;
+  NestedLoopTileJoin(r, s, ids, ids, &owning_tile, &in_owner);
+  NestedLoopTileJoin(r, s, ids, ids, &other_tile, &in_other);
+  EXPECT_EQ(in_owner.size(), 1u);
+  EXPECT_TRUE(in_other.empty());
+}
+
+TEST(JoinResult, MergeAndSort) {
+  JoinResult a, b;
+  a.Add(3, 1);
+  a.Add(1, 2);
+  b.Add(2, 0);
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.size(), 3u);
+  a.Sort();
+  EXPECT_EQ(a.pairs()[0], (ResultPair{1, 2}));
+  EXPECT_EQ(a.pairs()[2], (ResultPair{3, 1}));
+}
+
+TEST(JoinResult, SameMultisetDetectsDifferences) {
+  JoinResult a, b;
+  a.Add(1, 1);
+  a.Add(1, 1);
+  b.Add(1, 1);
+  EXPECT_FALSE(JoinResult::SameMultiset(a, b));  // multiplicity matters
+  b.Add(1, 1);
+  EXPECT_TRUE(JoinResult::SameMultiset(a, b));
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,96 @@
+#include "join/parallel_sync_traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "join/sync_traversal.h"
+#include "rtree/bulk_load.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+PackedRTree Tree(const Dataset& d, int max_entries = 16) {
+  BulkLoadOptions opt;
+  opt.max_entries = max_entries;
+  return StrBulkLoad(d, opt);
+}
+
+class ParallelSyncTest
+    : public ::testing::TestWithParam<
+          std::tuple<TraversalStrategy, Schedule, std::size_t>> {};
+
+TEST_P(ParallelSyncTest, MatchesSequentialDfs) {
+  const auto [strategy, schedule, threads] = GetParam();
+  const Dataset r = testutil::Uniform(1200, 80);
+  const Dataset s = testutil::Skewed(1200, 81);
+  const PackedRTree rt = Tree(r), st = Tree(s);
+
+  JoinResult expected = SyncTraversalDfs(rt, st);
+
+  ParallelSyncTraversalOptions opt;
+  opt.num_threads = threads;
+  opt.strategy = strategy;
+  opt.schedule = schedule;
+  JoinResult got = ParallelSyncTraversal(rt, st, opt);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ParallelSyncTest,
+    ::testing::Combine(::testing::Values(TraversalStrategy::kBfs,
+                                         TraversalStrategy::kBfsDfs),
+                       ::testing::Values(Schedule::kStatic,
+                                         Schedule::kDynamic),
+                       ::testing::Values<std::size_t>(1, 2, 4)));
+
+TEST(ParallelSyncTraversal, StatsMatchSequential) {
+  const Dataset r = testutil::Uniform(800, 82);
+  const Dataset s = testutil::Uniform(800, 83);
+  const PackedRTree rt = Tree(r), st = Tree(s);
+  JoinStats seq, par;
+  SyncTraversalDfs(rt, st, &seq);
+  ParallelSyncTraversalOptions opt;
+  opt.num_threads = 4;
+  ParallelSyncTraversal(rt, st, opt, &par);
+  EXPECT_EQ(seq.tasks, par.tasks);
+  EXPECT_EQ(seq.predicate_evaluations, par.predicate_evaluations);
+}
+
+TEST(ParallelSyncTraversal, BfsDfsSwitchThreshold) {
+  // A tiny switch factor forces the DFS phase almost immediately; results
+  // must be unaffected.
+  const Dataset r = testutil::Uniform(1000, 84);
+  const Dataset s = testutil::Uniform(1000, 85);
+  const PackedRTree rt = Tree(r), st = Tree(s);
+  ParallelSyncTraversalOptions opt;
+  opt.num_threads = 2;
+  opt.strategy = TraversalStrategy::kBfsDfs;
+  opt.dfs_switch_factor = 1;
+  JoinResult got = ParallelSyncTraversal(rt, st, opt);
+  JoinResult expected = SyncTraversalDfs(rt, st);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(ParallelSyncTraversal, TrivialTreesSingleLevel) {
+  // Trees whose roots are leaves: the frontier never grows.
+  const Dataset r = testutil::Uniform(5, 86);
+  const Dataset s = testutil::Uniform(5, 87);
+  const PackedRTree rt = Tree(r), st = Tree(s);
+  ASSERT_EQ(rt.height(), 1);
+  ParallelSyncTraversalOptions opt;
+  opt.num_threads = 4;
+  JoinResult got = ParallelSyncTraversal(rt, st, opt);
+  JoinResult expected = SyncTraversalDfs(rt, st);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(TraversalStrategyToString, Names) {
+  EXPECT_STREQ(TraversalStrategyToString(TraversalStrategy::kBfs), "BFS");
+  EXPECT_STREQ(TraversalStrategyToString(TraversalStrategy::kBfsDfs),
+               "BFS-DFS");
+}
+
+}  // namespace
+}  // namespace swiftspatial

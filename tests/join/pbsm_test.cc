@@ -1,0 +1,138 @@
+#include "join/pbsm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+class PbsmConfigTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, Axis, TileJoin, std::size_t>> {};
+
+TEST_P(PbsmConfigTest, MatchesBruteForce) {
+  const auto [partitions, axis, tile_join, threads] = GetParam();
+  const Dataset r = testutil::Uniform(700, 90, 1000.0, /*max_edge=*/20.0);
+  const Dataset s = testutil::Uniform(700, 91, 1000.0, /*max_edge=*/20.0);
+
+  PbsmOptions opt;
+  opt.num_partitions = partitions;
+  opt.axis = axis;
+  opt.tile_join = tile_join;
+  opt.num_threads = threads;
+  JoinResult got = PbsmSpatialJoin(r, s, opt);
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PbsmConfigTest,
+    ::testing::Combine(::testing::Values(1, 4, 64, 512),
+                       ::testing::Values(Axis::kX, Axis::kY),
+                       ::testing::Values(TileJoin::kPlaneSweep,
+                                         TileJoin::kNestedLoop),
+                       ::testing::Values<std::size_t>(1, 4)));
+
+TEST(Pbsm, NoDuplicatesDespiteMultiAssignment) {
+  // Large objects overlap many stripes; the reference-point rule must keep
+  // each result pair unique.
+  const Dataset r = testutil::Uniform(300, 92, 500.0, /*max_edge=*/80.0);
+  const Dataset s = testutil::Uniform(300, 93, 500.0, /*max_edge=*/80.0);
+  PbsmOptions opt;
+  opt.num_partitions = 32;
+  JoinResult got = PbsmSpatialJoin(r, s, opt);
+  got.Sort();
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_FALSE(got.pairs()[i] == got.pairs()[i - 1])
+        << "duplicate pair (" << got.pairs()[i].r << "," << got.pairs()[i].s
+        << ")";
+  }
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(Pbsm, SkewedDataCorrect) {
+  const Dataset r = testutil::Skewed(1500, 94);
+  const Dataset s = testutil::Skewed(1500, 95);
+  PbsmOptions opt;
+  opt.num_partitions = 100;
+  opt.num_threads = 2;
+  JoinResult got = PbsmSpatialJoin(r, s, opt);
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(Pbsm, SeparatePhasesEqualCombined) {
+  const Dataset r = testutil::Uniform(400, 96);
+  const Dataset s = testutil::Uniform(400, 97);
+  PbsmOptions opt;
+  opt.num_partitions = 16;
+  const StripePartition partition = PbsmPartition(r, s, opt);
+  JoinResult two_phase = PbsmJoin(r, s, partition, opt);
+  JoinResult combined = PbsmSpatialJoin(r, s, opt);
+  EXPECT_TRUE(JoinResult::SameMultiset(two_phase, combined));
+}
+
+TEST(Pbsm, MorePartitionsFewerChecksPerStripe) {
+  const Dataset r = testutil::Uniform(2000, 98, 2000.0, /*max_edge=*/2.0);
+  const Dataset s = testutil::Uniform(2000, 99, 2000.0, /*max_edge=*/2.0);
+  JoinStats few, many;
+  PbsmOptions opt;
+  opt.tile_join = TileJoin::kNestedLoop;
+  opt.num_partitions = 2;
+  PbsmSpatialJoin(r, s, opt, &few);
+  opt.num_partitions = 256;
+  PbsmSpatialJoin(r, s, opt, &many);
+  // Finer partitioning prunes far more of the cross product.
+  EXPECT_LT(many.predicate_evaluations, few.predicate_evaluations / 4);
+}
+
+TEST(Pbsm, ObjectsOnTheGlobalMaxBoundary) {
+  // Regression: clamped OSM-like points sit exactly on the map's max edge;
+  // their reference points coincide with the extent max, which the
+  // half-open tile rule would silently drop without the closed-boundary
+  // fix (CloseTileAtExtentMax).
+  OsmLikeConfig pc;
+  pc.map.map_size = 500.0;
+  pc.count = 2000;
+  pc.num_clusters = 4;
+  pc.cluster_radius_frac = 0.3;  // wide clusters: many clamped outliers
+  pc.seed = 200;
+  const Dataset points = GenerateOsmLikePoints(pc);
+  OsmLikeConfig bc = pc;
+  bc.seed = 201;
+  const Dataset polys = GenerateOsmLike(bc);
+
+  // Confirm the scenario is actually present.
+  const Box extent = [&] {
+    Box e = points.Extent();
+    e.Expand(polys.Extent());
+    return e;
+  }();
+  bool boundary_point = false;
+  for (const Box& b : points.boxes()) {
+    if (b.min_x == extent.max_x || b.min_y == extent.max_y) {
+      boundary_point = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(boundary_point) << "fixture no longer exercises the boundary";
+
+  PbsmOptions opt;
+  opt.num_partitions = 64;
+  JoinResult got = PbsmSpatialJoin(points, polys, opt);
+  JoinResult expected = BruteForceJoin(points, polys);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(TileJoinToString, Names) {
+  EXPECT_STREQ(TileJoinToString(TileJoin::kPlaneSweep), "plane-sweep");
+  EXPECT_STREQ(TileJoinToString(TileJoin::kNestedLoop), "nested-loop");
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,99 @@
+#include "join/plane_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+std::vector<ObjectId> AllIds(const Dataset& d) {
+  std::vector<ObjectId> ids(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) ids[i] = static_cast<ObjectId>(i);
+  return ids;
+}
+
+TEST(PlaneSweep, MatchesNestedLoopUniform) {
+  const Dataset r = testutil::Uniform(500, 40, 500.0, /*max_edge=*/15.0);
+  const Dataset s = testutil::Uniform(500, 41, 500.0, /*max_edge=*/15.0);
+  JoinResult nl, ps;
+  NestedLoopTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &nl);
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &ps);
+  EXPECT_TRUE(JoinResult::SameMultiset(nl, ps));
+}
+
+TEST(PlaneSweep, MatchesNestedLoopSkewed) {
+  const Dataset r = testutil::Skewed(600, 42);
+  const Dataset s = testutil::Skewed(600, 43);
+  JoinResult nl, ps;
+  NestedLoopTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &nl);
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &ps);
+  EXPECT_TRUE(JoinResult::SameMultiset(nl, ps));
+}
+
+TEST(PlaneSweep, FewerChecksThanNestedLoopWhenSparse) {
+  // Sparse unit squares: the sweep's active sets stay small, so it performs
+  // far fewer comparisons than |R| x |S| -- the software rationale of §3.2.
+  const Dataset r = testutil::Uniform(1000, 44, 5000.0, /*max_edge=*/1.0);
+  const Dataset s = testutil::Uniform(1000, 45, 5000.0, /*max_edge=*/1.0);
+  JoinStats nl_stats, ps_stats;
+  JoinResult nl, ps;
+  NestedLoopTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &nl, &nl_stats);
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &ps, &ps_stats);
+  EXPECT_TRUE(JoinResult::SameMultiset(nl, ps));
+  EXPECT_LT(ps_stats.predicate_evaluations,
+            nl_stats.predicate_evaluations / 10);
+}
+
+TEST(PlaneSweep, EmptySides) {
+  const Dataset r = testutil::Uniform(100, 46);
+  const Dataset empty("e", {});
+  JoinResult out;
+  PlaneSweepTileJoin(r, empty, AllIds(r), {}, nullptr, &out);
+  EXPECT_TRUE(out.empty());
+  PlaneSweepTileJoin(empty, r, {}, AllIds(r), nullptr, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PlaneSweep, IdenticalMinXTies) {
+  // Many objects sharing min_x stress the tie-break path.
+  std::vector<Box> boxes;
+  for (int i = 0; i < 20; ++i) {
+    boxes.push_back(Box(10, static_cast<Coord>(i), 12,
+                        static_cast<Coord>(i + 2)));
+  }
+  const Dataset r("ties_r", boxes);
+  const Dataset s("ties_s", boxes);
+  JoinResult nl, ps;
+  NestedLoopTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &nl);
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &ps);
+  EXPECT_TRUE(JoinResult::SameMultiset(nl, ps));
+}
+
+TEST(PlaneSweep, DedupTileRuleApplied) {
+  const Dataset r = testutil::Uniform(300, 47, 200.0, /*max_edge=*/30.0);
+  const Dataset s = testutil::Uniform(300, 48, 200.0, /*max_edge=*/30.0);
+  const Box left_tile(0, 0, 100, 200);
+  const Box right_tile(100, 0, 200, 200);
+  JoinResult left, right, whole;
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), &left_tile, &left);
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), &right_tile, &right);
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &whole);
+  // The two halves partition the results (every reference point lies in
+  // exactly one tile).
+  left.Merge(std::move(right));
+  EXPECT_TRUE(JoinResult::SameMultiset(whole, left));
+}
+
+TEST(PlaneSweep, PointDatasets) {
+  const Dataset r = testutil::UniformPoints(400, 49, 100.0);
+  const Dataset s = testutil::Uniform(400, 50, 100.0, /*max_edge=*/5.0);
+  JoinResult nl, ps;
+  NestedLoopTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &nl);
+  PlaneSweepTileJoin(r, s, AllIds(r), AllIds(s), nullptr, &ps);
+  EXPECT_TRUE(JoinResult::SameMultiset(nl, ps));
+}
+
+}  // namespace
+}  // namespace swiftspatial

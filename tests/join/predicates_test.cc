@@ -1,0 +1,107 @@
+#include "join/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(EvaluatePredicate, SemanticsOnKnownBoxes) {
+  const Box outer(0, 0, 10, 10);
+  const Box inner(2, 2, 4, 4);
+  const Box crossing(8, 8, 12, 12);
+  const Box away(20, 20, 21, 21);
+
+  EXPECT_TRUE(EvaluatePredicate(SpatialPredicate::kIntersects, outer, inner));
+  EXPECT_TRUE(
+      EvaluatePredicate(SpatialPredicate::kIntersects, outer, crossing));
+  EXPECT_FALSE(EvaluatePredicate(SpatialPredicate::kIntersects, outer, away));
+
+  EXPECT_TRUE(EvaluatePredicate(SpatialPredicate::kContains, outer, inner));
+  EXPECT_FALSE(EvaluatePredicate(SpatialPredicate::kContains, outer, crossing));
+  EXPECT_FALSE(EvaluatePredicate(SpatialPredicate::kContains, inner, outer));
+
+  EXPECT_TRUE(EvaluatePredicate(SpatialPredicate::kWithin, inner, outer));
+  EXPECT_FALSE(EvaluatePredicate(SpatialPredicate::kWithin, outer, inner));
+}
+
+TEST(EvaluatePredicate, ContainsAndWithinAreMirrors) {
+  Rng rng(500);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Coord ax = static_cast<Coord>(rng.Uniform(0, 80));
+    const Coord ay = static_cast<Coord>(rng.Uniform(0, 80));
+    const Box a(ax, ay, ax + static_cast<Coord>(rng.Uniform(1, 40)),
+                ay + static_cast<Coord>(rng.Uniform(1, 40)));
+    const Coord bx = static_cast<Coord>(rng.Uniform(0, 80));
+    const Coord by = static_cast<Coord>(rng.Uniform(0, 80));
+    const Box b(bx, by, bx + static_cast<Coord>(rng.Uniform(1, 40)),
+                by + static_cast<Coord>(rng.Uniform(1, 40)));
+    EXPECT_EQ(EvaluatePredicate(SpatialPredicate::kContains, a, b),
+              EvaluatePredicate(SpatialPredicate::kWithin, b, a));
+    // Containment implies intersection.
+    if (EvaluatePredicate(SpatialPredicate::kContains, a, b)) {
+      EXPECT_TRUE(EvaluatePredicate(SpatialPredicate::kIntersects, a, b));
+    }
+  }
+}
+
+class PredicateJoinTest : public ::testing::TestWithParam<SpatialPredicate> {};
+
+TEST_P(PredicateJoinTest, IndexJoinMatchesBruteForce) {
+  const SpatialPredicate pred = GetParam();
+  // Mixed sizes so containment actually occurs.
+  const Dataset r = testutil::Uniform(600, 501, 500.0, /*max_edge=*/40.0);
+  const Dataset s = testutil::Uniform(600, 502, 500.0, /*max_edge=*/8.0);
+  JoinResult got = PredicateJoin(r, s, pred);
+  JoinResult expected = BruteForcePredicateJoin(r, s, pred);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+      << SpatialPredicateToString(pred);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredicates, PredicateJoinTest,
+                         ::testing::Values(SpatialPredicate::kIntersects,
+                                           SpatialPredicate::kContains,
+                                           SpatialPredicate::kWithin),
+                         [](const auto& info) {
+                           return SpatialPredicateToString(info.param);
+                         });
+
+TEST(PredicateJoin, ContainsIsSubsetOfIntersects) {
+  const Dataset r = testutil::Uniform(400, 503, 300.0, /*max_edge=*/30.0);
+  const Dataset s = testutil::Uniform(400, 504, 300.0, /*max_edge=*/5.0);
+  JoinResult contains = PredicateJoin(r, s, SpatialPredicate::kContains);
+  JoinResult intersects = PredicateJoin(r, s, SpatialPredicate::kIntersects);
+  EXPECT_LT(contains.size(), intersects.size());
+  contains.Sort();
+  intersects.Sort();
+  for (const ResultPair& p : contains.pairs()) {
+    EXPECT_TRUE(std::binary_search(intersects.pairs().begin(),
+                                   intersects.pairs().end(), p));
+  }
+}
+
+TEST(PredicateJoin, PointWithinPolygonMbr) {
+  // The paper's point-in-polygon query as a within-join.
+  const Dataset points = testutil::UniformPoints(800, 505, 400.0);
+  const Dataset polys = testutil::Uniform(300, 506, 400.0, /*max_edge=*/25.0);
+  JoinResult got = PredicateJoin(points, polys, SpatialPredicate::kWithin);
+  JoinResult expected =
+      BruteForcePredicateJoin(points, polys, SpatialPredicate::kWithin);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+  // For points, within == intersects at the MBR level.
+  JoinResult via_intersect =
+      PredicateJoin(points, polys, SpatialPredicate::kIntersects);
+  EXPECT_TRUE(JoinResult::SameMultiset(got, via_intersect));
+}
+
+TEST(PredicateJoin, EmptyInputs) {
+  const Dataset none("none", {});
+  const Dataset some = testutil::Uniform(10, 507);
+  EXPECT_TRUE(PredicateJoin(none, some, SpatialPredicate::kContains).empty());
+  EXPECT_TRUE(PredicateJoin(some, none, SpatialPredicate::kWithin).empty());
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,114 @@
+#include "join/sync_traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "join/nested_loop.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+PackedRTree Tree(const Dataset& d, int max_entries = 16) {
+  BulkLoadOptions opt;
+  opt.max_entries = max_entries;
+  return StrBulkLoad(d, opt);
+}
+
+TEST(SyncTraversalDfs, MatchesBruteForce) {
+  const Dataset r = testutil::Uniform(800, 60);
+  const Dataset s = testutil::Uniform(700, 61);
+  JoinResult expected = BruteForceJoin(r, s);
+  JoinResult got = SyncTraversalDfs(Tree(r), Tree(s));
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(SyncTraversalBfs, MatchesDfs) {
+  const Dataset r = testutil::Skewed(900, 62);
+  const Dataset s = testutil::Uniform(900, 63);
+  const PackedRTree rt = Tree(r), st = Tree(s);
+  JoinResult dfs = SyncTraversalDfs(rt, st);
+  JoinResult bfs = SyncTraversalBfs(rt, st);
+  EXPECT_TRUE(JoinResult::SameMultiset(dfs, bfs));
+}
+
+TEST(SyncTraversal, DifferentNodeSizesAgree) {
+  const Dataset r = testutil::Uniform(600, 64);
+  const Dataset s = testutil::Uniform(600, 65);
+  JoinResult base = SyncTraversalDfs(Tree(r, 4), Tree(s, 4));
+  for (int m : {8, 16, 32}) {
+    JoinResult other = SyncTraversalDfs(Tree(r, m), Tree(s, m));
+    EXPECT_TRUE(JoinResult::SameMultiset(base, other)) << "node size " << m;
+  }
+}
+
+TEST(SyncTraversal, MixedNodeSizesBetweenTrees) {
+  const Dataset r = testutil::Uniform(500, 66);
+  const Dataset s = testutil::Uniform(500, 67);
+  JoinResult expected = BruteForceJoin(r, s);
+  JoinResult got = SyncTraversalDfs(Tree(r, 4), Tree(s, 64));
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(SyncTraversal, DifferentHeights) {
+  const Dataset big = testutil::Uniform(2000, 68);
+  const Dataset small = testutil::Uniform(10, 69, 1000.0, /*max_edge=*/100.0);
+  const PackedRTree bt = Tree(big, 8), st = Tree(small, 8);
+  ASSERT_GT(bt.height(), st.height());
+  JoinResult expected = BruteForceJoin(big, small);
+  JoinResult dfs = SyncTraversalDfs(bt, st);
+  JoinResult bfs = SyncTraversalBfs(bt, st);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, dfs));
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, bfs));
+  // Swapped argument order also works (directory on the left).
+  JoinResult swapped = SyncTraversalDfs(st, bt);
+  EXPECT_EQ(swapped.size(), expected.size());
+}
+
+TEST(SyncTraversal, DynamicTreeViaPack) {
+  const Dataset r = testutil::Uniform(700, 70);
+  const Dataset s = testutil::Uniform(700, 71);
+  RTree dynamic_r = RTree::BuildByInsertion(r);
+  RTree dynamic_s = RTree::BuildByInsertion(s);
+  JoinResult expected = BruteForceJoin(r, s);
+  JoinResult got = SyncTraversalDfs(dynamic_r.Pack(), dynamic_s.Pack());
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(SyncTraversalBfs, LevelSizesTraceShape) {
+  const Dataset r = testutil::Uniform(2000, 72);
+  const Dataset s = testutil::Uniform(2000, 73);
+  std::vector<std::size_t> levels;
+  SyncTraversalBfs(Tree(r), Tree(s), nullptr, &levels);
+  ASSERT_GE(levels.size(), 2u);
+  EXPECT_EQ(levels[0], 1u);  // root pair
+  // Task counts grow as the traversal descends (fan-out).
+  EXPECT_GT(levels.back(), levels[0]);
+}
+
+TEST(SyncTraversal, StatsCounters) {
+  const Dataset r = testutil::Uniform(400, 74);
+  const Dataset s = testutil::Uniform(400, 75);
+  JoinStats dfs_stats, bfs_stats;
+  SyncTraversalDfs(Tree(r), Tree(s), &dfs_stats);
+  SyncTraversalBfs(Tree(r), Tree(s), &bfs_stats);
+  // DFS and BFS visit exactly the same node pairs, just in different order.
+  EXPECT_EQ(dfs_stats.tasks, bfs_stats.tasks);
+  EXPECT_EQ(dfs_stats.predicate_evaluations, bfs_stats.predicate_evaluations);
+  EXPECT_EQ(dfs_stats.intermediate_pairs, bfs_stats.intermediate_pairs);
+  EXPECT_GT(dfs_stats.tasks, 0u);
+  // Every visited non-root task was once an intermediate pair.
+  EXPECT_EQ(dfs_stats.intermediate_pairs + 1, dfs_stats.tasks);
+}
+
+TEST(SyncTraversal, PointPolygonJoin) {
+  const Dataset points = testutil::UniformPoints(1000, 76);
+  const Dataset polys = testutil::Uniform(800, 77, 1000.0, /*max_edge=*/25.0);
+  JoinResult expected = BruteForceJoin(points, polys);
+  JoinResult got = SyncTraversalDfs(Tree(points), Tree(polys));
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+}  // namespace
+}  // namespace swiftspatial

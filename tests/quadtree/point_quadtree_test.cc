@@ -1,0 +1,106 @@
+#include "quadtree/point_quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(PointQuadtree, EmptyDataset) {
+  const Dataset d("empty", {});
+  const PointQuadtree t = PointQuadtree::Build(d);
+  EXPECT_EQ(t.num_points(), 0u);
+  EXPECT_TRUE(t.WindowQuery(Box(0, 0, 1, 1)).empty());
+}
+
+TEST(PointQuadtree, SmallDatasetStaysLeaf) {
+  const Dataset d = testutil::UniformPoints(50, 1);
+  QuadtreeOptions opt;
+  opt.leaf_capacity = 128;
+  const PointQuadtree t = PointQuadtree::Build(d, opt);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_EQ(t.WindowQuery(d.Extent()).size(), 50u);
+}
+
+class QuadtreeQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadtreeQueryTest, WindowQueryMatchesBruteForce) {
+  const int leaf_capacity = GetParam();
+  const Dataset d = testutil::UniformPoints(5000, 2);
+  QuadtreeOptions opt;
+  opt.leaf_capacity = leaf_capacity;
+  const PointQuadtree t = PointQuadtree::Build(d, opt);
+  EXPECT_EQ(t.num_points(), d.size());
+
+  Rng rng(3);
+  for (int q = 0; q < 40; ++q) {
+    const Coord x = static_cast<Coord>(rng.Uniform(0, 900));
+    const Coord y = static_cast<Coord>(rng.Uniform(0, 900));
+    const Box w(x, y, x + 70, y + 70);
+    auto got = t.WindowQuery(w);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expected;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (Intersects(d.box(i), w)) expected.push_back(static_cast<ObjectId>(i));
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCapacities, QuadtreeQueryTest,
+                         ::testing::Values(4, 16, 128, 1024));
+
+TEST(PointQuadtree, SkewedDataSplitsDeep) {
+  const Dataset skew = testutil::Skewed(5000, 4);
+  // Use the point version of the same centers.
+  std::vector<Box> pts;
+  for (const Box& b : skew.boxes()) {
+    const Point c = b.Center();
+    pts.push_back(Box::FromPoint(c));
+  }
+  const Dataset d("pts", std::move(pts));
+  QuadtreeOptions opt;
+  opt.leaf_capacity = 16;
+  const PointQuadtree t = PointQuadtree::Build(d, opt);
+  EXPECT_GT(t.height(), 4);
+  EXPECT_EQ(t.WindowQuery(d.Extent()).size(), d.size());
+}
+
+TEST(PointQuadtree, CoincidentPointsRespectMaxDepth) {
+  // 1000 identical points can never split below the leaf capacity; the
+  // max_depth guard must terminate the build.
+  std::vector<Box> pts(1000, Box(5, 5, 5, 5));
+  const Dataset d("same", std::move(pts));
+  QuadtreeOptions opt;
+  opt.leaf_capacity = 4;
+  opt.max_depth = 6;
+  const PointQuadtree t = PointQuadtree::Build(d, opt);
+  EXPECT_LE(t.height(), 6);
+  EXPECT_EQ(t.WindowQuery(Box(4, 4, 6, 6)).size(), 1000u);
+}
+
+TEST(PointQuadtree, BoundaryPointsFoundByTouchingWindows) {
+  std::vector<Box> pts = {Box(10, 10, 10, 10)};
+  const Dataset d("one", std::move(pts));
+  const PointQuadtree t = PointQuadtree::Build(d);
+  EXPECT_EQ(t.WindowQuery(Box(0, 0, 10, 10)).size(), 1u);
+  EXPECT_EQ(t.WindowQuery(Box(10, 10, 20, 20)).size(), 1u);
+  EXPECT_TRUE(t.WindowQuery(Box(10.5, 10.5, 20, 20)).empty());
+}
+
+TEST(PointQuadtree, ForEachDeliversCoordinates) {
+  const Dataset d = testutil::UniformPoints(200, 5);
+  const PointQuadtree t = PointQuadtree::Build(d);
+  t.ForEachInWindow(d.Extent(), [&d](ObjectId id, const Point& p) {
+    EXPECT_EQ(p.x, d.box(static_cast<std::size_t>(id)).min_x);
+    EXPECT_EQ(p.y, d.box(static_cast<std::size_t>(id)).min_y);
+  });
+}
+
+}  // namespace
+}  // namespace swiftspatial

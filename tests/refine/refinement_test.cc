@@ -1,0 +1,120 @@
+#include "refine/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(Refine, PointPointPassThrough) {
+  const Dataset r = testutil::UniformPoints(200, 140);
+  const Dataset s = testutil::UniformPoints(200, 141);
+  JoinResult candidates = BruteForceJoin(r, s);
+  RefinementStats stats;
+  JoinResult refined = Refine(r, GeometryKind::kPoint, s, GeometryKind::kPoint,
+                              candidates.pairs(), {}, &stats);
+  // Point-point MBR intersection is already exact: nothing is filtered.
+  EXPECT_EQ(refined.size(), candidates.size());
+  EXPECT_EQ(stats.false_positives, 0u);
+}
+
+TEST(Refine, PolygonPolygonRemovesFalsePositives) {
+  const Dataset r = testutil::Uniform(400, 142, 500.0, /*max_edge=*/25.0);
+  const Dataset s = testutil::Uniform(400, 143, 500.0, /*max_edge=*/25.0);
+  JoinResult candidates = BruteForceJoin(r, s);
+  RefinementStats stats;
+  JoinResult refined =
+      Refine(r, GeometryKind::kPolygon, s, GeometryKind::kPolygon,
+             candidates.pairs(), {}, &stats);
+  EXPECT_EQ(stats.candidates, candidates.size());
+  EXPECT_EQ(stats.verified, refined.size());
+  EXPECT_LE(refined.size(), candidates.size());
+  // MBR-overlapping random polygons sometimes miss: expect a nonzero
+  // false-positive rate at this density.
+  EXPECT_GT(stats.false_positives, 0u);
+  // But the polygons are inscribed in their MBRs, so a clear majority of
+  // candidates survive.
+  EXPECT_GT(refined.size(), candidates.size() / 2);
+}
+
+TEST(Refine, VerifiedPairsActuallyIntersect) {
+  const Dataset r = testutil::Uniform(150, 144, 300.0, /*max_edge=*/30.0);
+  const Dataset s = testutil::Uniform(150, 145, 300.0, /*max_edge=*/30.0);
+  JoinResult candidates = BruteForceJoin(r, s);
+  RefinementOptions opt;
+  opt.polygon_vertices = 8;
+  JoinResult refined = Refine(r, GeometryKind::kPolygon, s,
+                              GeometryKind::kPolygon, candidates.pairs(), opt);
+  for (const ResultPair& p : refined.pairs()) {
+    const Polygon rp = MakeConvexPolygon(
+        static_cast<uint64_t>(p.r), r.box(static_cast<std::size_t>(p.r)), 8);
+    const Polygon sp = MakeConvexPolygon(
+        static_cast<uint64_t>(p.s), s.box(static_cast<std::size_t>(p.s)), 8);
+    EXPECT_TRUE(PolygonsIntersect(rp, sp));
+  }
+}
+
+TEST(Refine, PointInPolygonDirectionality) {
+  // A point at an MBR corner is outside the inscribed polygon.
+  Dataset polys("p", {Box(0, 0, 10, 10)});
+  Dataset corner("c", {Box(0.05f, 0.05f, 0.05f, 0.05f)});
+  Dataset center("m", {Box(5, 5, 5, 5)});
+  const std::vector<ResultPair> pair = {{0, 0}};
+
+  JoinResult corner_hit = Refine(corner, GeometryKind::kPoint, polys,
+                                 GeometryKind::kPolygon, pair, {});
+  EXPECT_TRUE(corner_hit.empty());
+  JoinResult center_hit = Refine(center, GeometryKind::kPoint, polys,
+                                 GeometryKind::kPolygon, pair, {});
+  EXPECT_EQ(center_hit.size(), 1u);
+
+  // Swapped sides: polygon on the left, point on the right.
+  JoinResult swapped = Refine(polys, GeometryKind::kPolygon, center,
+                              GeometryKind::kPoint, pair, {});
+  EXPECT_EQ(swapped.size(), 1u);
+}
+
+TEST(Refine, ParallelAgreesWithSerial) {
+  const Dataset r = testutil::Skewed(500, 146);
+  const Dataset s = testutil::Skewed(500, 147);
+  JoinResult candidates = BruteForceJoin(r, s);
+  RefinementOptions serial, parallel;
+  serial.num_threads = 1;
+  parallel.num_threads = 4;
+  JoinResult a = Refine(r, GeometryKind::kPolygon, s, GeometryKind::kPolygon,
+                        candidates.pairs(), serial);
+  JoinResult b = Refine(r, GeometryKind::kPolygon, s, GeometryKind::kPolygon,
+                        candidates.pairs(), parallel);
+  EXPECT_TRUE(JoinResult::SameMultiset(a, b));
+}
+
+TEST(Refine, MoreVerticesTighterFit) {
+  // Higher vertex counts approximate the MBR-inscribed ellipse better, so
+  // the survivor count should not decrease much and never exceed.
+  const Dataset r = testutil::Uniform(300, 148, 400.0, /*max_edge=*/20.0);
+  const Dataset s = testutil::Uniform(300, 149, 400.0, /*max_edge=*/20.0);
+  JoinResult candidates = BruteForceJoin(r, s);
+  RefinementOptions coarse, fine;
+  coarse.polygon_vertices = 4;   // diamonds: smallest inscribed area
+  fine.polygon_vertices = 32;    // near-ellipse
+  JoinResult few = Refine(r, GeometryKind::kPolygon, s, GeometryKind::kPolygon,
+                          candidates.pairs(), coarse);
+  JoinResult many = Refine(r, GeometryKind::kPolygon, s,
+                           GeometryKind::kPolygon, candidates.pairs(), fine);
+  EXPECT_GE(many.size(), few.size());
+}
+
+TEST(Refine, EmptyCandidates) {
+  const Dataset r = testutil::Uniform(10, 150);
+  RefinementStats stats;
+  JoinResult out = Refine(r, GeometryKind::kPolygon, r, GeometryKind::kPolygon,
+                          {}, {}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.candidates, 0u);
+}
+
+}  // namespace
+}  // namespace swiftspatial

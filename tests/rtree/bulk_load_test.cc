@@ -1,0 +1,136 @@
+#include "rtree/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+enum class Loader { kStr, kHilbert };
+
+PackedRTree Load(Loader loader, const Dataset& d, int max_entries,
+                 std::size_t threads = 1) {
+  BulkLoadOptions opt;
+  opt.max_entries = max_entries;
+  opt.num_threads = threads;
+  return loader == Loader::kStr ? StrBulkLoad(d, opt) : HilbertBulkLoad(d, opt);
+}
+
+class BulkLoadTest
+    : public ::testing::TestWithParam<std::tuple<Loader, int>> {};
+
+TEST_P(BulkLoadTest, ValidTreeWithAllObjects) {
+  const auto [loader, max_entries] = GetParam();
+  const Dataset d = testutil::Uniform(3000, 13);
+  const PackedRTree t = Load(loader, d, max_entries);
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_objects(), d.size());
+  EXPECT_EQ(t.max_entries(), max_entries);
+
+  // Every object id appears exactly once across all leaves.
+  std::vector<int> seen(d.size(), 0);
+  for (std::size_t n = 0; n < t.num_nodes(); ++n) {
+    const NodeView nv = t.node(static_cast<NodeIndex>(n));
+    if (!nv.is_leaf()) continue;
+    for (int e = 0; e < nv.count(); ++e) {
+      const PackedEntry entry = nv.entry(e);
+      ASSERT_GE(entry.id, 0);
+      ASSERT_LT(static_cast<std::size_t>(entry.id), d.size());
+      ++seen[entry.id];
+      EXPECT_EQ(entry.box, d.box(static_cast<std::size_t>(entry.id)));
+    }
+  }
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST_P(BulkLoadTest, WindowQueryCorrect) {
+  const auto [loader, max_entries] = GetParam();
+  const Dataset d = testutil::Skewed(2500, 14);
+  const PackedRTree t = Load(loader, d, max_entries);
+  Rng rng(15);
+  for (int q = 0; q < 25; ++q) {
+    const Coord x = static_cast<Coord>(rng.Uniform(0, 900));
+    const Coord y = static_cast<Coord>(rng.Uniform(0, 900));
+    const Box w(x, y, x + 60, y + 60);
+    auto got = t.WindowQuery(w);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expected;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (Intersects(d.box(i), w)) expected.push_back(static_cast<ObjectId>(i));
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadersAndNodeSizes, BulkLoadTest,
+    ::testing::Combine(::testing::Values(Loader::kStr, Loader::kHilbert),
+                       ::testing::Values(4, 8, 16, 32, 64)));
+
+TEST(StrBulkLoad, ParallelSortMatchesSerial) {
+  const Dataset d = testutil::Uniform(50000, 16);
+  const PackedRTree serial = Load(Loader::kStr, d, 16, 1);
+  const PackedRTree parallel = Load(Loader::kStr, d, 16, 4);
+  ASSERT_TRUE(parallel.Validate().ok());
+  EXPECT_EQ(serial.num_nodes(), parallel.num_nodes());
+  EXPECT_EQ(serial.height(), parallel.height());
+  // Identical construction: the parallel sort is a stable reordering of the
+  // same comparator, so the trees should match byte for byte.
+  EXPECT_EQ(serial.bytes(), parallel.bytes());
+}
+
+TEST(StrBulkLoad, TinyDatasets) {
+  for (uint64_t n : {1u, 2u, 3u, 5u, 16u, 17u}) {
+    const Dataset d = testutil::Uniform(n, 100 + n);
+    const PackedRTree t = Load(Loader::kStr, d, 16);
+    ASSERT_TRUE(t.Validate().ok()) << "n=" << n;
+    EXPECT_EQ(t.num_objects(), n);
+    EXPECT_EQ(t.WindowQuery(d.Extent()).size(), n);
+  }
+}
+
+TEST(HilbertBulkLoad, TinyDatasets) {
+  for (uint64_t n : {1u, 2u, 16u, 33u}) {
+    const Dataset d = testutil::Uniform(n, 200 + n);
+    const PackedRTree t = Load(Loader::kHilbert, d, 16);
+    ASSERT_TRUE(t.Validate().ok()) << "n=" << n;
+    EXPECT_EQ(t.num_objects(), n);
+  }
+}
+
+TEST(BulkLoad, HeightIsLogarithmic) {
+  const Dataset d = testutil::Uniform(10000, 17);
+  const PackedRTree t16 = Load(Loader::kStr, d, 16);
+  // 10000 objects / fanout 16: leaves ~625, level2 ~40, level3 ~3, root.
+  EXPECT_GE(t16.height(), 3);
+  EXPECT_LE(t16.height(), 5);
+  const PackedRTree t64 = Load(Loader::kStr, d, 64);
+  EXPECT_LT(t64.height(), t16.height());
+}
+
+TEST(BulkLoad, NoUnderfilledNodes) {
+  // PackRun balances the tail: no node below half fill (except a lone root).
+  const Dataset d = testutil::Uniform(4097, 18);
+  const PackedRTree t = Load(Loader::kStr, d, 16);
+  for (std::size_t n = 0; n < t.num_nodes(); ++n) {
+    if (static_cast<NodeIndex>(n) == t.root()) continue;
+    EXPECT_GE(t.node(static_cast<NodeIndex>(n)).count(), 8) << "node " << n;
+  }
+}
+
+TEST(BulkLoad, StrQualityNotWorseThanHilbertByMuch) {
+  // Structural sanity: both loaders should produce trees of the same height
+  // for the same fanout and data.
+  const Dataset d = testutil::Uniform(20000, 19);
+  const PackedRTree str = Load(Loader::kStr, d, 16);
+  const PackedRTree hil = Load(Loader::kHilbert, d, 16);
+  EXPECT_EQ(str.height(), hil.height());
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -1,0 +1,177 @@
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+std::vector<ObjectId> BruteForceWindow(const Dataset& d, const Box& w) {
+  std::vector<ObjectId> out;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (Intersects(d.box(i), w)) out.push_back(static_cast<ObjectId>(i));
+  }
+  return out;
+}
+
+TEST(RTree, EmptyTree) {
+  RTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_TRUE(t.WindowQuery(Box(0, 0, 1, 1)).empty());
+}
+
+TEST(RTree, InsertAndQuerySingle) {
+  RTree t;
+  t.Insert(7, Box(1, 1, 2, 2));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.WindowQuery(Box(0, 0, 3, 3)), std::vector<ObjectId>{7});
+  EXPECT_TRUE(t.WindowQuery(Box(5, 5, 6, 6)).empty());
+}
+
+TEST(RTree, GrowsAndStaysValid) {
+  RTreeOptions opt;
+  opt.max_entries = 8;
+  RTree t(opt);
+  const Dataset d = testutil::Uniform(2000, 21);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    t.Insert(static_cast<ObjectId>(i), d.box(i));
+    if (i % 250 == 249) ASSERT_TRUE(t.Validate().ok()) << "at insert " << i;
+  }
+  EXPECT_EQ(t.size(), 2000u);
+  EXPECT_GE(t.height(), 3);
+  ASSERT_TRUE(t.Validate().ok());
+}
+
+class RTreeQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeQueryTest, WindowQueryMatchesBruteForce) {
+  RTreeOptions opt;
+  opt.max_entries = GetParam();
+  const Dataset d = testutil::Uniform(1500, 31);
+  RTree t = RTree::BuildByInsertion(d, opt);
+  ASSERT_TRUE(t.Validate().ok());
+
+  Rng rng(32);
+  for (int q = 0; q < 30; ++q) {
+    const Coord x = static_cast<Coord>(rng.Uniform(0, 900));
+    const Coord y = static_cast<Coord>(rng.Uniform(0, 900));
+    const Box w(x, y, x + 80, y + 80);
+    auto got = t.WindowQuery(w);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForceWindow(d, w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeSizes, RTreeQueryTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(RTree, DeleteRemovesRecord) {
+  const Dataset d = testutil::Uniform(500, 41);
+  RTree t = RTree::BuildByInsertion(d);
+  ASSERT_TRUE(t.Validate().ok());
+
+  // Delete every third record.
+  std::size_t remaining = d.size();
+  for (std::size_t i = 0; i < d.size(); i += 3) {
+    ASSERT_TRUE(t.Delete(static_cast<ObjectId>(i), d.box(i)).ok()) << i;
+    --remaining;
+  }
+  EXPECT_EQ(t.size(), remaining);
+  ASSERT_TRUE(t.Validate().ok());
+
+  // Deleted records are gone; others remain.
+  auto all = t.WindowQuery(d.Extent());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const bool deleted = i % 3 == 0;
+    const bool found = std::binary_search(all.begin(), all.end(),
+                                          static_cast<ObjectId>(i));
+    EXPECT_EQ(found, !deleted) << i;
+  }
+}
+
+TEST(RTree, DeleteMissingRecordFails) {
+  RTree t;
+  t.Insert(1, Box(0, 0, 1, 1));
+  EXPECT_EQ(t.Delete(2, Box(0, 0, 1, 1)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.Delete(1, Box(0, 0, 2, 2)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RTree, DeleteToEmptyAndReuse) {
+  RTree t;
+  t.Insert(1, Box(0, 0, 1, 1));
+  t.Insert(2, Box(2, 2, 3, 3));
+  ASSERT_TRUE(t.Delete(1, Box(0, 0, 1, 1)).ok());
+  ASSERT_TRUE(t.Delete(2, Box(2, 2, 3, 3)).ok());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.Validate().ok());
+  t.Insert(3, Box(5, 5, 6, 6));
+  EXPECT_EQ(t.WindowQuery(Box(0, 0, 10, 10)), std::vector<ObjectId>{3});
+}
+
+TEST(RTree, MixedInsertDeleteWorkload) {
+  // The iterative-join motivation of §5.9: dynamic updates between joins.
+  const Dataset d = testutil::Uniform(1000, 51);
+  RTreeOptions opt;
+  opt.max_entries = 8;
+  RTree t(opt);
+  Rng rng(52);
+  std::vector<bool> present(d.size(), false);
+  std::size_t live = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const std::size_t i = rng.NextBelow(d.size());
+    if (present[i]) {
+      ASSERT_TRUE(t.Delete(static_cast<ObjectId>(i), d.box(i)).ok());
+      present[i] = false;
+      --live;
+    } else {
+      t.Insert(static_cast<ObjectId>(i), d.box(i));
+      present[i] = true;
+      ++live;
+    }
+    if (step % 500 == 499) ASSERT_TRUE(t.Validate().ok()) << "step " << step;
+  }
+  EXPECT_EQ(t.size(), live);
+  auto all = t.WindowQuery(d.Extent());
+  EXPECT_EQ(all.size(), live);
+}
+
+TEST(RTree, PackProducesEquivalentPackedTree) {
+  const Dataset d = testutil::Uniform(1200, 61);
+  RTree t = RTree::BuildByInsertion(d);
+  const PackedRTree packed = t.Pack();
+  ASSERT_TRUE(packed.Validate().ok());
+  EXPECT_EQ(packed.num_objects(), d.size());
+  EXPECT_EQ(packed.height(), t.height());
+
+  Rng rng(62);
+  for (int q = 0; q < 20; ++q) {
+    const Coord x = static_cast<Coord>(rng.Uniform(0, 900));
+    const Coord y = static_cast<Coord>(rng.Uniform(0, 900));
+    const Box w(x, y, x + 120, y + 120);
+    auto a = t.WindowQuery(w);
+    auto b = packed.WindowQuery(w);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(RTree, MoveSemantics) {
+  RTree a = RTree::BuildByInsertion(testutil::Uniform(100, 71));
+  RTree b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.Validate().ok());
+}
+
+}  // namespace
+}  // namespace swiftspatial

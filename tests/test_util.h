@@ -1,0 +1,48 @@
+// Shared helpers for the test suite: small deterministic datasets and
+// result-comparison utilities.
+#ifndef SWIFTSPATIAL_TESTS_TEST_UTIL_H_
+#define SWIFTSPATIAL_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "datagen/generator.h"
+
+namespace swiftspatial::testutil {
+
+/// Uniform rectangles on a small map; edge length up to `max_edge` so joins
+/// have non-trivial selectivity at test scales.
+inline Dataset Uniform(uint64_t n, uint64_t seed, double map = 1000.0,
+                       double max_edge = 10.0) {
+  UniformConfig cfg;
+  cfg.map.map_size = map;
+  cfg.count = n;
+  cfg.min_edge = 0.5;
+  cfg.max_edge = max_edge;
+  cfg.seed = seed;
+  return GenerateUniform(cfg);
+}
+
+/// Uniform points on a small map.
+inline Dataset UniformPoints(uint64_t n, uint64_t seed, double map = 1000.0) {
+  UniformConfig cfg;
+  cfg.map.map_size = map;
+  cfg.count = n;
+  cfg.seed = seed;
+  return GenerateUniformPoints(cfg);
+}
+
+/// Skewed OSM-like rectangles.
+inline Dataset Skewed(uint64_t n, uint64_t seed, double map = 1000.0) {
+  OsmLikeConfig cfg;
+  cfg.map.map_size = map;
+  cfg.count = n;
+  cfg.num_clusters = 8;
+  cfg.min_edge = 0.5;
+  cfg.max_edge = 8.0;
+  cfg.seed = seed;
+  return GenerateOsmLike(cfg);
+}
+
+}  // namespace swiftspatial::testutil
+
+#endif  // SWIFTSPATIAL_TESTS_TEST_UTIL_H_
