@@ -14,12 +14,14 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "datagen/generator.h"
+#include "join/engine.h"
 
 namespace swiftspatial::bench {
 
@@ -105,6 +107,13 @@ inline JoinInputs MakeInputs(WorkloadShape shape, JoinKind kind,
   return out;
 }
 
+/// Timing of one engine benchmarked through the unified JoinEngine API.
+struct EngineTiming {
+  double plan_seconds = 0;            ///< index/partition build (untimed cost)
+  double median_execute_seconds = 0;  ///< median of `reps` Execute calls
+  uint64_t results = 0;
+};
+
 /// One warmup run plus `reps` timed runs; returns the median seconds.
 inline double MedianSeconds(const std::function<void()>& fn, int reps = 3) {
   fn();  // warmup (§5.1: "a warmup run followed by three executions")
@@ -117,6 +126,37 @@ inline double MedianSeconds(const std::function<void()>& fn, int reps = 3) {
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
+}
+
+/// Benchmarks engine `name` from the global registry: Plan once (timed
+/// separately, as the paper prices index builds apart from the join), then
+/// one warmup + `reps` timed Execute calls. The join result of the last run
+/// is moved into `last_result` when non-null. Errors (unknown engine,
+/// invalid config, unsupported input kind) propagate as Status so harnesses
+/// can skip inapplicable rows.
+inline Result<EngineTiming> TimeEngine(const std::string& name,
+                                       const EngineConfig& config,
+                                       const Dataset& r, const Dataset& s,
+                                       int reps,
+                                       JoinResult* last_result = nullptr) {
+  auto engine = EngineRegistry::Global().Create(name, config);
+  if (!engine.ok()) return engine.status();
+  Stopwatch sw;
+  SWIFT_RETURN_IF_ERROR((*engine)->Plan(r, s));
+  EngineTiming timing;
+  timing.plan_seconds = sw.ElapsedSeconds();
+  JoinResult out;
+  Status exec_status;
+  timing.median_execute_seconds = MedianSeconds(
+      [&] {
+        Status st = (*engine)->Execute(&out, nullptr);
+        if (!st.ok()) exec_status = std::move(st);
+      },
+      reps);
+  SWIFT_RETURN_IF_ERROR(exec_status);
+  timing.results = out.size();
+  if (last_result != nullptr) *last_result = std::move(out);
+  return timing;
 }
 
 /// Formats seconds as engineering-readable milliseconds.

@@ -12,9 +12,7 @@
 #include "common/table_printer.h"
 #include "grid/hierarchical_partition.h"
 #include "hw/accelerator.h"
-#include "join/parallel_sync_traversal.h"
-#include "join/pbsm.h"
-#include "join/sync_traversal.h"
+#include "join/engine.h"
 #include "rtree/bulk_load.h"
 
 namespace swiftspatial::bench {
@@ -58,43 +56,32 @@ void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
         {"SwiftSpatial PBSM (sim)", report.total_seconds, report.num_results});
   }
 
-  // --- CPU baselines (measured wall clock). ---
-  uint64_t cpu_results = 0;
-  {
-    ParallelSyncTraversalOptions opt;
-    opt.num_threads = env.cpu_threads;
-    opt.strategy = TraversalStrategy::kBfs;
-    opt.schedule = Schedule::kDynamic;
-    const double sec = MedianSeconds(
-        [&] { cpu_results = ParallelSyncTraversal(rt, st, opt).size(); },
-        env.reps);
-    rows.push_back({"C++ MT sync traversal", sec, cpu_results});
-  }
-  {
-    PbsmOptions opt;
-    opt.num_partitions = 1024;
-    opt.num_threads = env.cpu_threads;
-    const StripePartition stripes = PbsmPartition(in.r, in.s, opt);
-    uint64_t n = 0;
-    const double sec = MedianSeconds(
-        [&] { n = PbsmJoin(in.r, in.s, stripes, opt).size(); }, env.reps);
-    rows.push_back({"C++ MT PBSM", sec, n});
-  }
-  {
-    uint64_t n = 0;
-    const double sec = MedianSeconds(
-        [&] { n = SyncTraversalDfs(rt, st).size(); }, env.reps);
-    rows.push_back({"C++ ST sync traversal", sec, n});
-  }
-  {
-    PbsmOptions opt;
-    opt.num_partitions = 1024;
-    opt.num_threads = 1;
-    const StripePartition stripes = PbsmPartition(in.r, in.s, opt);
-    uint64_t n = 0;
-    const double sec = MedianSeconds(
-        [&] { n = PbsmJoin(in.r, in.s, stripes, opt).size(); }, env.reps);
-    rows.push_back({"C++ ST PBSM", sec, n});
+  // --- CPU baselines through the unified engine registry. As in the paper,
+  // the join proper is timed: Plan (index/partition builds) is done once
+  // outside the timed region, so MedianSeconds wraps Execute only. ---
+  struct CpuBaseline {
+    const char* label;
+    const char* engine;
+    std::size_t threads;
+  };
+  const CpuBaseline baselines[] = {
+      {"C++ MT sync traversal", kParallelSyncTraversalEngine,
+       env.cpu_threads},
+      {"C++ MT PBSM", kPbsmEngine, env.cpu_threads},
+      {"C++ MT partitioned driver", kPartitionedEngine, env.cpu_threads},
+      {"C++ ST sync traversal", kSyncTraversalEngine, 1},
+      {"C++ ST PBSM", kPbsmEngine, 1},
+  };
+  for (const CpuBaseline& baseline : baselines) {
+    EngineConfig cfg;
+    cfg.num_threads = baseline.threads;
+    cfg.strategy = TraversalStrategy::kBfs;
+    cfg.schedule = Schedule::kDynamic;
+    cfg.num_partitions = 1024;
+    const auto timing = TimeEngine(baseline.engine, cfg, in.r, in.s, env.reps);
+    if (!timing.ok()) continue;
+    rows.push_back(
+        {baseline.label, timing->median_execute_seconds, timing->results});
   }
 
   // Best CPU baseline anchors the speedup column, as in the paper.

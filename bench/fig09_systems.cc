@@ -9,9 +9,7 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "hw/accelerator.h"
-#include "join/cuspatial_like.h"
-#include "join/engine_baselines.h"
-#include "join/sync_traversal.h"
+#include "join/engine.h"
 #include "rtree/bulk_load.h"
 
 namespace swiftspatial::bench {
@@ -40,40 +38,32 @@ void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
     rows.push_back(
         {"SwiftSpatial (sim)", report.total_seconds, report.num_results});
   }
-  {
-    InterpretedEngineOptions opt;
-    opt.num_threads = env.cpu_threads;  // max_parallel_workers analogue
-    uint64_t n = 0;
-    const double sec = MedianSeconds(
-        [&] { n = InterpretedEngineJoin(in.r, in.s, opt).size(); }, env.reps);
-    rows.push_back({"PostGIS-like engine", sec, n});
-  }
-  {
-    BigDataFrameworkOptions opt;
-    opt.num_partitions = 4 * static_cast<int>(env.cpu_threads);
-    opt.num_threads = env.cpu_threads;
-    uint64_t n = 0;
-    const double sec = MedianSeconds(
-        [&] { n = BigDataFrameworkJoin(in.r, in.s, opt).size(); }, env.reps);
-    rows.push_back({"Sedona-like framework", sec, n});
-  }
-  {
-    BigDataFrameworkOptions opt;
-    opt.num_partitions = 64;  // the paper's tuned SpatialSpark setting
-    opt.num_threads = env.cpu_threads;
-    uint64_t n = 0;
-    const double sec = MedianSeconds(
-        [&] { n = BigDataFrameworkJoin(in.r, in.s, opt).size(); }, env.reps);
-    rows.push_back({"SpatialSpark-like (64 parts)", sec, n});
-  }
-  if (kind == JoinKind::kPointPolygon) {
-    CuSpatialLikeOptions opt;
-    opt.batch_size = 20000;  // the paper's max feasible GPU batch
-    opt.num_threads = env.cpu_threads;
-    uint64_t n = 0;
-    const double sec = MedianSeconds(
-        [&] { n = CuSpatialLikeJoin(in.r, in.s, opt).size(); }, env.reps);
-    rows.push_back({"cuSpatial-like (CPU port)", sec, n});
+  // System stand-ins run through the unified engine registry; each system is
+  // one (engine name, configuration) pair. cuSpatial supports only
+  // point-in-polygon joins, so its engine appears only in that column (its
+  // Plan rejects rectangle probes -- the row is skipped automatically).
+  struct SystemCase {
+    const char* label;
+    const char* engine;
+    int num_partitions;
+  };
+  const SystemCase systems[] = {
+      {"PostGIS-like engine", kInterpretedEngineBaseline, 0},
+      {"Sedona-like framework", kBigDataFrameworkBaseline,
+       4 * static_cast<int>(env.cpu_threads)},
+      {"SpatialSpark-like (64 parts)", kBigDataFrameworkBaseline,
+       64},  // the paper's tuned SpatialSpark setting
+      {"cuSpatial-like (CPU port)", kCuSpatialLikeEngine, 0},
+  };
+  for (const SystemCase& system : systems) {
+    EngineConfig cfg;
+    cfg.num_threads = env.cpu_threads;  // max_parallel_workers analogue
+    if (system.num_partitions > 0) cfg.num_partitions = system.num_partitions;
+    cfg.batch_size = 20000;  // the paper's max feasible GPU batch
+    const auto timing = TimeEngine(system.engine, cfg, in.r, in.s, env.reps);
+    if (!timing.ok()) continue;  // e.g. cuSpatial on a rectangle probe set
+    rows.push_back(
+        {system.label, timing->median_execute_seconds, timing->results});
   }
 
   const double swift = rows[0].seconds;

@@ -8,7 +8,7 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "hw/accelerator.h"
-#include "join/parallel_sync_traversal.h"
+#include "join/engine.h"
 #include "rtree/bulk_load.h"
 
 namespace swiftspatial::bench {
@@ -36,10 +36,12 @@ int Main(int argc, char** argv) {
         const PackedRTree rt = StrBulkLoad(in.r, bl);
         const PackedRTree st = StrBulkLoad(in.s, bl);
 
-        ParallelSyncTraversalOptions opt;
-        opt.num_threads = env.cpu_threads;
-        const double cpu_sec = MedianSeconds(
-            [&] { ParallelSyncTraversal(rt, st, opt); }, env.reps);
+        EngineConfig ecfg;
+        ecfg.num_threads = env.cpu_threads;
+        ecfg.node_capacity = node_size;
+        const auto cpu = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
+                                    in.s, env.reps);
+        const double cpu_sec = cpu.ok() ? cpu->median_execute_seconds : 0;
 
         hw::AcceleratorConfig cfg;
         cfg.num_join_units = env.units;

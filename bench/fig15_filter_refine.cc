@@ -7,7 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
-#include "join/parallel_sync_traversal.h"
+#include "join/engine.h"
 #include "refine/refinement.h"
 #include "rtree/bulk_load.h"
 
@@ -32,11 +32,13 @@ int Main(int argc, char** argv) {
       const PackedRTree rt = StrBulkLoad(in.r, bl);
       const PackedRTree st = StrBulkLoad(in.s, bl);
 
-      ParallelSyncTraversalOptions opt;
-      opt.num_threads = env.cpu_threads;
+      EngineConfig ecfg;
+      ecfg.num_threads = env.cpu_threads;
       JoinResult candidates;
-      const double filter_sec = MedianSeconds(
-          [&] { candidates = ParallelSyncTraversal(rt, st, opt); }, env.reps);
+      const auto filter = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
+                                     in.s, env.reps, &candidates);
+      const double filter_sec =
+          filter.ok() ? filter->median_execute_seconds : 0;
 
       RefinementOptions ropt;
       ropt.num_threads = env.cpu_threads;

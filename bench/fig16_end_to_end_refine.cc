@@ -8,7 +8,7 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "hw/accelerator.h"
-#include "join/parallel_sync_traversal.h"
+#include "join/engine.h"
 #include "refine/refinement.h"
 #include "rtree/bulk_load.h"
 
@@ -43,12 +43,12 @@ int Main(int argc, char** argv) {
         ropt.num_threads = env.cpu_threads;
 
         // --- CPU-only pipeline. ---
-        ParallelSyncTraversalOptions opt;
-        opt.num_threads = env.cpu_threads;
+        EngineConfig ecfg;
+        ecfg.num_threads = env.cpu_threads;
         JoinResult cpu_candidates;
-        const double cpu_filter = MedianSeconds(
-            [&] { cpu_candidates = ParallelSyncTraversal(rt, st, opt); },
-            env.reps);
+        const auto cpu = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
+                                    in.s, env.reps, &cpu_candidates);
+        const double cpu_filter = cpu.ok() ? cpu->median_execute_seconds : 0;
         std::size_t final_results = 0;
         const double cpu_refine = MedianSeconds(
             [&] {

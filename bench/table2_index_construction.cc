@@ -10,7 +10,7 @@
 #include "grid/hierarchical_partition.h"
 #include "grid/pbsm_partition.h"
 #include "hw/accelerator.h"
-#include "join/parallel_sync_traversal.h"
+#include "join/engine.h"
 #include "rtree/bulk_load.h"
 
 namespace swiftspatial::bench {
@@ -59,10 +59,11 @@ int Main(int argc, char** argv) {
       (void)stripes;
 
       // Joins for scale reference.
-      ParallelSyncTraversalOptions opt;
-      opt.num_threads = env.cpu_threads;
-      const double cpu_join = MedianSeconds(
-          [&] { ParallelSyncTraversal(rt, st, opt); }, env.reps);
+      EngineConfig ecfg;
+      ecfg.num_threads = env.cpu_threads;
+      const auto cpu = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
+                                  in.s, env.reps);
+      const double cpu_join = cpu.ok() ? cpu->median_execute_seconds : 0;
       hw::AcceleratorConfig cfg;
       cfg.num_join_units = env.units;
       const auto report = hw::Accelerator(cfg).RunSyncTraversal(rt, st);

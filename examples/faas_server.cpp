@@ -1,10 +1,12 @@
 // FPGA-as-a-Service host (§4.2): a spatial-join service multiplexing one
-// FPGA across tenants. Demonstrates sizing real requests from accelerator
-// runs, then exploring single-kernel vs multi-kernel instantiation under a
-// bursty arrival pattern.
+// FPGA across tenants. Demonstrates sizing real requests by running a
+// representative join through the unified JoinEngine API, then exploring
+// single-kernel vs multi-kernel instantiation under a bursty arrival
+// pattern.
 //
 //   ./build/examples/faas_server [--tenants=N]
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/flags.h"
@@ -12,15 +14,14 @@
 #include "common/table_printer.h"
 #include "datagen/generator.h"
 #include "faas/service.h"
-#include "hw/accelerator.h"
-#include "rtree/bulk_load.h"
+#include "join/engine.h"
 
 using namespace swiftspatial;
 
 namespace {
 
-// Measures one representative join on the device model and converts it to a
-// FaaS request profile (parallel unit-cycles + serial cycles).
+// Runs one representative join through the engine registry and converts its
+// stats into a FaaS request profile (parallel unit-cycles + serial cycles).
 faas::JoinRequest ProfileJoin(uint64_t scale, uint64_t seed) {
   UniformConfig cfg;
   cfg.count = scale;
@@ -28,24 +29,18 @@ faas::JoinRequest ProfileJoin(uint64_t scale, uint64_t seed) {
   const Dataset r = GenerateUniform(cfg);
   cfg.seed = seed + 1;
   const Dataset s = GenerateUniform(cfg);
-  BulkLoadOptions bl;
-  bl.max_entries = 16;
-  const PackedRTree rt = StrBulkLoad(r, bl);
-  const PackedRTree st = StrBulkLoad(s, bl);
 
-  hw::AcceleratorConfig acfg;
-  acfg.num_join_units = 16;
-  const auto report = hw::Accelerator(acfg).RunSyncTraversal(rt, st);
-
-  faas::JoinRequest req;
-  // Total unit-busy cycles parallelise across a kernel's units; the rest of
-  // the kernel time (scheduler, barriers, memory) is the serial floor.
-  uint64_t busy = 0;
-  for (const uint64_t b : report.unit_busy_cycles) busy += b;
-  req.parallel_unit_cycles = busy;
-  req.serial_cycles =
-      report.kernel_cycles - busy / report.unit_busy_cycles.size();
-  return req;
+  EngineConfig ecfg;
+  ecfg.node_capacity = 16;
+  auto req = faas::ProfileRequest(kSyncTraversalEngine, r, s,
+                                  /*arrival_seconds=*/0.0, ecfg);
+  if (!req.ok()) {
+    // A zero-cost request would make the whole simulation nonsense.
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 req.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *req;
 }
 
 }  // namespace

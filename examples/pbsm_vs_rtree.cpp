@@ -16,6 +16,7 @@
 #include "datagen/generator.h"
 #include "grid/hierarchical_partition.h"
 #include "hw/accelerator.h"
+#include "join/engine.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
 
@@ -96,5 +97,21 @@ int main(int argc, char** argv) {
       "%.1f ms once and %.3f ms per join thereafter -- prefer PBSM for "
       "one-off joins, synchronous traversal when joins repeat (§5.9).\n",
       partition_ms, build_ms, total_device_ms / rounds);
+
+  // The same trade-off on the CPU, through the unified engine API: the
+  // StageTiming split makes the plan (preprocessing) vs execute (join)
+  // costs of each control flow directly comparable.
+  std::printf("\nCPU engines (plan = preprocessing, execute = join):\n");
+  for (const char* name :
+       {kPbsmEngine, kPartitionedEngine, kSyncTraversalEngine}) {
+    auto run = RunJoin(name, r, s);
+    if (!run.ok()) {
+      std::printf("  %-24s %s\n", name, run.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-24s plan %8.1f ms + execute %8.1f ms -> %zu results\n",
+                name, run->timing.plan_seconds * 1e3,
+                run->timing.execute_seconds * 1e3, run->result.size());
+  }
   return 0;
 }

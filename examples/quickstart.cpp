@@ -1,8 +1,8 @@
 // Quickstart: the smallest end-to-end SwiftSpatial program.
 //
 //   1. generate two rectangle datasets,
-//   2. bulk-load packed R-trees (the accelerator's memory layout),
-//   3. join them on the CPU baseline and on the simulated accelerator,
+//   2. join them on the CPU through the unified JoinEngine API,
+//   3. join them again on the simulated accelerator,
 //   4. verify both agree and print the performance report.
 //
 // Build & run:
@@ -10,10 +10,9 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "common/stopwatch.h"
 #include "datagen/generator.h"
 #include "hw/accelerator.h"
-#include "join/sync_traversal.h"
+#include "join/engine.h"
 #include "rtree/bulk_load.h"
 
 using namespace swiftspatial;
@@ -28,8 +27,24 @@ int main() {
   const Dataset s = GenerateUniform(config);
   std::printf("datasets: %zu x %zu rectangles\n", r.size(), s.size());
 
-  // 2. Bulk-load both packed R-trees with STR (node size 16, the paper's
-  //    optimum).
+  // 2. CPU reference through the engine registry: synchronous R-tree
+  //    traversal (Alg. 1-2). Plan bulk-loads the trees; Execute joins.
+  //    Any name from EngineRegistry::Global().Names() works here.
+  EngineConfig ecfg;
+  ecfg.node_capacity = 16;  // the paper's optimum
+  auto cpu = RunJoin(kSyncTraversalEngine, r, s, ecfg);
+  if (!cpu.ok()) {
+    std::printf("ERROR: %s\n", cpu.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("CPU sync traversal: %zu results in %.2f ms "
+              "(plan %.2f ms + execute %.2f ms)\n",
+              cpu->result.size(), cpu->timing.total_seconds() * 1e3,
+              cpu->timing.plan_seconds * 1e3,
+              cpu->timing.execute_seconds * 1e3);
+
+  // 3. Simulated SwiftSpatial accelerator: 16 join units at 200 MHz, on the
+  //    same packed R-tree layout.
   BulkLoadOptions bl;
   bl.max_entries = 16;
   const PackedRTree rt = StrBulkLoad(r, bl);
@@ -37,14 +52,6 @@ int main() {
   std::printf("R-trees: height %d / %d, %zu / %zu nodes\n", rt.height(),
               st.height(), rt.num_nodes(), st.num_nodes());
 
-  // 3a. CPU reference: single-threaded synchronous traversal (Alg. 1-2).
-  Stopwatch sw;
-  JoinResult cpu = SyncTraversalDfs(rt, st);
-  const double cpu_ms = sw.ElapsedMillis();
-  std::printf("CPU sync traversal: %zu results in %.2f ms\n", cpu.size(),
-              cpu_ms);
-
-  // 3b. Simulated SwiftSpatial accelerator: 16 join units at 200 MHz.
   hw::AcceleratorConfig acfg;
   acfg.num_join_units = 16;
   hw::Accelerator accelerator(acfg);
@@ -63,12 +70,12 @@ int main() {
               report.AvgUnitUtilization() * 100, report.dram_utilization * 100);
 
   // 4. The simulated device computes the real join: verify it.
-  if (!JoinResult::SameMultiset(cpu, device)) {
+  if (!JoinResult::SameMultiset(cpu->result, device)) {
     std::printf("ERROR: device result differs from CPU result!\n");
     return 1;
   }
   std::printf("verified: device result matches the CPU join. Speedup vs this "
               "CPU baseline: %.1fx\n",
-              cpu_ms / (report.total_seconds * 1e3));
+              cpu->timing.execute_seconds * 1e3 / (report.total_seconds * 1e3));
   return 0;
 }

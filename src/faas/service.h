@@ -13,7 +13,12 @@
 #define SWIFTSPATIAL_FAAS_SERVICE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "join/engine.h"
 
 namespace swiftspatial::faas {
 
@@ -34,6 +39,23 @@ struct JoinRequest {
   /// Serial overhead cycles (level barriers, dispatch) plus any host time.
   uint64_t serial_cycles = 0;
 };
+
+/// Sizes a FaaS request from a JoinEngine run (the unified engine API):
+/// the engine's predicate evaluations become parallel unit-cycles (the join
+/// unit evaluates exactly one MBR predicate per cycle, §3.3) and its task
+/// count becomes dispatch overhead on the serial path
+/// (`serial_cycles_per_task` each, plus a fixed `launch_cycles` floor for
+/// scheduler levels / kernel launch / transfers).
+JoinRequest RequestFromJoinRun(const JoinRun& run, double arrival_seconds,
+                               uint64_t serial_cycles_per_task = 4,
+                               uint64_t launch_cycles = 100000);
+
+/// Convenience: runs `engine` (a name in the global EngineRegistry) on
+/// (r, s) and converts the run into a request profile arriving at
+/// `arrival_seconds`.
+Result<JoinRequest> ProfileRequest(const std::string& engine, const Dataset& r,
+                                   const Dataset& s, double arrival_seconds,
+                                   const EngineConfig& config = {});
 
 /// Per-request outcome.
 struct RequestOutcome {

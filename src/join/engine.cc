@@ -1,0 +1,461 @@
+#include "join/engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "join/cuspatial_like.h"
+#include "join/engine_baselines.h"
+#include "join/nested_loop.h"
+#include "join/partitioned_driver.h"
+#include "join/plane_sweep.h"
+#include "join/sync_traversal.h"
+#include "rtree/bulk_load.h"
+
+namespace swiftspatial {
+namespace {
+
+// Validation shared by every engine.
+Status ValidateCommon(const EngineConfig& config) {
+  if (config.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  return Status::OK();
+}
+
+// Base class factoring the Plan bookkeeping every adapter needs: common
+// config validation, dataset capture, and the planned/empty-input guards.
+// Subclasses override PlanImpl/ExecuteImpl.
+class EngineBase : public JoinEngine {
+ public:
+  EngineBase(std::string name, const EngineConfig& config)
+      : name_(std::move(name)), config_(config) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Plan(const Dataset& r, const Dataset& s) final {
+    SWIFT_RETURN_IF_ERROR(ValidateCommon(config_));
+    SWIFT_RETURN_IF_ERROR(Validate());
+    r_ = &r;
+    s_ = &s;
+    // Empty inputs join to the empty set; skip index builds so every engine
+    // (including ones whose underlying index assumes non-empty data) is
+    // uniformly safe on the edge case.
+    if (!r.empty() && !s.empty()) {
+      SWIFT_RETURN_IF_ERROR(PlanImpl(r, s));
+    }
+    planned_ = true;
+    return Status::OK();
+  }
+
+  Status Execute(JoinResult* out, JoinStats* stats) final {
+    if (!planned_) {
+      return Status::Internal("Execute called before a successful Plan");
+    }
+    if (out == nullptr) {
+      return Status::InvalidArgument("Execute requires a non-null result");
+    }
+    // Execute overwrites *out (stats accumulate): repeated Execute calls
+    // must yield identical results even for engines whose implementation
+    // appends into the output (e.g. the tile-join based ones).
+    *out = JoinResult();
+    if (r_->empty() || s_->empty()) return Status::OK();
+    return ExecuteImpl(*r_, *s_, out, stats);
+  }
+
+ protected:
+  /// Engine-specific config validation (beyond ValidateCommon).
+  virtual Status Validate() { return Status::OK(); }
+  /// Builds indexes/partitions. Only called for non-empty inputs.
+  virtual Status PlanImpl(const Dataset& r, const Dataset& s) {
+    (void)r;
+    (void)s;
+    return Status::OK();
+  }
+  virtual Status ExecuteImpl(const Dataset& r, const Dataset& s,
+                             JoinResult* out, JoinStats* stats) = 0;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  std::string name_;
+  EngineConfig config_;
+  const Dataset* r_ = nullptr;
+  const Dataset* s_ = nullptr;
+  bool planned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// nested_loop: the all-pairs oracle.
+// ---------------------------------------------------------------------------
+class NestedLoopEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status ExecuteImpl(const Dataset& r, const Dataset& s, JoinResult* out,
+                     JoinStats* stats) override {
+    *out = BruteForceJoin(r, s, stats);
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// plane_sweep: one global sweep over both inputs (Algorithm 4).
+// ---------------------------------------------------------------------------
+class PlaneSweepEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status PlanImpl(const Dataset& r, const Dataset& s) override {
+    r_ids_.resize(r.size());
+    s_ids_.resize(s.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      r_ids_[i] = static_cast<ObjectId>(i);
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s_ids_[i] = static_cast<ObjectId>(i);
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteImpl(const Dataset& r, const Dataset& s, JoinResult* out,
+                     JoinStats* stats) override {
+    PlaneSweepTileJoin(r, s, r_ids_, s_ids_, /*dedup_tile=*/nullptr, out,
+                       stats);
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ObjectId> r_ids_;
+  std::vector<ObjectId> s_ids_;
+};
+
+// ---------------------------------------------------------------------------
+// pbsm: 1-D stripes + per-stripe tile joins (Algorithm 3).
+// ---------------------------------------------------------------------------
+class PbsmEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status Validate() override {
+    if (config().num_partitions < 1) {
+      return Status::InvalidArgument("num_partitions must be >= 1");
+    }
+    return Status::OK();
+  }
+
+  Status PlanImpl(const Dataset& r, const Dataset& s) override {
+    options_.num_partitions = config().num_partitions;
+    options_.axis = config().axis;
+    options_.num_threads = config().num_threads;
+    options_.schedule = config().schedule;
+    options_.tile_join = config().tile_join;
+    partition_ = PbsmPartition(r, s, options_);
+    return Status::OK();
+  }
+
+  Status ExecuteImpl(const Dataset& r, const Dataset& s, JoinResult* out,
+                     JoinStats* stats) override {
+    *out = PbsmJoin(r, s, partition_, options_, stats);
+    return Status::OK();
+  }
+
+ private:
+  PbsmOptions options_;
+  StripePartition partition_;
+};
+
+// ---------------------------------------------------------------------------
+// cuspatial_like: quadtree-indexed point-in-polygon-MBR join.
+// ---------------------------------------------------------------------------
+class CuSpatialLikeEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status Validate() override {
+    if (config().quadtree_leaf_capacity < 1) {
+      return Status::InvalidArgument("quadtree_leaf_capacity must be >= 1");
+    }
+    if (config().batch_size < 1) {
+      return Status::InvalidArgument("batch_size must be >= 1");
+    }
+    return Status::OK();
+  }
+
+  Status PlanImpl(const Dataset& r, const Dataset& s) override {
+    (void)s;
+    if (!r.IsPointDataset()) {
+      return Status::InvalidArgument(
+          "cuspatial_like requires R to be a point dataset (point-polygon "
+          "orientation)");
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteImpl(const Dataset& r, const Dataset& s, JoinResult* out,
+                     JoinStats* stats) override {
+    CuSpatialLikeOptions options;
+    options.quadtree_leaf_capacity = config().quadtree_leaf_capacity;
+    options.batch_size = config().batch_size;
+    options.num_threads = config().num_threads;
+    *out = CuSpatialLikeJoin(r, s, options, stats);
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// sync_traversal / parallel_sync_traversal: R-tree engines. Plan bulk-loads
+// both trees (STR, the paper's default).
+// ---------------------------------------------------------------------------
+class RTreeEngineBase : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status Validate() override {
+    if (config().node_capacity < 2) {
+      return Status::InvalidArgument("node_capacity must be >= 2");
+    }
+    return Status::OK();
+  }
+
+  Status PlanImpl(const Dataset& r, const Dataset& s) override {
+    BulkLoadOptions bl;
+    bl.max_entries = config().node_capacity;
+    bl.num_threads = config().num_threads;
+    r_tree_.emplace(StrBulkLoad(r, bl));
+    s_tree_.emplace(StrBulkLoad(s, bl));
+    return Status::OK();
+  }
+
+  std::optional<PackedRTree> r_tree_;
+  std::optional<PackedRTree> s_tree_;
+};
+
+class SyncTraversalEngine : public RTreeEngineBase {
+ public:
+  using RTreeEngineBase::RTreeEngineBase;
+
+ protected:
+  Status ExecuteImpl(const Dataset&, const Dataset&, JoinResult* out,
+                     JoinStats* stats) override {
+    *out = config().bfs ? SyncTraversalBfs(*r_tree_, *s_tree_, stats)
+                        : SyncTraversalDfs(*r_tree_, *s_tree_, stats);
+    return Status::OK();
+  }
+};
+
+class ParallelSyncTraversalEngine : public RTreeEngineBase {
+ public:
+  using RTreeEngineBase::RTreeEngineBase;
+
+ protected:
+  Status Validate() override {
+    SWIFT_RETURN_IF_ERROR(RTreeEngineBase::Validate());
+    if (config().dfs_switch_factor < 1) {
+      return Status::InvalidArgument("dfs_switch_factor must be >= 1");
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteImpl(const Dataset&, const Dataset&, JoinResult* out,
+                     JoinStats* stats) override {
+    ParallelSyncTraversalOptions options;
+    options.num_threads = config().num_threads;
+    options.strategy = config().strategy;
+    options.schedule = config().schedule;
+    options.dfs_switch_factor = config().dfs_switch_factor;
+    *out = ParallelSyncTraversal(*r_tree_, *s_tree_, options, stats);
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// partitioned: the grid-sharded thread-pooled driver.
+// ---------------------------------------------------------------------------
+class PartitionedEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status PlanImpl(const Dataset& r, const Dataset& s) override {
+    PartitionedDriverOptions options;
+    options.grid_cols = config().grid_cols;
+    options.grid_rows = config().grid_rows;
+    options.num_threads = config().num_threads;
+    options.schedule = config().schedule;
+    options.tile_join = config().tile_join;
+    driver_ = PartitionedDriver(options);
+    return driver_.Plan(r, s);
+  }
+
+  Status ExecuteImpl(const Dataset&, const Dataset&, JoinResult* out,
+                     JoinStats* stats) override {
+    *out = driver_.Execute(stats);
+    return Status::OK();
+  }
+
+ private:
+  PartitionedDriver driver_;
+};
+
+// ---------------------------------------------------------------------------
+// System-style baselines.
+// ---------------------------------------------------------------------------
+class InterpretedEngineAdapter : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status Validate() override {
+    if (config().index_max_entries < 2) {
+      return Status::InvalidArgument("index_max_entries must be >= 2");
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteImpl(const Dataset& r, const Dataset& s, JoinResult* out,
+                     JoinStats* stats) override {
+    InterpretedEngineOptions options;
+    options.num_threads = config().num_threads;
+    options.index_max_entries = config().index_max_entries;
+    *out = InterpretedEngineJoin(r, s, options, stats);
+    return Status::OK();
+  }
+};
+
+class BigDataFrameworkAdapter : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  Status Validate() override {
+    if (config().num_partitions < 1) {
+      return Status::InvalidArgument("num_partitions must be >= 1");
+    }
+    if (config().index_max_entries < 2) {
+      return Status::InvalidArgument("index_max_entries must be >= 2");
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteImpl(const Dataset& r, const Dataset& s, JoinResult* out,
+                     JoinStats* stats) override {
+    BigDataFrameworkOptions options;
+    options.num_partitions = config().num_partitions;
+    options.num_threads = config().num_threads;
+    options.index_max_entries = config().index_max_entries;
+    *out = BigDataFrameworkJoin(r, s, options, stats);
+    return Status::OK();
+  }
+};
+
+template <typename Engine>
+EngineFactory MakeFactory(const char* name) {
+  return [name](const EngineConfig& config) -> std::unique_ptr<JoinEngine> {
+    return std::make_unique<Engine>(name, config);
+  };
+}
+
+}  // namespace
+
+Result<JoinRun> JoinEngine::Run(const Dataset& r, const Dataset& s) {
+  JoinRun run;
+  Stopwatch sw;
+  SWIFT_RETURN_IF_ERROR(Plan(r, s));
+  run.timing.plan_seconds = sw.ElapsedSeconds();
+  sw.Reset();
+  SWIFT_RETURN_IF_ERROR(Execute(&run.result, &run.stats));
+  run.timing.execute_seconds = sw.ElapsedSeconds();
+  return run;
+}
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    r->Register(kNestedLoopEngine, MakeFactory<NestedLoopEngine>(
+                                       kNestedLoopEngine));
+    r->Register(kPlaneSweepEngine, MakeFactory<PlaneSweepEngine>(
+                                       kPlaneSweepEngine));
+    r->Register(kPbsmEngine, MakeFactory<PbsmEngine>(kPbsmEngine));
+    r->Register(kCuSpatialLikeEngine, MakeFactory<CuSpatialLikeEngine>(
+                                          kCuSpatialLikeEngine));
+    r->Register(kSyncTraversalEngine, MakeFactory<SyncTraversalEngine>(
+                                          kSyncTraversalEngine));
+    r->Register(kParallelSyncTraversalEngine,
+                MakeFactory<ParallelSyncTraversalEngine>(
+                    kParallelSyncTraversalEngine));
+    r->Register(kPartitionedEngine, MakeFactory<PartitionedEngine>(
+                                        kPartitionedEngine));
+    r->Register(kInterpretedEngineBaseline,
+                MakeFactory<InterpretedEngineAdapter>(
+                    kInterpretedEngineBaseline));
+    r->Register(kBigDataFrameworkBaseline,
+                MakeFactory<BigDataFrameworkAdapter>(
+                    kBigDataFrameworkBaseline));
+    return r;
+  }();
+  return *registry;
+}
+
+Status EngineRegistry::Register(const std::string& name,
+                                EngineFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("engine name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("engine factory must be non-null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    return Status::InvalidArgument("engine already registered: " + name);
+  }
+  return Status::OK();
+}
+
+bool EngineRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) > 0;
+}
+
+Result<std::unique_ptr<JoinEngine>> EngineRegistry::Create(
+    const std::string& name, const EngineConfig& config) const {
+  EngineFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [n, f] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      return Status::NotFound("unknown join engine \"" + name +
+                              "\" (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(config);
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+
+Result<JoinRun> RunJoin(const std::string& engine, const Dataset& r,
+                        const Dataset& s, const EngineConfig& config) {
+  auto created = EngineRegistry::Global().Create(engine, config);
+  if (!created.ok()) return created.status();
+  return (*created)->Run(r, s);
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,170 @@
+// Unified join-engine API: every join algorithm in the library is exposed as
+// a JoinEngine -- a Plan -> Execute pipeline with per-stage wall-clock timing
+// -- and registered by name in an EngineRegistry, so benchmarks, tests, the
+// FaaS service, and examples all select algorithms through one interface.
+//
+//   auto run = RunJoin("parallel_sync_traversal", r, s, config);
+//   if (!run.ok()) ...;
+//   run->result   -- the qualifying (r, s) id pairs
+//   run->stats    -- predicate counts / task counts
+//   run->timing   -- plan (index/partition build) vs execute seconds
+//
+// Plan covers everything the paper's Table 2 prices separately from the join
+// proper (bulk loads, partitioning); Execute is the join itself, i.e. the
+// quantity Figures 8-12 plot. The registry is how the cross-algorithm
+// equivalence oracle in tests/join/equivalence_test.cc enumerates every
+// implementation without naming them individually.
+#ifndef SWIFTSPATIAL_JOIN_ENGINE_H_
+#define SWIFTSPATIAL_JOIN_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "datagen/dataset.h"
+#include "grid/pbsm_partition.h"
+#include "join/parallel_sync_traversal.h"
+#include "join/pbsm.h"
+#include "join/result.h"
+
+namespace swiftspatial {
+
+/// One configuration struct shared by every registered engine. Engines read
+/// only the fields that apply to them and reject invalid values from Plan
+/// with Status::InvalidArgument; unknown-to-them fields are ignored.
+struct EngineConfig {
+  // --- Shared across engines. ---
+  std::size_t num_threads = 1;
+  Schedule schedule = Schedule::kDynamic;
+
+  // --- R-tree engines (sync_traversal, parallel_sync_traversal). ---
+  /// Maximum entries per R-tree node (paper optimum: 16).
+  int node_capacity = 16;
+  /// sync_traversal: traverse breadth-first [33] instead of depth-first.
+  bool bfs = false;
+  /// parallel_sync_traversal strategy.
+  TraversalStrategy strategy = TraversalStrategy::kBfs;
+  std::size_t dfs_switch_factor = 10;
+
+  // --- Partition engines (pbsm, partitioned). ---
+  /// pbsm: number of 1-D stripes.
+  int num_partitions = 1024;
+  Axis axis = Axis::kX;
+  /// Tile-level join inside each stripe / grid cell.
+  TileJoin tile_join = TileJoin::kPlaneSweep;
+  /// partitioned: grid resolution; 0 = auto-sized from the input cardinality.
+  int grid_cols = 0;
+  int grid_rows = 0;
+
+  // --- cuspatial_like. ---
+  int quadtree_leaf_capacity = 128;
+  std::size_t batch_size = 20000;
+
+  // --- System-style baselines (interpreted_engine, big_data_framework). ---
+  int index_max_entries = 16;
+};
+
+/// Per-stage wall-clock timings filled in by JoinEngine::Run.
+struct StageTiming {
+  /// Index builds / partitioning (Table 2's "construction" column).
+  double plan_seconds = 0;
+  /// The join itself (what Figures 8-12 plot).
+  double execute_seconds = 0;
+
+  double total_seconds() const { return plan_seconds + execute_seconds; }
+};
+
+/// Everything a finished join run reports.
+struct JoinRun {
+  JoinResult result;
+  JoinStats stats;
+  StageTiming timing;
+};
+
+/// A spatial-join algorithm behind the two-stage Plan -> Execute interface.
+///
+/// Lifecycle: create (via EngineRegistry::Create), Plan once, then Execute
+/// one or more times -- each Execute re-runs the join against the planned
+/// state, which is what lets benchmarks time the join proper without
+/// re-paying index builds. Plan validates the configuration and builds any
+/// auxiliary structures (R-trees, stripe partitions, grids). The datasets
+/// passed to Plan must outlive the last Execute. Engines are not
+/// thread-safe; internally they parallelise per `EngineConfig::num_threads`.
+class JoinEngine {
+ public:
+  virtual ~JoinEngine() = default;
+
+  /// The name the engine was registered under, e.g. "pbsm".
+  virtual const std::string& name() const = 0;
+
+  /// Validates config + inputs and builds indexes/partitions.
+  virtual Status Plan(const Dataset& r, const Dataset& s) = 0;
+
+  /// Runs the join. Must be called after a successful Plan. `*out` is
+  /// overwritten; `*stats` (when non-null) accumulates across calls.
+  virtual Status Execute(JoinResult* out, JoinStats* stats) = 0;
+
+  /// Convenience: Plan + Execute with per-stage timing.
+  Result<JoinRun> Run(const Dataset& r, const Dataset& s);
+};
+
+/// Factory invoked by the registry; receives the caller's configuration.
+using EngineFactory =
+    std::function<std::unique_ptr<JoinEngine>(const EngineConfig&)>;
+
+/// Name -> factory registry. `Global()` returns the process-wide instance,
+/// pre-populated with every built-in engine (see kBuiltinEngines). New
+/// engines (plugins, experiments) register at startup:
+///
+///   EngineRegistry::Global().Register("my_join", [](const EngineConfig& c) {
+///     return std::make_unique<MyJoin>(c);
+///   });
+class EngineRegistry {
+ public:
+  /// The process-wide registry with all built-in engines registered.
+  static EngineRegistry& Global();
+
+  /// Registers a factory. Fails with InvalidArgument on empty names or
+  /// AlreadyExists-style collisions (reported as InvalidArgument).
+  Status Register(const std::string& name, EngineFactory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates engine `name`, or NotFound listing the known engines.
+  Result<std::unique_ptr<JoinEngine>> Create(
+      const std::string& name, const EngineConfig& config = {}) const;
+
+  /// Sorted names of all registered engines.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, EngineFactory> factories_;
+};
+
+/// One-call convenience: instantiate `engine` from the global registry, then
+/// Plan + Execute with timing.
+Result<JoinRun> RunJoin(const std::string& engine, const Dataset& r,
+                        const Dataset& s, const EngineConfig& config = {});
+
+// Built-in engine names (all registered in EngineRegistry::Global()).
+inline constexpr const char* kNestedLoopEngine = "nested_loop";
+inline constexpr const char* kPlaneSweepEngine = "plane_sweep";
+inline constexpr const char* kPbsmEngine = "pbsm";
+inline constexpr const char* kCuSpatialLikeEngine = "cuspatial_like";
+inline constexpr const char* kSyncTraversalEngine = "sync_traversal";
+inline constexpr const char* kParallelSyncTraversalEngine =
+    "parallel_sync_traversal";
+inline constexpr const char* kPartitionedEngine = "partitioned";
+inline constexpr const char* kInterpretedEngineBaseline = "interpreted_engine";
+inline constexpr const char* kBigDataFrameworkBaseline = "big_data_framework";
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_JOIN_ENGINE_H_

@@ -1,0 +1,127 @@
+#include "join/partitioned_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "join/nested_loop.h"
+#include "join/plane_sweep.h"
+
+namespace swiftspatial {
+
+PartitionedDriver::PartitionedDriver(PartitionedDriverOptions options)
+    : options_(std::move(options)) {}
+
+Status PartitionedDriver::Plan(const Dataset& r, const Dataset& s) {
+  if (options_.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options_.grid_cols < 0 || options_.grid_rows < 0) {
+    return Status::InvalidArgument("grid dimensions must be >= 0 (0 = auto)");
+  }
+  // Cap explicit grids so cols * rows cannot overflow int (and absurd cell
+  // counts fail fast instead of exhausting memory).
+  constexpr int kMaxGridSide = 1 << 14;
+  if (options_.grid_cols > kMaxGridSide || options_.grid_rows > kMaxGridSide) {
+    return Status::InvalidArgument("grid dimensions must be <= 16384");
+  }
+  if ((options_.grid_cols == 0) != (options_.grid_rows == 0)) {
+    return Status::InvalidArgument(
+        "grid_cols and grid_rows must both be set or both be auto (0)");
+  }
+  if (options_.grid_cols == 0 && options_.target_cell_population == 0) {
+    return Status::InvalidArgument(
+        "target_cell_population must be >= 1 for auto grid sizing");
+  }
+
+  r_ = &r;
+  s_ = &s;
+  tasks_.clear();
+  planned_ = true;
+
+  // Disjoint or empty inputs produce no tasks; Execute returns empty.
+  if (r.empty() || s.empty()) {
+    cols_ = rows_ = 0;
+    return Status::OK();
+  }
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+  if (extent.IsEmpty()) {
+    cols_ = rows_ = 0;
+    return Status::OK();
+  }
+
+  if (options_.grid_cols > 0) {
+    cols_ = options_.grid_cols;
+    rows_ = options_.grid_rows;
+  } else {
+    // Square grid with ~target_cell_population objects per cell on average.
+    const double total = static_cast<double>(r.size() + s.size());
+    const double cells =
+        std::max(1.0, total / static_cast<double>(
+                                  options_.target_cell_population));
+    const int side = static_cast<int>(std::ceil(std::sqrt(cells)));
+    cols_ = rows_ = std::clamp(side, 1, 1024);
+  }
+
+  const UniformGrid grid(extent, cols_, rows_);
+  std::vector<std::vector<ObjectId>> r_cells = grid.Assign(r);
+  std::vector<std::vector<ObjectId>> s_cells = grid.Assign(s);
+
+  tasks_.reserve(grid.num_tiles());
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    if (r_cells[t].empty() || s_cells[t].empty()) continue;
+    CellTask task;
+    // Closing cells at the extent max keeps reference points that land
+    // exactly on the global boundary claimable (no cell beyond exists).
+    task.dedup_tile = CloseTileAtExtentMax(grid.TileBoxByIndex(t), extent);
+    task.r_ids = std::move(r_cells[t]);
+    task.s_ids = std::move(s_cells[t]);
+    tasks_.push_back(std::move(task));
+  }
+  // Largest batches first: under dynamic scheduling the expensive cells
+  // start early and the small ones backfill, tightening the makespan.
+  std::sort(tasks_.begin(), tasks_.end(),
+            [](const CellTask& a, const CellTask& b) {
+              return a.r_ids.size() * a.s_ids.size() >
+                     b.r_ids.size() * b.s_ids.size();
+            });
+  return Status::OK();
+}
+
+JoinResult PartitionedDriver::Execute(JoinStats* stats) {
+  JoinResult merged;
+  if (!planned_ || tasks_.empty()) return merged;
+
+  const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
+  // One accumulator per worker: no shared state (and no locks) while the
+  // cell joins run; merging happens once, after the pool drains.
+  std::vector<JoinResult> local_results(workers);
+  std::vector<JoinStats> local_stats(workers);
+
+  ParallelForWorker(
+      tasks_.size(), workers, options_.schedule,
+      [&](std::size_t task_index, std::size_t worker) {
+        const CellTask& task = tasks_[task_index];
+        if (options_.tile_join == TileJoin::kPlaneSweep) {
+          PlaneSweepTileJoin(*r_, *s_, task.r_ids, task.s_ids,
+                             &task.dedup_tile, &local_results[worker],
+                             &local_stats[worker]);
+        } else {
+          NestedLoopTileJoin(*r_, *s_, task.r_ids, task.s_ids,
+                             &task.dedup_tile, &local_results[worker],
+                             &local_stats[worker]);
+        }
+      });
+
+  std::size_t total = 0;
+  for (const JoinResult& lr : local_results) total += lr.size();
+  merged.Reserve(total);
+  for (std::size_t w = 0; w < workers; ++w) {
+    merged.Merge(std::move(local_results[w]));
+    if (stats != nullptr) *stats += local_stats[w];
+  }
+  return merged;
+}
+
+}  // namespace swiftspatial

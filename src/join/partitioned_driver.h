@@ -1,0 +1,85 @@
+// PartitionedDriver: the library's partition-parallel batched join driver.
+//
+// Both inputs are sharded onto a uniform grid (src/grid/uniform_grid.h,
+// multi-assignment: an object lands in every cell its MBR overlaps); each
+// cell with objects from both sides becomes one batched tile-join task
+// (plane sweep or nested loop); tasks are dispatched onto the shared
+// thread-pool machinery (src/common/thread_pool.h) with OpenMP-style static
+// or dynamic scheduling. Cross-cell duplicates -- a pair whose boxes
+// co-occupy several cells -- are eliminated with the PBSM reference-point
+// rule (Box::ReferencePointInTile): the pair is emitted only by the single
+// cell containing the bottom-left corner of the pair's intersection.
+//
+// The merge is lock-free on the hot path: every worker appends into its own
+// JoinResult/JoinStats accumulator (no shared state while joining), and the
+// per-worker buffers are concatenated once, after the pool drains. The
+// resulting multiset is therefore independent of the thread count and
+// schedule; only the pair order varies (canonicalise with JoinResult::Sort).
+#ifndef SWIFTSPATIAL_JOIN_PARTITIONED_DRIVER_H_
+#define SWIFTSPATIAL_JOIN_PARTITIONED_DRIVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+#include "grid/uniform_grid.h"
+#include "join/pbsm.h"
+#include "join/result.h"
+
+namespace swiftspatial {
+
+struct PartitionedDriverOptions {
+  /// Grid resolution. 0 = auto-size so the average cell holds roughly
+  /// `target_cell_population` objects.
+  int grid_cols = 0;
+  int grid_rows = 0;
+  /// Target objects per cell for auto-sizing (both sides combined).
+  std::size_t target_cell_population = 128;
+  std::size_t num_threads = 1;
+  Schedule schedule = Schedule::kDynamic;
+  /// Tile-level join within each cell.
+  TileJoin tile_join = TileJoin::kPlaneSweep;
+};
+
+/// Two-stage partition-parallel join driver. Plan shards the inputs onto the
+/// grid; Execute joins the populated cells on `num_threads` workers and
+/// merges the per-worker results. Execute may be called repeatedly after one
+/// Plan; the datasets given to Plan must outlive the last Execute.
+class PartitionedDriver {
+ public:
+  explicit PartitionedDriver(PartitionedDriverOptions options = {});
+
+  /// Validates options, derives the grid, and builds per-cell id lists.
+  Status Plan(const Dataset& r, const Dataset& s);
+
+  /// Joins all populated cells in parallel. `stats` may be null.
+  JoinResult Execute(JoinStats* stats = nullptr);
+
+  // Introspection (valid after Plan).
+  int grid_cols() const { return cols_; }
+  int grid_rows() const { return rows_; }
+  /// Cells where both inputs are populated (the parallel task count).
+  std::size_t num_tasks() const { return tasks_.size(); }
+
+ private:
+  struct CellTask {
+    Box dedup_tile;  // cell box, closed at the extent max (half-open rule)
+    std::vector<ObjectId> r_ids;
+    std::vector<ObjectId> s_ids;
+  };
+
+  PartitionedDriverOptions options_;
+  const Dataset* r_ = nullptr;
+  const Dataset* s_ = nullptr;
+  int cols_ = 0;
+  int rows_ = 0;
+  std::vector<CellTask> tasks_;
+  bool planned_ = false;
+};
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_JOIN_PARTITIONED_DRIVER_H_

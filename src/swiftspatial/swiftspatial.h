@@ -5,7 +5,8 @@
 // Typical flow (see examples/quickstart.cpp):
 //   Dataset           -- datagen/: generate, or load from CSV / binary
 //   PackedRTree       -- rtree/: STR/Hilbert bulk load, or RTree::Pack()
-//   join algorithms   -- join/: CPU baselines (sync traversal, PBSM, ...)
+//   join algorithms   -- join/: every algorithm behind the JoinEngine
+//                        registry (RunJoin("pbsm", r, s, config), ...)
 //   hw::Accelerator   -- hw/: the simulated SwiftSpatial device
 //   Refine            -- refine/: exact-geometry verification
 #ifndef SWIFTSPATIAL_SWIFTSPATIAL_H_
@@ -39,9 +40,11 @@
 #include "grid/uniform_grid.h"
 
 #include "join/cuspatial_like.h"
+#include "join/engine.h"
 #include "join/engine_baselines.h"
 #include "join/nested_loop.h"
 #include "join/parallel_sync_traversal.h"
+#include "join/partitioned_driver.h"
 #include "join/pbsm.h"
 #include "join/plane_sweep.h"
 #include "join/predicates.h"

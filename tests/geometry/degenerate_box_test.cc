@@ -1,0 +1,195 @@
+// Regression tests for degenerate boxes: zero-area (point) boxes, edge- and
+// corner-touching rectangles, and inverted min/max boxes. The partition
+// drivers' reference-point deduplication (ReferencePointInTile +
+// CloseTileAtExtentMax) depends on these exact boundary semantics, so each
+// property is pinned here: closed-boundary intersection, the
+// exactly-one-tile guarantee for reference points on tile edges, and
+// end-to-end agreement of the partitioned join with brute force on
+// degenerate data.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+#include "grid/uniform_grid.h"
+#include "join/nested_loop.h"
+#include "join/partitioned_driver.h"
+#include "join/result.h"
+
+namespace swiftspatial {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Zero-area boxes.
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateBox, ZeroAreaBoxIsNotEmpty) {
+  const Box point(5, 5, 5, 5);
+  EXPECT_FALSE(point.IsEmpty());  // a point is a valid (degenerate) box
+  EXPECT_DOUBLE_EQ(point.Area(), 0.0);
+  EXPECT_FLOAT_EQ(point.Width(), 0);
+  EXPECT_FLOAT_EQ(point.Height(), 0);
+}
+
+TEST(DegenerateBox, PointBoxIntersection) {
+  const Box point(5, 5, 5, 5);
+  // A point on a rectangle's boundary intersects it (closed boundaries).
+  EXPECT_TRUE(Intersects(point, Box(5, 5, 10, 10)));   // at min corner
+  EXPECT_TRUE(Intersects(point, Box(0, 0, 5, 5)));     // at max corner
+  EXPECT_TRUE(Intersects(point, Box(0, 5, 10, 5)));    // on a zero-height line
+  EXPECT_TRUE(Intersects(point, point));               // self
+  EXPECT_FALSE(Intersects(point, Box(5.001f, 5, 10, 10)));
+  // Intersection of coincident points is the point itself.
+  EXPECT_EQ(Intersection(point, point), point);
+  EXPECT_FALSE(Intersection(point, point).IsEmpty());
+}
+
+// ---------------------------------------------------------------------------
+// Touching edges.
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateBox, TouchingEdgesIntersect) {
+  const Box left(0, 0, 5, 5);
+  const Box right(5, 0, 10, 5);   // shares the x=5 edge
+  const Box above(0, 5, 5, 10);   // shares the y=5 edge
+  const Box corner(5, 5, 10, 10); // shares only the (5,5) corner
+  EXPECT_TRUE(Intersects(left, right));
+  EXPECT_TRUE(Intersects(left, above));
+  EXPECT_TRUE(Intersects(left, corner));
+
+  // The shared region is a degenerate (zero-width / zero-area) box, not an
+  // empty one: the reference-point rule relies on it having valid min
+  // coordinates.
+  EXPECT_EQ(Intersection(left, right), Box(5, 0, 5, 5));
+  EXPECT_FALSE(Intersection(left, right).IsEmpty());
+  EXPECT_EQ(Intersection(left, corner), Box(5, 5, 5, 5));
+}
+
+// ---------------------------------------------------------------------------
+// Inverted min/max boxes.
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateBox, InvertedBoxIsEmpty) {
+  const Box inverted(5, 5, 3, 3);  // min > max on both axes
+  EXPECT_TRUE(inverted.IsEmpty());
+  EXPECT_DOUBLE_EQ(inverted.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(inverted.Perimeter(), 0.0);
+  // The hardware predicate is the raw four-way comparison (Fig. 3) and does
+  // NOT special-case inverted boxes: an inverted box still "intersects" a
+  // box covering its span. Pinned here because the dedup rule and the join
+  // algorithms rely on inputs being valid (min <= max) boxes -- datasets
+  // must never contain inverted boxes.
+  EXPECT_TRUE(Intersects(inverted, Box(0, 0, 10, 10)));
+  // Against itself the comparisons fail (max < min on both axes).
+  EXPECT_FALSE(Intersects(inverted, inverted));
+  // Disjoint boxes produce exactly this inverted/empty shape from
+  // Intersection(); IsEmpty() is the canonical disjointness check.
+  EXPECT_TRUE(Intersection(Box(0, 0, 1, 1), Box(3, 3, 4, 4)).IsEmpty());
+  // Expand with an inverted box keeps Box::Empty() the Expand identity.
+  Box e = Box::Empty();
+  e.Expand(inverted);
+  EXPECT_TRUE(e.IsEmpty());
+}
+
+// ---------------------------------------------------------------------------
+// Reference-point dedup on boundaries: for any qualifying pair, exactly one
+// grid tile claims it, even when the reference point sits exactly on a tile
+// edge or on the global extent boundary.
+// ---------------------------------------------------------------------------
+
+int ClaimingTiles(const Box& r, const Box& s, const UniformGrid& grid) {
+  int claims = 0;
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    const Box tile = CloseTileAtExtentMax(grid.TileBoxByIndex(t), grid.extent());
+    if (ReferencePointInTile(r, s, tile)) ++claims;
+  }
+  return claims;
+}
+
+TEST(DegenerateBox, ReferencePointClaimedByExactlyOneTile) {
+  const Box extent(0, 0, 8, 8);
+  const UniformGrid grid(extent, 4, 4);  // tile edges at 0, 2, 4, 6, 8
+
+  struct Case {
+    const char* label;
+    Box r, s;
+  };
+  const Case cases[] = {
+      {"interior pair", Box(1, 1, 3, 3), Box(2.5, 2.5, 5, 5)},
+      {"reference point on a tile edge", Box(2, 2, 3, 3), Box(2, 2, 5, 5)},
+      {"edge-touching pair (zero-width intersection)", Box(0, 0, 2, 2),
+       Box(2, 0, 4, 2)},
+      {"corner-touching pair (point intersection)", Box(0, 0, 2, 2),
+       Box(2, 2, 4, 4)},
+      {"coincident points", Box(4, 4, 4, 4), Box(4, 4, 4, 4)},
+      {"point on the global max boundary", Box(8, 8, 8, 8), Box(6, 6, 8, 8)},
+      {"pair spanning the whole extent", Box(0, 0, 8, 8), Box(0, 0, 8, 8)},
+      {"reference point at the extent max corner", Box(7, 7, 8, 8),
+       Box(8, 8, 8, 8)},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(Intersects(c.r, c.s)) << c.label;
+    EXPECT_EQ(ClaimingTiles(c.r, c.s, grid), 1) << c.label;
+  }
+}
+
+TEST(DegenerateBox, CloseTileAtExtentMaxOnlyOpensBoundaryTiles) {
+  const Box extent(0, 0, 8, 8);
+  const UniformGrid grid(extent, 4, 4);
+  constexpr Coord kInf = std::numeric_limits<Coord>::infinity();
+  // Interior tile: untouched.
+  const Box interior = CloseTileAtExtentMax(grid.TileBox(1, 1), extent);
+  EXPECT_EQ(interior, grid.TileBox(1, 1));
+  // Top-right tile: both max edges pushed to +inf.
+  const Box top_right = CloseTileAtExtentMax(grid.TileBox(3, 3), extent);
+  EXPECT_EQ(top_right.max_x, kInf);
+  EXPECT_EQ(top_right.max_y, kInf);
+  EXPECT_EQ(top_right.min_x, grid.TileBox(3, 3).min_x);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the partitioned driver on degenerate data must agree with
+// brute force -- every pair found once, none dropped at cell boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateBox, PartitionedJoinHandlesDegenerateData) {
+  // A hostile mix: coincident points, points on what will be cell edges,
+  // zero-width lines, edge-touching rectangles, and full-extent spans.
+  std::vector<Box> r_boxes = {
+      Box(2, 2, 2, 2),  Box(2, 2, 2, 2),   // duplicate coincident points
+      Box(4, 4, 4, 4),                     // point on a likely cell corner
+      Box(0, 0, 0, 8),                     // zero-width vertical line
+      Box(0, 4, 8, 4),                     // zero-height horizontal line
+      Box(0, 0, 4, 4),  Box(4, 4, 8, 8),   // corner-touching squares
+      Box(0, 0, 8, 8),                     // the whole extent
+  };
+  std::vector<Box> s_boxes = {
+      Box(2, 2, 2, 2),                     // coincident with two R points
+      Box(4, 0, 4, 8),                     // zero-width line through centre
+      Box(4, 4, 8, 8),                     // touches several R objects
+      Box(8, 8, 8, 8),                     // point at the extent max corner
+      Box(1, 1, 3, 3),
+  };
+  const Dataset r("degenerate_r", std::move(r_boxes));
+  const Dataset s("degenerate_s", std::move(s_boxes));
+
+  JoinResult expected = BruteForceJoin(r, s);
+  ASSERT_GT(expected.size(), 0u);
+
+  for (const int grid_side : {1, 2, 4, 8}) {
+    PartitionedDriverOptions options;
+    options.grid_cols = grid_side;
+    options.grid_rows = grid_side;
+    options.num_threads = 2;
+    PartitionedDriver driver(options);
+    ASSERT_TRUE(driver.Plan(r, s).ok());
+    JoinResult got = driver.Execute();
+    EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+        << "grid " << grid_side << "x" << grid_side << ": expected "
+        << expected.size() << " pairs, got " << got.size();
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial

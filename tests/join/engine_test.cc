@@ -1,0 +1,317 @@
+// Tests for the unified JoinEngine API: registry lookup and registration,
+// per-engine config validation through Status, stage timing, and the
+// PartitionedDriver (cross-cell duplicate elimination, thread-count
+// determinism, lock-free merge).
+#include "join/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "join/nested_loop.h"
+#include "join/partitioned_driver.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(EngineRegistry, AllBuiltinsRegistered) {
+  const std::vector<std::string> names = EngineRegistry::Global().Names();
+  for (const char* expected :
+       {kNestedLoopEngine, kPlaneSweepEngine, kPbsmEngine,
+        kCuSpatialLikeEngine, kSyncTraversalEngine,
+        kParallelSyncTraversalEngine, kPartitionedEngine,
+        kInterpretedEngineBaseline, kBigDataFrameworkBaseline}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
+        << "missing builtin engine: " << expected;
+    EXPECT_TRUE(EngineRegistry::Global().Contains(expected));
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(EngineRegistry, UnknownEngineIsNotFound) {
+  const auto created = EngineRegistry::Global().Create("no_such_engine");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+  // The error lists the registered names so callers can self-diagnose.
+  EXPECT_NE(created.status().message().find(kNestedLoopEngine),
+            std::string::npos);
+
+  const Dataset r = testutil::Uniform(8, 1);
+  const auto run = RunJoin("no_such_engine", r, r);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineRegistry, RejectsEmptyNameAndDuplicates) {
+  EngineRegistry registry;
+  EXPECT_EQ(registry
+                .Register("", [](const EngineConfig&) {
+                  return std::unique_ptr<JoinEngine>();
+                })
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("x", nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  auto factory = [](const EngineConfig& config) {
+    auto created = EngineRegistry::Global().Create(kNestedLoopEngine, config);
+    return std::move(*created);
+  };
+  ASSERT_TRUE(registry.Register("x", factory).ok());
+  EXPECT_EQ(registry.Register("x", factory).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(registry.Contains("x"));
+}
+
+TEST(EngineRegistry, CustomEngineRunsThroughRegistry) {
+  EngineRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("alias_nested_loop",
+                            [](const EngineConfig& config) {
+                              auto created = EngineRegistry::Global().Create(
+                                  kNestedLoopEngine, config);
+                              return std::move(*created);
+                            })
+                  .ok());
+  const Dataset r = testutil::Uniform(64, 7);
+  const Dataset s = testutil::Uniform(64, 8);
+  auto engine = registry.Create("alias_nested_loop");
+  ASSERT_TRUE(engine.ok());
+  auto run = (*engine)->Run(r, s);
+  ASSERT_TRUE(run.ok());
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, run->result));
+}
+
+// ---------------------------------------------------------------------------
+// Config validation through Status.
+// ---------------------------------------------------------------------------
+
+TEST(EngineConfigValidation, RejectsBadConfigs) {
+  const Dataset r = testutil::Uniform(16, 1);
+  const Dataset s = testutil::Uniform(16, 2);
+
+  struct Case {
+    const char* engine;
+    EngineConfig config;
+  };
+  std::vector<Case> cases;
+  {
+    EngineConfig c;
+    c.num_threads = 0;  // every engine rejects this
+    cases.push_back({kPartitionedEngine, c});
+    cases.push_back({kPbsmEngine, c});
+    cases.push_back({kNestedLoopEngine, c});
+  }
+  {
+    EngineConfig c;
+    c.num_partitions = 0;
+    cases.push_back({kPbsmEngine, c});
+    cases.push_back({kBigDataFrameworkBaseline, c});
+  }
+  {
+    EngineConfig c;
+    c.node_capacity = 1;
+    cases.push_back({kSyncTraversalEngine, c});
+    cases.push_back({kParallelSyncTraversalEngine, c});
+  }
+  {
+    EngineConfig c;
+    c.dfs_switch_factor = 0;
+    cases.push_back({kParallelSyncTraversalEngine, c});
+  }
+  {
+    EngineConfig c;
+    c.batch_size = 0;
+    cases.push_back({kCuSpatialLikeEngine, c});
+  }
+  {
+    EngineConfig c;
+    c.grid_cols = 4;  // rows left 0: half-specified grid
+    cases.push_back({kPartitionedEngine, c});
+  }
+  {
+    EngineConfig c;
+    c.grid_cols = c.grid_rows = 1 << 20;  // cols * rows would overflow int
+    cases.push_back({kPartitionedEngine, c});
+  }
+  for (const Case& test_case : cases) {
+    const auto run = RunJoin(test_case.engine, r, s, test_case.config);
+    ASSERT_FALSE(run.ok()) << test_case.engine;
+    EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument)
+        << test_case.engine << ": " << run.status().ToString();
+  }
+}
+
+TEST(EngineConfigValidation, CuSpatialRequiresPointR) {
+  const Dataset rects = testutil::Uniform(32, 3);
+  const auto run = RunJoin(kCuSpatialLikeEngine, rects, rects);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineLifecycle, ExecuteBeforePlanFails) {
+  auto engine = EngineRegistry::Global().Create(kNestedLoopEngine);
+  ASSERT_TRUE(engine.ok());
+  JoinResult out;
+  JoinStats stats;
+  EXPECT_FALSE((*engine)->Execute(&out, &stats).ok());
+}
+
+// Execute overwrites *out on every call: repeated Execute after one Plan
+// must yield identical results for every engine, including the tile-join
+// based ones whose implementations append into the output.
+TEST(EngineLifecycle, RepeatedExecuteIsIdempotent) {
+  const Dataset r = testutil::Uniform(128, 13);
+  const Dataset s = testutil::Uniform(128, 14);
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    if (name == kCuSpatialLikeEngine) continue;  // needs a point R
+    auto engine = EngineRegistry::Global().Create(name);
+    ASSERT_TRUE(engine.ok()) << name;
+    ASSERT_TRUE((*engine)->Plan(r, s).ok()) << name;
+    JoinResult first, second;
+    ASSERT_TRUE((*engine)->Execute(&second, nullptr).ok()) << name;
+    first = second;  // keep a copy; reuse `second` for the repeat call
+    ASSERT_TRUE((*engine)->Execute(&second, nullptr).ok()) << name;
+    EXPECT_TRUE(JoinResult::SameMultiset(first, second))
+        << name << ": repeated Execute diverged (" << first.size() << " vs "
+        << second.size() << " pairs)";
+  }
+}
+
+TEST(EngineRun, ReportsStageTimingAndStats) {
+  const Dataset r = testutil::Uniform(256, 11);
+  const Dataset s = testutil::Uniform(256, 12);
+  auto run = RunJoin(kSyncTraversalEngine, r, s);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->result.size(), 0u);
+  EXPECT_GT(run->stats.predicate_evaluations, 0u);
+  EXPECT_GE(run->timing.plan_seconds, 0.0);
+  EXPECT_GE(run->timing.execute_seconds, 0.0);
+  EXPECT_GE(run->timing.total_seconds(),
+            run->timing.plan_seconds + run->timing.execute_seconds - 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedDriver.
+// ---------------------------------------------------------------------------
+
+// Objects spanning many cells must still be reported exactly once: the
+// datasets use boxes large relative to the cell size so almost every pair is
+// seen by several cells.
+TEST(PartitionedDriver, EliminatesCrossCellDuplicates) {
+  const Dataset r = testutil::Uniform(300, 21, /*map=*/100.0, /*max_edge=*/25.0);
+  const Dataset s = testutil::Uniform(300, 22, /*map=*/100.0, /*max_edge=*/25.0);
+
+  PartitionedDriverOptions options;
+  options.grid_cols = 8;  // cell edge 12.5 < max box edge 25: heavy overlap
+  options.grid_rows = 8;
+  options.num_threads = 2;
+  PartitionedDriver driver(options);
+  ASSERT_TRUE(driver.Plan(r, s).ok());
+  EXPECT_EQ(driver.grid_cols(), 8);
+  EXPECT_EQ(driver.grid_rows(), 8);
+  EXPECT_GT(driver.num_tasks(), 1u);
+
+  JoinStats stats;
+  JoinResult got = driver.Execute(&stats);
+  EXPECT_GT(stats.tasks, 1u);
+
+  // No pair may appear twice.
+  got.Sort();
+  const auto& pairs = got.pairs();
+  EXPECT_TRUE(std::adjacent_find(pairs.begin(), pairs.end()) == pairs.end())
+      << "duplicate pairs survived reference-point dedup";
+
+  JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+TEST(PartitionedDriver, MergeIsDeterministicAcrossThreadCounts) {
+  const Dataset r = testutil::Uniform(500, 31, /*map=*/200.0, /*max_edge=*/8.0);
+  const Dataset s = testutil::Uniform(500, 32, /*map=*/200.0, /*max_edge=*/8.0);
+
+  std::vector<ResultPair> reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const Schedule schedule : {Schedule::kStatic, Schedule::kDynamic}) {
+      PartitionedDriverOptions options;
+      options.num_threads = threads;
+      options.schedule = schedule;
+      PartitionedDriver driver(options);
+      ASSERT_TRUE(driver.Plan(r, s).ok());
+      JoinResult got = driver.Execute();
+      got.Sort();
+      if (reference.empty()) {
+        reference = got.pairs();
+        EXPECT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(got.pairs(), reference)
+            << "threads=" << threads
+            << " schedule=" << ScheduleToString(schedule);
+      }
+    }
+  }
+}
+
+TEST(PartitionedDriver, TileJoinVariantsAgree) {
+  const Dataset r = testutil::Uniform(400, 41);
+  const Dataset s = testutil::Uniform(400, 42);
+  JoinResult results[2];
+  for (const TileJoin tile_join : {TileJoin::kPlaneSweep, TileJoin::kNestedLoop}) {
+    PartitionedDriverOptions options;
+    options.tile_join = tile_join;
+    options.num_threads = 2;
+    PartitionedDriver driver(options);
+    ASSERT_TRUE(driver.Plan(r, s).ok());
+    results[tile_join == TileJoin::kNestedLoop] = driver.Execute();
+  }
+  EXPECT_TRUE(JoinResult::SameMultiset(results[0], results[1]));
+}
+
+TEST(PartitionedDriver, EmptyAndDisjointInputs) {
+  const Dataset empty;
+  const Dataset some = testutil::Uniform(10, 51);
+
+  PartitionedDriver driver;
+  ASSERT_TRUE(driver.Plan(empty, some).ok());
+  EXPECT_EQ(driver.Execute().size(), 0u);
+  EXPECT_EQ(driver.num_tasks(), 0u);
+
+  PartitionedDriver driver2;
+  ASSERT_TRUE(driver2.Plan(some, empty).ok());
+  EXPECT_EQ(driver2.Execute().size(), 0u);
+
+  // Far-apart datasets: plenty of cells, zero co-populated ones.
+  Dataset left("left", {Box(0, 0, 1, 1), Box(2, 2, 3, 3)});
+  Dataset right("right", {Box(100, 100, 101, 101)});
+  PartitionedDriver driver3;
+  ASSERT_TRUE(driver3.Plan(left, right).ok());
+  EXPECT_EQ(driver3.Execute().size(), 0u);
+}
+
+// The engine wrapper must agree with the nested-loop oracle and dedup under
+// auto-sized grids too.
+TEST(PartitionedEngine, AgreesWithOracleThroughRegistry) {
+  const Dataset r = testutil::Uniform(600, 61);
+  const Dataset s = testutil::Skewed(600, 62);
+  EngineConfig config;
+  config.num_threads = 4;
+  auto run = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(run.ok());
+  JoinResult expected = BruteForceJoin(r, s);
+  ASSERT_GT(expected.size(), 0u);  // the comparison must not be vacuous
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, run->result));
+  EXPECT_GT(run->stats.tasks, 0u);
+}
+
+}  // namespace
+}  // namespace swiftspatial

@@ -7,9 +7,11 @@
 
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "grid/hierarchical_partition.h"
 #include "hw/accelerator.h"
+#include "join/engine.h"
 #include "join/engine_baselines.h"
 #include "join/nested_loop.h"
 #include "join/parallel_sync_traversal.h"
@@ -121,6 +123,114 @@ INSTANTIATE_TEST_SUITE_P(
       return ShapeName(std::get<0>(info.param)) +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Registry-driven property oracle: every engine in the global registry is
+// checked pair-wise against the nested-loop reference on random datasets at
+// several densities, across thread counts 1/2/8. New engines registered in
+// EngineRegistry::Global() are picked up automatically -- registering an
+// algorithm is what opts it into the oracle.
+// ---------------------------------------------------------------------------
+
+/// cuSpatial's structure only supports point-in-polygon joins; every other
+/// engine handles the general rectangle-rectangle case.
+bool IsPointOnlyEngine(const std::string& name) {
+  return name == kCuSpatialLikeEngine;
+}
+
+struct DensityCase {
+  const char* label;
+  double map_size;
+  double max_edge;  // larger edges on the same map = denser joins
+};
+
+class EngineOracleTest : public ::testing::TestWithParam<DensityCase> {};
+
+TEST_P(EngineOracleTest, EveryRegisteredEngineMatchesNestedLoop) {
+  const DensityCase density = GetParam();
+  const uint64_t scale = 400;
+  const Dataset rects_r =
+      testutil::Uniform(scale, 71, density.map_size, density.max_edge);
+  const Dataset rects_s =
+      testutil::Skewed(scale, 72, density.map_size);
+  const Dataset points_r = testutil::UniformPoints(scale, 73, density.map_size);
+
+  JoinResult rect_oracle = BruteForceJoin(rects_r, rects_s);
+  JoinResult point_oracle = BruteForceJoin(points_r, rects_s);
+
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    const bool point_only = IsPointOnlyEngine(name);
+    const Dataset& r = point_only ? points_r : rects_r;
+    JoinResult& oracle = point_only ? point_oracle : rect_oracle;
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      EngineConfig config;
+      config.num_threads = threads;
+      config.num_partitions = 16;  // small stripes stress dedup at test scale
+      auto run = RunJoin(name, r, rects_s, config);
+      ASSERT_TRUE(run.ok()) << name << " threads=" << threads << ": "
+                            << run.status().ToString();
+      EXPECT_TRUE(JoinResult::SameMultiset(oracle, run->result))
+          << name << " threads=" << threads << " density=" << density.label
+          << ": expected " << oracle.size() << " pairs, got "
+          << run->result.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, EngineOracleTest,
+    ::testing::Values(DensityCase{"Sparse", 4000.0, 4.0},
+                      DensityCase{"Medium", 1000.0, 10.0},
+                      DensityCase{"Dense", 300.0, 20.0}),
+    [](const ::testing::TestParamInfo<DensityCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// Empty inputs and single-element datasets must be handled by every engine
+// -- no crashes, no spurious pairs, and the one qualifying pair found.
+TEST(EngineOracleEdgeCases, EmptyAndSingleElementInputs) {
+  const Dataset empty;
+  const Dataset one_rect("one", {Box(10, 10, 20, 20)});
+  const Dataset touching("touch", {Box(20, 20, 30, 30)});  // shares a corner
+  const Dataset disjoint("far", {Box(100, 100, 101, 101)});
+  const Dataset one_point("pt", {Box(15, 15, 15, 15)});
+
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    const bool point_only = IsPointOnlyEngine(name);
+    const Dataset& single_r = point_only ? one_point : one_rect;
+
+    // Empty on either (or both) sides joins to the empty set.
+    for (const auto& [r, s] : std::vector<std::pair<const Dataset*, const Dataset*>>{
+             {&empty, &one_rect}, {&single_r, &empty}, {&empty, &empty}}) {
+      auto run = RunJoin(name, *r, *s);
+      ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+      EXPECT_EQ(run->result.size(), 0u) << name;
+    }
+
+    // Single overlapping pair: exactly one result, ids (0, 0).
+    {
+      auto run = RunJoin(name, single_r, one_rect);
+      ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+      ASSERT_EQ(run->result.size(), 1u) << name;
+      EXPECT_EQ(run->result.pairs()[0], (ResultPair{0, 0})) << name;
+    }
+
+    // Corner-touching rectangles intersect under closed-boundary semantics.
+    if (!point_only) {
+      auto run = RunJoin(name, one_rect, touching);
+      ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+      EXPECT_EQ(run->result.size(), 1u) << name;
+    }
+
+    // Disjoint single elements: nothing.
+    {
+      auto run = RunJoin(name, single_r, disjoint);
+      ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+      EXPECT_EQ(run->result.size(), 0u) << name;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace swiftspatial
