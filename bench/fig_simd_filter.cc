@@ -1,0 +1,138 @@
+// Scalar-vs-SIMD MBR filter sweep: the microbenchmark behind the BoxBlock /
+// simd_filter subsystem. A block of candidate MBRs is filtered by a batch of
+// probe boxes three ways --
+//   aos_scalar  : per-pair geometry::Intersects over the array-of-structs
+//                 Box layout (the pre-SIMD tile-join inner loop),
+//   soa_scalar  : the same comparisons over BoxBlock's SoA arrays
+//                 (NestedLoopTileJoin's rewired inner loop),
+//   simd_kernel : the batched bitmask kernel (FilterBoxBlock; AVX2 when the
+//                 binary is compiled with -mavx2/-march=native, otherwise
+//                 the auto-vectorized scalar fallback)
+// -- and predicate throughput (million MBR pairs per second) is reported.
+// All three paths must agree on the match count; the sweep aborts if not.
+//
+// Default: 64 probes x 100k candidates = 6.4M pairs per pass. --scale=N
+// changes the candidate count (--scale=1000000 for a 64M-pair sweep);
+// --reps=N the timed repetitions.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "geometry/box_block.h"
+#include "join/simd_filter.h"
+
+namespace swiftspatial::bench {
+namespace {
+
+constexpr int kProbes = 64;
+
+int Main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::Parse(argc, argv, /*default_scale=*/100000);
+
+  std::printf("SIMD filter kernel sweep (backend: %s)\n", SimdFilterBackend());
+  TablePrinter table(
+      "Batched MBR filter: predicate throughput, one probe vs N candidates",
+      {"candidates", "pairs", "matches", "aos_scalar_Mp/s", "soa_scalar_Mp/s",
+       "simd_kernel_Mp/s", "kernel_vs_aos"});
+
+  for (const uint64_t scale : env.scales) {
+    // Uniform rectangles at a density giving a few matches per probe, so the
+    // match-recording branch is exercised but does not dominate.
+    UniformConfig cfg;
+    cfg.count = scale;
+    cfg.map.map_size = 1000.0;
+    cfg.min_edge = 0.5;
+    cfg.max_edge = 4.0;
+    cfg.seed = 7001;
+    const Dataset candidates = GenerateUniform(cfg);
+    const BoxBlock block = BoxBlock::FromBoxes(candidates.boxes());
+
+    Rng rng(7002);
+    std::vector<Box> probes;
+    probes.reserve(kProbes);
+    for (int p = 0; p < kProbes; ++p) {
+      const Coord x = static_cast<Coord>(rng.Uniform(0, 990));
+      const Coord y = static_cast<Coord>(rng.Uniform(0, 990));
+      probes.push_back(Box(x, y, x + 10, y + 10));
+    }
+
+    const uint64_t pairs = static_cast<uint64_t>(kProbes) * scale;
+    uint64_t aos_matches = 0, soa_matches = 0, simd_matches = 0;
+
+    const double aos_sec = MedianSeconds(
+        [&] {
+          uint64_t m = 0;
+          for (const Box& probe : probes) {
+            for (const Box& c : candidates.boxes()) {
+              m += Intersects(probe, c);
+            }
+          }
+          aos_matches = m;
+        },
+        env.reps);
+
+    const double soa_sec = MedianSeconds(
+        [&] {
+          uint64_t m = 0;
+          const std::size_t n = block.size();
+          const Coord* min_x = block.min_x();
+          const Coord* min_y = block.min_y();
+          const Coord* max_x = block.max_x();
+          const Coord* max_y = block.max_y();
+          for (const Box& probe : probes) {
+            for (std::size_t i = 0; i < n; ++i) {
+              m += probe.max_x >= min_x[i] && max_x[i] >= probe.min_x &&
+                   probe.max_y >= min_y[i] && max_y[i] >= probe.min_y;
+            }
+          }
+          soa_matches = m;
+        },
+        env.reps);
+
+    std::vector<uint64_t> mask(FilterMaskWords(block.size()));
+    const double simd_sec = MedianSeconds(
+        [&] {
+          uint64_t m = 0;
+          for (const Box& probe : probes) {
+            FilterBoxBlock(probe, block, mask.data());
+            for (const uint64_t word : mask) {
+              m += static_cast<uint64_t>(__builtin_popcountll(word));
+            }
+          }
+          simd_matches = m;
+        },
+        env.reps);
+
+    if (aos_matches != soa_matches || aos_matches != simd_matches) {
+      std::fprintf(stderr,
+                   "FATAL: paths disagree (aos=%llu soa=%llu simd=%llu)\n",
+                   static_cast<unsigned long long>(aos_matches),
+                   static_cast<unsigned long long>(soa_matches),
+                   static_cast<unsigned long long>(simd_matches));
+      return 1;
+    }
+
+    const auto mpps = [&](double sec) {
+      return static_cast<double>(pairs) / sec / 1e6;
+    };
+    table.AddRow({std::to_string(scale), std::to_string(pairs),
+                  std::to_string(aos_matches),
+                  TablePrinter::Fmt(mpps(aos_sec), 0),
+                  TablePrinter::Fmt(mpps(soa_sec), 0),
+                  TablePrinter::Fmt(mpps(simd_sec), 0),
+                  Speedup(aos_sec, simd_sec)});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: the SoA layout alone beats the strided AoS loop, and "
+      "the batched kernel widens the gap further (largest with the avx2 "
+      "backend; the scalar backend relies on compiler auto-vectorization of "
+      "the same loop).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swiftspatial::bench
+
+int main(int argc, char** argv) { return swiftspatial::bench::Main(argc, argv); }

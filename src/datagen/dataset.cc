@@ -1,5 +1,6 @@
 #include "datagen/dataset.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -24,6 +25,24 @@ Box Dataset::Extent() const {
   Box out = Box::Empty();
   for (const Box& b : boxes_) out.Expand(b);
   return out;
+}
+
+Status Dataset::ValidateBoxes() const {
+  for (std::size_t i = 0; i < boxes_.size(); ++i) {
+    const Box& b = boxes_[i];
+    if (!std::isfinite(b.min_x) || !std::isfinite(b.min_y) ||
+        !std::isfinite(b.max_x) || !std::isfinite(b.max_y)) {
+      return Status::InvalidArgument(
+          "dataset \"" + name_ + "\": box " + std::to_string(i) +
+          " has a non-finite coordinate: " + b.ToString());
+    }
+    if (b.min_x > b.max_x || b.min_y > b.max_y) {
+      return Status::InvalidArgument(
+          "dataset \"" + name_ + "\": box " + std::to_string(i) +
+          " is inverted (min > max): " + b.ToString());
+    }
+  }
+  return Status::OK();
 }
 
 bool Dataset::IsPointDataset() const {

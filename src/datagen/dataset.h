@@ -39,6 +39,12 @@ class Dataset {
   /// True if every box is a point (zero width and height).
   bool IsPointDataset() const;
 
+  /// OK iff every box is well-formed: all four coordinates finite and
+  /// min <= max on both axes. Engines enforce this at Plan time
+  /// (EngineConfig::validate_inputs); indexes and the reference-point dedup
+  /// rule are only specified for valid boxes.
+  Status ValidateBoxes() const;
+
   /// Writes the dataset to `path` in a little-endian binary format:
   /// magic, version, count, then count * 4 float32 coordinates.
   Status SaveTo(const std::string& path) const;

@@ -115,15 +115,18 @@ inline bool ReferencePointInTile(const Box& r, const Box& s, const Box& tile) {
          ix.min_y >= tile.min_y && ix.min_y < tile.max_y;
 }
 
-/// Prepares a tile for use with ReferencePointInTile: edges that coincide
-/// with the data extent's max are pushed to +infinity, because the
-/// half-open rule would otherwise drop pairs whose reference point sits
-/// exactly on the global boundary (no tile to the right/above exists to
-/// claim them). Partitioners apply this to every emitted dedup tile.
-inline Box CloseTileAtExtentMax(Box tile, const Box& extent) {
+/// Prepares a tile for use with ReferencePointInTile: the max edge of the
+/// last tile along each axis is pushed to +infinity, because the half-open
+/// rule would otherwise drop pairs whose reference point sits exactly on the
+/// global boundary (no tile to the right/above exists to claim them). The
+/// caller states which tile is last (partitioners know their structure);
+/// deciding by comparing coordinates against the extent max instead would
+/// open EVERY tile whose float-rounded max edge collides with the extent max
+/// -- overlapping half-open ranges that double-claim pairs.
+inline Box CloseLastTile(Box tile, bool last_x, bool last_y) {
   constexpr Coord kInf = std::numeric_limits<Coord>::infinity();
-  if (tile.max_x >= extent.max_x) tile.max_x = kInf;
-  if (tile.max_y >= extent.max_y) tile.max_y = kInf;
+  if (last_x) tile.max_x = kInf;
+  if (last_y) tile.max_y = kInf;
   return tile;
 }
 

@@ -1,0 +1,48 @@
+#include "geometry/box_block.h"
+
+namespace swiftspatial {
+
+BoxBlock BoxBlock::FromBoxes(const std::vector<Box>& boxes) {
+  BoxBlock block;
+  block.Reserve(boxes.size());
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    block.Add(boxes[i], static_cast<ObjectId>(i));
+  }
+  return block;
+}
+
+BoxBlock BoxBlock::FromSubset(const Dataset& dataset,
+                              const std::vector<ObjectId>& ids) {
+  BoxBlock block;
+  block.Reserve(ids.size());
+  for (ObjectId id : ids) {
+    block.Add(dataset.box(static_cast<std::size_t>(id)), id);
+  }
+  return block;
+}
+
+void BoxBlock::Reserve(std::size_t n) {
+  min_x_.reserve(n);
+  min_y_.reserve(n);
+  max_x_.reserve(n);
+  max_y_.reserve(n);
+  ids_.reserve(n);
+}
+
+void BoxBlock::Add(const Box& b, ObjectId id) {
+  min_x_.push_back(b.min_x);
+  min_y_.push_back(b.min_y);
+  max_x_.push_back(b.max_x);
+  max_y_.push_back(b.max_y);
+  ids_.push_back(id);
+}
+
+void BoxBlock::Clear() {
+  min_x_.clear();
+  min_y_.clear();
+  max_x_.clear();
+  max_y_.clear();
+  ids_.clear();
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,62 @@
+// BoxBlock: a structure-of-arrays MBR layout for batched predicate
+// evaluation. Where Box stores one rectangle's four coordinates together
+// (array-of-structures), BoxBlock keeps xmin/ymin/xmax/ymax in four separate
+// contiguous arrays so a vectorized filter kernel (join/simd_filter.h) can
+// load one coordinate of W candidates with a single aligned-width read --
+// the CPU-side analogue of the parallel comparator banks in the SwiftSpatial
+// join unit. Each slot also carries the object id it was built from, so
+// blocks can represent arbitrary subsets (per-cell id lists) of a Dataset.
+#ifndef SWIFTSPATIAL_GEOMETRY_BOX_BLOCK_H_
+#define SWIFTSPATIAL_GEOMETRY_BOX_BLOCK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+
+namespace swiftspatial {
+
+/// Structure-of-arrays block of MBRs plus their object ids.
+class BoxBlock {
+ public:
+  BoxBlock() = default;
+
+  /// Block over all of `boxes`, slot i carrying id i.
+  static BoxBlock FromBoxes(const std::vector<Box>& boxes);
+
+  /// Block over the subset of `dataset` named by `ids`, in `ids` order; slot
+  /// i carries ids[i].
+  static BoxBlock FromSubset(const Dataset& dataset,
+                             const std::vector<ObjectId>& ids);
+
+  void Reserve(std::size_t n);
+  void Add(const Box& b, ObjectId id);
+  void Clear();
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  ObjectId id(std::size_t i) const { return ids_[i]; }
+  Box BoxAt(std::size_t i) const {
+    return Box(min_x_[i], min_y_[i], max_x_[i], max_y_[i]);
+  }
+
+  // Contiguous coordinate arrays (each size() long).
+  const Coord* min_x() const { return min_x_.data(); }
+  const Coord* min_y() const { return min_y_.data(); }
+  const Coord* max_x() const { return max_x_.data(); }
+  const Coord* max_y() const { return max_y_.data(); }
+  const std::vector<ObjectId>& ids() const { return ids_; }
+
+ private:
+  std::vector<Coord> min_x_;
+  std::vector<Coord> min_y_;
+  std::vector<Coord> max_x_;
+  std::vector<Coord> max_y_;
+  std::vector<ObjectId> ids_;
+};
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_GEOMETRY_BOX_BLOCK_H_

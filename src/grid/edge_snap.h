@@ -1,0 +1,40 @@
+// Shared 1-D index-range snapping for partitioners with float-rounded cell
+// boundaries. Grid columns/rows and PBSM stripes all estimate which cells an
+// interval [bmin, bmax] overlaps with double arithmetic, but the cells
+// themselves (which double as reference-point dedup tiles) carry
+// Coord-rounded edges: when a boundary is not float-representable the
+// rounded edge can sit to either side of the double value -- and far from
+// the origin runs of MANY consecutive boundaries collapse onto one float,
+// putting the owning cell arbitrarily far from the estimate. Objects must be
+// assigned to every cell whose closed rounded-edge interval touches theirs,
+// or the dedup rule claims pairs for cells that never saw them and results
+// are silently dropped. This helper is the single implementation of that
+// snap; UniformGrid::TileRange (per axis) and pbsm's AssignToStripes both
+// call it so the boundary semantics cannot drift apart.
+#ifndef SWIFTSPATIAL_GRID_EDGE_SNAP_H_
+#define SWIFTSPATIAL_GRID_EDGE_SNAP_H_
+
+#include "geometry/point.h"
+
+namespace swiftspatial {
+
+/// Snaps an estimated inclusive cell range [*p0, *p1] (pre-seeded with the
+/// clamped double-arithmetic estimates, both in [0, n-1]) to the actual
+/// rounded edges: on return, [*p0, *p1] covers exactly the cells k whose
+/// closed interval [edge(k), edge(k+1)] intersects [bmin, bmax], assuming
+/// edges are non-decreasing. `edge(k)` for k in 0..n is boundary k -- the
+/// min edge of cell k and the max edge of cell k-1 -- exactly as the
+/// partitioner's cell boxes report it. Each loop runs once for ULP-sized
+/// disagreements and walks through runs of collapsed (equal) edges.
+template <typename EdgeFn>
+inline void SnapIndexRangeToEdges(Coord bmin, Coord bmax, int n,
+                                  const EdgeFn& edge, int* p0, int* p1) {
+  while (*p0 > 0 && edge(*p0) >= bmin) --*p0;
+  while (*p0 < n - 1 && edge(*p0 + 1) < bmin) ++*p0;
+  while (*p1 < n - 1 && edge(*p1 + 1) <= bmax) ++*p1;
+  while (*p1 > 0 && edge(*p1) > bmax) --*p1;
+}
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_GRID_EDGE_SNAP_H_

@@ -13,10 +13,15 @@ struct Splitter {
   const Dataset& r;
   const Dataset& s;
   const HierarchicalPartitionOptions& options;
-  const Box extent;
   HierarchicalPartition* out;
 
-  void Emit(TileTask task, int depth) {
+  // `last_x` / `last_y` track whether the tile is the globally right-/top-
+  // most along its axis; the emitted dedup tile is closed to +inf exactly
+  // there (CloseLastTile). Deciding by coordinate comparison against the
+  // extent max instead would open EVERY tile whose rounded max edge
+  // collides with the extent max -- overlapping half-open ranges that
+  // double-claim pairs once multi-assignment places objects in all of them.
+  void Emit(TileTask task, int depth, bool last_x, bool last_y) {
     const uint64_t work = static_cast<uint64_t>(task.r_objects.size()) *
                           task.s_objects.size();
     const uint64_t cap2 = static_cast<uint64_t>(options.tile_cap) *
@@ -25,39 +30,45 @@ struct Splitter {
     if (work <= cap2) {
       // The emitted tile is the join's dedup tile; keep the global
       // boundary closed (splitting above used the raw geometry).
-      task.tile = CloseTileAtExtentMax(task.tile, extent);
+      task.tile = CloseLastTile(task.tile, last_x, last_y);
       out->tasks.push_back(std::move(task));
       return;
     }
     if (depth >= options.max_depth) {
       ++out->over_cap_tiles;
-      task.tile = CloseTileAtExtentMax(task.tile, extent);
+      task.tile = CloseLastTile(task.tile, last_x, last_y);
       out->tasks.push_back(std::move(task));
       return;
     }
-    // Quarter the tile and re-assign its objects.
+    // Quarter the tile and re-assign its objects. Only the x-high halves of
+    // a globally-rightmost tile stay rightmost (ditto y-high / topmost).
     const Point c = task.tile.Center();
-    const Box quads[4] = {
-        Box(task.tile.min_x, task.tile.min_y, c.x, c.y),
-        Box(c.x, task.tile.min_y, task.tile.max_x, c.y),
-        Box(task.tile.min_x, c.y, c.x, task.tile.max_y),
-        Box(c.x, c.y, task.tile.max_x, task.tile.max_y),
+    struct Quad {
+      Box box;
+      bool last_x;
+      bool last_y;
     };
-    for (const Box& q : quads) {
+    const Quad quads[4] = {
+        {Box(task.tile.min_x, task.tile.min_y, c.x, c.y), false, false},
+        {Box(c.x, task.tile.min_y, task.tile.max_x, c.y), last_x, false},
+        {Box(task.tile.min_x, c.y, c.x, task.tile.max_y), false, last_y},
+        {Box(c.x, c.y, task.tile.max_x, task.tile.max_y), last_x, last_y},
+    };
+    for (const Quad& q : quads) {
       TileTask sub;
-      sub.tile = q;
+      sub.tile = q.box;
       for (ObjectId id : task.r_objects) {
-        if (Intersects(r.box(static_cast<std::size_t>(id)), q)) {
+        if (Intersects(r.box(static_cast<std::size_t>(id)), q.box)) {
           sub.r_objects.push_back(id);
         }
       }
       if (sub.r_objects.empty()) continue;
       for (ObjectId id : task.s_objects) {
-        if (Intersects(s.box(static_cast<std::size_t>(id)), q)) {
+        if (Intersects(s.box(static_cast<std::size_t>(id)), q.box)) {
           sub.s_objects.push_back(id);
         }
       }
-      Emit(std::move(sub), depth + 1);
+      Emit(std::move(sub), depth + 1, q.last_x, q.last_y);
     }
   }
 };
@@ -80,14 +91,14 @@ HierarchicalPartition PartitionHierarchical(
   auto r_assign = grid.Assign(r);
   auto s_assign = grid.Assign(s);
 
-  Splitter splitter{r, s, options, extent, &out};
+  Splitter splitter{r, s, options, &out};
   for (int t = 0; t < grid.num_tiles(); ++t) {
     if (r_assign[t].empty() || s_assign[t].empty()) continue;
     TileTask task;
     task.tile = grid.TileBoxByIndex(t);
     task.r_objects = std::move(r_assign[t]);
     task.s_objects = std::move(s_assign[t]);
-    splitter.Emit(std::move(task), 0);
+    splitter.Emit(std::move(task), 0, grid.IsLastCol(t), grid.IsLastRow(t));
   }
   return out;
 }

@@ -3,28 +3,53 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "grid/edge_snap.h"
 
 namespace swiftspatial {
 
 namespace {
 
 // Assigns every object to the stripes its extent overlaps along the axis.
-void AssignToStripes(const Dataset& dataset, const Box& extent, Axis axis,
-                     int num_partitions,
+// The stripe index is estimated with double arithmetic and snapped to the
+// stripes' float-rounded edges (grid/edge_snap.h) -- a fixed widening is
+// not enough, because far from the origin MANY consecutive edges can
+// collapse onto one float value and the owning stripe can be arbitrarily
+// far from the double estimate.
+void AssignToStripes(const Dataset& dataset, const std::vector<Box>& stripes,
+                     const Box& extent, Axis axis,
                      std::vector<std::vector<ObjectId>>* parts) {
+  const int num_partitions = static_cast<int>(stripes.size());
   const double lo = axis == Axis::kX ? extent.min_x : extent.min_y;
   const double hi = axis == Axis::kX ? extent.max_x : extent.max_y;
   const double width = (hi - lo) / num_partitions;
+  // Rounded stripe boundary k (0..num_partitions): the min edge of stripe k
+  // and the max edge of stripe k-1, read from the boxes the stripes actually
+  // carry (the last stripe's max is closed to +inf for dedup, so boundary
+  // `num_partitions` is the extent max instead).
+  const Coord hi_edge = axis == Axis::kX ? extent.max_x : extent.max_y;
+  auto edge = [&](int k) -> Coord {
+    if (k >= num_partitions) return hi_edge;
+    return axis == Axis::kX ? stripes[k].min_x : stripes[k].min_y;
+  };
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     const Box& b = dataset.box(i);
-    const double bmin = axis == Axis::kX ? b.min_x : b.min_y;
-    const double bmax = axis == Axis::kX ? b.max_x : b.max_y;
-    int p0 = width > 0 ? static_cast<int>((bmin - lo) / width) : 0;
-    int p1 = width > 0 ? static_cast<int>((bmax - lo) / width) : 0;
-    p0 = std::clamp(p0, 0, num_partitions - 1);
-    p1 = std::clamp(p1, 0, num_partitions - 1);
+    const Coord bmin = axis == Axis::kX ? b.min_x : b.min_y;
+    const Coord bmax = axis == Axis::kX ? b.max_x : b.max_y;
+    // A zero-width axis collapses every stripe onto the same line; the
+    // single LAST stripe is used by convention, matching CloseLastTile.
+    int p0 = num_partitions - 1;
+    int p1 = num_partitions - 1;
+    if (width > 0) {
+      p0 = std::clamp(static_cast<int>((bmin - lo) / width), 0,
+                      num_partitions - 1);
+      p1 = std::clamp(static_cast<int>((bmax - lo) / width), 0,
+                      num_partitions - 1);
+      SnapIndexRangeToEdges(bmin, bmax, num_partitions, edge, &p0, &p1);
+    }
     for (int p = p0; p <= p1; ++p) {
-      (*parts)[p].push_back(static_cast<ObjectId>(i));
+      if (Intersects(b, stripes[p])) {
+        (*parts)[p].push_back(static_cast<ObjectId>(i));
+      }
     }
   }
 }
@@ -55,13 +80,16 @@ StripePartition PartitionStripes(const Dataset& r, const Dataset& s,
       stripe = Box(extent.min_x, static_cast<Coord>(a), extent.max_x,
                    static_cast<Coord>(b));
     }
-    // Stripes double as dedup tiles; keep the global boundary closed.
-    out.stripes.push_back(CloseTileAtExtentMax(stripe, extent));
+    // Stripes double as dedup tiles; keep the global boundary closed. Every
+    // stripe is the last (only) tile along the non-partitioned axis.
+    const bool last = p + 1 == num_partitions;
+    out.stripes.push_back(CloseLastTile(stripe, axis == Axis::kX ? last : true,
+                                        axis == Axis::kY ? last : true));
   }
   out.r_parts.resize(num_partitions);
   out.s_parts.resize(num_partitions);
-  AssignToStripes(r, extent, axis, num_partitions, &out.r_parts);
-  AssignToStripes(s, extent, axis, num_partitions, &out.s_parts);
+  AssignToStripes(r, out.stripes, extent, axis, &out.r_parts);
+  AssignToStripes(s, out.stripes, extent, axis, &out.s_parts);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "grid/edge_snap.h"
 
 namespace swiftspatial {
 
@@ -16,14 +17,21 @@ UniformGrid::UniformGrid(const Box& extent, int cols, int rows)
   tile_h_ = static_cast<double>(extent.Height()) / rows;
 }
 
+Coord UniformGrid::ColEdge(int k) const {
+  if (k <= 0) return extent_.min_x;
+  if (k >= cols_) return extent_.max_x;
+  return static_cast<Coord>(extent_.min_x + k * tile_w_);
+}
+
+Coord UniformGrid::RowEdge(int k) const {
+  if (k <= 0) return extent_.min_y;
+  if (k >= rows_) return extent_.max_y;
+  return static_cast<Coord>(extent_.min_y + k * tile_h_);
+}
+
 Box UniformGrid::TileBox(int tx, int ty) const {
   SWIFT_DCHECK(tx >= 0 && tx < cols_ && ty >= 0 && ty < rows_);
-  return Box(static_cast<Coord>(extent_.min_x + tx * tile_w_),
-             static_cast<Coord>(extent_.min_y + ty * tile_h_),
-             static_cast<Coord>(tx + 1 == cols_ ? extent_.max_x
-                                                : extent_.min_x + (tx + 1) * tile_w_),
-             static_cast<Coord>(ty + 1 == rows_ ? extent_.max_y
-                                                : extent_.min_y + (ty + 1) * tile_h_));
+  return Box(ColEdge(tx), RowEdge(ty), ColEdge(tx + 1), RowEdge(ty + 1));
 }
 
 void UniformGrid::TileRange(const Box& b, int* tx0, int* ty0, int* tx1,
@@ -34,10 +42,32 @@ void UniformGrid::TileRange(const Box& b, int* tx0, int* ty0, int* tx1,
   auto clamp_row = [this](double v) {
     return std::clamp(static_cast<int>(v), 0, rows_ - 1);
   };
-  *tx0 = tile_w_ > 0 ? clamp_col((b.min_x - extent_.min_x) / tile_w_) : 0;
-  *tx1 = tile_w_ > 0 ? clamp_col((b.max_x - extent_.min_x) / tile_w_) : 0;
-  *ty0 = tile_h_ > 0 ? clamp_row((b.min_y - extent_.min_y) / tile_h_) : 0;
-  *ty1 = tile_h_ > 0 ? clamp_row((b.max_y - extent_.min_y) / tile_h_) : 0;
+  // A zero-width axis collapses every tile onto the same line; the single
+  // LAST tile is used by convention, matching CloseLastTile (only the last
+  // tile's half-open dedup range is non-empty there).
+  *tx0 = tile_w_ > 0 ? clamp_col((b.min_x - extent_.min_x) / tile_w_)
+                     : cols_ - 1;
+  *tx1 = tile_w_ > 0 ? clamp_col((b.max_x - extent_.min_x) / tile_w_)
+                     : cols_ - 1;
+  *ty0 = tile_h_ > 0 ? clamp_row((b.min_y - extent_.min_y) / tile_h_)
+                     : rows_ - 1;
+  *ty1 = tile_h_ > 0 ? clamp_row((b.max_y - extent_.min_y) / tile_h_)
+                     : rows_ - 1;
+
+  // The estimates above divide in double, but tiles report float-rounded
+  // edges (see grid/edge_snap.h): snap each bound to the actual edges so
+  // the range covers every tile whose closed box touches `b`. Degenerate
+  // extents (tile width 0) keep the single-last-column convention.
+  if (tile_w_ > 0) {
+    SnapIndexRangeToEdges(
+        b.min_x, b.max_x, cols_, [this](int k) { return ColEdge(k); }, tx0,
+        tx1);
+  }
+  if (tile_h_ > 0) {
+    SnapIndexRangeToEdges(
+        b.min_y, b.max_y, rows_, [this](int k) { return RowEdge(k); }, ty0,
+        ty1);
+  }
 }
 
 std::vector<std::vector<ObjectId>> UniformGrid::Assign(

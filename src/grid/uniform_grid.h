@@ -28,7 +28,25 @@ class UniformGrid {
     return TileBox(tile % cols_, tile / cols_);
   }
 
-  /// Inclusive ranges of tiles a box overlaps.
+  /// True iff the tile index lies in the last column / last row.
+  bool IsLastCol(int tile) const { return tile % cols_ == cols_ - 1; }
+  bool IsLastRow(int tile) const { return tile / cols_ == rows_ - 1; }
+
+  /// Reference-point dedup tile for a tile index: TileBoxByIndex with the
+  /// global boundary closed (CloseLastTile pushes the last column's /
+  /// row's max edge to +inf). The one place the index-to-boundary-flag
+  /// convention lives -- every grid-based partitioner must claim pairs
+  /// through this tile, or reference points on the extent max are dropped.
+  Box DedupTileByIndex(int tile) const {
+    return CloseLastTile(TileBoxByIndex(tile), IsLastCol(tile),
+                         IsLastRow(tile));
+  }
+
+  /// Inclusive ranges of tiles whose (closed) boxes a box overlaps. Exact
+  /// with respect to the float-rounded tile edges TileBox reports: the
+  /// double-arithmetic index estimate is snapped to the actual edges, so an
+  /// object sitting exactly on a rounded edge lands in both adjacent tiles
+  /// -- the reference-point dedup rule relies on this agreement.
   void TileRange(const Box& b, int* tx0, int* ty0, int* tx1, int* ty1) const;
 
   /// Per-tile object id lists: assignment[tile] holds every object whose MBR
@@ -36,6 +54,12 @@ class UniformGrid {
   std::vector<std::vector<ObjectId>> Assign(const Dataset& dataset) const;
 
  private:
+  /// x coordinate of vertical grid line k (0..cols): the max edge of column
+  /// k-1 and the min edge of column k, exactly as TileBox reports it.
+  Coord ColEdge(int k) const;
+  /// y coordinate of horizontal grid line k (0..rows).
+  Coord RowEdge(int k) const;
+
   Box extent_;
   int cols_;
   int rows_;

@@ -38,15 +38,14 @@ struct SubJoinInput {
 
 // Extracts the per-tile sub-datasets with local ids.
 std::vector<SubJoinInput> BuildSubInputs(const Dataset& r, const Dataset& s,
-                                         const UniformGrid& grid,
-                                         const Box& extent) {
+                                         const UniformGrid& grid) {
   const auto r_assign = grid.Assign(r);
   const auto s_assign = grid.Assign(s);
   std::vector<SubJoinInput> out;
   for (int t = 0; t < grid.num_tiles(); ++t) {
     if (r_assign[t].empty() || s_assign[t].empty()) continue;
     SubJoinInput sub;
-    sub.outer_tile = CloseTileAtExtentMax(grid.TileBoxByIndex(t), extent);
+    sub.outer_tile = grid.DedupTileByIndex(t);
     std::vector<Box> r_boxes, s_boxes;
     r_boxes.reserve(r_assign[t].size());
     for (ObjectId id : r_assign[t]) {
@@ -110,7 +109,7 @@ Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
     report.grid_resolution = grid_res;
 
     const UniformGrid grid(extent, grid_res, grid_res);
-    auto subs = BuildSubInputs(r, s, grid, extent);
+    auto subs = BuildSubInputs(r, s, grid);
     report.partitions = subs.size();
     report.devices = config.strategy == OutOfMemoryStrategy::kMultipleDevices
                          ? subs.size()

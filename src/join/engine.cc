@@ -37,6 +37,12 @@ class EngineBase : public JoinEngine {
   Status Plan(const Dataset& r, const Dataset& s) final {
     SWIFT_RETURN_IF_ERROR(ValidateCommon(config_));
     SWIFT_RETURN_IF_ERROR(Validate());
+    // Reject-at-ingest policy for malformed geometry (NaN/inf coordinates,
+    // inverted boxes): see EngineConfig::validate_inputs.
+    if (config_.validate_inputs) {
+      SWIFT_RETURN_IF_ERROR(r.ValidateBoxes());
+      SWIFT_RETURN_IF_ERROR(s.ValidateBoxes());
+    }
     r_ = &r;
     s_ = &s;
     // Empty inputs join to the empty set; skip index builds so every engine
@@ -276,11 +282,18 @@ class ParallelSyncTraversalEngine : public RTreeEngineBase {
 };
 
 // ---------------------------------------------------------------------------
-// partitioned: the grid-sharded thread-pooled driver.
+// partitioned: the grid-sharded thread-pooled driver. The simd variant is
+// the same driver locked to the batched SIMD filter kernel as its tile join,
+// so the grid supplies thread scaling and the kernel supplies per-cell
+// predicate throughput.
 // ---------------------------------------------------------------------------
 class PartitionedEngine : public EngineBase {
  public:
-  using EngineBase::EngineBase;
+  PartitionedEngine(std::string name, const EngineConfig& config)
+      : EngineBase(std::move(name), config), tile_join_(config.tile_join) {}
+  PartitionedEngine(std::string name, const EngineConfig& config,
+                    TileJoin forced_tile_join)
+      : EngineBase(std::move(name), config), tile_join_(forced_tile_join) {}
 
  protected:
   Status PlanImpl(const Dataset& r, const Dataset& s) override {
@@ -289,7 +302,7 @@ class PartitionedEngine : public EngineBase {
     options.grid_rows = config().grid_rows;
     options.num_threads = config().num_threads;
     options.schedule = config().schedule;
-    options.tile_join = config().tile_join;
+    options.tile_join = tile_join_;
     driver_ = PartitionedDriver(options);
     return driver_.Plan(r, s);
   }
@@ -301,6 +314,7 @@ class PartitionedEngine : public EngineBase {
   }
 
  private:
+  TileJoin tile_join_;
   PartitionedDriver driver_;
 };
 
@@ -392,6 +406,11 @@ EngineRegistry& EngineRegistry::Global() {
                     kParallelSyncTraversalEngine));
     r->Register(kPartitionedEngine, MakeFactory<PartitionedEngine>(
                                         kPartitionedEngine));
+    r->Register(kSimdEngine,
+                [](const EngineConfig& config) -> std::unique_ptr<JoinEngine> {
+                  return std::make_unique<PartitionedEngine>(
+                      kSimdEngine, config, TileJoin::kSimd);
+                });
     r->Register(kInterpretedEngineBaseline,
                 MakeFactory<InterpretedEngineAdapter>(
                     kInterpretedEngineBaseline));

@@ -42,6 +42,15 @@ struct EngineConfig {
   // --- Shared across engines. ---
   std::size_t num_threads = 1;
   Schedule schedule = Schedule::kDynamic;
+  /// Reject-at-ingest policy for malformed geometry: when true (the
+  /// default), Plan fails with InvalidArgument if either dataset contains a
+  /// box with a NaN/infinite coordinate or an inverted (min > max) extent.
+  /// The predicate paths (geometry::Intersects and the SIMD filter kernel)
+  /// agree on such inputs -- IEEE comparisons against NaN are false in both
+  /// -- but engines must not rely on that quirk: indexes, partitioners, and
+  /// the reference-point dedup rule all assume valid boxes. Disable only for
+  /// experiments that guarantee validity out of band.
+  bool validate_inputs = true;
 
   // --- R-tree engines (sync_traversal, parallel_sync_traversal). ---
   /// Maximum entries per R-tree node (paper optimum: 16).
@@ -162,6 +171,7 @@ inline constexpr const char* kSyncTraversalEngine = "sync_traversal";
 inline constexpr const char* kParallelSyncTraversalEngine =
     "parallel_sync_traversal";
 inline constexpr const char* kPartitionedEngine = "partitioned";
+inline constexpr const char* kSimdEngine = "simd";
 inline constexpr const char* kInterpretedEngineBaseline = "interpreted_engine";
 inline constexpr const char* kBigDataFrameworkBaseline = "big_data_framework";
 

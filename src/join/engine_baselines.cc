@@ -243,8 +243,7 @@ JoinResult BigDataFrameworkJoin(const Dataset& r, const Dataset& s,
       [&](std::size_t t, std::size_t w) {
         if (r_blocks[t].rows() == 0 || s_blocks[t].rows() == 0) return;
         WorkerState& state = workers[w];
-        const Box tile = CloseTileAtExtentMax(
-            grid.TileBoxByIndex(static_cast<int>(t)), extent);
+        const Box tile = grid.DedupTileByIndex(static_cast<int>(t));
 
         // Deserialize into boxed row objects.
         auto r_rows = Deserialize(r_blocks[t]);

@@ -1,9 +1,14 @@
 #include "join/nested_loop.h"
 
+#include "geometry/box_block.h"
+
 namespace swiftspatial {
 
 JoinResult BruteForceJoin(const Dataset& r, const Dataset& s,
                           JoinStats* stats) {
+  // Deliberately the plain per-pair scalar predicate: this is the oracle the
+  // equivalence suite diffs every other engine (including the SIMD kernel
+  // paths) against, so it must not share code with them.
   JoinResult out;
   for (std::size_t i = 0; i < r.size(); ++i) {
     const Box& rb = r.box(i);
@@ -25,15 +30,28 @@ void NestedLoopTileJoin(const Dataset& r, const Dataset& s,
                         const std::vector<ObjectId>& s_ids,
                         const Box* dedup_tile, JoinResult* out,
                         JoinStats* stats) {
+  // The inner side is gathered once into a structure-of-arrays block so the
+  // per-probe scan touches four contiguous coordinate streams instead of
+  // strided Box structs. The comparisons stay hand-written scalar (not the
+  // simd_filter kernel) so this path remains an independent cross-check of
+  // TileJoin::kSimd in the partition drivers.
+  const BoxBlock block = BoxBlock::FromSubset(s, s_ids);
+  const std::size_t n = block.size();
+  const Coord* s_min_x = block.min_x();
+  const Coord* s_min_y = block.min_y();
+  const Coord* s_max_x = block.max_x();
+  const Coord* s_max_y = block.max_y();
   for (ObjectId ri : r_ids) {
     const Box& rb = r.box(static_cast<std::size_t>(ri));
-    for (ObjectId si : s_ids) {
-      const Box& sb = s.box(static_cast<std::size_t>(si));
-      if (!Intersects(rb, sb)) continue;
-      if (dedup_tile != nullptr && !ReferencePointInTile(rb, sb, *dedup_tile)) {
-        continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rb.max_x >= s_min_x[j] && s_max_x[j] >= rb.min_x &&
+          rb.max_y >= s_min_y[j] && s_max_y[j] >= rb.min_y) {
+        if (dedup_tile != nullptr &&
+            !ReferencePointInTile(rb, block.BoxAt(j), *dedup_tile)) {
+          continue;
+        }
+        out->Add(ri, block.id(j));
       }
-      out->Add(ri, si);
     }
   }
   if (stats != nullptr) {

@@ -6,6 +6,7 @@
 
 #include "join/nested_loop.h"
 #include "join/plane_sweep.h"
+#include "join/simd_filter.h"
 
 namespace swiftspatial {
 
@@ -72,9 +73,9 @@ Status PartitionedDriver::Plan(const Dataset& r, const Dataset& s) {
   for (int t = 0; t < grid.num_tiles(); ++t) {
     if (r_cells[t].empty() || s_cells[t].empty()) continue;
     CellTask task;
-    // Closing cells at the extent max keeps reference points that land
+    // Closing the last row/column of cells keeps reference points that land
     // exactly on the global boundary claimable (no cell beyond exists).
-    task.dedup_tile = CloseTileAtExtentMax(grid.TileBoxByIndex(t), extent);
+    task.dedup_tile = grid.DedupTileByIndex(t);
     task.r_ids = std::move(r_cells[t]);
     task.s_ids = std::move(s_cells[t]);
     tasks_.push_back(std::move(task));
@@ -103,14 +104,21 @@ JoinResult PartitionedDriver::Execute(JoinStats* stats) {
       tasks_.size(), workers, options_.schedule,
       [&](std::size_t task_index, std::size_t worker) {
         const CellTask& task = tasks_[task_index];
-        if (options_.tile_join == TileJoin::kPlaneSweep) {
-          PlaneSweepTileJoin(*r_, *s_, task.r_ids, task.s_ids,
-                             &task.dedup_tile, &local_results[worker],
-                             &local_stats[worker]);
-        } else {
-          NestedLoopTileJoin(*r_, *s_, task.r_ids, task.s_ids,
-                             &task.dedup_tile, &local_results[worker],
-                             &local_stats[worker]);
+        switch (options_.tile_join) {
+          case TileJoin::kPlaneSweep:
+            PlaneSweepTileJoin(*r_, *s_, task.r_ids, task.s_ids,
+                               &task.dedup_tile, &local_results[worker],
+                               &local_stats[worker]);
+            break;
+          case TileJoin::kNestedLoop:
+            NestedLoopTileJoin(*r_, *s_, task.r_ids, task.s_ids,
+                               &task.dedup_tile, &local_results[worker],
+                               &local_stats[worker]);
+            break;
+          case TileJoin::kSimd:
+            SimdTileJoin(*r_, *s_, task.r_ids, task.s_ids, &task.dedup_tile,
+                         &local_results[worker], &local_stats[worker]);
+            break;
         }
       });
 

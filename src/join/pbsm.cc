@@ -4,6 +4,7 @@
 
 #include "join/nested_loop.h"
 #include "join/plane_sweep.h"
+#include "join/simd_filter.h"
 
 namespace swiftspatial {
 
@@ -13,6 +14,8 @@ const char* TileJoinToString(TileJoin t) {
       return "plane-sweep";
     case TileJoin::kNestedLoop:
       return "nested-loop";
+    case TileJoin::kSimd:
+      return "simd";
   }
   return "unknown";
 }
@@ -42,12 +45,19 @@ JoinResult PbsmJoin(const Dataset& r, const Dataset& s,
         if (r_ids.empty() || s_ids.empty()) return;
         const Box& tile = partition.stripes[i];
         WorkerState& state = workers[w];
-        if (options.tile_join == TileJoin::kPlaneSweep) {
-          PlaneSweepTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
-                             &state.stats);
-        } else {
-          NestedLoopTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
-                             &state.stats);
+        switch (options.tile_join) {
+          case TileJoin::kPlaneSweep:
+            PlaneSweepTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
+                               &state.stats);
+            break;
+          case TileJoin::kNestedLoop:
+            NestedLoopTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
+                               &state.stats);
+            break;
+          case TileJoin::kSimd:
+            SimdTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
+                         &state.stats);
+            break;
         }
       },
       /*chunk=*/1);

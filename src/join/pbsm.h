@@ -22,6 +22,8 @@ namespace swiftspatial {
 enum class TileJoin {
   kPlaneSweep,
   kNestedLoop,
+  /// Batched SIMD MBR filter kernel (join/simd_filter.h).
+  kSimd,
 };
 
 const char* TileJoinToString(TileJoin t);

@@ -1,0 +1,85 @@
+#include "join/simd_filter.h"
+
+#include <algorithm>
+#include <bit>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace swiftspatial {
+
+const char* SimdFilterBackend() {
+#if defined(__AVX2__)
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+void FilterSoA(const Box& probe, const Coord* min_x, const Coord* min_y,
+               const Coord* max_x, const Coord* max_y, std::size_t n,
+               uint64_t* mask) {
+  std::fill_n(mask, FilterMaskWords(n), uint64_t{0});
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  // 8 candidates per iteration. _CMP_GE_OQ is the ordered-quiet >=: false
+  // when either operand is NaN, exactly like the scalar `>=` below, so both
+  // paths agree bit-for-bit on non-finite inputs.
+  const __m256 p_max_x = _mm256_set1_ps(probe.max_x);
+  const __m256 p_min_x = _mm256_set1_ps(probe.min_x);
+  const __m256 p_max_y = _mm256_set1_ps(probe.max_y);
+  const __m256 p_min_y = _mm256_set1_ps(probe.min_y);
+  for (; i + 8 <= n; i += 8) {
+    const __m256 hit_x = _mm256_and_ps(
+        _mm256_cmp_ps(p_max_x, _mm256_loadu_ps(min_x + i), _CMP_GE_OQ),
+        _mm256_cmp_ps(_mm256_loadu_ps(max_x + i), p_min_x, _CMP_GE_OQ));
+    const __m256 hit_y = _mm256_and_ps(
+        _mm256_cmp_ps(p_max_y, _mm256_loadu_ps(min_y + i), _CMP_GE_OQ),
+        _mm256_cmp_ps(_mm256_loadu_ps(max_y + i), p_min_y, _CMP_GE_OQ));
+    const auto bits = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_and_ps(hit_x, hit_y)));
+    // i advances in steps of 8, so a lane group never straddles a word.
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+#endif
+  // Scalar fallback and tail: branchless so the compiler can vectorize it.
+  for (; i < n; ++i) {
+    const bool hit = probe.max_x >= min_x[i] && max_x[i] >= probe.min_x &&
+                     probe.max_y >= min_y[i] && max_y[i] >= probe.min_y;
+    mask[i >> 6] |= static_cast<uint64_t>(hit) << (i & 63);
+  }
+}
+
+void SimdTileJoin(const Dataset& r, const Dataset& s,
+                  const std::vector<ObjectId>& r_ids,
+                  const std::vector<ObjectId>& s_ids, const Box* dedup_tile,
+                  JoinResult* out, JoinStats* stats) {
+  const BoxBlock block = BoxBlock::FromSubset(s, s_ids);
+  std::vector<uint64_t> mask(FilterMaskWords(block.size()));
+  for (ObjectId ri : r_ids) {
+    const Box& rb = r.box(static_cast<std::size_t>(ri));
+    FilterBoxBlock(rb, block, mask.data());
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+      uint64_t bits = mask[w];
+      while (bits != 0) {
+        const std::size_t j = (w << 6) + std::countr_zero(bits);
+        bits &= bits - 1;
+        // The candidate's coordinates come from the SoA arrays already in
+        // cache, not a strided re-fetch from the Dataset.
+        if (dedup_tile != nullptr &&
+            !ReferencePointInTile(rb, block.BoxAt(j), *dedup_tile)) {
+          continue;
+        }
+        out->Add(ri, block.id(j));
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->predicate_evaluations +=
+        static_cast<uint64_t>(r_ids.size()) * s_ids.size();
+    stats->tasks += 1;
+  }
+}
+
+}  // namespace swiftspatial

@@ -1,0 +1,71 @@
+// Batched MBR filter kernel: tests one probe box against N candidate boxes
+// held in a structure-of-arrays BoxBlock and returns a match bitmask. This
+// is the CPU-side counterpart of the SwiftSpatial join unit's parallel
+// comparator banks (Fig. 3): instead of one Intersects call per pair, W
+// candidates are compared per vector instruction.
+//
+// Two code paths share one set of semantics:
+//   - an AVX2 path (compiled when the translation unit is built with
+//     -mavx2 / -march=native, i.e. __AVX2__ is defined) doing 8 boxes per
+//     iteration with _CMP_GE_OQ comparisons;
+//   - a portable scalar fallback written as a branchless bit-producing loop
+//     that compilers auto-vectorize, and which also handles the tail when N
+//     is not a multiple of the vector width.
+//
+// Comparison semantics are bit-identical to geometry::Intersects: closed
+// boundaries (>=), so touching edges and corners match; any comparison
+// against NaN is false in both paths (ordered-quiet vector compares mirror
+// the scalar IEEE `>=`), so a box with a NaN coordinate matches nothing.
+// Callers that must not depend on that quirk reject non-finite boxes at
+// ingest instead (EngineConfig::validate_inputs). The regression suite in
+// tests/join/simd_filter_test.cc diffs the kernel against the scalar
+// predicate on adversarial inputs so these semantics cannot silently drift.
+#ifndef SWIFTSPATIAL_JOIN_SIMD_FILTER_H_
+#define SWIFTSPATIAL_JOIN_SIMD_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geometry/box.h"
+#include "geometry/box_block.h"
+#include "join/result.h"
+
+namespace swiftspatial {
+
+/// Which kernel implementation this binary was compiled with: "avx2" or
+/// "scalar" (the auto-vectorizable fallback).
+const char* SimdFilterBackend();
+
+/// Number of 64-bit mask words needed for an n-candidate filter call.
+inline std::size_t FilterMaskWords(std::size_t n) { return (n + 63) / 64; }
+
+/// Core kernel over raw SoA coordinate arrays: bit i of `mask` is set iff
+/// `probe` intersects candidate i (closed boundaries, identical to
+/// geometry::Intersects). `mask` must hold FilterMaskWords(n) words; all of
+/// them are overwritten and bits at positions >= n are zero.
+void FilterSoA(const Box& probe, const Coord* min_x, const Coord* min_y,
+               const Coord* max_x, const Coord* max_y, std::size_t n,
+               uint64_t* mask);
+
+/// Convenience overload over a BoxBlock.
+inline void FilterBoxBlock(const Box& probe, const BoxBlock& block,
+                           uint64_t* mask) {
+  FilterSoA(probe, block.min_x(), block.min_y(), block.max_x(), block.max_y(),
+            block.size(), mask);
+}
+
+/// Tile-level join through the batched kernel: every probe in `r_ids` is
+/// filtered against a BoxBlock built from `s_ids`, and matches surviving the
+/// optional reference-point dedup are appended to `out`. Drop-in equivalent
+/// of NestedLoopTileJoin (same result multiset, same stats accounting);
+/// selected in partition drivers with TileJoin::kSimd.
+void SimdTileJoin(const Dataset& r, const Dataset& s,
+                  const std::vector<ObjectId>& r_ids,
+                  const std::vector<ObjectId>& s_ids, const Box* dedup_tile,
+                  JoinResult* out, JoinStats* stats = nullptr);
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_JOIN_SIMD_FILTER_H_

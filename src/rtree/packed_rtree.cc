@@ -1,7 +1,11 @@
 #include "rtree/packed_rtree.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 #include <string>
+
+#include "join/simd_filter.h"
 
 namespace swiftspatial {
 
@@ -67,20 +71,41 @@ PackedRTree PackedRTree::FromLevels(
 std::vector<ObjectId> PackedRTree::WindowQuery(const Box& window) const {
   std::vector<ObjectId> out;
   if (num_nodes_ == 0) return out;
+  // Node entries live in the accelerator's strided 20-byte AoS layout, so
+  // each visited node is gathered into a small stack-resident SoA chunk and
+  // scanned with the batched filter kernel instead of per-entry Intersects
+  // calls. Matching entries are emitted in ascending entry order, identical
+  // to the original scalar scan.
+  constexpr int kChunk = 64;
+  Coord min_x[kChunk], min_y[kChunk], max_x[kChunk], max_y[kChunk];
+  int32_t ids[kChunk];
   std::vector<NodeIndex> stack = {root_};
   while (!stack.empty()) {
     const NodeView nv = node(stack.back());
     stack.pop_back();
     const int n = nv.count();
-    if (nv.is_leaf()) {
-      for (int i = 0; i < n; ++i) {
-        const PackedEntry e = nv.entry(i);
-        if (Intersects(e.box, window)) out.push_back(e.id);
+    const bool leaf = nv.is_leaf();
+    for (int base = 0; base < n; base += kChunk) {
+      const int m = std::min(kChunk, n - base);
+      for (int i = 0; i < m; ++i) {
+        const PackedEntry e = nv.entry(base + i);
+        min_x[i] = e.box.min_x;
+        min_y[i] = e.box.min_y;
+        max_x[i] = e.box.max_x;
+        max_y[i] = e.box.max_y;
+        ids[i] = e.id;
       }
-    } else {
-      for (int i = 0; i < n; ++i) {
-        const PackedEntry e = nv.entry(i);
-        if (Intersects(e.box, window)) stack.push_back(e.id);
+      uint64_t mask = 0;
+      FilterSoA(window, min_x, min_y, max_x, max_y,
+                static_cast<std::size_t>(m), &mask);
+      while (mask != 0) {
+        const int i = std::countr_zero(mask);
+        mask &= mask - 1;
+        if (leaf) {
+          out.push_back(ids[i]);
+        } else {
+          stack.push_back(ids[i]);
+        }
       }
     }
   }

@@ -20,6 +20,7 @@
 #include "common/thread_pool.h"
 
 #include "geometry/box.h"
+#include "geometry/box_block.h"
 #include "geometry/hilbert.h"
 #include "geometry/point.h"
 #include "geometry/polygon.h"
@@ -49,6 +50,7 @@
 #include "join/plane_sweep.h"
 #include "join/predicates.h"
 #include "join/result.h"
+#include "join/simd_filter.h"
 #include "join/sync_traversal.h"
 
 #include "refine/refinement.h"

@@ -1,0 +1,98 @@
+// Unit tests for the structure-of-arrays BoxBlock: construction from boxes
+// and dataset subsets, coordinate-array layout, incremental build/clear, and
+// sizes that are not a multiple of the filter kernel's vector width (the
+// kernel's tail path consumes blocks of any length).
+#include "geometry/box_block.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "join/simd_filter.h"
+
+namespace swiftspatial {
+namespace {
+
+TEST(BoxBlock, EmptyBlock) {
+  const BoxBlock block;
+  EXPECT_EQ(block.size(), 0u);
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(FilterMaskWords(block.size()), 0u);
+  // Filtering an empty block is a no-op with no mask words to write.
+  FilterBoxBlock(Box(0, 0, 1, 1), block, nullptr);
+
+  const BoxBlock from_empty = BoxBlock::FromBoxes({});
+  EXPECT_TRUE(from_empty.empty());
+}
+
+TEST(BoxBlock, FromBoxesPreservesCoordinatesAndIds) {
+  const std::vector<Box> boxes = {Box(0, 1, 2, 3), Box(4, 5, 6, 7),
+                                  Box(-1, -2, 3, 4)};
+  const BoxBlock block = BoxBlock::FromBoxes(boxes);
+  ASSERT_EQ(block.size(), boxes.size());
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(block.BoxAt(i), boxes[i]) << i;
+    EXPECT_EQ(block.id(i), static_cast<ObjectId>(i)) << i;
+    // The SoA arrays hold the same coordinates the AoS boxes do.
+    EXPECT_EQ(block.min_x()[i], boxes[i].min_x);
+    EXPECT_EQ(block.min_y()[i], boxes[i].min_y);
+    EXPECT_EQ(block.max_x()[i], boxes[i].max_x);
+    EXPECT_EQ(block.max_y()[i], boxes[i].max_y);
+  }
+}
+
+TEST(BoxBlock, FromSubsetCarriesDatasetIds) {
+  std::vector<Box> boxes;
+  for (int i = 0; i < 10; ++i) {
+    boxes.push_back(Box(static_cast<Coord>(i), 0, static_cast<Coord>(i + 1), 1));
+  }
+  const Dataset d("d", std::move(boxes));
+  const std::vector<ObjectId> ids = {7, 2, 9};  // arbitrary order preserved
+  const BoxBlock block = BoxBlock::FromSubset(d, ids);
+  ASSERT_EQ(block.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(block.id(i), ids[i]);
+    EXPECT_EQ(block.BoxAt(i), d.box(static_cast<std::size_t>(ids[i])));
+  }
+}
+
+TEST(BoxBlock, AddAndClear) {
+  BoxBlock block;
+  block.Reserve(4);
+  block.Add(Box(0, 0, 1, 1), 42);
+  block.Add(Box(2, 2, 3, 3), 43);
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_EQ(block.id(0), 42);
+  EXPECT_EQ(block.BoxAt(1), Box(2, 2, 3, 3));
+  block.Clear();
+  EXPECT_TRUE(block.empty());
+  block.Add(Box(5, 5, 6, 6), 1);
+  EXPECT_EQ(block.size(), 1u);
+  EXPECT_EQ(block.id(0), 1);
+}
+
+// Tail handling: every size around the 8-wide AVX2 group and the 64-bit
+// mask word boundary filters correctly when all candidates match.
+TEST(BoxBlock, NonVectorWidthSizesFilterFully) {
+  for (const std::size_t n :
+       {1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    BoxBlock block;
+    block.Reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      block.Add(Box(0, 0, 1, 1), static_cast<ObjectId>(i));
+    }
+    std::vector<uint64_t> mask(FilterMaskWords(n), ~uint64_t{0});
+    FilterBoxBlock(Box(0.5f, 0.5f, 2, 2), block, mask.data());
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < mask.size() * 64; ++i) {
+      if ((mask[i >> 6] >> (i & 63)) & 1) {
+        EXPECT_LT(i, n) << "match bit beyond block size";
+        ++matches;
+      }
+    }
+    EXPECT_EQ(matches, n) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial

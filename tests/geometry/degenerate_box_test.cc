@@ -1,7 +1,7 @@
 // Regression tests for degenerate boxes: zero-area (point) boxes, edge- and
 // corner-touching rectangles, and inverted min/max boxes. The partition
 // drivers' reference-point deduplication (ReferencePointInTile +
-// CloseTileAtExtentMax) depends on these exact boundary semantics, so each
+// CloseLastTile) depends on these exact boundary semantics, so each
 // property is pinned here: closed-boundary intersection, the
 // exactly-one-tile guarantee for reference points on tile edges, and
 // end-to-end agreement of the partitioned join with brute force on
@@ -101,8 +101,7 @@ TEST(DegenerateBox, InvertedBoxIsEmpty) {
 int ClaimingTiles(const Box& r, const Box& s, const UniformGrid& grid) {
   int claims = 0;
   for (int t = 0; t < grid.num_tiles(); ++t) {
-    const Box tile = CloseTileAtExtentMax(grid.TileBoxByIndex(t), grid.extent());
-    if (ReferencePointInTile(r, s, tile)) ++claims;
+    if (ReferencePointInTile(r, s, grid.DedupTileByIndex(t))) ++claims;
   }
   return claims;
 }
@@ -134,18 +133,13 @@ TEST(DegenerateBox, ReferencePointClaimedByExactlyOneTile) {
   }
 }
 
-TEST(DegenerateBox, CloseTileAtExtentMaxOnlyOpensBoundaryTiles) {
-  const Box extent(0, 0, 8, 8);
-  const UniformGrid grid(extent, 4, 4);
+TEST(DegenerateBox, CloseLastTileIsIndexDriven) {
   constexpr Coord kInf = std::numeric_limits<Coord>::infinity();
-  // Interior tile: untouched.
-  const Box interior = CloseTileAtExtentMax(grid.TileBox(1, 1), extent);
-  EXPECT_EQ(interior, grid.TileBox(1, 1));
-  // Top-right tile: both max edges pushed to +inf.
-  const Box top_right = CloseTileAtExtentMax(grid.TileBox(3, 3), extent);
-  EXPECT_EQ(top_right.max_x, kInf);
-  EXPECT_EQ(top_right.max_y, kInf);
-  EXPECT_EQ(top_right.min_x, grid.TileBox(3, 3).min_x);
+  const Box tile(2, 2, 4, 4);
+  EXPECT_EQ(CloseLastTile(tile, false, false), tile);
+  EXPECT_EQ(CloseLastTile(tile, true, false), Box(2, 2, kInf, 4));
+  EXPECT_EQ(CloseLastTile(tile, false, true), Box(2, 2, 4, kInf));
+  EXPECT_EQ(CloseLastTile(tile, true, true), Box(2, 2, kInf, kInf));
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +182,73 @@ TEST(DegenerateBox, PartitionedJoinHandlesDegenerateData) {
     EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
         << "grid " << grid_side << "x" << grid_side << ": expected "
         << expected.size() << " pairs, got " << got.size();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Float-rounded cell edges: grid lines over a [0,1] extent at sides that are
+// not powers of two (1/10, 1/7, ...) are not float-representable, so the
+// Coord-rounded tile edge can sit one ULP to either side of the double grid
+// line the cell-index arithmetic uses. An object placed exactly on such a
+// rounded edge historically got assigned only to the cell the double index
+// picked, while the reference-point rule (which compares against the rounded
+// edges) claimed the pair for the neighbour -- silently dropping it. Placing
+// coincident point pairs on every rounded interior corner pins the fix.
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateBox, PartitionedJoinKeepsPairsOnFloatRoundedCellEdges) {
+  for (const int side : {7, 10, 13}) {
+    const UniformGrid grid(Box(0, 0, 1, 1), side, side);
+    // Corner anchors force the driver's derived extent to exactly [0,1]^2 so
+    // its internal grid reproduces `grid`'s rounded edges.
+    std::vector<Box> r_boxes = {Box(0, 0, 0, 0), Box(1, 1, 1, 1)};
+    std::vector<Box> s_boxes = {Box(0, 0, 0, 0), Box(1, 1, 1, 1)};
+    for (int k = 1; k < side; ++k) {
+      const Box tile = grid.TileBox(k, k);
+      r_boxes.push_back(Box(tile.min_x, tile.min_y, tile.min_x, tile.min_y));
+      s_boxes.push_back(Box(tile.min_x, tile.min_y, tile.min_x, tile.min_y));
+    }
+    const Dataset r("edge_r", std::move(r_boxes));
+    const Dataset s("edge_s", std::move(s_boxes));
+    JoinResult expected = BruteForceJoin(r, s);
+    // At least one pair per rounded corner (its coincident partner in S).
+    ASSERT_GE(expected.size(), static_cast<std::size_t>(side + 1));
+
+    PartitionedDriverOptions options;
+    options.grid_cols = side;
+    options.grid_rows = side;
+    options.num_threads = 2;
+    PartitionedDriver driver(options);
+    ASSERT_TRUE(driver.Plan(r, s).ok());
+    JoinResult got = driver.Execute();
+    EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+        << side << "x" << side << " grid: expected " << expected.size()
+        << " pairs, got " << got.size();
+  }
+}
+
+// A degenerate (zero-width) extent collapses every grid column onto one
+// line; assignment and the dedup rule must agree on which column claims.
+TEST(DegenerateBox, PartitionedJoinOnZeroWidthExtent) {
+  std::vector<Box> line;
+  for (int i = 0; i <= 8; ++i) {
+    line.push_back(Box(5, static_cast<Coord>(i), 5, static_cast<Coord>(i)));
+  }
+  const Dataset r("line_r", std::vector<Box>(line));
+  const Dataset s("line_s", std::move(line));
+  JoinResult expected = BruteForceJoin(r, s);
+  ASSERT_EQ(expected.size(), 9u);
+
+  for (const int side : {1, 3, 4}) {
+    PartitionedDriverOptions options;
+    options.grid_cols = side;
+    options.grid_rows = side;
+    PartitionedDriver driver(options);
+    ASSERT_TRUE(driver.Plan(r, s).ok());
+    JoinResult got = driver.Execute();
+    EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+        << side << "x" << side << " grid: expected " << expected.size()
+        << " pairs, got " << got.size();
   }
 }
 

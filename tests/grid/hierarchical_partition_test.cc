@@ -56,6 +56,38 @@ TEST(HierarchicalPartition, TileJoinsReproduceBruteForce) {
   EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
 }
 
+// Above 2^24 the float lattice steps by 2, so a 64x64 initial grid over an
+// 8-wide extent collapses runs of tile edges onto identical floats.
+// Coordinate-based dedup-tile closing opened every tile whose rounded max
+// edge collided with the extent max, double-claiming pairs once
+// multi-assignment placed objects in all of them; index-driven CloseLastTile
+// keeps the half-open claims disjoint. Joining all emitted tasks must
+// reproduce brute force exactly (no drops, no double counts).
+TEST(HierarchicalPartition, CollidedFloatTileEdgesFarFromOrigin) {
+  const Coord base = 16777216.0f;  // 2^24
+  std::vector<Box> pts;
+  for (int i = 0; i <= 4; ++i) {
+    const Coord v = base + static_cast<Coord>(2 * i);
+    pts.push_back(Box(v, v, v, v));
+    pts.push_back(Box(v, v, v, v));  // duplicate: forces splits at low caps
+  }
+  const Dataset r("ulp_r", std::vector<Box>(pts));
+  const Dataset s("ulp_s", std::move(pts));
+  JoinResult expected = BruteForceJoin(r, s);
+  ASSERT_EQ(expected.size(), 20u);  // 5 positions x 2 x 2 duplicates
+
+  HierarchicalPartitionOptions opt;
+  opt.initial_grid = 64;
+  opt.tile_cap = 2;
+  const auto p = PartitionHierarchical(r, s, opt);
+  JoinResult got;
+  for (const TileTask& t : p.tasks) {
+    NestedLoopTileJoin(r, s, t.r_objects, t.s_objects, &t.tile, &got);
+  }
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+      << "expected " << expected.size() << " pairs, got " << got.size();
+}
+
 TEST(HierarchicalPartition, CoincidentObjectsHitDepthLimit) {
   // 100 identical rectangles on both sides cannot be split below the cap;
   // the partitioner must terminate and report over-cap tiles.

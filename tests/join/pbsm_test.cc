@@ -34,7 +34,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 4, 64, 512),
                        ::testing::Values(Axis::kX, Axis::kY),
                        ::testing::Values(TileJoin::kPlaneSweep,
-                                         TileJoin::kNestedLoop),
+                                         TileJoin::kNestedLoop,
+                                         TileJoin::kSimd),
                        ::testing::Values<std::size_t>(1, 4)));
 
 TEST(Pbsm, NoDuplicatesDespiteMultiAssignment) {
@@ -95,7 +96,7 @@ TEST(Pbsm, ObjectsOnTheGlobalMaxBoundary) {
   // Regression: clamped OSM-like points sit exactly on the map's max edge;
   // their reference points coincide with the extent max, which the
   // half-open tile rule would silently drop without the closed-boundary
-  // fix (CloseTileAtExtentMax).
+  // fix (CloseLastTile).
   OsmLikeConfig pc;
   pc.map.map_size = 500.0;
   pc.count = 2000;
@@ -129,9 +130,100 @@ TEST(Pbsm, ObjectsOnTheGlobalMaxBoundary) {
   EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
 }
 
+TEST(Pbsm, ObjectsOnFloatRoundedStripeEdges) {
+  // Regression: stripe boundaries over a [0,1] extent at partition counts
+  // that are not powers of two are not float-representable; the rounded
+  // stripe edge can sit one ULP off the double boundary the assignment
+  // index arithmetic uses. Objects exactly on a rounded edge must still
+  // land in every stripe the reference-point rule can claim their pairs
+  // for, at any partition count and on both axes.
+  for (const Axis axis : {Axis::kX, Axis::kY}) {
+    for (const int partitions : {7, 10, 13}) {
+      std::vector<Box> r_boxes = {Box(0, 0, 0, 0), Box(1, 1, 1, 1)};
+      std::vector<Box> s_boxes = r_boxes;
+      // Mirror PartitionStripes' edge arithmetic: lo + p * width in double,
+      // rounded to Coord.
+      const double width = 1.0 / partitions;
+      for (int p = 1; p < partitions; ++p) {
+        const Coord edge = static_cast<Coord>(p * width);
+        const Coord other = 0.5f;
+        const Box pt = axis == Axis::kX ? Box(edge, other, edge, other)
+                                        : Box(other, edge, other, edge);
+        r_boxes.push_back(pt);
+        s_boxes.push_back(pt);
+      }
+      const Dataset r("stripe_r", std::move(r_boxes));
+      const Dataset s("stripe_s", std::move(s_boxes));
+      JoinResult expected = BruteForceJoin(r, s);
+      ASSERT_GE(expected.size(), static_cast<std::size_t>(partitions + 1));
+
+      PbsmOptions opt;
+      opt.num_partitions = partitions;
+      opt.axis = axis;
+      JoinResult got = PbsmSpatialJoin(r, s, opt);
+      EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+          << partitions << " stripes on axis "
+          << (axis == Axis::kX ? "x" : "y") << ": expected " << expected.size()
+          << " pairs, got " << got.size();
+    }
+  }
+}
+
+TEST(Pbsm, CollidedFloatStripeEdgesFarFromOrigin) {
+  // Above 2^24 the float lattice steps by 2, so 512 stripes over an 8-wide
+  // extent collapse runs of ~64 consecutive stripe edges onto the same
+  // representable float. The stripe owning a collapsed-edge reference point
+  // then sits far from the double-arithmetic index estimate -- a fixed ±1
+  // assignment window drops those pairs; only snapping along the rounded
+  // edges (as UniformGrid::TileRange does) finds it.
+  const Coord base = 16777216.0f;  // 2^24
+  for (const Axis axis : {Axis::kX, Axis::kY}) {
+    std::vector<Box> pts;
+    for (int i = 0; i <= 4; ++i) {
+      const Coord big = base + static_cast<Coord>(2 * i);
+      const Coord small = static_cast<Coord>(i);
+      const Box pt = axis == Axis::kX ? Box(big, small, big, small)
+                                      : Box(small, big, small, big);
+      pts.push_back(pt);
+    }
+    const Dataset r("ulp_r", std::vector<Box>(pts));
+    const Dataset s("ulp_s", std::move(pts));
+    JoinResult expected = BruteForceJoin(r, s);
+    ASSERT_EQ(expected.size(), 5u);
+
+    PbsmOptions opt;
+    opt.num_partitions = 512;
+    opt.axis = axis;
+    JoinResult got = PbsmSpatialJoin(r, s, opt);
+    EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+        << "axis " << (axis == Axis::kX ? "x" : "y") << ": expected "
+        << expected.size() << " pairs, got " << got.size();
+  }
+}
+
+TEST(Pbsm, ZeroWidthExtentAlongPartitionAxis) {
+  // All data on one vertical line, partitioned along x: every stripe
+  // collapses onto the line and assignment must agree with the (single)
+  // claiming stripe.
+  std::vector<Box> line;
+  for (int i = 0; i < 6; ++i) {
+    line.push_back(Box(3, static_cast<Coord>(i), 3, static_cast<Coord>(i)));
+  }
+  const Dataset r("line_r", std::vector<Box>(line));
+  const Dataset s("line_s", std::move(line));
+  JoinResult expected = BruteForceJoin(r, s);
+  ASSERT_EQ(expected.size(), 6u);
+  PbsmOptions opt;
+  opt.num_partitions = 8;
+  opt.axis = Axis::kX;
+  JoinResult got = PbsmSpatialJoin(r, s, opt);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
 TEST(TileJoinToString, Names) {
   EXPECT_STREQ(TileJoinToString(TileJoin::kPlaneSweep), "plane-sweep");
   EXPECT_STREQ(TileJoinToString(TileJoin::kNestedLoop), "nested-loop");
+  EXPECT_STREQ(TileJoinToString(TileJoin::kSimd), "simd");
 }
 
 }  // namespace
