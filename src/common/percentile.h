@@ -1,0 +1,27 @@
+// Nearest-rank percentile, the single definition shared by every latency
+// report in the library (the FaaS analytic model, the JoinService benches,
+// and the examples) so their p50/p99 columns stay comparable.
+#ifndef SWIFTSPATIAL_COMMON_PERCENTILE_H_
+#define SWIFTSPATIAL_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace swiftspatial {
+
+/// Nearest-rank percentile over an unsorted sample (sorts its copy):
+/// Percentile(v, 0.99) is the smallest sample x such that at least 99% of
+/// samples are <= x. Returns 0 for an empty sample.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[std::min(rank == 0 ? 0 : rank - 1, values.size() - 1)];
+}
+
+}  // namespace swiftspatial
+
+#endif  // SWIFTSPATIAL_COMMON_PERCENTILE_H_

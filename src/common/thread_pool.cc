@@ -16,11 +16,24 @@ const char* ScheduleToString(Schedule s) {
   return "unknown";
 }
 
+namespace {
+
+// Identity of the pool worker running the current thread, if any. Written
+// once per worker thread at startup; lets CurrentWorkerIndex distinguish
+// "one of my workers" from "some other pool's worker" without a registry.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t index = ThreadPool::kNotAWorker;
+};
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   SWIFT_CHECK_GE(num_threads, 1u);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -43,11 +56,20 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  // Waiting from a worker can never finish: the calling task is itself part
+  // of the outstanding count.
+  SWIFT_CHECK(CurrentWorkerIndex() == kNotAWorker);
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+std::size_t ThreadPool::CurrentWorkerIndex() const {
+  return t_worker.pool == this ? t_worker.index : kNotAWorker;
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  t_worker.pool = this;
+  t_worker.index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

@@ -29,8 +29,27 @@ const char* ScheduleToString(Schedule s);
 ///
 /// The pool is started at construction and joined at destruction. Submit()
 /// enqueues a task; Wait() blocks until all submitted tasks have completed.
+///
+/// Concurrency contract (relied on by exec::TaskGraph):
+///  - Submit() is thread-safe and may be called from worker threads, i.e.
+///    from inside a running task. A task submitted by a running task is
+///    always covered by any Wait() that covers the submitting task: the
+///    child is counted as outstanding before its parent retires, so the
+///    outstanding count cannot touch zero between the two.
+///  - Wait() may be called concurrently with Submit() and from several
+///    threads at once. It returns at an instant when the outstanding count
+///    (queued + running tasks) is zero. Tasks submitted by *other external
+///    threads* while Wait() blocks may or may not be covered; callers that
+///    need a submission covered must order it before Wait() themselves
+///    (or submit it from inside a covered task, per the previous rule).
+///  - Wait() must not be called from a worker thread: the calling task is
+///    itself outstanding, so the wait could never finish. This is a checked
+///    programmer error (SWIFT_CHECK).
 class ThreadPool {
  public:
+  /// Sentinel returned by CurrentWorkerIndex() off the pool's threads.
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
   /// Creates a pool with `num_threads` workers (>= 1).
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
@@ -41,13 +60,20 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every previously submitted task has finished.
+  /// Blocks until every previously submitted task has finished (see the
+  /// class comment for the exact contract). Must not be called from one of
+  /// this pool's own workers.
   void Wait();
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Index of the calling thread within this pool (0..num_threads-1), or
+  /// kNotAWorker when the caller is not one of this pool's workers. Lets
+  /// task code keep per-worker accumulators without sharing or locking.
+  std::size_t CurrentWorkerIndex() const;
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

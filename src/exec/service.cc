@@ -1,0 +1,167 @@
+#include "exec/service.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace swiftspatial::exec {
+
+const char* SchedulingPolicyToString(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::kFcfs:
+      return "fcfs";
+    case SchedulingPolicy::kFairShare:
+      return "fair-share";
+  }
+  return "unknown";
+}
+
+JoinService::JoinService(const JoinServiceOptions& options)
+    : options_(options),
+      pool_(std::max<std::size_t>(1, options.worker_threads)) {
+  const std::size_t dispatchers =
+      std::max<std::size_t>(1, options_.max_concurrent);
+  dispatchers_.reserve(dispatchers);
+  for (std::size_t i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+}
+
+JoinService::~JoinService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Queued requests never run; their consumers see a clean Aborted end.
+    for (Job& job : pending_) {
+      job.abandon(Status::Aborted("service shutting down"));
+      ++stats_.abandoned;
+    }
+    pending_.clear();
+  }
+  cv_job_.notify_all();
+  for (std::thread& d : dispatchers_) d.join();
+}
+
+Result<AsyncJoinHandle> JoinService::Submit(const std::string& tenant,
+                                            const std::string& engine,
+                                            const Dataset& r, const Dataset& s,
+                                            const EngineConfig& config) {
+  auto deferred =
+      MakeJoinStream(engine, r, s, config, options_.stream, &pool_);
+  if (!deferred.ok()) return deferred.status();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++stats_.rejected;
+      deferred->abandon(Status::Aborted("service shutting down"));
+      return Status::Aborted("service shutting down");
+    }
+    if (pending_.size() >= options_.max_pending) {
+      ++stats_.rejected;
+      deferred->abandon(
+          Status::Aborted("admission queue full (max_pending=" +
+                          std::to_string(options_.max_pending) + ")"));
+      return Status::Aborted("admission queue full (max_pending=" +
+                             std::to_string(options_.max_pending) + ")");
+    }
+    Job job;
+    job.sequence = next_sequence_++;
+    job.tenant = tenant;
+    job.producer = std::move(deferred->producer);
+    job.abandon = std::move(deferred->abandon);
+    job.cancel = deferred->cancel;
+    pending_.push_back(std::move(job));
+    ++stats_.admitted;
+    stats_.max_pending_seen =
+        std::max(stats_.max_pending_seen, pending_.size());
+  }
+  cv_job_.notify_one();
+  return std::move(deferred->handle);
+}
+
+JoinService::Job JoinService::TakeNextJobLocked() {
+  SWIFT_CHECK(!pending_.empty());
+  std::size_t pick = 0;
+  if (options_.policy == SchedulingPolicy::kFairShare) {
+    // Least-served tenant first (jobs running + completed), FCFS within a
+    // tenant. The deque is arrival-ordered, so the first hit for the
+    // minimal tenant is also that tenant's oldest request.
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const std::string& tenant = pending_[i].tenant;
+      const auto in_flight = in_flight_per_tenant_.find(tenant);
+      const auto served = served_per_tenant_.find(tenant);
+      const std::size_t load =
+          (in_flight == in_flight_per_tenant_.end() ? 0 : in_flight->second) +
+          (served == served_per_tenant_.end() ? 0 : served->second);
+      if (load < best_load) {
+        best_load = load;
+        pick = i;
+      }
+    }
+  }
+  Job job = std::move(pending_[pick]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return job;
+}
+
+void JoinService::DispatcherLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_job_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping_ and nothing left to serve
+      job = TakeNextJobLocked();
+      ++running_;
+      ++in_flight_per_tenant_[job.tenant];
+    }
+
+    const bool abandoned = job.cancel.cancelled();
+    if (abandoned) {
+      // The consumer gave up while the request queued: close the stream
+      // without running the join.
+      job.abandon(Status::Aborted("join cancelled mid-stream"));
+    } else {
+      job.producer();  // blocking: runs the join, streams, closes
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      --in_flight_per_tenant_[job.tenant];
+      if (abandoned) {
+        // Never ran: not served, not completed -- charging it to the
+        // tenant would let cancelled requests skew fair-share ordering.
+        ++stats_.abandoned;
+      } else {
+        ++served_per_tenant_[job.tenant];
+        ++stats_.completed;
+        completion_order_.push_back(job.tenant);
+      }
+      // Under the lock: a Drain()er may tear the service down once it sees
+      // the idle state, which must not overlap the notify call.
+      cv_idle_.notify_all();
+    }
+  }
+}
+
+void JoinService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
+}
+
+JoinServiceStats JoinService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<std::string> JoinService::completion_order() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completion_order_;
+}
+
+}  // namespace swiftspatial::exec

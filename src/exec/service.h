@@ -1,0 +1,151 @@
+// JoinService: the request-serving layer of the async execution subsystem.
+//
+// Where faas/service.{h,cc} *models* a queueing system analytically (§4.2's
+// Amdahl-style kernel simulation), JoinService actually serves: concurrent
+// tenants Submit() joins, admission control bounds the pending queue, a
+// fixed dispatcher budget runs at most `max_concurrent` joins at once on a
+// shared worker pool, and each admitted request streams its results back
+// through the same AsyncJoinHandle contract as exec::RunJoinAsync --
+// chunked, backpressured, cancellable mid-stream.
+//
+//   JoinServiceOptions options;
+//   options.worker_threads = 8;
+//   options.max_concurrent = 2;
+//   options.policy = SchedulingPolicy::kFairShare;
+//   JoinService service(options);
+//   auto handle = service.Submit("tenant-a", "partitioned", r, s, config);
+//   if (!handle.ok()) ...;              // rejected (queue full) or bad config
+//   StreamSummary out = handle->Collect();
+//
+// Scheduling policies:
+//  - kFcfs: strict arrival order. Simple, but one tenant's burst of long
+//    analytical joins starves everyone behind it.
+//  - kFairShare: least-served tenant first (by jobs running + completed,
+//    FCFS within a tenant) -- the CPU analogue of instantiating several
+//    smaller FPGA kernels so interactive tenants stop queueing behind
+//    analytical ones (§4.2).
+//
+// Lifetime: the datasets passed to Submit must stay alive until that
+// request's stream closes. Destroying the service abandons queued requests
+// (their handles report Aborted) and waits for running ones; consumers
+// should drain or drop their handles promptly or the service will wait on
+// their backpressure.
+#ifndef SWIFTSPATIAL_EXEC_SERVICE_H_
+#define SWIFTSPATIAL_EXEC_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "datagen/dataset.h"
+#include "exec/streaming.h"
+#include "join/engine.h"
+
+namespace swiftspatial::exec {
+
+enum class SchedulingPolicy {
+  kFcfs,
+  kFairShare,
+};
+
+const char* SchedulingPolicyToString(SchedulingPolicy p);
+
+struct JoinServiceOptions {
+  /// Workers in the shared tile-task pool (the compute budget all running
+  /// requests divide).
+  std::size_t worker_threads = 4;
+  /// Requests running at once; the rest queue. This is the serving-side
+  /// analogue of the FPGA's kernel count.
+  std::size_t max_concurrent = 2;
+  /// Admission bound: Submit() rejects once this many requests queue.
+  std::size_t max_pending = 16;
+  SchedulingPolicy policy = SchedulingPolicy::kFcfs;
+  /// Streaming knobs applied to every admitted request.
+  StreamOptions stream;
+};
+
+struct JoinServiceStats {
+  std::size_t admitted = 0;
+  /// Submissions bounced by admission control (queue full / shutdown).
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+  /// Requests closed with Aborted without ever running the join: queued at
+  /// service shutdown, or cancelled by their consumer while queued.
+  std::size_t abandoned = 0;
+  /// High-water mark of the pending queue; never exceeds max_pending.
+  std::size_t max_pending_seen = 0;
+};
+
+/// A multi-tenant spatial-join server over the streaming executor. All
+/// methods are thread-safe.
+class JoinService {
+ public:
+  explicit JoinService(const JoinServiceOptions& options);
+  JoinService(const JoinService&) = delete;
+  JoinService& operator=(const JoinService&) = delete;
+  ~JoinService();
+
+  /// Admits a join request for `tenant` (any label; used for fair-share
+  /// accounting). On admission the returned handle streams the join's
+  /// result chunks once a dispatcher picks the request up; Cancel() works
+  /// both while queued and mid-stream. Fails with Aborted when the pending
+  /// queue is full or the service is shutting down, or with the underlying
+  /// configuration error.
+  Result<AsyncJoinHandle> Submit(const std::string& tenant,
+                                 const std::string& engine, const Dataset& r,
+                                 const Dataset& s,
+                                 const EngineConfig& config = {});
+
+  /// Blocks until every admitted request has completed.
+  void Drain();
+
+  JoinServiceStats stats() const;
+
+  /// Tenant label of each completed request, in completion order. The
+  /// fairness tests assert on this.
+  std::vector<std::string> completion_order() const;
+
+ private:
+  struct Job {
+    uint64_t sequence = 0;
+    std::string tenant;
+    std::function<void()> producer;
+    std::function<void(Status)> abandon;
+    CancellationToken cancel;
+  };
+
+  void DispatcherLoop();
+  /// Picks and removes the next job per the scheduling policy. Requires
+  /// mu_ held and pending_ non-empty.
+  Job TakeNextJobLocked();
+
+  const JoinServiceOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_job_;   // dispatchers: work available / stop
+  std::condition_variable cv_idle_;  // Drain: all quiet
+  std::deque<Job> pending_;
+  std::map<std::string, std::size_t> in_flight_per_tenant_;
+  std::map<std::string, std::size_t> served_per_tenant_;
+  std::vector<std::string> completion_order_;
+  JoinServiceStats stats_;
+  uint64_t next_sequence_ = 0;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace swiftspatial::exec
+
+#endif  // SWIFTSPATIAL_EXEC_SERVICE_H_

@@ -1,0 +1,667 @@
+#include "exec/streaming.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "exec/task_graph.h"
+#include "grid/uniform_grid.h"
+#include "join/partitioned_driver.h"
+#include "join/pbsm.h"
+
+namespace swiftspatial::exec {
+
+namespace internal {
+
+// Bounded chunk queue plus the stream's terminal state. Producer side calls
+// Push (blocking once `capacity` chunks are buffered) and finally Close;
+// consumer side calls Pop until it returns false. Cancel unblocks both
+// sides and makes every token observer stop cooperatively.
+class StreamState {
+ public:
+  explicit StreamState(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  CancellationToken token() const { return cancel_.token(); }
+  bool cancelled() const { return cancel_.cancelled(); }
+
+  enum class PushResult { kPushed, kFull, kCancelled };
+
+  /// Enqueues one chunk, blocking while the queue is full. Returns false
+  /// (dropping the chunk) once the stream is cancelled. Empty pair sets are
+  /// not enqueued.
+  bool Push(std::vector<ResultPair> pairs) {
+    if (pairs.empty()) return !cancel_.cancelled();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] {
+      return queue_.size() < capacity_ || cancel_.cancelled();
+    });
+    if (cancel_.cancelled()) return false;
+    PushLocked(std::move(pairs));
+    return true;
+  }
+
+  /// Non-blocking variant: kFull leaves the caller holding the pairs. Used
+  /// by tile tasks on a *shared* pool, where blocking a worker on one
+  /// stream's backpressure could starve (and with sequential consumers,
+  /// deadlock) every other stream on the pool.
+  PushResult TryPush(std::vector<ResultPair>* pairs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancel_.cancelled()) return PushResult::kCancelled;
+    if (pairs->empty()) return PushResult::kPushed;
+    if (queue_.size() >= capacity_) return PushResult::kFull;
+    PushLocked(std::move(*pairs));
+    pairs->clear();
+    return PushResult::kPushed;
+  }
+
+  /// Dequeues the next chunk; false at end-of-stream. Buffered chunks are
+  /// still delivered after Close/Cancel -- the delivered prefix stays
+  /// well-defined.
+  bool Pop(ResultChunk* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_data_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  void Cancel() {
+    cancel_.Cancel();
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_space_.notify_all();
+  }
+
+  /// Marks the stream finished. Called exactly once, by the producer (or by
+  /// DeferredStream::abandon when the producer never ran).
+  void Close(Status status, const JoinStats& stats,
+             const StageTiming& timing) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SWIFT_CHECK(!closed_);
+    CloseLocked(std::move(status), stats, timing);
+  }
+
+  /// Safety-net variant for abandon paths that may race a normal Close.
+  void CloseIfOpen(Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    CloseLocked(std::move(status), JoinStats{}, StageTiming{});
+  }
+
+  void WaitClosed() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_closed_.wait(lock, [this] { return closed_; });
+  }
+
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  JoinStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  StageTiming timing() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timing_;
+  }
+  std::size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
+ private:
+  void PushLocked(std::vector<ResultPair> pairs) {
+    ResultChunk chunk;
+    chunk.sequence = next_sequence_++;
+    chunk.pairs = std::move(pairs);
+    queue_.push_back(std::move(chunk));
+    max_depth_ = std::max(max_depth_, queue_.size());
+    cv_data_.notify_one();
+  }
+
+  void CloseLocked(Status status, const JoinStats& stats,
+                   const StageTiming& timing) {
+    closed_ = true;
+    status_ = std::move(status);
+    stats_ = stats;
+    timing_ = timing;
+    cv_data_.notify_all();
+    cv_closed_.notify_all();
+  }
+
+  const std::size_t capacity_;
+  CancellationSource cancel_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_data_;    // consumer waits: data or closed
+  std::condition_variable cv_space_;   // producer waits: space or cancelled
+  std::condition_variable cv_closed_;  // Wait/Collect wait: closed
+  std::deque<ResultChunk> queue_;
+  uint64_t next_sequence_ = 0;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+  Status status_;
+  JoinStats stats_;
+  StageTiming timing_;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::StreamState;
+
+// Per-worker chunk staging: each pool worker owns one slot and appends cell
+// outputs there lock-free (one worker thread = one running task at a time,
+// and slots belong to a single stream even when several streams share a
+// pool). Full chunks are carved off the back -- O(chunk) with no front
+// shifting; chunk order across workers is irrelevant, the result is a
+// multiset -- and pushed to the bounded queue, where a full queue blocks
+// only the pushing worker.
+struct WorkerSlot {
+  JoinResult buffer;
+  JoinStats stats;
+};
+
+// Carves full chunks out of `slot` and ships them. Returns false once the
+// stream is cancelled. With flush_tail, also ships the final partial chunk.
+//
+// may_block selects the backpressure mode. Streams on their own private
+// pool (RunJoinAsync) block the pushing worker when the queue is full --
+// the hard memory bound. Streams on a *shared* pool (JoinService) must
+// never park a pool worker on one consumer's backpressure (with sequential
+// consumers that deadlocks every stream on the pool), so a full queue
+// leaves the pairs staged in the slot; the producer's final drain, which
+// runs on a dispatcher thread and may safely block, ships the remainder.
+bool FlushSlot(WorkerSlot* slot, StreamState* state, std::size_t chunk_pairs,
+               bool flush_tail, bool may_block) {
+  std::vector<ResultPair>& pairs = slot->buffer.mutable_pairs();
+  for (;;) {
+    if (pairs.size() < chunk_pairs && !(flush_tail && !pairs.empty())) {
+      return true;
+    }
+    // Carve from the back: O(chunk), no front shifting; chunk order across
+    // workers is irrelevant, the result is a multiset.
+    std::vector<ResultPair> chunk;
+    if (pairs.size() <= chunk_pairs) {
+      chunk = std::move(pairs);
+      pairs.clear();
+    } else {
+      chunk.assign(pairs.end() - chunk_pairs, pairs.end());
+      pairs.resize(pairs.size() - chunk_pairs);
+    }
+    if (may_block) {
+      if (!state->Push(std::move(chunk))) return false;
+    } else {
+      const auto result = state->TryPush(&chunk);
+      if (result == StreamState::PushResult::kCancelled) return false;
+      if (result == StreamState::PushResult::kFull) {
+        // Restage and stop: a later flush or the final drain ships it.
+        pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+        return true;
+      }
+    }
+  }
+}
+
+// Id lists + dedup tile of one populated grid cell, shared with the task
+// closure (std::function requires copyable captures).
+struct CellWork {
+  Box dedup_tile;
+  std::vector<ObjectId> r_ids;
+  std::vector<ObjectId> s_ids;
+};
+
+// An object with its precomputed grid tile range: TileRange runs once, in
+// the bucketing prologue, and the per-band assignment reuses the stored
+// range instead of re-deriving it.
+struct PlacedObject {
+  ObjectId id;
+  int tx0, ty0, tx1, ty1;
+};
+
+// The native streaming producer: banded plan/execute overlap on a TaskGraph.
+//
+// Serial prologue (the only part ordered before everything): compute the
+// extent, size the grid, and bucket both inputs into contiguous row bands by
+// a row-range scan. Then each band becomes a *plan task* that builds the
+// band's per-cell id lists and dynamically adds one join task per populated
+// cell -- so while band k's cells are joining (and their chunks are already
+// streaming out), band k+1 is still being partitioned. Dedup is the same
+// reference-point rule against the same global grid tiles as the
+// synchronous driver, which is why the output multiset is identical.
+void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
+                       TileJoin tile_join, StreamOptions opts,
+                       ThreadPool* shared_pool,
+                       std::shared_ptr<StreamState> state) {
+  StageTiming timing;
+  Stopwatch plan_sw;
+
+  if (config.validate_inputs) {
+    for (const Dataset* d : {&r, &s}) {
+      Status st = d->ValidateBoxes();
+      if (!st.ok()) {
+        state->Close(std::move(st), JoinStats{}, timing);
+        return;
+      }
+    }
+  }
+  if (r.empty() || s.empty()) {
+    state->Close(Status::OK(), JoinStats{}, timing);
+    return;
+  }
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+  if (extent.IsEmpty()) {
+    state->Close(Status::OK(), JoinStats{}, timing);
+    return;
+  }
+
+  int cols, rows;
+  if (config.grid_cols > 0) {
+    cols = config.grid_cols;
+    rows = config.grid_rows;
+  } else {
+    cols = rows = AutoGridSide(r.size() + s.size(), kDefaultCellPopulation);
+  }
+  const UniformGrid grid(extent, cols, rows);
+
+  const int shards =
+      opts.num_shards > 0
+          ? std::min(opts.num_shards, rows)
+          : std::min<int>(rows,
+                          std::max<int>(2, static_cast<int>(
+                                               config.num_threads)));
+  std::vector<int> band_begin(shards + 1);
+  for (int b = 0; b <= shards; ++b) {
+    band_begin[b] = static_cast<int>(
+        static_cast<long long>(b) * rows / shards);
+  }
+  std::vector<int> row_band(rows);
+  for (int b = 0; b < shards; ++b) {
+    for (int y = band_begin[b]; y < band_begin[b + 1]; ++y) row_band[y] = b;
+  }
+
+  // Bucketing: the one serial O(n) pass. Each object's tile range is
+  // computed exactly once (the same TileRange work the synchronous Plan
+  // pays) and stored with the id, so the per-band plan tasks only
+  // distribute ids into cells.
+  std::vector<std::vector<PlacedObject>> band_r(shards), band_s(shards);
+  const auto bucket = [&](const Dataset& d,
+                          std::vector<std::vector<PlacedObject>>& bands) {
+    for (auto& band : bands) band.reserve(d.size() / shards + 1);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      PlacedObject p;
+      p.id = static_cast<ObjectId>(i);
+      grid.TileRange(d.box(i), &p.tx0, &p.ty0, &p.tx1, &p.ty1);
+      for (int b = row_band[p.ty0]; b <= row_band[p.ty1]; ++b) {
+        bands[b].push_back(p);
+      }
+    }
+  };
+  bucket(r, band_r);
+  bucket(s, band_s);
+  timing.plan_seconds = plan_sw.ElapsedSeconds();
+
+  Stopwatch exec_sw;
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = shared_pool;
+  // Workers on an exclusive pool may block on backpressure (hard memory
+  // bound); workers on a shared pool must not (see FlushSlot).
+  const bool exclusive_pool = shared_pool == nullptr;
+  if (pool == nullptr) {
+    owned_pool.emplace(std::max<std::size_t>(1, config.num_threads));
+    pool = &*owned_pool;
+  }
+
+  const std::size_t chunk_pairs = std::max<std::size_t>(1, opts.chunk_pairs);
+  std::vector<WorkerSlot> slots(pool->num_threads());
+  TaskGraph graph(pool, state->token());
+
+  for (int b = 0; b < shards; ++b) {
+    graph.Add([&, b] {
+      const int row0 = band_begin[b];
+      const int row1 = band_begin[b + 1];
+      if (row0 >= row1) return;
+      const int band_tiles = (row1 - row0) * cols;
+      std::vector<std::vector<ObjectId>> r_cells(band_tiles);
+      std::vector<std::vector<ObjectId>> s_cells(band_tiles);
+      const auto assign = [&](const std::vector<PlacedObject>& placed,
+                              std::vector<std::vector<ObjectId>>& cells) {
+        for (const PlacedObject& p : placed) {
+          for (int ty = std::max(p.ty0, row0);
+               ty <= std::min(p.ty1, row1 - 1); ++ty) {
+            for (int tx = p.tx0; tx <= p.tx1; ++tx) {
+              cells[(ty - row0) * cols + tx].push_back(p.id);
+            }
+          }
+        }
+      };
+      assign(band_r[b], r_cells);
+      assign(band_s[b], s_cells);
+
+      auto cells = std::make_shared<std::vector<CellWork>>();
+      for (int t = 0; t < band_tiles; ++t) {
+        if (r_cells[t].empty() || s_cells[t].empty()) continue;
+        CellWork work;
+        const int global_tile = (row0 + t / cols) * cols + t % cols;
+        work.dedup_tile = grid.DedupTileByIndex(global_tile);
+        work.r_ids = std::move(r_cells[t]);
+        work.s_ids = std::move(s_cells[t]);
+        cells->push_back(std::move(work));
+      }
+      if (cells->empty()) return;
+      // Largest cells first, then strided groups: group g joins cells
+      // g, g+G, g+2G, ... -- balanced batches that amortise per-task
+      // dispatch over many (often tiny) cells. The per-wave group budget
+      // (kCellTaskGroupsPerWorker * workers, shared with the sync driver)
+      // is split across the bands so both paths dispatch at the same
+      // granularity.
+      std::sort(cells->begin(), cells->end(),
+                [](const CellWork& a, const CellWork& b) {
+                  return a.r_ids.size() * a.s_ids.size() >
+                         b.r_ids.size() * b.s_ids.size();
+                });
+      const std::size_t groups = std::min(
+          cells->size(),
+          std::max<std::size_t>(
+              1, kCellTaskGroupsPerWorker * pool->num_threads() /
+                     static_cast<std::size_t>(shards)));
+      for (std::size_t g = 0; g < groups; ++g) {
+        graph.Add([&, cells, g, groups] {
+          WorkerSlot& slot = slots[pool->CurrentWorkerIndex()];
+          for (std::size_t i = g; i < cells->size(); i += groups) {
+            const CellWork& work = (*cells)[i];
+            RunTileJoin(tile_join, r, s, work.r_ids, work.s_ids,
+                        &work.dedup_tile, &slot.buffer, &slot.stats);
+            // Stream full chunks as soon as they exist; stop early if the
+            // consumer cancelled.
+            if (!FlushSlot(&slot, state.get(), chunk_pairs,
+                           /*flush_tail=*/false, exclusive_pool)) {
+              return;
+            }
+          }
+          // Group boundary: ship the partial chunk too, so consumers see
+          // results at cell-group granularity instead of only at the end.
+          FlushSlot(&slot, state.get(), chunk_pairs, /*flush_tail=*/true,
+                    exclusive_pool);
+        });
+      }
+    });
+  }
+  graph.Wait();
+
+  JoinStats stats;
+  for (WorkerSlot& slot : slots) stats += slot.stats;
+  if (state->cancelled()) {
+    timing.execute_seconds = exec_sw.ElapsedSeconds();
+    state->Close(Status::Aborted("join cancelled mid-stream"), stats, timing);
+    return;
+  }
+  // Final drain runs on the producer thread (or a service dispatcher) --
+  // never on a pool worker -- so it may block on backpressure in both
+  // modes, shipping whatever the shared-pool mode left staged.
+  for (WorkerSlot& slot : slots) {
+    if (!FlushSlot(&slot, state.get(), chunk_pairs, /*flush_tail=*/true,
+                   /*may_block=*/true)) {
+      timing.execute_seconds = exec_sw.ElapsedSeconds();
+      state->Close(Status::Aborted("join cancelled mid-stream"), stats,
+                   timing);
+      return;
+    }
+  }
+  timing.execute_seconds = exec_sw.ElapsedSeconds();
+  state->Close(Status::OK(), stats, timing);
+}
+
+// The generic producer: any registered engine runs Plan -> Execute on the
+// producer thread and the finished result streams out in chunks, giving the
+// whole registry one uniform streaming contract.
+void RunGenericProducer(std::shared_ptr<JoinEngine> engine, const Dataset& r,
+                        const Dataset& s, StreamOptions opts,
+                        std::shared_ptr<StreamState> state) {
+  StageTiming timing;
+  Stopwatch sw;
+  Status st = engine->Plan(r, s);
+  timing.plan_seconds = sw.ElapsedSeconds();
+  if (!st.ok()) {
+    state->Close(std::move(st), JoinStats{}, timing);
+    return;
+  }
+  if (state->cancelled()) {
+    state->Close(Status::Aborted("join cancelled mid-stream"), JoinStats{},
+                 timing);
+    return;
+  }
+  sw.Reset();
+  JoinResult result;
+  JoinStats stats;
+  st = engine->Execute(&result, &stats);
+  timing.execute_seconds = sw.ElapsedSeconds();
+  if (!st.ok()) {
+    state->Close(std::move(st), stats, timing);
+    return;
+  }
+  const std::vector<ResultPair>& pairs = result.pairs();
+  const std::size_t chunk_pairs = std::max<std::size_t>(1, opts.chunk_pairs);
+  for (std::size_t off = 0; off < pairs.size(); off += chunk_pairs) {
+    const std::size_t end = std::min(off + chunk_pairs, pairs.size());
+    if (!state->Push({pairs.begin() + off, pairs.begin() + end})) {
+      state->Close(Status::Aborted("join cancelled mid-stream"), stats,
+                   timing);
+      return;
+    }
+  }
+  state->Close(Status::OK(), stats, timing);
+}
+
+bool IsNativeStreamingEngine(const std::string& name) {
+  return name == kPartitionedEngine || name == kSimdEngine ||
+         name == kAsyncEngine;
+}
+
+// The same fail-fast grid checks PartitionedDriver::Plan applies, so
+// RunJoinAsync rejects bad grids before spawning a producer and the
+// sync/streaming paths cannot drift apart.
+Status ValidateNativeConfig(const EngineConfig& config) {
+  return ValidateGridConfig(config.grid_cols, config.grid_rows);
+}
+
+// The "async" registry entry: Plan validates, Execute runs the native
+// streaming pipeline and Collect()s it. Registering this class is what puts
+// the entire streaming machinery -- producer thread, banded TaskGraph,
+// bounded chunk queue, Collect -- under the equivalence oracle.
+class AsyncCollectEngine : public JoinEngine {
+ public:
+  explicit AsyncCollectEngine(const EngineConfig& config) : config_(config) {}
+
+  const std::string& name() const override {
+    static const std::string kName(kAsyncEngine);
+    return kName;
+  }
+
+  Status Plan(const Dataset& r, const Dataset& s) override {
+    if (config_.num_threads < 1) {
+      return Status::InvalidArgument("num_threads must be >= 1");
+    }
+    SWIFT_RETURN_IF_ERROR(ValidateNativeConfig(config_));
+    if (config_.validate_inputs) {
+      SWIFT_RETURN_IF_ERROR(r.ValidateBoxes());
+      SWIFT_RETURN_IF_ERROR(s.ValidateBoxes());
+    }
+    r_ = &r;
+    s_ = &s;
+    planned_ = true;
+    // No index/partition build here: the banded planner runs inside
+    // Execute, overlapped with the joins it feeds -- that overlap is the
+    // engine's whole reason to exist.
+    return Status::OK();
+  }
+
+  Status Execute(JoinResult* out, JoinStats* stats) override {
+    if (!planned_) {
+      return Status::Internal("Execute called before a successful Plan");
+    }
+    if (out == nullptr) {
+      return Status::InvalidArgument("Execute requires a non-null result");
+    }
+    *out = JoinResult();
+    if (r_->empty() || s_->empty()) return Status::OK();
+    EngineConfig config = config_;
+    config.validate_inputs = false;  // already validated at Plan
+    auto handle = RunJoinAsync(kAsyncEngine, *r_, *s_, config);
+    if (!handle.ok()) return handle.status();
+    StreamSummary summary = handle->Collect();
+    if (!summary.status.ok()) return summary.status;
+    *out = std::move(summary.run.result);
+    if (stats != nullptr) *stats += summary.run.stats;
+    return Status::OK();
+  }
+
+ private:
+  EngineConfig config_;
+  const Dataset* r_ = nullptr;
+  const Dataset* s_ = nullptr;
+  bool planned_ = false;
+};
+
+}  // namespace
+
+AsyncJoinHandle::AsyncJoinHandle(std::shared_ptr<internal::StreamState> state,
+                                 std::thread producer)
+    : state_(std::move(state)), producer_(std::move(producer)) {}
+
+void AsyncJoinHandle::Teardown() {
+  if (state_ == nullptr) return;  // moved-from
+  // Cancel so a blocked producer unblocks, drain so buffered chunks free
+  // their memory, then wait for the stream to close -- either our own
+  // producer thread finishing, or the serving layer running/abandoning a
+  // deferred job (every created stream is guaranteed one of the two; see
+  // the abandon guard in MakeJoinStream).
+  state_->Cancel();
+  ResultChunk sink;
+  while (state_->Pop(&sink)) {
+  }
+  state_->WaitClosed();
+  if (producer_.joinable()) producer_.join();
+  state_.reset();
+}
+
+AsyncJoinHandle::~AsyncJoinHandle() { Teardown(); }
+
+AsyncJoinHandle& AsyncJoinHandle::operator=(AsyncJoinHandle&& other) noexcept {
+  if (this != &other) {
+    // Retire the stream this handle currently owns exactly as the
+    // destructor would, then adopt the other's.
+    Teardown();
+    state_ = std::move(other.state_);
+    producer_ = std::move(other.producer_);
+  }
+  return *this;
+}
+
+bool AsyncJoinHandle::Next(ResultChunk* out) { return state_->Pop(out); }
+
+void AsyncJoinHandle::Cancel() { state_->Cancel(); }
+
+Status AsyncJoinHandle::Wait() {
+  ResultChunk sink;
+  while (state_->Pop(&sink)) {
+  }
+  state_->WaitClosed();
+  if (producer_.joinable()) producer_.join();
+  return state_->status();
+}
+
+StreamSummary AsyncJoinHandle::Collect() {
+  StreamSummary summary;
+  ResultChunk chunk;
+  while (state_->Pop(&chunk)) {
+    ++summary.chunks;
+    auto& pairs = summary.run.result.mutable_pairs();
+    if (pairs.empty()) {
+      pairs = std::move(chunk.pairs);
+    } else {
+      pairs.insert(pairs.end(), chunk.pairs.begin(), chunk.pairs.end());
+    }
+  }
+  state_->WaitClosed();
+  if (producer_.joinable()) producer_.join();
+  summary.status = state_->status();
+  summary.run.stats = state_->stats();
+  summary.run.timing = state_->timing();
+  summary.max_queue_depth = state_->max_depth();
+  return summary;
+}
+
+std::size_t AsyncJoinHandle::max_queue_depth() const {
+  return state_->max_depth();
+}
+
+Result<DeferredStream> MakeJoinStream(const std::string& engine,
+                                      const Dataset& r, const Dataset& s,
+                                      const EngineConfig& config,
+                                      const StreamOptions& stream,
+                                      ThreadPool* pool) {
+  if (config.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  auto state = std::make_shared<StreamState>(stream.queue_capacity);
+  // Safety net owned by the producer/abandon closures: if a caller drops
+  // both without invoking either (an early-return error path), the last
+  // closure's destruction closes the stream so consumers blocked in
+  // Next()/Wait() -- including ~AsyncJoinHandle -- never hang.
+  auto guard = std::shared_ptr<void>(nullptr, [state](void*) {
+    state->CloseIfOpen(
+        Status::Aborted("stream dropped without running the producer"));
+  });
+  std::function<void()> producer;
+  if (IsNativeStreamingEngine(engine)) {
+    SWIFT_RETURN_IF_ERROR(ValidateNativeConfig(config));
+    const TileJoin tile_join =
+        engine == kSimdEngine ? TileJoin::kSimd : config.tile_join;
+    producer = [&r, &s, config, tile_join, stream, pool, state, guard] {
+      RunNativeProducer(r, s, config, tile_join, stream, pool, state);
+    };
+  } else {
+    auto created = EngineRegistry::Global().Create(engine, config);
+    if (!created.ok()) return created.status();
+    std::shared_ptr<JoinEngine> eng = std::move(*created);
+    producer = [eng, &r, &s, stream, state, guard] {
+      RunGenericProducer(eng, r, s, stream, state);
+    };
+  }
+  auto abandon = [state, guard](Status status) {
+    state->CloseIfOpen(std::move(status));
+  };
+  guard.reset();  // closures now co-own the safety net
+  return DeferredStream{AsyncJoinHandle(state, std::thread()),
+                        std::move(producer), std::move(abandon),
+                        state->token()};
+}
+
+Result<AsyncJoinHandle> RunJoinAsync(const std::string& engine,
+                                     const Dataset& r, const Dataset& s,
+                                     const EngineConfig& config,
+                                     const StreamOptions& stream) {
+  auto deferred = MakeJoinStream(engine, r, s, config, stream,
+                                 /*pool=*/nullptr);
+  if (!deferred.ok()) return deferred.status();
+  DeferredStream d = std::move(*deferred);
+  d.handle.producer_ = std::thread(std::move(d.producer));
+  return std::move(d.handle);
+}
+
+std::unique_ptr<JoinEngine> MakeAsyncJoinEngine(const EngineConfig& config) {
+  return std::make_unique<AsyncCollectEngine>(config);
+}
+
+}  // namespace swiftspatial::exec

@@ -1,0 +1,205 @@
+// Streaming join execution: the asynchronous face of the JoinEngine API.
+//
+//   auto handle = exec::RunJoinAsync("partitioned", r, s, config);
+//   if (!handle.ok()) ...;
+//   exec::ResultChunk chunk;
+//   while (handle->Next(&chunk)) Consume(chunk.pairs);   // backpressured
+//   Status final = handle->Wait();
+//
+// Result pairs arrive as bounded-queue ResultChunks while the join is still
+// running: the producer blocks once `queue_capacity` chunks are buffered
+// (backpressure bounds memory no matter how large the join), and
+// Cancel() cooperatively stops the join mid-stream -- chunks already
+// delivered form a well-defined prefix (consecutive sequence numbers, every
+// pair a genuine result, no duplicates) and Wait()/Collect() report
+// Aborted.
+//
+// Two producer strategies sit behind one handle type:
+//  - Partition-family engines ("partitioned", "simd", "async") stream
+//    natively: the grid is split into row bands, each band's cell
+//    assignment runs as a TaskGraph *plan task* that dynamically spawns
+//    that band's cell-join tasks, so planning of band k+1 overlaps joining
+//    of band k and the first chunks surface long before the last shard is
+//    even partitioned.
+//  - Every other registered engine runs Plan -> Execute synchronously on
+//    the producer thread and streams the finished result out in chunks, so
+//    the streaming contract (chunks, backpressure, cancellation, Collect)
+//    is uniform across the whole registry.
+//
+// Collect() folds a stream back into a JoinRun, which is how the
+// "async" engine (registered in EngineRegistry::Global()) proves the
+// streaming path bit-identical to the synchronous one: the cross-algorithm
+// equivalence oracle in tests/join/equivalence_test.cc covers it like any
+// other engine.
+#ifndef SWIFTSPATIAL_EXEC_STREAMING_H_
+#define SWIFTSPATIAL_EXEC_STREAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "datagen/dataset.h"
+#include "exec/task_graph.h"
+#include "join/engine.h"
+#include "join/result.h"
+
+namespace swiftspatial::exec {
+
+namespace internal {
+class StreamState;
+}  // namespace internal
+
+/// One batch of result pairs. Sequence numbers are consecutive from 0 in
+/// delivery order; a consumer that saw sequences 0..k holds a well-defined
+/// prefix of the stream even if the join is cancelled afterwards.
+struct ResultChunk {
+  uint64_t sequence = 0;
+  std::vector<ResultPair> pairs;
+};
+
+/// Streaming knobs, orthogonal to the join configuration (EngineConfig).
+struct StreamOptions {
+  /// Target pairs per chunk (chunks flush once they reach this size; the
+  /// final chunk may be smaller).
+  std::size_t chunk_pairs = 8192;
+  /// Maximum buffered chunks before the producer blocks (backpressure).
+  std::size_t queue_capacity = 8;
+  /// Row bands for the native streaming planner; 0 = auto
+  /// (min(grid rows, max(2, num_threads))). Ignored by the generic path.
+  int num_shards = 0;
+};
+
+/// Everything Collect() reports: the final stream status, the collected
+/// pairs folded into a JoinRun (the full join result iff status.ok(); the
+/// delivered prefix under cancellation), and stream-level accounting.
+struct StreamSummary {
+  Status status;
+  JoinRun run;
+  std::size_t chunks = 0;
+  /// High-water mark of buffered chunks -- bounded by queue_capacity, which
+  /// tests assert to pin the backpressure contract.
+  std::size_t max_queue_depth = 0;
+};
+
+class AsyncJoinHandle;
+struct DeferredStream;
+Result<AsyncJoinHandle> RunJoinAsync(const std::string& engine,
+                                     const Dataset& r, const Dataset& s,
+                                     const EngineConfig& config,
+                                     const StreamOptions& stream);
+Result<DeferredStream> MakeJoinStream(const std::string& engine,
+                                      const Dataset& r, const Dataset& s,
+                                      const EngineConfig& config,
+                                      const StreamOptions& stream,
+                                      ThreadPool* pool);
+
+/// Consumer handle for one asynchronous join. Movable, not copyable; the
+/// destructor cancels and drains an unfinished stream, so dropping a handle
+/// never leaks the producer. All methods are safe to call from one consumer
+/// thread while the producer runs; Cancel() may be called from any thread.
+class AsyncJoinHandle {
+ public:
+  AsyncJoinHandle(AsyncJoinHandle&&) noexcept = default;
+  /// Tears down the current stream first (cancel, drain, join) -- a
+  /// defaulted move-assign would std::terminate via std::thread when
+  /// overwriting a handle whose producer still runs.
+  AsyncJoinHandle& operator=(AsyncJoinHandle&& other) noexcept;
+  AsyncJoinHandle(const AsyncJoinHandle&) = delete;
+  AsyncJoinHandle& operator=(const AsyncJoinHandle&) = delete;
+  ~AsyncJoinHandle();
+
+  /// Pops the next chunk, blocking while the stream is open but empty.
+  /// Returns false at end-of-stream (the join finished, failed, or was
+  /// cancelled and every buffered chunk has been delivered).
+  bool Next(ResultChunk* out);
+
+  /// Requests cooperative cancellation: unstarted tile tasks are skipped,
+  /// blocked producers unblock, and the stream closes after the tasks
+  /// already running retire. Idempotent.
+  void Cancel();
+
+  /// Discards any unconsumed chunks and blocks until the producer has fully
+  /// retired, returning the final status: OK, Aborted after Cancel(), or
+  /// the planning/execution error.
+  Status Wait();
+
+  /// Drains the remaining stream into a StreamSummary and waits for the
+  /// producer. After Collect() the stream is exhausted.
+  StreamSummary Collect();
+
+  /// High-water mark of buffered chunks so far (see StreamSummary).
+  std::size_t max_queue_depth() const;
+
+ private:
+  friend Result<AsyncJoinHandle> RunJoinAsync(const std::string&,
+                                              const Dataset&, const Dataset&,
+                                              const EngineConfig&,
+                                              const StreamOptions&);
+  friend Result<DeferredStream> MakeJoinStream(const std::string&,
+                                               const Dataset&, const Dataset&,
+                                               const EngineConfig&,
+                                               const StreamOptions&,
+                                               ThreadPool*);
+
+  AsyncJoinHandle(std::shared_ptr<internal::StreamState> state,
+                  std::thread producer);
+
+  /// Destructor body: cancel, drain, wait for close, join. Leaves the
+  /// handle in the moved-from state.
+  void Teardown();
+
+  std::shared_ptr<internal::StreamState> state_;
+  std::thread producer_;
+};
+
+/// Starts `engine` (a name in the global EngineRegistry) on (r, s)
+/// asynchronously on a dedicated producer thread and returns the consumer
+/// handle. Fails fast (NotFound / InvalidArgument) for unknown engines or
+/// configurations rejectable without touching the data; data-dependent
+/// planning errors surface through Wait()/Collect(). `r` and `s` must
+/// outlive the stream.
+Result<AsyncJoinHandle> RunJoinAsync(const std::string& engine,
+                                     const Dataset& r, const Dataset& s,
+                                     const EngineConfig& config = {},
+                                     const StreamOptions& stream = {});
+
+/// A stream whose producer has not been started: the serving layer
+/// (exec::JoinService) admits requests by queueing the `producer` body and
+/// running it on its own dispatcher threads against a shared worker pool.
+struct DeferredStream {
+  AsyncJoinHandle handle;
+  /// Runs the join to completion (blocking) and closes the stream. Run
+  /// exactly once, or not at all if `abandon` is called instead.
+  std::function<void()> producer;
+  /// Closes the stream with `status` without running the join (e.g. the
+  /// request was cancelled or the service shut down while it queued).
+  std::function<void(Status)> abandon;
+  /// Observes the handle's cancellation flag, letting a scheduler abandon
+  /// queued work whose consumer already gave up.
+  CancellationToken cancel;
+};
+
+/// Like RunJoinAsync but defers producer execution to the caller and, when
+/// `pool` is non-null, schedules the native path's tile tasks on that pool
+/// instead of a private one (several streams may share one pool; each
+/// stream's graph is tracked independently).
+Result<DeferredStream> MakeJoinStream(const std::string& engine,
+                                      const Dataset& r, const Dataset& s,
+                                      const EngineConfig& config = {},
+                                      const StreamOptions& stream = {},
+                                      ThreadPool* pool = nullptr);
+
+/// Factory behind the "async" engine registered in EngineRegistry::Global():
+/// Execute() runs the native banded streaming path and Collect()s it, so the
+/// equivalence oracle checks streaming output against every other engine.
+std::unique_ptr<JoinEngine> MakeAsyncJoinEngine(const EngineConfig& config);
+
+}  // namespace swiftspatial::exec
+
+#endif  // SWIFTSPATIAL_EXEC_STREAMING_H_

@@ -1,0 +1,152 @@
+#include "exec/task_graph.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace swiftspatial::exec {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+struct TaskGraph::Node {
+  std::function<void()> fn;
+  std::vector<std::size_t> dependents;
+  std::size_t pending_deps = 0;
+  bool finished = false;
+  TaskTiming timing;
+  Clock::time_point ready_at;
+};
+
+TaskGraph::TaskGraph(ThreadPool* pool, CancellationToken cancel)
+    : pool_(pool), cancel_(std::move(cancel)) {
+  SWIFT_CHECK(pool_ != nullptr);
+}
+
+TaskGraph::~TaskGraph() { Wait(); }
+
+TaskId TaskGraph::Add(std::function<void()> fn,
+                      const std::vector<TaskId>& deps) {
+  std::size_t index;
+  bool ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = tasks_.size();
+    auto node = std::make_unique<Node>();
+    node->fn = std::move(fn);
+    for (const TaskId dep : deps) {
+      SWIFT_CHECK_LT(dep, index);  // deps must already be in this graph
+      Node& d = *tasks_[dep];
+      if (!d.finished) {
+        d.dependents.push_back(index);
+        ++node->pending_deps;
+      }
+    }
+    ready = node->pending_deps == 0;
+    if (ready) node->ready_at = Clock::now();
+    tasks_.push_back(std::move(node));
+    ++unfinished_;
+  }
+  if (ready) SubmitNode(index);
+  return index;
+}
+
+void TaskGraph::SubmitNode(std::size_t index) {
+  pool_->Submit([this, index] { RunNode(index); });
+}
+
+void TaskGraph::RunNode(std::size_t index) {
+  Node* node_ptr;
+  {
+    // tasks_ may be reallocating under a concurrent Add; the nodes
+    // themselves are heap-stable, so only the indexing needs the lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    node_ptr = tasks_[index].get();
+  }
+  Node& node = *node_ptr;
+  if (cancel_.cancelled()) {
+    FinishNode(index, /*skipped=*/true, {}, {});
+    return;
+  }
+  const Clock::time_point start = Clock::now();
+  node.fn();
+  FinishNode(index, /*skipped=*/false, start, Clock::now());
+}
+
+void TaskGraph::FinishNode(std::size_t index, bool skipped,
+                           Clock::time_point start, Clock::time_point end) {
+  std::vector<std::size_t> newly_ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Node& node = *tasks_[index];
+    node.finished = true;
+    // Timing is stamped under mu_ so the locked getters
+    // (timing()/total_task_seconds()) are safe even mid-run.
+    node.timing.skipped = skipped;
+    if (skipped) {
+      ++skipped_;
+    } else {
+      node.timing.queued_seconds = SecondsBetween(node.ready_at, start);
+      node.timing.run_seconds = SecondsBetween(start, end);
+      ++run_;
+    }
+    const Clock::time_point now = Clock::now();
+    for (const std::size_t dep_index : node.dependents) {
+      Node& d = *tasks_[dep_index];
+      if (--d.pending_deps == 0) {
+        d.ready_at = now;
+        newly_ready.push_back(dep_index);
+      }
+    }
+    node.dependents.clear();
+    if (--unfinished_ == 0 && newly_ready.empty()) {
+      // Notify while holding the lock: a Wait()er may destroy this graph
+      // (cv included) the moment it observes the drain, which must not
+      // overlap the notify call itself.
+      cv_drained_.notify_all();
+    }
+  }
+  for (const std::size_t r : newly_ready) SubmitNode(r);
+}
+
+void TaskGraph::Wait() {
+  SWIFT_CHECK(pool_->CurrentWorkerIndex() == ThreadPool::kNotAWorker);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_drained_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+std::size_t TaskGraph::tasks_added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+std::size_t TaskGraph::tasks_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_;
+}
+
+std::size_t TaskGraph::tasks_skipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skipped_;
+}
+
+double TaskGraph::total_task_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0;
+  for (const auto& node : tasks_) total += node->timing.run_seconds;
+  return total;
+}
+
+TaskTiming TaskGraph::timing(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SWIFT_CHECK_LT(id, tasks_.size());
+  return tasks_[id]->timing;
+}
+
+}  // namespace swiftspatial::exec

@@ -1,0 +1,144 @@
+// TaskGraph: a dependency-counted task scheduler on top of ThreadPool, the
+// foundation of the async execution subsystem (src/exec/). It is the CPU
+// analogue of the SwiftSpatial hardware scheduler (§3.4): independent tile
+// tasks stream onto the join units as soon as their inputs are ready, while
+// downstream tasks (dedup, merge) wait only on the tasks they actually
+// consume -- there is no global barrier between "plan" and "execute".
+//
+//   ThreadPool pool(8);
+//   TaskGraph graph(&pool);
+//   auto a = graph.Add([] { ... });              // ready immediately
+//   auto b = graph.Add([] { ... });
+//   graph.Add([] { merge(); }, {a, b});          // runs after a and b
+//   graph.Wait();                                // drains the whole graph
+//
+// Tasks may Add() further tasks while running (dynamic growth): the parent
+// is still outstanding while it adds, so Wait() covers every transitively
+// spawned task. Cooperative cancellation: after CancellationSource::Cancel,
+// tasks that have not started are *skipped* (completed without running,
+// still releasing their dependents so Wait terminates); running tasks keep
+// the token to bail out early at their own safe points.
+#ifndef SWIFTSPATIAL_EXEC_TASK_GRAPH_H_
+#define SWIFTSPATIAL_EXEC_TASK_GRAPH_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace swiftspatial::exec {
+
+/// Read side of a cancellation flag. Default-constructed tokens are never
+/// cancelled. Copies share the flag; checking is a relaxed atomic load.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side: owns the flag, hands out tokens. Cancel() is idempotent,
+/// thread-safe, and purely cooperative -- it never interrupts a running
+/// task, it only makes every token observe cancelled() == true.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+using TaskId = std::size_t;
+
+/// Per-task wall-clock accounting, valid after Wait().
+struct TaskTiming {
+  /// Seconds between becoming ready (submitted to the pool) and starting.
+  double queued_seconds = 0;
+  /// Seconds spent running the task body (0 for skipped tasks).
+  double run_seconds = 0;
+  /// True when cancellation skipped the task before it started.
+  bool skipped = false;
+};
+
+/// A dependency-counted task DAG executing on a (caller-owned, shareable)
+/// ThreadPool. One graph instance is one wave of work: Add tasks (from any
+/// thread, including from inside running tasks), then Wait() for the graph
+/// to drain. The pool may concurrently serve other graphs; Wait() tracks
+/// only this graph's tasks, unlike ThreadPool::Wait().
+///
+/// Add/Wait are thread-safe. Task bodies run exactly once (or are skipped
+/// under cancellation). Dependencies must name tasks already added to this
+/// graph (checked).
+class TaskGraph {
+ public:
+  explicit TaskGraph(ThreadPool* pool, CancellationToken cancel = {});
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Destruction drains the graph (Wait) so task closures never dangle.
+  ~TaskGraph();
+
+  /// Adds a task that runs once every task in `deps` has completed (or been
+  /// skipped). Tasks with no deps are submitted to the pool immediately.
+  TaskId Add(std::function<void()> fn, const std::vector<TaskId>& deps = {});
+
+  /// Blocks until every task added so far -- including tasks added by
+  /// running tasks while this call blocks -- has completed or been skipped.
+  /// Must not be called from a task running on the underlying pool.
+  void Wait();
+
+  bool cancelled() const { return cancel_.cancelled(); }
+
+  // Introspection. Safe to call mid-run (timings are stamped under the
+  // graph lock as each task finishes); values are final once Wait() returns.
+  std::size_t tasks_added() const;
+  std::size_t tasks_run() const;
+  std::size_t tasks_skipped() const;
+  /// Sum of run_seconds over all tasks (total work, not wall-clock).
+  double total_task_seconds() const;
+  TaskTiming timing(TaskId id) const;
+
+ private:
+  struct Node;
+
+  void SubmitNode(std::size_t index);
+  void RunNode(std::size_t index);
+  void FinishNode(std::size_t index, bool skipped,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end);
+
+  ThreadPool* pool_;
+  CancellationToken cancel_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_drained_;
+  // unique_ptr keeps nodes stable while tasks_ grows from running tasks.
+  std::vector<std::unique_ptr<Node>> tasks_;
+  std::size_t unfinished_ = 0;
+  std::size_t run_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace swiftspatial::exec
+
+#endif  // SWIFTSPATIAL_EXEC_TASK_GRAPH_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/percentile.h"
 
 namespace swiftspatial::faas {
 
@@ -86,10 +87,7 @@ FaasMetrics SpatialJoinService::Summarize(
   }
   m.mean_latency_seconds /= outcomes.size();
   m.mean_wait_seconds /= outcomes.size();
-  std::sort(latencies.begin(), latencies.end());
-  const std::size_t idx = static_cast<std::size_t>(
-      std::ceil(0.99 * latencies.size())) - 1;
-  m.p99_latency_seconds = latencies[std::min(idx, latencies.size() - 1)];
+  m.p99_latency_seconds = Percentile(std::move(latencies), 0.99);
   return m;
 }
 

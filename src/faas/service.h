@@ -9,6 +9,12 @@
 // launch, transfers) plus parallel work that divides across the kernel's
 // join units. Work figures can be taken from real Accelerator runs or
 // synthesized.
+//
+// This class is the *analytic* device model -- closed-form what-ifs at
+// FPGA scale (bench/ext_faas_multitenancy). The serving layer that
+// actually executes concurrent join requests on the CPU, with admission
+// control, FCFS/fair-share scheduling, and streamed results, is
+// exec::JoinService (src/exec/service.h); examples/faas_server runs on it.
 #ifndef SWIFTSPATIAL_FAAS_SERVICE_H_
 #define SWIFTSPATIAL_FAAS_SERVICE_H_
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "exec/streaming.h"
 #include "join/cuspatial_like.h"
 #include "join/engine_baselines.h"
 #include "join/nested_loop.h"
@@ -301,7 +302,6 @@ class PartitionedEngine : public EngineBase {
     options.grid_cols = config().grid_cols;
     options.grid_rows = config().grid_rows;
     options.num_threads = config().num_threads;
-    options.schedule = config().schedule;
     options.tile_join = tile_join_;
     driver_ = PartitionedDriver(options);
     return driver_.Plan(r, s);
@@ -411,6 +411,9 @@ EngineRegistry& EngineRegistry::Global() {
                   return std::make_unique<PartitionedEngine>(
                       kSimdEngine, config, TileJoin::kSimd);
                 });
+    r->Register(kAsyncEngine, [](const EngineConfig& config) {
+      return exec::MakeAsyncJoinEngine(config);
+    });
     r->Register(kInterpretedEngineBaseline,
                 MakeFactory<InterpretedEngineAdapter>(
                     kInterpretedEngineBaseline));

@@ -41,6 +41,9 @@ namespace swiftspatial {
 struct EngineConfig {
   // --- Shared across engines. ---
   std::size_t num_threads = 1;
+  /// ParallelFor scheduling for pbsm and parallel_sync_traversal. The
+  /// partitioned/simd/async drivers run as TaskGraph waves, which are
+  /// inherently dynamic; they ignore this field.
   Schedule schedule = Schedule::kDynamic;
   /// Reject-at-ingest policy for malformed geometry: when true (the
   /// default), Plan fails with InvalidArgument if either dataset contains a
@@ -172,6 +175,11 @@ inline constexpr const char* kParallelSyncTraversalEngine =
     "parallel_sync_traversal";
 inline constexpr const char* kPartitionedEngine = "partitioned";
 inline constexpr const char* kSimdEngine = "simd";
+/// The streaming executor collected back into a synchronous result: Execute
+/// runs the banded async pipeline (exec/streaming.h) and Collect()s it, so
+/// registering it here opts the whole streaming path into the equivalence
+/// oracle.
+inline constexpr const char* kAsyncEngine = "async";
 inline constexpr const char* kInterpretedEngineBaseline = "interpreted_engine";
 inline constexpr const char* kBigDataFrameworkBaseline = "big_data_framework";
 

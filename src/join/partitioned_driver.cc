@@ -4,32 +4,45 @@
 #include <cmath>
 #include <utility>
 
-#include "join/nested_loop.h"
-#include "join/plane_sweep.h"
-#include "join/simd_filter.h"
+#include "exec/task_graph.h"
 
 namespace swiftspatial {
+
+int AutoGridSide(std::size_t total_objects,
+                 std::size_t target_cell_population) {
+  const double total = static_cast<double>(total_objects);
+  const double cells =
+      std::max(1.0, total / static_cast<double>(target_cell_population));
+  const int side = static_cast<int>(std::ceil(std::sqrt(cells)));
+  return std::clamp(side, 1, 1024);
+}
 
 PartitionedDriver::PartitionedDriver(PartitionedDriverOptions options)
     : options_(std::move(options)) {}
 
-Status PartitionedDriver::Plan(const Dataset& r, const Dataset& s) {
-  if (options_.num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
-  }
-  if (options_.grid_cols < 0 || options_.grid_rows < 0) {
+Status ValidateGridConfig(int grid_cols, int grid_rows) {
+  if (grid_cols < 0 || grid_rows < 0) {
     return Status::InvalidArgument("grid dimensions must be >= 0 (0 = auto)");
   }
   // Cap explicit grids so cols * rows cannot overflow int (and absurd cell
   // counts fail fast instead of exhausting memory).
   constexpr int kMaxGridSide = 1 << 14;
-  if (options_.grid_cols > kMaxGridSide || options_.grid_rows > kMaxGridSide) {
+  if (grid_cols > kMaxGridSide || grid_rows > kMaxGridSide) {
     return Status::InvalidArgument("grid dimensions must be <= 16384");
   }
-  if ((options_.grid_cols == 0) != (options_.grid_rows == 0)) {
+  if ((grid_cols == 0) != (grid_rows == 0)) {
     return Status::InvalidArgument(
         "grid_cols and grid_rows must both be set or both be auto (0)");
   }
+  return Status::OK();
+}
+
+Status PartitionedDriver::Plan(const Dataset& r, const Dataset& s) {
+  if (options_.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  SWIFT_RETURN_IF_ERROR(
+      ValidateGridConfig(options_.grid_cols, options_.grid_rows));
   if (options_.grid_cols == 0 && options_.target_cell_population == 0) {
     return Status::InvalidArgument(
         "target_cell_population must be >= 1 for auto grid sizing");
@@ -56,13 +69,8 @@ Status PartitionedDriver::Plan(const Dataset& r, const Dataset& s) {
     cols_ = options_.grid_cols;
     rows_ = options_.grid_rows;
   } else {
-    // Square grid with ~target_cell_population objects per cell on average.
-    const double total = static_cast<double>(r.size() + s.size());
-    const double cells =
-        std::max(1.0, total / static_cast<double>(
-                                  options_.target_cell_population));
-    const int side = static_cast<int>(std::ceil(std::sqrt(cells)));
-    cols_ = rows_ = std::clamp(side, 1, 1024);
+    cols_ = rows_ =
+        AutoGridSide(r.size() + s.size(), options_.target_cell_population);
   }
 
   const UniformGrid grid(extent, cols_, rows_);
@@ -95,39 +103,55 @@ JoinResult PartitionedDriver::Execute(JoinStats* stats) {
   if (!planned_ || tasks_.empty()) return merged;
 
   const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
-  // One accumulator per worker: no shared state (and no locks) while the
-  // cell joins run; merging happens once, after the pool drains.
-  std::vector<JoinResult> local_results(workers);
   std::vector<JoinStats> local_stats(workers);
 
-  ParallelForWorker(
-      tasks_.size(), workers, options_.schedule,
-      [&](std::size_t task_index, std::size_t worker) {
-        const CellTask& task = tasks_[task_index];
-        switch (options_.tile_join) {
-          case TileJoin::kPlaneSweep:
-            PlaneSweepTileJoin(*r_, *s_, task.r_ids, task.s_ids,
-                               &task.dedup_tile, &local_results[worker],
-                               &local_stats[worker]);
-            break;
-          case TileJoin::kNestedLoop:
-            NestedLoopTileJoin(*r_, *s_, task.r_ids, task.s_ids,
-                               &task.dedup_tile, &local_results[worker],
-                               &local_stats[worker]);
-            break;
-          case TileJoin::kSimd:
-            SimdTileJoin(*r_, *s_, task.r_ids, task.s_ids, &task.dedup_tile,
-                         &local_results[worker], &local_stats[worker]);
-            break;
+  if (workers == 1) {
+    // Inline on the calling thread; no pool, no graph.
+    for (const CellTask& task : tasks_) {
+      RunTileJoin(options_.tile_join, *r_, *s_, task.r_ids, task.s_ids,
+                  &task.dedup_tile, &merged, &local_stats[0]);
+    }
+  } else {
+    // Cells run as one TaskGraph wave with the merge as a downstream task.
+    // Cell joins can be tiny (sparse grids), so cells are batched into
+    // strided groups -- group g joins cells g, g+G, g+2G, ... which keeps
+    // the largest-first ordering balanced across groups -- to amortise the
+    // per-task dispatch cost. Each worker appends into its own accumulator
+    // (no shared state, no locks while joining); the merge concatenates the
+    // per-worker buffers once. The resulting multiset is independent of
+    // thread count and interleaving; only pair order varies (canonicalise
+    // with JoinResult::Sort).
+    std::vector<JoinResult> local_results(workers);
+    ThreadPool pool(workers);
+    exec::TaskGraph graph(&pool);
+    const std::size_t groups =
+        std::min(tasks_.size(), workers * kCellTaskGroupsPerWorker);
+    std::vector<exec::TaskId> cells;
+    cells.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      cells.push_back(graph.Add([this, g, groups, &pool, &local_results,
+                                 &local_stats] {
+        const std::size_t w = pool.CurrentWorkerIndex();
+        for (std::size_t i = g; i < tasks_.size(); i += groups) {
+          const CellTask& task = tasks_[i];
+          RunTileJoin(options_.tile_join, *r_, *s_, task.r_ids, task.s_ids,
+                      &task.dedup_tile, &local_results[w], &local_stats[w]);
         }
-      });
+      }));
+    }
+    graph.Add(
+        [&merged, &local_results] {
+          std::size_t total = 0;
+          for (const JoinResult& lr : local_results) total += lr.size();
+          merged.Reserve(total);
+          for (JoinResult& lr : local_results) merged.Merge(std::move(lr));
+        },
+        cells);
+    graph.Wait();
+  }
 
-  std::size_t total = 0;
-  for (const JoinResult& lr : local_results) total += lr.size();
-  merged.Reserve(total);
-  for (std::size_t w = 0; w < workers; ++w) {
-    merged.Merge(std::move(local_results[w]));
-    if (stats != nullptr) *stats += local_stats[w];
+  if (stats != nullptr) {
+    for (const JoinStats& ls : local_stats) *stats += ls;
   }
   return merged;
 }

@@ -3,9 +3,10 @@
 // Both inputs are sharded onto a uniform grid (src/grid/uniform_grid.h,
 // multi-assignment: an object lands in every cell its MBR overlaps); each
 // cell with objects from both sides becomes one batched tile-join task
-// (plane sweep or nested loop); tasks are dispatched onto the shared
-// thread-pool machinery (src/common/thread_pool.h) with OpenMP-style static
-// or dynamic scheduling. Cross-cell duplicates -- a pair whose boxes
+// (plane sweep or nested loop); tasks run as one exec::TaskGraph wave on a
+// ThreadPool, with the final merge expressed as a downstream task depending
+// on every cell (largest cells are added first, so they start earliest and
+// the small ones backfill). Cross-cell duplicates -- a pair whose boxes
 // co-occupy several cells -- are eliminated with the PBSM reference-point
 // rule (Box::ReferencePointInTile): the pair is emitted only by the single
 // cell containing the bottom-left corner of the pair's intersection.
@@ -31,17 +32,46 @@
 
 namespace swiftspatial {
 
+/// Default auto-sizing target: objects per grid cell (both sides combined).
+/// Shared by PartitionedDriverOptions and the streaming executor so the
+/// `partitioned` and `async` engines plan identical grids.
+inline constexpr std::size_t kDefaultCellPopulation = 128;
+
+/// Cell-task batching factor: cell joins are strided into at most
+/// `workers * kCellTaskGroupsPerWorker` tasks per wave -- enough groups for
+/// dynamic load balancing while amortising per-task dispatch over many
+/// (often tiny) cells. Shared with the streaming executor so the sync and
+/// async paths keep the same dispatch granularity.
+inline constexpr std::size_t kCellTaskGroupsPerWorker = 8;
+
+/// Side length of the auto-sized square grid: ~`target_cell_population`
+/// objects per cell on average, clamped to [1, 1024]. Shared by the
+/// synchronous driver and the banded streaming executor in exec/streaming
+/// so both paths shard identically.
+int AutoGridSide(std::size_t total_objects,
+                 std::size_t target_cell_population);
+
+/// Fail-fast validation of grid dimensions (0 = auto on both, bounded so
+/// cols * rows cannot overflow int). One definition shared by the
+/// synchronous driver and the streaming executor, so the `partitioned` and
+/// `async` engines can never drift apart on which configurations they
+/// accept.
+Status ValidateGridConfig(int grid_cols, int grid_rows);
+
 struct PartitionedDriverOptions {
   /// Grid resolution. 0 = auto-size so the average cell holds roughly
   /// `target_cell_population` objects.
   int grid_cols = 0;
   int grid_rows = 0;
   /// Target objects per cell for auto-sizing (both sides combined).
-  std::size_t target_cell_population = 128;
+  std::size_t target_cell_population = kDefaultCellPopulation;
   std::size_t num_threads = 1;
-  Schedule schedule = Schedule::kDynamic;
   /// Tile-level join within each cell.
   TileJoin tile_join = TileJoin::kPlaneSweep;
+  // Note: the driver has no Schedule knob. Execution is a TaskGraph wave --
+  // idle workers pull the next ready group, i.e. inherently dynamic;
+  // OpenMP-style static/dynamic selection remains on the ParallelFor-based
+  // algorithms (pbsm, parallel_sync_traversal).
 };
 
 /// Two-stage partition-parallel join driver. Plan shards the inputs onto the

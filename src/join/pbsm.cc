@@ -20,6 +20,23 @@ const char* TileJoinToString(TileJoin t) {
   return "unknown";
 }
 
+void RunTileJoin(TileJoin tile_join, const Dataset& r, const Dataset& s,
+                 const std::vector<ObjectId>& r_ids,
+                 const std::vector<ObjectId>& s_ids, const Box* dedup_tile,
+                 JoinResult* out, JoinStats* stats) {
+  switch (tile_join) {
+    case TileJoin::kPlaneSweep:
+      PlaneSweepTileJoin(r, s, r_ids, s_ids, dedup_tile, out, stats);
+      break;
+    case TileJoin::kNestedLoop:
+      NestedLoopTileJoin(r, s, r_ids, s_ids, dedup_tile, out, stats);
+      break;
+    case TileJoin::kSimd:
+      SimdTileJoin(r, s, r_ids, s_ids, dedup_tile, out, stats);
+      break;
+  }
+}
+
 StripePartition PbsmPartition(const Dataset& r, const Dataset& s,
                               const PbsmOptions& options) {
   return PartitionStripes(r, s, options.num_partitions, options.axis);
@@ -45,20 +62,8 @@ JoinResult PbsmJoin(const Dataset& r, const Dataset& s,
         if (r_ids.empty() || s_ids.empty()) return;
         const Box& tile = partition.stripes[i];
         WorkerState& state = workers[w];
-        switch (options.tile_join) {
-          case TileJoin::kPlaneSweep:
-            PlaneSweepTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
-                               &state.stats);
-            break;
-          case TileJoin::kNestedLoop:
-            NestedLoopTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
-                               &state.stats);
-            break;
-          case TileJoin::kSimd:
-            SimdTileJoin(r, s, r_ids, s_ids, &tile, &state.result,
-                         &state.stats);
-            break;
-        }
+        RunTileJoin(options.tile_join, r, s, r_ids, s_ids, &tile,
+                    &state.result, &state.stats);
       },
       /*chunk=*/1);
 

@@ -28,6 +28,16 @@ enum class TileJoin {
 
 const char* TileJoinToString(TileJoin t);
 
+/// Runs one tile-level join of (r_ids x s_ids) with algorithm `tile_join`,
+/// appending qualifying pairs to `out` (duplicates suppressed against
+/// `dedup_tile` when non-null). The single dispatch point shared by every
+/// partition-based driver: PBSM stripes, the grid-sharded PartitionedDriver,
+/// and the async streaming executor in exec/.
+void RunTileJoin(TileJoin tile_join, const Dataset& r, const Dataset& s,
+                 const std::vector<ObjectId>& r_ids,
+                 const std::vector<ObjectId>& s_ids, const Box* dedup_tile,
+                 JoinResult* out, JoinStats* stats);
+
 struct PbsmOptions {
   /// Number of 1-D stripes. The paper sweeps 1e2..1e5 and reports the best.
   int num_partitions = 1024;

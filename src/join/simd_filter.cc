@@ -43,7 +43,28 @@ void FilterSoA(const Box& probe, const Coord* min_x, const Coord* min_y,
     mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
   }
 #endif
-  // Scalar fallback and tail: branchless so the compiler can vectorize it.
+  // Scalar fallback: 64-candidate blocks. The comparisons write one byte
+  // per candidate in a branchless elementwise loop the compiler
+  // auto-vectorizes (a variable-shift OR into the mask word would defeat
+  // it -- the pack is split out so only the cheap byte reduction stays
+  // scalar). Without AVX2, i is 0 here; with it, fewer than 8 candidates
+  // remain and the block loop is skipped, so i is always 64-aligned when a
+  // block runs and whole-word assignment is safe.
+  for (; i + 64 <= n; i += 64) {
+    unsigned char hits[64];
+    for (int b = 0; b < 64; ++b) {
+      const std::size_t j = i + static_cast<std::size_t>(b);
+      hits[b] = static_cast<unsigned char>(
+          (probe.max_x >= min_x[j]) & (max_x[j] >= probe.min_x) &
+          (probe.max_y >= min_y[j]) & (max_y[j] >= probe.min_y));
+    }
+    uint64_t word = 0;
+    for (int b = 0; b < 64; ++b) {
+      word |= static_cast<uint64_t>(hits[b]) << b;
+    }
+    mask[i >> 6] = word;
+  }
+  // Tail (and sub-8 AVX2 remainder): per-bit, at most 63 iterations.
   for (; i < n; ++i) {
     const bool hit = probe.max_x >= min_x[i] && max_x[i] >= probe.min_x &&
                      probe.max_y >= min_y[i] && max_y[i] >= probe.min_y;

@@ -8,9 +8,12 @@
 //   - an AVX2 path (compiled when the translation unit is built with
 //     -mavx2 / -march=native, i.e. __AVX2__ is defined) doing 8 boxes per
 //     iteration with _CMP_GE_OQ comparisons;
-//   - a portable scalar fallback written as a branchless bit-producing loop
-//     that compilers auto-vectorize, and which also handles the tail when N
-//     is not a multiple of the vector width.
+//   - a portable scalar fallback processing 64-candidate blocks: a
+//     branchless elementwise compare loop writes one hit byte per candidate
+//     (the form compilers auto-vectorize; OR-ing variable-shifted bits
+//     directly into the mask word would defeat vectorization), then a
+//     separate cheap pack loop folds the 64 bytes into the output word. A
+//     per-bit loop handles the tail when N is not a multiple of the block.
 //
 // Comparison semantics are bit-identical to geometry::Intersects: closed
 // boundaries (>=), so touching edges and corners match; any comparison

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace swiftspatial {
@@ -33,6 +35,66 @@ TEST(ThreadPool, ReusableAfterWait) {
   pool.Submit([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+// Contract: a task submitted from inside a running task is covered by any
+// Wait() covering the submitting task -- the child is counted before the
+// parent retires, so outstanding cannot touch zero in between. The
+// exec::TaskGraph scheduler depends on this to grow graphs dynamically.
+TEST(ThreadPool, SubmitFromInsideTaskIsCoveredByWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  // Recursive fan-out: 1 root -> 3 children -> 9 grandchildren -> ...
+  std::function<void(int)> spawn = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth == 0) return;
+    for (int i = 0; i < 3; ++i) {
+      pool.Submit([&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  pool.Submit([&spawn] { spawn(4); });
+  pool.Wait();
+  // 1 + 3 + 9 + 27 + 81 tasks must all have run before Wait returned.
+  EXPECT_EQ(counter.load(), 121);
+}
+
+// Contract: Wait() may race with Submit() from other external threads; every
+// task submitted before the Wait began must be covered. Stress both sides.
+TEST(ThreadPool, ConcurrentSubmitDuringWaitStress) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr int kRounds = 50;
+  constexpr int kPerRound = 20;
+  std::thread submitter([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kPerRound; ++i) {
+        pool.Submit([&done] { done.fetch_add(1); });
+      }
+    }
+  });
+  // Interleave Waits with the submitter; each Wait must return (no hang) at
+  // some quiescent instant.
+  for (int i = 0; i < 10; ++i) pool.Wait();
+  submitter.join();
+  pool.Wait();  // everything was submitted before this Wait began
+  EXPECT_EQ(done.load(), kRounds * kPerRound);
+}
+
+TEST(ThreadPool, CurrentWorkerIndexInsideAndOutsideTasks) {
+  ThreadPool pool(3);
+  ThreadPool other(2);
+  EXPECT_EQ(pool.CurrentWorkerIndex(), ThreadPool::kNotAWorker);
+  std::atomic<bool> bad{false};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      const std::size_t w = pool.CurrentWorkerIndex();
+      if (w >= pool.num_threads()) bad = true;
+      // From pool's worker, `other` must not claim the thread as its own.
+      if (other.CurrentWorkerIndex() != ThreadPool::kNotAWorker) bad = true;
+    });
+  }
+  pool.Wait();
+  EXPECT_FALSE(bad.load());
 }
 
 class ParallelForTest

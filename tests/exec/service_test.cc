@@ -1,0 +1,323 @@
+// JoinService behaviour under load: admission control bounds the queue,
+// scheduling policies order tenants as documented, cancellation is clean
+// while queued and mid-stream, and shutdown abandons queued requests with a
+// well-defined Aborted status. Several tests deliberately wedge the single
+// dispatcher with a "blocker" request whose stream nobody consumes (its
+// producer stalls on backpressure), which makes queue states deterministic.
+#include "exec/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "join/engine.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial::exec {
+namespace {
+
+// Dense inputs -> thousands of pairs -> many chunks, so an unconsumed
+// stream reliably stalls its producer on the bounded queue.
+Dataset DenseSide(uint64_t seed) {
+  return testutil::Uniform(900, seed, /*map=*/300.0, /*max_edge=*/20.0);
+}
+
+// Sparse inputs -> few pairs -> at most one chunk, so these requests finish
+// without anyone consuming their streams.
+Dataset SmallSide(uint64_t seed) { return testutil::Uniform(120, seed); }
+
+JoinServiceOptions BlockableOptions() {
+  JoinServiceOptions options;
+  options.worker_threads = 2;
+  options.max_concurrent = 1;
+  options.max_pending = 4;
+  options.stream.chunk_pairs = 32;
+  options.stream.queue_capacity = 2;
+  return options;
+}
+
+TEST(JoinService, ServesConcurrentTenantsCorrectResults) {
+  const Dataset r = testutil::Uniform(400, 1);
+  const Dataset s = testutil::Skewed(400, 2);
+  EngineConfig config;
+  config.num_threads = 2;
+  auto sync = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(sync.ok());
+
+  JoinServiceOptions options;
+  options.worker_threads = 4;
+  options.max_concurrent = 2;
+  options.max_pending = 16;
+  JoinService service(options);
+
+  constexpr int kRequests = 8;
+  std::vector<std::optional<AsyncJoinHandle>> handles;
+  for (int i = 0; i < kRequests; ++i) {
+    auto handle = service.Submit("tenant-" + std::to_string(i % 3),
+                                 kPartitionedEngine, r, s, config);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.emplace_back(std::move(*handle));
+  }
+  // Concurrent consumers, one per stream (requests may run in any order).
+  std::vector<std::thread> consumers;
+  std::vector<StreamSummary> summaries(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    consumers.emplace_back(
+        [&, i] { summaries[i] = handles[i]->Collect(); });
+  }
+  for (auto& c : consumers) c.join();
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(summaries[i].status.ok()) << summaries[i].status.ToString();
+    EXPECT_TRUE(
+        JoinResult::SameMultiset(sync->result, summaries[i].run.result))
+        << "request " << i;
+  }
+  service.Drain();  // Collect returns at stream close; accounting follows
+  EXPECT_EQ(service.stats().completed, static_cast<std::size_t>(kRequests));
+}
+
+TEST(JoinService, OverloadRejectsBeyondBoundedQueue) {
+  const Dataset dense_r = DenseSide(11);
+  const Dataset dense_s = DenseSide(12);
+  const Dataset small_r = SmallSide(13);
+  const Dataset small_s = SmallSide(14);
+
+  JoinService service(BlockableOptions());  // max_pending = 4
+  // Wedge the only dispatcher: nobody consumes the dense stream yet.
+  auto blocker =
+      service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(blocker.ok());
+  // One chunk arriving proves the dispatcher picked the blocker up (it no
+  // longer occupies a pending-queue slot) and is now wedged mid-stream.
+  ResultChunk first;
+  ASSERT_TRUE(blocker->Next(&first));
+
+  // Fill the pending queue, then two more must bounce.
+  std::vector<std::optional<AsyncJoinHandle>> queued;
+  int rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto handle = service.Submit("tenant", kPartitionedEngine, small_r,
+                                 small_s);
+    if (handle.ok()) {
+      queued.emplace_back(std::move(*handle));
+    } else {
+      EXPECT_EQ(handle.status().code(), StatusCode::kAborted)
+          << handle.status().ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(queued.size(), 4u);
+  EXPECT_EQ(rejected, 2);
+
+  const JoinServiceStats mid = service.stats();
+  EXPECT_EQ(mid.admitted, 5u);  // blocker + 4 queued
+  EXPECT_EQ(mid.rejected, 2u);
+  EXPECT_LE(mid.max_pending_seen, 4u);  // bounded growth, pinned
+
+  // Unblock and drain everything.
+  StreamSummary blocked = blocker->Collect();
+  EXPECT_TRUE(blocked.status.ok());
+  for (auto& handle : queued) {
+    EXPECT_TRUE(handle->Collect().status.ok());
+  }
+  service.Drain();
+  EXPECT_EQ(service.stats().completed, 5u);
+}
+
+class JoinServicePolicyTest
+    : public ::testing::TestWithParam<SchedulingPolicy> {};
+
+TEST_P(JoinServicePolicyTest, TenantOrderingMatchesPolicy) {
+  const SchedulingPolicy policy = GetParam();
+  const Dataset dense_r = DenseSide(21);
+  const Dataset dense_s = DenseSide(22);
+  const Dataset small_r = SmallSide(23);
+  const Dataset small_s = SmallSide(24);
+
+  JoinServiceOptions options = BlockableOptions();
+  options.max_pending = 16;
+  options.policy = policy;
+  JoinService service(options);
+
+  // Wedge the dispatcher so the whole A/B burst queues before any of it is
+  // scheduled -- ordering is then decided purely by the policy.
+  auto blocker =
+      service.Submit("warmup", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(blocker.ok());
+  ResultChunk first;
+  ASSERT_TRUE(blocker->Next(&first));  // dispatcher is running it, wedged
+
+  std::vector<std::optional<AsyncJoinHandle>> handles;
+  for (int i = 0; i < 8; ++i) {
+    auto handle =
+        service.Submit("A", kPartitionedEngine, small_r, small_s);
+    ASSERT_TRUE(handle.ok());
+    handles.emplace_back(std::move(*handle));
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto handle =
+        service.Submit("B", kPartitionedEngine, small_r, small_s);
+    ASSERT_TRUE(handle.ok());
+    handles.emplace_back(std::move(*handle));
+  }
+
+  ASSERT_TRUE(blocker->Collect().status.ok());  // release the dispatcher
+  service.Drain();
+
+  const std::vector<std::string> order = service.completion_order();
+  ASSERT_EQ(order.size(), 11u);  // warmup + 8 A + 2 B
+  int last_b = -1;
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    if (order[i] == "B") last_b = i;
+  }
+  ASSERT_NE(last_b, -1);
+  if (policy == SchedulingPolicy::kFcfs) {
+    // Strict arrival order: B's requests drain after A's entire burst.
+    EXPECT_EQ(last_b, 10);
+  } else {
+    // Fair share: the light tenant finishes within the first few slots
+    // instead of queueing behind the heavy tenant's burst.
+    EXPECT_LE(last_b, 4);
+  }
+  for (auto& handle : handles) {
+    EXPECT_TRUE(handle->Collect().status.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, JoinServicePolicyTest,
+                         ::testing::Values(SchedulingPolicy::kFcfs,
+                                           SchedulingPolicy::kFairShare),
+                         [](const auto& info) {
+                           return info.param == SchedulingPolicy::kFcfs
+                                      ? "Fcfs"
+                                      : "FairShare";
+                         });
+
+TEST(JoinService, CancellingQueuedRequestNeverRunsIt) {
+  const Dataset dense_r = DenseSide(31);
+  const Dataset dense_s = DenseSide(32);
+  const Dataset small_r = SmallSide(33);
+  const Dataset small_s = SmallSide(34);
+
+  JoinService service(BlockableOptions());
+  auto blocker =
+      service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(blocker.ok());
+  ResultChunk first;
+  ASSERT_TRUE(blocker->Next(&first));  // dispatcher is running it, wedged
+  auto cancelled =
+      service.Submit("victim", kPartitionedEngine, small_r, small_s);
+  ASSERT_TRUE(cancelled.ok());
+
+  cancelled->Cancel();  // while still queued
+  ASSERT_TRUE(blocker->Collect().status.ok());
+  EXPECT_EQ(cancelled->Wait().code(), StatusCode::kAborted);
+  service.Drain();
+  // Never-run requests are abandoned, not completed/served -- they must
+  // not charge the tenant's fair-share account.
+  const JoinServiceStats stats = service.stats();
+  EXPECT_EQ(stats.abandoned, 1u);
+  EXPECT_EQ(stats.completed, 1u);  // the blocker only
+}
+
+TEST(JoinService, CancellingRunningRequestMidStreamIsClean) {
+  const Dataset dense_r = DenseSide(41);
+  const Dataset dense_s = DenseSide(42);
+  const Dataset small_r = SmallSide(43);
+  const Dataset small_s = SmallSide(44);
+
+  JoinService service(BlockableOptions());
+  auto running =
+      service.Submit("tenant", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(running.ok());
+  // Take one chunk to prove the stream was live, then cancel mid-stream.
+  ResultChunk chunk;
+  ASSERT_TRUE(running->Next(&chunk));
+  running->Cancel();
+  StreamSummary summary = running->Collect();
+  EXPECT_EQ(summary.status.code(), StatusCode::kAborted);
+
+  // The service must keep serving afterwards: no leaked tasks hold the
+  // dispatcher or the pool (ASan/TSan double-check the "no leaks" half).
+  auto after = service.Submit("tenant", kPartitionedEngine, small_r, small_s);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->Collect().status.ok());
+  service.Drain();
+}
+
+TEST(JoinService, SequentialCollectOfConcurrentDenseStreamsDoesNotDeadlock) {
+  const Dataset dense_r = DenseSide(61);
+  const Dataset dense_s = DenseSide(62);
+  JoinServiceOptions options;
+  options.worker_threads = 2;
+  options.max_concurrent = 2;
+  options.max_pending = 4;
+  options.stream.chunk_pairs = 32;
+  options.stream.queue_capacity = 2;
+  JoinService service(options);
+
+  // Both requests run concurrently on the shared pool; the consumer
+  // collects strictly sequentially, so B backs up against its bounded
+  // queue while A is drained. Pool workers must never park on B's
+  // backpressure (shared-pool streams stage in worker slots instead), or
+  // A could starve and this test would deadlock.
+  auto a = service.Submit("a", kPartitionedEngine, dense_r, dense_s);
+  auto b = service.Submit("b", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  StreamSummary sa = a->Collect();
+  StreamSummary sb = b->Collect();
+  ASSERT_TRUE(sa.status.ok()) << sa.status.ToString();
+  ASSERT_TRUE(sb.status.ok()) << sb.status.ToString();
+  // Identical inputs -> identical result multisets through both streams.
+  EXPECT_TRUE(JoinResult::SameMultiset(sa.run.result, sb.run.result));
+  service.Drain();
+}
+
+TEST(JoinService, ShutdownAbandonsQueuedRequests) {
+  const Dataset dense_r = DenseSide(51);
+  const Dataset dense_s = DenseSide(52);
+  const Dataset small_r = SmallSide(53);
+  const Dataset small_s = SmallSide(54);
+
+  std::optional<AsyncJoinHandle> blocker;
+  std::vector<std::optional<AsyncJoinHandle>> queued;
+  std::thread releaser;
+  {
+    JoinService service(BlockableOptions());
+    auto b = service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
+    ASSERT_TRUE(b.ok());
+    blocker.emplace(std::move(*b));
+    ResultChunk first;
+    ASSERT_TRUE(blocker->Next(&first));  // dispatcher is running it, wedged
+    for (int i = 0; i < 3; ++i) {
+      auto handle =
+          service.Submit("tenant", kPartitionedEngine, small_r, small_s);
+      ASSERT_TRUE(handle.ok());
+      queued.emplace_back(std::move(*handle));
+    }
+    // Release the wedged dispatcher shortly after the destructor has begun
+    // abandoning the queue.
+    releaser = std::thread([&] {
+      // Generous delay: the destructor only needs the tiny window between
+      // scope exit and taking its lock to mark the service stopping.
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      blocker->Cancel();
+    });
+    // ~JoinService: abandons the 3 queued requests, then waits for the
+    // (cancelled) blocker to retire.
+  }
+  releaser.join();
+  EXPECT_EQ(blocker->Wait().code(), StatusCode::kAborted);
+  for (auto& handle : queued) {
+    EXPECT_EQ(handle->Wait().code(), StatusCode::kAborted);
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial::exec

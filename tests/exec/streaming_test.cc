@@ -1,0 +1,286 @@
+// Streaming-API contract tests: chunked delivery, backpressure bounds,
+// cancellation prefixes, and -- the load-bearing one -- Collect() proven
+// bit-identical to the synchronous RunJoin result for EVERY engine in the
+// registry (the "async" engine is additionally covered by the cross-
+// algorithm oracle in tests/join/equivalence_test.cc).
+#include "exec/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "join/engine.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial::exec {
+namespace {
+
+// Sorted copy of a result's pairs for multiset comparisons.
+std::vector<ResultPair> SortedPairs(const JoinResult& result) {
+  std::vector<ResultPair> pairs = result.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(Streaming, CollectMatchesSynchronousRunForEveryRegisteredEngine) {
+  const Dataset rects_r = testutil::Uniform(400, 91);
+  const Dataset rects_s = testutil::Skewed(400, 92);
+  const Dataset points_r = testutil::UniformPoints(400, 93);
+
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    const bool point_only = name == kCuSpatialLikeEngine;
+    const Dataset& r = point_only ? points_r : rects_r;
+
+    EngineConfig config;
+    config.num_threads = 4;
+    config.num_partitions = 16;
+    auto sync = RunJoin(name, r, rects_s, config);
+    ASSERT_TRUE(sync.ok()) << name << ": " << sync.status().ToString();
+
+    StreamOptions stream;
+    stream.chunk_pairs = 128;  // force multi-chunk streams
+    auto handle = RunJoinAsync(name, r, rects_s, config, stream);
+    ASSERT_TRUE(handle.ok()) << name << ": " << handle.status().ToString();
+    StreamSummary summary = handle->Collect();
+    ASSERT_TRUE(summary.status.ok())
+        << name << ": " << summary.status.ToString();
+
+    EXPECT_TRUE(
+        JoinResult::SameMultiset(sync->result, summary.run.result))
+        << name << ": sync " << sync->result.size() << " pairs, streamed "
+        << summary.run.result.size();
+    EXPECT_LE(summary.max_queue_depth, stream.queue_capacity) << name;
+  }
+}
+
+TEST(Streaming, ChunksHaveConsecutiveSequencesAndBoundedSize) {
+  const Dataset r = testutil::Uniform(600, 11);
+  const Dataset s = testutil::Uniform(600, 12);
+  EngineConfig config;
+  config.num_threads = 4;
+  StreamOptions stream;
+  stream.chunk_pairs = 100;
+
+  auto handle = RunJoinAsync(kPartitionedEngine, r, s, config, stream);
+  ASSERT_TRUE(handle.ok());
+  ResultChunk chunk;
+  uint64_t expected_sequence = 0;
+  std::size_t total_pairs = 0;
+  while (handle->Next(&chunk)) {
+    EXPECT_EQ(chunk.sequence, expected_sequence++);
+    EXPECT_FALSE(chunk.pairs.empty());
+    EXPECT_LE(chunk.pairs.size(), stream.chunk_pairs);
+    total_pairs += chunk.pairs.size();
+  }
+  EXPECT_TRUE(handle->Wait().ok());
+
+  auto sync = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_EQ(total_pairs, sync->result.size());
+}
+
+TEST(Streaming, BackpressureBoundsQueueAgainstSlowConsumer) {
+  // Dense map: thousands of result pairs, so the stream is many chunks.
+  const Dataset r = testutil::Uniform(800, 21, /*map=*/300.0, /*max_edge=*/20.0);
+  const Dataset s = testutil::Uniform(800, 22, /*map=*/300.0, /*max_edge=*/20.0);
+  EngineConfig config;
+  config.num_threads = 4;
+  StreamOptions stream;
+  stream.chunk_pairs = 32;    // many small chunks
+  stream.queue_capacity = 2;  // tiny buffer
+
+  auto handle = RunJoinAsync(kPartitionedEngine, r, s, config, stream);
+  ASSERT_TRUE(handle.ok());
+  ResultChunk chunk;
+  int consumed = 0;
+  while (handle->Next(&chunk)) {
+    if (++consumed % 8 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(handle->Wait().ok());
+  // The producer must never have buffered more than the configured cap, no
+  // matter how slowly we drained.
+  EXPECT_LE(handle->max_queue_depth(), stream.queue_capacity);
+  EXPECT_GT(consumed, 4);  // the workload really was multi-chunk
+}
+
+TEST(Streaming, MidStreamCancellationDeliversWellDefinedPrefix) {
+  // Dense map: thousands of result pairs, so cancellation lands mid-run.
+  const Dataset r = testutil::Uniform(1200, 31, /*map=*/300.0, /*max_edge=*/20.0);
+  const Dataset s = testutil::Uniform(1200, 32, /*map=*/300.0, /*max_edge=*/20.0);
+  EngineConfig config;
+  config.num_threads = 4;
+  auto sync = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(sync.ok());
+  std::vector<ResultPair> full = SortedPairs(sync->result);
+  ASSERT_GT(full.size(), 500u);  // enough pairs that cancellation lands mid-run
+
+  StreamOptions stream;
+  stream.chunk_pairs = 64;
+  stream.queue_capacity = 2;
+  auto handle = RunJoinAsync(kPartitionedEngine, r, s, config, stream);
+  ASSERT_TRUE(handle.ok());
+
+  // Take one chunk, then cancel. With >> capacity chunks outstanding the
+  // producer cannot have finished, so the stream must end Aborted.
+  ResultChunk chunk;
+  ASSERT_TRUE(handle->Next(&chunk));
+  EXPECT_EQ(chunk.sequence, 0u);
+  handle->Cancel();
+  StreamSummary summary = handle->Collect();
+  EXPECT_EQ(summary.status.code(), StatusCode::kAborted)
+      << summary.status.ToString();
+
+  // The prefix is well-defined: what we saw plus what Collect drained is a
+  // strict sub-multiset of the full result -- genuine pairs, no duplicates.
+  std::vector<ResultPair> delivered = chunk.pairs;
+  delivered.insert(delivered.end(), summary.run.result.pairs().begin(),
+                   summary.run.result.pairs().end());
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_TRUE(
+      std::includes(full.begin(), full.end(), delivered.begin(),
+                    delivered.end()))
+      << "cancelled stream delivered pairs outside the true result";
+  EXPECT_LT(delivered.size(), full.size());
+}
+
+TEST(Streaming, DroppingHandleMidStreamLeaksNothing) {
+  const Dataset r = testutil::Uniform(1000, 41);
+  const Dataset s = testutil::Uniform(1000, 42);
+  EngineConfig config;
+  config.num_threads = 4;
+  StreamOptions stream;
+  stream.chunk_pairs = 32;
+  stream.queue_capacity = 2;
+  {
+    auto handle = RunJoinAsync(kPartitionedEngine, r, s, config, stream);
+    ASSERT_TRUE(handle.ok());
+    ResultChunk chunk;
+    ASSERT_TRUE(handle->Next(&chunk));
+    // Handle goes out of scope with the producer still running: the
+    // destructor must cancel, drain, and join (ASan/TSan verify no leaks).
+  }
+  SUCCEED();
+}
+
+TEST(Streaming, EmptyInputsCloseImmediately) {
+  const Dataset empty;
+  const Dataset one("one", {Box(0, 0, 1, 1)});
+  auto handle = RunJoinAsync(kPartitionedEngine, empty, one);
+  ASSERT_TRUE(handle.ok());
+  ResultChunk chunk;
+  EXPECT_FALSE(handle->Next(&chunk));
+  EXPECT_TRUE(handle->Wait().ok());
+}
+
+TEST(Streaming, UnknownEngineFailsFast) {
+  const Dataset d = testutil::Uniform(10, 5);
+  auto handle = RunJoinAsync("no_such_engine", d, d);
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Streaming, InvalidGridConfigFailsFast) {
+  const Dataset d = testutil::Uniform(10, 5);
+  EngineConfig config;
+  config.grid_cols = 4;  // cols set but rows auto: rejected
+  auto handle = RunJoinAsync(kPartitionedEngine, d, d, config);
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Streaming, MalformedGeometrySurfacesThroughWait) {
+  const Dataset bad("bad", {Box(10, 10, 5, 5)});  // inverted
+  const Dataset good("good", {Box(0, 0, 1, 1)});
+  auto handle = RunJoinAsync(kPartitionedEngine, bad, good);
+  ASSERT_TRUE(handle.ok());  // data-dependent: not a fail-fast error
+  EXPECT_EQ(handle->Wait().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Streaming, ExplicitShardCountStreamsIdenticalResult) {
+  const Dataset r = testutil::Uniform(500, 51);
+  const Dataset s = testutil::Skewed(500, 52);
+  EngineConfig config;
+  config.num_threads = 2;
+  auto sync = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(sync.ok());
+  for (const int shards : {1, 2, 7, 64}) {
+    StreamOptions stream;
+    stream.num_shards = shards;
+    auto handle = RunJoinAsync(kAsyncEngine, r, s, config, stream);
+    ASSERT_TRUE(handle.ok());
+    StreamSummary summary = handle->Collect();
+    ASSERT_TRUE(summary.status.ok()) << summary.status.ToString();
+    EXPECT_TRUE(JoinResult::SameMultiset(sync->result, summary.run.result))
+        << "shards=" << shards;
+  }
+}
+
+TEST(Streaming, DeferredStreamRunsOnCallerThreadAndSharedPool) {
+  const Dataset r = testutil::Uniform(300, 61);
+  const Dataset s = testutil::Uniform(300, 62);
+  ThreadPool pool(4);
+  EngineConfig config;
+  config.num_threads = 4;
+  auto deferred = MakeJoinStream(kPartitionedEngine, r, s, config, {}, &pool);
+  ASSERT_TRUE(deferred.ok());
+  std::thread runner(std::move(deferred->producer));
+  StreamSummary summary = deferred->handle.Collect();
+  runner.join();
+  ASSERT_TRUE(summary.status.ok());
+  auto sync = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_TRUE(JoinResult::SameMultiset(sync->result, summary.run.result));
+}
+
+TEST(Streaming, MoveAssignOverActiveStreamTearsDownCleanly) {
+  const Dataset r = testutil::Uniform(900, 81, /*map=*/300.0, /*max_edge=*/20.0);
+  const Dataset s = testutil::Uniform(900, 82, /*map=*/300.0, /*max_edge=*/20.0);
+  EngineConfig config;
+  config.num_threads = 2;
+  StreamOptions stream;
+  stream.chunk_pairs = 32;
+  stream.queue_capacity = 2;
+  auto first = RunJoinAsync(kPartitionedEngine, r, s, config, stream);
+  ASSERT_TRUE(first.ok());
+  ResultChunk chunk;
+  ASSERT_TRUE(first->Next(&chunk));  // the first stream is live mid-run
+  // Move-assigning a new stream over the live handle must cancel, drain,
+  // and join the old producer -- not std::terminate on the thread member.
+  auto second = RunJoinAsync(kPartitionedEngine, r, s, config, stream);
+  ASSERT_TRUE(second.ok());
+  *first = std::move(*second);
+  StreamSummary summary = first->Collect();
+  EXPECT_TRUE(summary.status.ok()) << summary.status.ToString();
+}
+
+TEST(Streaming, DroppedDeferredProducerClosesStreamViaGuard) {
+  const Dataset d = testutil::Uniform(50, 83);
+  auto deferred = MakeJoinStream(kPartitionedEngine, d, d);
+  ASSERT_TRUE(deferred.ok());
+  AsyncJoinHandle handle = std::move(deferred->handle);
+  // Simulate a caller error path that drops the stream without ever
+  // running or abandoning it: destroying both closures must close the
+  // stream (via the abandon guard) instead of hanging every waiter.
+  deferred->producer = nullptr;
+  deferred->abandon = nullptr;
+  EXPECT_EQ(handle.Wait().code(), StatusCode::kAborted);
+}
+
+TEST(Streaming, AbandonedDeferredStreamReportsStatus) {
+  const Dataset d = testutil::Uniform(50, 71);
+  auto deferred = MakeJoinStream(kPartitionedEngine, d, d);
+  ASSERT_TRUE(deferred.ok());
+  deferred->abandon(Status::Aborted("service shutting down"));
+  ResultChunk chunk;
+  EXPECT_FALSE(deferred->handle.Next(&chunk));
+  EXPECT_EQ(deferred->handle.Wait().code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace swiftspatial::exec

@@ -1,0 +1,161 @@
+#include "exec/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace swiftspatial::exec {
+namespace {
+
+TEST(TaskGraph, RunsIndependentTasks) {
+  ThreadPool pool(4);
+  TaskGraph graph(&pool);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    graph.Add([&counter] { counter.fetch_add(1); });
+  }
+  graph.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(graph.tasks_run(), 100u);
+  EXPECT_EQ(graph.tasks_skipped(), 0u);
+}
+
+TEST(TaskGraph, DependentTaskRunsAfterAllDeps) {
+  ThreadPool pool(4);
+  TaskGraph graph(&pool);
+  std::atomic<int> upstream_done{0};
+  std::atomic<int> seen_at_merge{-1};
+  std::vector<TaskId> deps;
+  for (int i = 0; i < 16; ++i) {
+    deps.push_back(graph.Add([&upstream_done] { upstream_done.fetch_add(1); }));
+  }
+  graph.Add([&] { seen_at_merge = upstream_done.load(); }, deps);
+  graph.Wait();
+  // The merge task must have observed every upstream task complete.
+  EXPECT_EQ(seen_at_merge.load(), 16);
+}
+
+TEST(TaskGraph, DiamondDependencyOrdering) {
+  ThreadPool pool(4);
+  TaskGraph graph(&pool);
+  std::vector<int> order;
+  std::mutex mu;
+  auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  const TaskId a = graph.Add([&] { record(0); });
+  const TaskId b = graph.Add([&] { record(1); }, {a});
+  const TaskId c = graph.Add([&] { record(2); }, {a});
+  graph.Add([&] { record(3); }, {b, c});
+  graph.Wait();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+}
+
+TEST(TaskGraph, TasksCanAddTasksWhileRunning) {
+  ThreadPool pool(4);
+  TaskGraph graph(&pool);
+  std::atomic<int> counter{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth == 0) return;
+    for (int i = 0; i < 2; ++i) {
+      graph.Add([&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  graph.Add([&spawn] { spawn(5); });
+  graph.Wait();  // must cover the whole dynamically grown tree
+  EXPECT_EQ(counter.load(), 63);  // 2^6 - 1
+  EXPECT_EQ(graph.tasks_added(), 63u);
+}
+
+TEST(TaskGraph, DependingOnFinishedTaskRunsImmediately) {
+  ThreadPool pool(2);
+  TaskGraph graph(&pool);
+  const TaskId a = graph.Add([] {});
+  graph.Wait();  // a has finished
+  std::atomic<bool> ran{false};
+  graph.Add([&ran] { ran = true; }, {a});
+  graph.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskGraph, CancellationSkipsUnstartedTasks) {
+  ThreadPool pool(2);
+  CancellationSource cancel;
+  TaskGraph graph(&pool, cancel.token());
+  std::atomic<int> ran{0};
+  // A long chain: cancel fires from inside the second task; the rest of the
+  // chain must be skipped, and Wait must still terminate.
+  TaskId prev = graph.Add([&ran] { ran.fetch_add(1); });
+  prev = graph.Add(
+      [&ran, &cancel] {
+        ran.fetch_add(1);
+        cancel.Cancel();
+      },
+      {prev});
+  for (int i = 0; i < 32; ++i) {
+    prev = graph.Add([&ran] { ran.fetch_add(1); }, {prev});
+  }
+  graph.Wait();
+  EXPECT_TRUE(graph.cancelled());
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(graph.tasks_skipped(), 32u);
+  EXPECT_EQ(graph.tasks_run(), 2u);
+}
+
+TEST(TaskGraph, PerTaskTimingIsRecorded) {
+  ThreadPool pool(2);
+  TaskGraph graph(&pool);
+  const TaskId spin = graph.Add([] {
+    volatile double x = 1.0;
+    for (int i = 0; i < 200000; ++i) x = x * 1.0000001;
+  });
+  graph.Wait();
+  const TaskTiming t = graph.timing(spin);
+  EXPECT_FALSE(t.skipped);
+  EXPECT_GT(t.run_seconds, 0.0);
+  EXPECT_GE(t.queued_seconds, 0.0);
+  EXPECT_GE(graph.total_task_seconds(), t.run_seconds);
+}
+
+TEST(TaskGraph, TwoGraphsShareOnePool) {
+  ThreadPool pool(4);
+  TaskGraph g1(&pool);
+  TaskGraph g2(&pool);
+  std::atomic<int> c1{0}, c2{0};
+  for (int i = 0; i < 50; ++i) {
+    g1.Add([&c1] { c1.fetch_add(1); });
+    g2.Add([&c2] { c2.fetch_add(1); });
+  }
+  // Waiting on g1 must not require g2's tasks to have drained (per-graph
+  // accounting, unlike ThreadPool::Wait) -- and vice versa.
+  g1.Wait();
+  EXPECT_EQ(c1.load(), 50);
+  g2.Wait();
+  EXPECT_EQ(c2.load(), 50);
+}
+
+TEST(CancellationToken, DefaultTokenNeverCancels) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationToken, SourcePropagatesToCopies) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = a;
+  EXPECT_FALSE(a.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_TRUE(source.cancelled());
+}
+
+}  // namespace
+}  // namespace swiftspatial::exec

@@ -287,22 +287,17 @@ TEST(PartitionedDriver, MergeIsDeterministicAcrossThreadCounts) {
 
   std::vector<ResultPair> reference;
   for (const std::size_t threads : {1u, 2u, 8u}) {
-    for (const Schedule schedule : {Schedule::kStatic, Schedule::kDynamic}) {
-      PartitionedDriverOptions options;
-      options.num_threads = threads;
-      options.schedule = schedule;
-      PartitionedDriver driver(options);
-      ASSERT_TRUE(driver.Plan(r, s).ok());
-      JoinResult got = driver.Execute();
-      got.Sort();
-      if (reference.empty()) {
-        reference = got.pairs();
-        EXPECT_FALSE(reference.empty());
-      } else {
-        EXPECT_EQ(got.pairs(), reference)
-            << "threads=" << threads
-            << " schedule=" << ScheduleToString(schedule);
-      }
+    PartitionedDriverOptions options;
+    options.num_threads = threads;
+    PartitionedDriver driver(options);
+    ASSERT_TRUE(driver.Plan(r, s).ok());
+    JoinResult got = driver.Execute();
+    got.Sort();
+    if (reference.empty()) {
+      reference = got.pairs();
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(got.pairs(), reference) << "threads=" << threads;
     }
   }
 }

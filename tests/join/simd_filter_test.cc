@@ -69,7 +69,10 @@ TEST(SimdFilter, AgreesWithIntersectsOnAdversarialBoxes) {
 // every candidate, and every bit beyond the block size must stay zero.
 TEST(SimdFilter, MaskMatchesScalarPredicateOnRandomBlocks) {
   Rng rng(12345);
-  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 200u}) {
+  // Sizes straddle every code-path boundary: the AVX2 8-lane step, the
+  // scalar fallback's 64-candidate pack blocks, and the per-bit tail.
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 127u, 128u,
+                              129u, 200u, 513u}) {
     std::vector<Box> boxes;
     boxes.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
