@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "exec/task_graph.h"
 #include "grid/uniform_grid.h"
+#include "join/accel_engine.h"
 #include "join/partitioned_driver.h"
 #include "join/pbsm.h"
 
@@ -422,6 +424,76 @@ void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
   state->Close(Status::OK(), stats, timing);
 }
 
+// The accelerator producer: the simulated device streams natively. Plan
+// builds the device images (trees / partitions) on the producer thread;
+// Execute then runs the simulated kernel with a write-unit sink, so every
+// result-burst flush (a BFS level's leaf pairs, a PBSM tile batch, a
+// multi-device shard's deduplicated output) surfaces as bounded-queue
+// chunks while the simulation is still running -- the host-side consumer
+// overlaps with the device exactly as the paper's host/device split
+// intends. Device flushes are coalesced up to chunk_pairs (join units flush
+// partial bursts per task, so raw flushes can be tiny) and oversized
+// batches are split, so chunk sizes stay bounded in both directions.
+// Cancellation is cooperative at chunk granularity: the simulated kernel
+// itself runs to completion, further pushes are dropped, and the stream
+// closes Aborted.
+void RunAccelProducer(const std::string& name, const Dataset& r,
+                      const Dataset& s, const EngineConfig& config,
+                      StreamOptions opts,
+                      std::shared_ptr<StreamState> state) {
+  StageTiming timing;
+  Stopwatch sw;
+  auto created = MakeAccelEngine(name, config);
+  if (!created.ok()) {
+    state->Close(created.status(), JoinStats{}, timing);
+    return;
+  }
+  std::unique_ptr<AccelJoinEngine> engine = std::move(*created);
+  Status st = engine->Plan(r, s);
+  timing.plan_seconds = sw.ElapsedSeconds();
+  if (!st.ok()) {
+    state->Close(std::move(st), JoinStats{}, timing);
+    return;
+  }
+  if (state->cancelled()) {
+    state->Close(Status::Aborted("join cancelled mid-stream"), JoinStats{},
+                 timing);
+    return;
+  }
+  sw.Reset();
+  JoinStats stats;
+  const std::size_t chunk_pairs = std::max<std::size_t>(1, opts.chunk_pairs);
+  bool push_failed = false;
+  std::vector<ResultPair> staged;
+  const AccelBatchSink sink = [&](std::vector<ResultPair> batch) {
+    if (push_failed) return;  // consumer cancelled: drop the rest
+    if (staged.empty()) {
+      staged = std::move(batch);
+    } else {
+      staged.insert(staged.end(), batch.begin(), batch.end());
+    }
+    // Carve full chunks from the back (order across chunks is irrelevant,
+    // the result is a multiset; carving the front would shift the residue).
+    while (!push_failed && staged.size() >= chunk_pairs) {
+      std::vector<ResultPair> chunk(staged.end() - chunk_pairs,
+                                    staged.end());
+      staged.resize(staged.size() - chunk_pairs);
+      if (!state->Push(std::move(chunk))) push_failed = true;
+    }
+  };
+  st = engine->ExecuteStreaming(sink, &stats);
+  // Ship the final partial chunk of a successful run.
+  if (st.ok() && !push_failed && !staged.empty()) {
+    if (!state->Push(std::move(staged))) push_failed = true;
+  }
+  timing.execute_seconds = sw.ElapsedSeconds();
+  if (push_failed || state->cancelled()) {
+    state->Close(Status::Aborted("join cancelled mid-stream"), stats, timing);
+    return;
+  }
+  state->Close(std::move(st), stats, timing);
+}
+
 // The generic producer: any registered engine runs Plan -> Execute on the
 // producer thread and the finished result streams out in chunks, giving the
 // whole registry one uniform streaming contract.
@@ -466,6 +538,26 @@ void RunGenericProducer(std::shared_ptr<JoinEngine> engine, const Dataset& r,
 bool IsNativeStreamingEngine(const std::string& name) {
   return name == kPartitionedEngine || name == kSimdEngine ||
          name == kAsyncEngine;
+}
+
+// Fault containment for every producer flavour: a producer that throws
+// (misbehaving engine code, bad_alloc under pressure) must still close the
+// stream with a non-OK status -- the alternative is an uncaught exception
+// tearing the process down, or (if swallowed carelessly) consumers blocked
+// in Next()/Wait() forever on a stream nobody will ever close.
+std::function<void()> ContainFaults(std::function<void()> body,
+                                    std::shared_ptr<StreamState> state) {
+  return [body = std::move(body), state = std::move(state)] {
+    try {
+      body();
+    } catch (const std::exception& e) {
+      state->CloseIfOpen(
+          Status::Internal(std::string("join producer threw: ") + e.what()));
+    } catch (...) {
+      state->CloseIfOpen(
+          Status::Internal("join producer threw a non-standard exception"));
+    }
+  };
 }
 
 // The same fail-fast grid checks PartitionedDriver::Plan applies, so
@@ -631,6 +723,13 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
     producer = [&r, &s, config, tile_join, stream, pool, state, guard] {
       RunNativeProducer(r, s, config, tile_join, stream, pool, state);
     };
+  } else if (IsAccelEngine(engine)) {
+    // The simulated device is single-threaded and ignores `pool`; its
+    // chunks surface straight from the write unit (see RunAccelProducer).
+    SWIFT_RETURN_IF_ERROR(ValidateAccelConfig(config));
+    producer = [engine, &r, &s, config, stream, state, guard] {
+      RunAccelProducer(engine, r, s, config, stream, state);
+    };
   } else {
     auto created = EngineRegistry::Global().Create(engine, config);
     if (!created.ok()) return created.status();
@@ -639,6 +738,7 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
       RunGenericProducer(eng, r, s, stream, state);
     };
   }
+  producer = ContainFaults(std::move(producer), state);
   auto abandon = [state, guard](Status status) {
     state->CloseIfOpen(std::move(status));
   };

@@ -14,13 +14,18 @@
 // pair a genuine result, no duplicates) and Wait()/Collect() report
 // Aborted.
 //
-// Two producer strategies sit behind one handle type:
+// Three producer strategies sit behind one handle type:
 //  - Partition-family engines ("partitioned", "simd", "async") stream
 //    natively: the grid is split into row bands, each band's cell
 //    assignment runs as a TaskGraph *plan task* that dynamically spawns
 //    that band's cell-join tasks, so planning of band k+1 overlaps joining
 //    of band k and the first chunks surface long before the last shard is
 //    even partitioned.
+//  - Accelerator engines ("accel-bfs", "accel-pbsm", "accel-pbsm-4x")
+//    stream natively from the simulated device: each result-burst flush of
+//    the write unit (BFS level / PBSM tile batch / multi-device shard)
+//    becomes chunks while the simulated kernel still runs, so host-side
+//    consumption overlaps device execution (join/accel_engine.h).
 //  - Every other registered engine runs Plan -> Execute synchronously on
 //    the producer thread and streams the finished result out in chunks, so
 //    the streaming contract (chunks, backpressure, cancellation, Collect)

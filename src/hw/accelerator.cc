@@ -1,5 +1,6 @@
 #include "hw/accelerator.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -64,8 +65,10 @@ struct Fabric {
   }
 
   // Builds the units shared by both control flows. `results_base` is the
-  // write unit's self-incrementing counter start.
-  void BuildUnits(const AcceleratorConfig& config, uint64_t results_base) {
+  // write unit's self-incrementing counter start; `sink` (nullable) observes
+  // the write unit's result bursts.
+  void BuildUnits(const AcceleratorConfig& config, uint64_t results_base,
+                  const ResultSink* sink) {
     std::vector<sim::Fifo<NodePairData>*> inputs;
     for (auto& f : unit_inputs) inputs.push_back(f.get());
     read_unit = std::make_unique<ReadUnit>(&sim, dram.get(), &mem, &config,
@@ -81,7 +84,7 @@ struct Fabric {
     write_unit = std::make_unique<WriteUnit>(&sim, dram.get(), &mem, &config,
                                              results_base,
                                              result_stream.get(),
-                                             write_sync.get());
+                                             write_sync.get(), sink);
   }
 
   SchedulerPorts Ports() {
@@ -138,6 +141,28 @@ void FillReport(const AcceleratorConfig& config, Fabric& fabric,
 
 }  // namespace
 
+uint64_t PbsmDeviceImageBytes(const HierarchicalPartition& partition) {
+  // The same arithmetic RunPbsm's serialisation below performs: tile
+  // populations chunked to at most tile_cap per side, block strides padded
+  // to the node layout, one descriptor per block cross product.
+  const std::size_t cap =
+      static_cast<std::size_t>(std::max(1, partition.tile_cap));
+  uint64_t r_blocks = 0, s_blocks = 0, descs = 0;
+  std::size_t max_r = 1, max_s = 1;
+  for (const TileTask& task : partition.tasks) {
+    const uint64_t nr = (task.r_objects.size() + cap - 1) / cap;
+    const uint64_t ns = (task.s_objects.size() + cap - 1) / cap;
+    r_blocks += nr;
+    s_blocks += ns;
+    descs += nr * ns;
+    max_r = std::max(max_r, std::min(cap, task.r_objects.size()));
+    max_s = std::max(max_s, std::min(cap, task.s_objects.size()));
+  }
+  return r_blocks * PackedRTree::StrideFor(static_cast<int>(max_r)) +
+         s_blocks * PackedRTree::StrideFor(static_cast<int>(max_s)) +
+         descs * sizeof(PbsmTaskDesc);
+}
+
 double AcceleratorReport::AvgUnitUtilization() const {
   if (unit_busy_cycles.empty() || kernel_cycles == 0) return 0.0;
   double sum = 0;
@@ -153,7 +178,8 @@ Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
 
 AcceleratorReport Accelerator::RunSyncTraversal(const PackedRTree& r,
                                                 const PackedRTree& s,
-                                                JoinResult* result) {
+                                                JoinResult* result,
+                                                const ResultSink* sink) {
   Fabric fabric(config_);
   AcceleratorReport report;
 
@@ -165,7 +191,7 @@ AcceleratorReport Accelerator::RunSyncTraversal(const PackedRTree& r,
   const uint64_t results_base = fabric.mem.AddRegion("results");
   report.bytes_to_device = r.bytes().size() + s.bytes().size();
 
-  fabric.BuildUnits(config_, results_base);
+  fabric.BuildUnits(config_, results_base, sink);
 
   TreeRef r_ref{r_base, static_cast<uint32_t>(r.node_stride()), r.root()};
   TreeRef s_ref{s_base, static_cast<uint32_t>(s.node_stride()), s.root()};
@@ -187,7 +213,8 @@ AcceleratorReport Accelerator::RunSyncTraversal(const PackedRTree& r,
 
 AcceleratorReport Accelerator::RunPbsm(const Dataset& r, const Dataset& s,
                                        const HierarchicalPartition& partition,
-                                       JoinResult* result) {
+                                       JoinResult* result,
+                                       const ResultSink* sink) {
   SWIFT_CHECK_GT(partition.tile_cap, 0)
       << "partition must be built by PartitionHierarchical";
   Fabric fabric(config_);
@@ -266,7 +293,7 @@ AcceleratorReport Accelerator::RunPbsm(const Dataset& r, const Dataset& s,
   const uint64_t results_base = fabric.mem.AddRegion("results");
   report.bytes_to_device = fabric.mem.TotalBytes();
 
-  fabric.BuildUnits(config_, results_base);
+  fabric.BuildUnits(config_, results_base, sink);
 
   TreeRef r_ref{r_base, r_stride, 0};
   TreeRef s_ref{s_base, s_stride, 0};

@@ -20,6 +20,7 @@
 #include "hw/config.h"
 #include "hw/scheduler.h"
 #include "hw/sim/dram.h"
+#include "hw/write_unit.h"
 #include "join/result.h"
 #include "rtree/packed_rtree.h"
 
@@ -54,6 +55,14 @@ struct AcceleratorReport {
   double AvgUnitUtilization() const;
 };
 
+/// Exact size of the device memory image RunPbsm serialises for
+/// `partition` (both tile block stores plus the task table) -- the
+/// Plan-phase bytes_to_device accounting, equal to the report's
+/// bytes_to_device of the eventual run. Lives beside RunPbsm's
+/// serialisation so the two cannot drift; the equality is pinned by
+/// tests/join/accel_engine_test.cc (ReportAndPlanAccounting).
+uint64_t PbsmDeviceImageBytes(const HierarchicalPartition& partition);
+
 /// The simulated device. Stateless between runs; every Run* call builds a
 /// fresh memory layout and fabric.
 class Accelerator {
@@ -63,16 +72,22 @@ class Accelerator {
   const AcceleratorConfig& config() const { return config_; }
 
   /// Joins two packed R-trees with BFS synchronous traversal. If `result`
-  /// is non-null, the device's result buffer is copied into it.
+  /// is non-null, the device's result buffer is copied into it. A non-null
+  /// `sink` observes result bursts/level syncs as they retire, letting the
+  /// host stream results out while the kernel still runs (see ResultSink).
   AcceleratorReport RunSyncTraversal(const PackedRTree& r, const PackedRTree& s,
-                                     JoinResult* result = nullptr);
+                                     JoinResult* result = nullptr,
+                                     const ResultSink* sink = nullptr);
 
   /// Joins two datasets over a pre-built hierarchical PBSM partition.
   /// Over-cap tiles are split into block pairs of at most
-  /// `partition.tile_cap` objects per side.
+  /// `partition.tile_cap` objects per side. `sink` as in RunSyncTraversal
+  /// (PBSM retires one burst per flushed tile batch and a single final
+  /// sync).
   AcceleratorReport RunPbsm(const Dataset& r, const Dataset& s,
                             const HierarchicalPartition& partition,
-                            JoinResult* result = nullptr);
+                            JoinResult* result = nullptr,
+                            const ResultSink* sink = nullptr);
 
  private:
   AcceleratorConfig config_;

@@ -70,6 +70,8 @@ Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
                                           const MultiDeviceConfig& config,
                                           JoinResult* result) {
   SWIFT_CHECK_GE(config.max_grid, 1);
+  SWIFT_CHECK_GE(config.min_grid, 1);
+  SWIFT_CHECK_LE(config.min_grid, config.max_grid);
   MultiDeviceReport report;
   if (result != nullptr) result->mutable_pairs().clear();
   if (r.empty() || s.empty()) return report;
@@ -77,8 +79,9 @@ Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
   Box extent = r.Extent();
   extent.Expand(s.Extent());
 
-  // --- Plan: smallest power-of-two grid whose partitions fit the device. --
-  int grid_res = 1;
+  // --- Plan: smallest power-of-two grid (>= min_grid per axis) whose
+  // partitions fit the device. --
+  int grid_res = config.min_grid;
   for (;; grid_res *= 2) {
     const UniformGrid grid(extent, grid_res, grid_res);
     const auto r_assign = grid.Assign(r);
@@ -133,17 +136,26 @@ Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
 
       // Cross-partition dedup: multi-assigned pairs are claimed only by the
       // grid tile holding their reference point.
-      uint64_t kept = 0;
+      std::vector<ResultPair> kept;
       for (const ResultPair& p : local.pairs()) {
         const ObjectId gr = sub.r_map[static_cast<std::size_t>(p.r)];
         const ObjectId gs = sub.s_map[static_cast<std::size_t>(p.s)];
         const Box& rb = r.box(static_cast<std::size_t>(gr));
         const Box& sb = s.box(static_cast<std::size_t>(gs));
         if (!ReferencePointInTile(rb, sb, sub.outer_tile)) continue;
-        ++kept;
-        if (result != nullptr) result->Add(gr, gs);
+        kept.push_back(ResultPair{gr, gs});
       }
-      report.num_results += kept;
+      report.num_results += kept.size();
+      if (result != nullptr) {
+        auto& pairs = result->mutable_pairs();
+        pairs.insert(pairs.end(), kept.begin(), kept.end());
+      }
+      // Deduped pairs are final members of the global join result, so they
+      // may stream out before later partitions run: the delivered sequence
+      // stays a genuine prefix even if a later partition fails.
+      if (config.partition_sink && !kept.empty()) {
+        config.partition_sink(std::move(kept));
+      }
 
       if (config.strategy == OutOfMemoryStrategy::kMultipleDevices) {
         report.total_seconds =
@@ -156,6 +168,16 @@ Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
 
     if (report.max_partition_bytes <= config.device_memory_bytes) {
       return report;
+    }
+    if (config.partition_sink) {
+      // A retry would re-run every partition and re-stream already-delivered
+      // pairs as duplicates; fail instead (see MultiDeviceConfig).
+      return Status::InvalidArgument(
+          "streaming multi-device join needs a grid refinement (partition "
+          "footprint " + std::to_string(report.max_partition_bytes) +
+          " bytes exceeds device memory " +
+          std::to_string(config.device_memory_bytes) +
+          "); raise device_memory_bytes or min_grid");
     }
     if (grid_res >= config.max_grid) {
       return Status::InvalidArgument(

@@ -21,6 +21,7 @@
 #define SWIFTSPATIAL_HW_MULTI_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -47,6 +48,19 @@ struct MultiDeviceConfig {
   int tile_cap = 16;
   /// Upper bound on the partition search (grid cells per axis).
   int max_grid = 64;
+  /// Lower bound on the partition search: forces at least min_grid^2 grid
+  /// cells even when one device could hold everything. This is how the
+  /// sharded path is exercised deliberately (e.g. the "accel-pbsm-4x"
+  /// engine pins a 2x2 grid = up to 4 concurrent devices).
+  int min_grid = 1;
+  /// Streaming hook: when set, each partition's *deduplicated, global-id*
+  /// results are handed over as that partition's sub-join retires, instead
+  /// of only accumulating into the final JoinResult. Because streamed pairs
+  /// cannot be recalled, a run that would need a grid-refinement retry
+  /// (actual footprint overrunning device memory) fails with
+  /// InvalidArgument rather than re-streaming duplicates; size
+  /// device_memory_bytes generously when streaming.
+  std::function<void(std::vector<ResultPair>)> partition_sink;
 };
 
 /// Outcome of a partitioned join.

@@ -5,14 +5,16 @@ namespace swiftspatial::hw {
 WriteUnit::WriteUnit(sim::Simulator* sim, sim::Dram* dram, MemoryLayout* mem,
                      const AcceleratorConfig* config, uint64_t results_base,
                      sim::Fifo<ResultStreamItem>* result_stream,
-                     sim::Fifo<SyncResponse>* sync_out)
+                     sim::Fifo<SyncResponse>* sync_out,
+                     const ResultSink* sink)
     : sim_(sim),
       dram_(dram),
       mem_(mem),
       config_(config),
       cursor_(results_base),
       result_stream_(result_stream),
-      sync_out_(sync_out) {}
+      sync_out_(sync_out),
+      sink_(sink) {}
 
 sim::Process WriteUnit::Run() {
   for (;;) {
@@ -26,6 +28,7 @@ sim::Process WriteUnit::Run() {
         cursor_ += bytes;
         total_results_ += item.pairs.size();
         bursts_written_ += 1;
+        if (sink_ != nullptr && *sink_) (*sink_)(item.pairs);
         co_await sim_->Delay(1);
         break;
       }

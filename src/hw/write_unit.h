@@ -7,6 +7,8 @@
 #define SWIFTSPATIAL_HW_WRITE_UNIT_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "hw/config.h"
 #include "hw/memory_layout.h"
@@ -14,15 +16,25 @@
 #include "hw/sim/dram.h"
 #include "hw/sim/fifo.h"
 #include "hw/sim/simulator.h"
+#include "join/result.h"
 
 namespace swiftspatial::hw {
+
+/// Host-side observer of the write unit: the hook through which the
+/// accelerator becomes a *streaming* result producer instead of a
+/// run-to-completion one. Invoked with each result burst as it lands in
+/// the result region (the device's write-unit flush granularity). Runs on
+/// the host thread driving the simulation and must not touch simulator
+/// state.
+using ResultSink = std::function<void(const std::vector<ResultPair>&)>;
 
 class WriteUnit {
  public:
   WriteUnit(sim::Simulator* sim, sim::Dram* dram, MemoryLayout* mem,
             const AcceleratorConfig* config, uint64_t results_base,
             sim::Fifo<ResultStreamItem>* result_stream,
-            sim::Fifo<SyncResponse>* sync_out);
+            sim::Fifo<SyncResponse>* sync_out,
+            const ResultSink* sink = nullptr);
 
   /// The unit's process body; spawn on the simulator.
   sim::Process Run();
@@ -38,6 +50,7 @@ class WriteUnit {
   uint64_t cursor_;
   sim::Fifo<ResultStreamItem>* result_stream_;
   sim::Fifo<SyncResponse>* sync_out_;
+  const ResultSink* sink_;
 
   uint64_t total_results_ = 0;
   uint64_t bursts_written_ = 0;

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "exec/streaming.h"
+#include "join/accel_engine.h"
 #include "join/cuspatial_like.h"
 #include "join/engine_baselines.h"
 #include "join/nested_loop.h"
@@ -414,6 +415,17 @@ EngineRegistry& EngineRegistry::Global() {
     r->Register(kAsyncEngine, [](const EngineConfig& config) {
       return exec::MakeAsyncJoinEngine(config);
     });
+    // The simulated accelerator (join/accel_engine.h). MakeAccelEngine only
+    // fails for unknown names, so dereferencing here is safe; config errors
+    // surface at Plan like every other engine.
+    for (const char* accel : {kAccelBfsEngine, kAccelPbsmEngine,
+                              kAccelPbsmMultiEngine}) {
+      r->Register(accel,
+                  [accel](const EngineConfig& config)
+                      -> std::unique_ptr<JoinEngine> {
+                    return std::move(*MakeAccelEngine(accel, config));
+                  });
+    }
     r->Register(kInterpretedEngineBaseline,
                 MakeFactory<InterpretedEngineAdapter>(
                     kInterpretedEngineBaseline));

@@ -18,6 +18,7 @@
 #define SWIFTSPATIAL_JOIN_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -80,6 +81,17 @@ struct EngineConfig {
 
   // --- System-style baselines (interpreted_engine, big_data_framework). ---
   int index_max_entries = 16;
+
+  // --- Simulated accelerator engines (accel-bfs, accel-pbsm,
+  // accel-pbsm-4x; see join/accel_engine.h). ---
+  /// Join units instantiated on the simulated device; 0 = the
+  /// AcceleratorConfig default (the paper's 16).
+  int accel_join_units = 0;
+  /// Hierarchical-partition tile cap for the accel PBSM flows.
+  int accel_tile_cap = 16;
+  /// accel-pbsm-4x: per-device memory budget in bytes (the U250's 64 GB by
+  /// default; small values force finer sharding).
+  uint64_t accel_device_memory_bytes = 64ULL << 30;
 };
 
 /// Per-stage wall-clock timings filled in by JoinEngine::Run.
@@ -182,6 +194,14 @@ inline constexpr const char* kSimdEngine = "simd";
 inline constexpr const char* kAsyncEngine = "async";
 inline constexpr const char* kInterpretedEngineBaseline = "interpreted_engine";
 inline constexpr const char* kBigDataFrameworkBaseline = "big_data_framework";
+/// The simulated accelerator behind the same Plan -> Execute interface:
+/// BFS R-tree synchronous traversal (accel-bfs, §3.4.1), the tile-pair join
+/// over a hierarchical partition (accel-pbsm, §3.4.2), and the sharded
+/// multi-device PBSM variant (accel-pbsm-4x, §6). Declared in
+/// join/accel_engine.h, which also exposes their streaming Execute.
+inline constexpr const char* kAccelBfsEngine = "accel-bfs";
+inline constexpr const char* kAccelPbsmEngine = "accel-pbsm";
+inline constexpr const char* kAccelPbsmMultiEngine = "accel-pbsm-4x";
 
 }  // namespace swiftspatial
 

@@ -1,5 +1,6 @@
 #include "refine/refinement.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -9,9 +10,50 @@ namespace swiftspatial {
 
 namespace {
 
-// Exact test for one candidate pair.
+// Materialised polygons for every object id a candidate list references on
+// one (polygon-kind) side. An object appearing in k candidate pairs used to
+// pay k MakeConvexPolygon calls; the cache pays exactly one. Built before
+// the verify loop and read-only afterwards, so the parallel verifiers share
+// it without synchronisation -- and because MakeConvexPolygon is a pure
+// function of (id, MBR, vertex count), the cached geometry is bit-identical
+// to the per-pair rematerialisation it replaces.
+class PolygonCache {
+ public:
+  /// Gathers the unique ids selected by `id_of` from `candidates` and
+  /// materialises their polygons in parallel.
+  template <typename IdOf>
+  void Build(const Dataset& d, const std::vector<ResultPair>& candidates,
+             const IdOf& id_of, int vertices, std::size_t threads) {
+    ids_.reserve(candidates.size());
+    for (const ResultPair& pair : candidates) ids_.push_back(id_of(pair));
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+    polygons_.resize(ids_.size());
+    ParallelForWorker(
+        ids_.size(), threads, Schedule::kDynamic,
+        [&](std::size_t i, std::size_t) {
+          const ObjectId id = ids_[i];
+          polygons_[i] = MakeConvexPolygon(
+              static_cast<uint64_t>(id),
+              d.box(static_cast<std::size_t>(id)), vertices);
+        },
+        /*chunk=*/256);
+  }
+
+  const Polygon& Get(ObjectId id) const {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    return polygons_[static_cast<std::size_t>(it - ids_.begin())];
+  }
+
+ private:
+  std::vector<ObjectId> ids_;
+  std::vector<Polygon> polygons_;
+};
+
+// Exact test for one candidate pair against the pre-materialised geometry.
 bool VerifyPair(const Dataset& r, GeometryKind r_kind, const Dataset& s,
-                GeometryKind s_kind, ResultPair pair, int vertices) {
+                GeometryKind s_kind, const PolygonCache& r_cache,
+                const PolygonCache& s_cache, ResultPair pair) {
   const Box& rb = r.box(static_cast<std::size_t>(pair.r));
   const Box& sb = s.box(static_cast<std::size_t>(pair.s));
 
@@ -20,20 +62,12 @@ bool VerifyPair(const Dataset& r, GeometryKind r_kind, const Dataset& s,
     return Intersects(rb, sb);
   }
   if (r_kind == GeometryKind::kPoint) {
-    const Polygon sp = MakeConvexPolygon(static_cast<uint64_t>(pair.s), sb,
-                                         vertices);
-    return PointInPolygon(Point{rb.min_x, rb.min_y}, sp);
+    return PointInPolygon(Point{rb.min_x, rb.min_y}, s_cache.Get(pair.s));
   }
   if (s_kind == GeometryKind::kPoint) {
-    const Polygon rp = MakeConvexPolygon(static_cast<uint64_t>(pair.r), rb,
-                                         vertices);
-    return PointInPolygon(Point{sb.min_x, sb.min_y}, rp);
+    return PointInPolygon(Point{sb.min_x, sb.min_y}, r_cache.Get(pair.r));
   }
-  const Polygon rp =
-      MakeConvexPolygon(static_cast<uint64_t>(pair.r), rb, vertices);
-  const Polygon sp =
-      MakeConvexPolygon(static_cast<uint64_t>(pair.s), sb, vertices);
-  return PolygonsIntersect(rp, sp);
+  return PolygonsIntersect(r_cache.Get(pair.r), s_cache.Get(pair.s));
 }
 
 }  // namespace
@@ -43,13 +77,25 @@ JoinResult Refine(const Dataset& r, GeometryKind r_kind, const Dataset& s,
                   const std::vector<ResultPair>& candidates,
                   const RefinementOptions& options, RefinementStats* stats) {
   const std::size_t threads = std::max<std::size_t>(1, options.num_threads);
-  std::vector<JoinResult> workers(threads);
 
+  PolygonCache r_cache, s_cache;
+  if (r_kind == GeometryKind::kPolygon) {
+    r_cache.Build(
+        r, candidates, [](const ResultPair& p) { return p.r; },
+        options.polygon_vertices, threads);
+  }
+  if (s_kind == GeometryKind::kPolygon) {
+    s_cache.Build(
+        s, candidates, [](const ResultPair& p) { return p.s; },
+        options.polygon_vertices, threads);
+  }
+
+  std::vector<JoinResult> workers(threads);
   ParallelForWorker(
       candidates.size(), threads, Schedule::kDynamic,
       [&](std::size_t i, std::size_t w) {
-        if (VerifyPair(r, r_kind, s, s_kind, candidates[i],
-                       options.polygon_vertices)) {
+        if (VerifyPair(r, r_kind, s, s_kind, r_cache, s_cache,
+                       candidates[i])) {
           workers[w].Add(candidates[i].r, candidates[i].s);
         }
       },

@@ -2,7 +2,9 @@
 // against actual geometries to remove MBR false positives. Geometries are
 // materialised deterministically from (id, MBR) via MakeConvexPolygon, so
 // the filter pipeline stays MBR-only -- exactly the paper's split where the
-// FPGA filters on MBRs and the CPU refines.
+// FPGA filters on MBRs and the CPU refines. Each referenced object's polygon
+// is materialised once per Refine call (not once per candidate pair it
+// appears in) into a read-only cache shared by the parallel verifiers.
 #ifndef SWIFTSPATIAL_REFINE_REFINEMENT_H_
 #define SWIFTSPATIAL_REFINE_REFINEMENT_H_
 

@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -26,12 +28,72 @@ std::vector<ResultPair> SortedPairs(const JoinResult& result) {
   return pairs;
 }
 
+// --- Fault-injecting engines -------------------------------------------
+// A producer that fails mid-run must surface a non-OK status to the
+// consumer instead of hanging or silently truncating. Two failure flavours:
+// an Execute that errors after partial work, and an Execute that throws.
+// Registered lazily under a "fault-" prefix; the registry-enumerating
+// tests below skip that prefix (sync RunJoin on them fails by design).
+
+class FaultEngineBase : public JoinEngine {
+ public:
+  explicit FaultEngineBase(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  Status Plan(const Dataset&, const Dataset&) override {
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+};
+
+class ErrorAfterPartialResultEngine : public FaultEngineBase {
+ public:
+  using FaultEngineBase::FaultEngineBase;
+  Status Execute(JoinResult* out, JoinStats*) override {
+    out->Add(0, 0);  // partial work the stream must NOT deliver as success
+    return Status::Internal("injected mid-run failure");
+  }
+};
+
+class ThrowingEngine : public FaultEngineBase {
+ public:
+  using FaultEngineBase::FaultEngineBase;
+  Status Execute(JoinResult*, JoinStats*) override {
+    throw std::runtime_error("injected producer exception");
+  }
+};
+
+constexpr const char* kFaultErrorEngine = "fault-error";
+constexpr const char* kFaultThrowEngine = "fault-throw";
+
+void RegisterFaultEnginesOnce() {
+  static const bool registered = [] {
+    EngineRegistry::Global().Register(
+        kFaultErrorEngine, [](const EngineConfig&) {
+          return std::make_unique<ErrorAfterPartialResultEngine>(
+              kFaultErrorEngine);
+        });
+    EngineRegistry::Global().Register(
+        kFaultThrowEngine, [](const EngineConfig&) {
+          return std::make_unique<ThrowingEngine>(kFaultThrowEngine);
+        });
+    return true;
+  }();
+  (void)registered;
+}
+
+bool IsFaultEngine(const std::string& name) {
+  return name.rfind("fault-", 0) == 0;
+}
+
 TEST(Streaming, CollectMatchesSynchronousRunForEveryRegisteredEngine) {
   const Dataset rects_r = testutil::Uniform(400, 91);
   const Dataset rects_s = testutil::Skewed(400, 92);
   const Dataset points_r = testutil::UniformPoints(400, 93);
 
   for (const std::string& name : EngineRegistry::Global().Names()) {
+    if (IsFaultEngine(name)) continue;  // fail by design (see above)
     const bool point_only = name == kCuSpatialLikeEngine;
     const Dataset& r = point_only ? points_r : rects_r;
 
@@ -270,6 +332,133 @@ TEST(Streaming, DroppedDeferredProducerClosesStreamViaGuard) {
   deferred->producer = nullptr;
   deferred->abandon = nullptr;
   EXPECT_EQ(handle.Wait().code(), StatusCode::kAborted);
+}
+
+TEST(Streaming, MidRunEngineFailureSurfacesToConsumer) {
+  RegisterFaultEnginesOnce();
+  const Dataset d = testutil::Uniform(50, 73);
+  auto handle = RunJoinAsync(kFaultErrorEngine, d, d);
+  ASSERT_TRUE(handle.ok());
+  // The stream must terminate (no hang) and report the injected failure --
+  // and the partial pair the engine produced before failing must not be
+  // delivered as if the run had succeeded.
+  ResultChunk chunk;
+  std::size_t delivered = 0;
+  while (handle->Next(&chunk)) delivered += chunk.pairs.size();
+  EXPECT_EQ(delivered, 0u);
+  const Status st = handle->Wait();
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st.ToString();
+}
+
+TEST(Streaming, ThrowingProducerClosesStreamWithError) {
+  RegisterFaultEnginesOnce();
+  const Dataset d = testutil::Uniform(50, 74);
+  auto handle = RunJoinAsync(kFaultThrowEngine, d, d);
+  ASSERT_TRUE(handle.ok());
+  // Before fault containment this tore the process down via an uncaught
+  // exception on the producer thread; now the consumer sees Internal.
+  StreamSummary summary = handle->Collect();
+  EXPECT_EQ(summary.status.code(), StatusCode::kInternal)
+      << summary.status.ToString();
+  EXPECT_TRUE(summary.run.result.empty());
+}
+
+TEST(Streaming, ThrowingProducerThroughServicePath) {
+  RegisterFaultEnginesOnce();
+  const Dataset d = testutil::Uniform(50, 75);
+  auto deferred = MakeJoinStream(kFaultThrowEngine, d, d);
+  ASSERT_TRUE(deferred.ok());
+  std::thread runner(std::move(deferred->producer));
+  EXPECT_EQ(deferred->handle.Wait().code(), StatusCode::kInternal);
+  runner.join();
+}
+
+TEST(Streaming, AccelEnginesStreamNativelyInBoundedChunks) {
+  // Dense enough that the device flushes many result bursts: the stream
+  // must be multi-chunk with consecutive sequences and bounded chunk sizes,
+  // and Collect must equal the synchronous run (the registry-wide test
+  // above already pins Collect == sync; this pins the chunk shape).
+  const Dataset r = testutil::Uniform(500, 76, /*map=*/200.0,
+                                      /*max_edge=*/15.0);
+  const Dataset s = testutil::Uniform(500, 77, /*map=*/200.0,
+                                      /*max_edge=*/15.0);
+  for (const char* name :
+       {kAccelBfsEngine, kAccelPbsmEngine, kAccelPbsmMultiEngine}) {
+    EngineConfig config;
+    config.accel_join_units = 4;
+    auto sync = RunJoin(name, r, s, config);
+    ASSERT_TRUE(sync.ok()) << name;
+    ASSERT_GT(sync->result.size(), 1000u) << name;
+
+    StreamOptions stream;
+    stream.chunk_pairs = 256;
+    auto handle = RunJoinAsync(name, r, s, config, stream);
+    ASSERT_TRUE(handle.ok()) << name;
+    ResultChunk chunk;
+    uint64_t expected_sequence = 0;
+    JoinResult streamed;
+    while (handle->Next(&chunk)) {
+      EXPECT_EQ(chunk.sequence, expected_sequence++) << name;
+      EXPECT_FALSE(chunk.pairs.empty()) << name;
+      EXPECT_LE(chunk.pairs.size(), stream.chunk_pairs) << name;
+      auto& pairs = streamed.mutable_pairs();
+      pairs.insert(pairs.end(), chunk.pairs.begin(), chunk.pairs.end());
+    }
+    EXPECT_TRUE(handle->Wait().ok()) << name;
+    EXPECT_GT(expected_sequence, 4u)
+        << name << ": expected a genuinely multi-chunk native stream";
+    EXPECT_TRUE(JoinResult::SameMultiset(sync->result, streamed)) << name;
+  }
+}
+
+TEST(Streaming, AccelCancellationDeliversPrefixAndAborts) {
+  const Dataset r = testutil::Uniform(600, 78, /*map=*/300.0,
+                                      /*max_edge=*/20.0);
+  const Dataset s = testutil::Uniform(600, 79, /*map=*/300.0,
+                                      /*max_edge=*/20.0);
+  EngineConfig config;
+  config.accel_join_units = 4;
+  auto sync = RunJoin(kAccelPbsmEngine, r, s, config);
+  ASSERT_TRUE(sync.ok());
+  std::vector<ResultPair> full = SortedPairs(sync->result);
+  ASSERT_GT(full.size(), 1000u);
+
+  StreamOptions stream;
+  stream.chunk_pairs = 64;
+  stream.queue_capacity = 2;
+  auto handle = RunJoinAsync(kAccelPbsmEngine, r, s, config, stream);
+  ASSERT_TRUE(handle.ok());
+  ResultChunk chunk;
+  ASSERT_TRUE(handle->Next(&chunk));
+  handle->Cancel();
+  StreamSummary summary = handle->Collect();
+  EXPECT_EQ(summary.status.code(), StatusCode::kAborted)
+      << summary.status.ToString();
+  std::vector<ResultPair> delivered = chunk.pairs;
+  delivered.insert(delivered.end(), summary.run.result.pairs().begin(),
+                   summary.run.result.pairs().end());
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_TRUE(std::includes(full.begin(), full.end(), delivered.begin(),
+                            delivered.end()))
+      << "cancelled accel stream delivered pairs outside the true result";
+  EXPECT_LT(delivered.size(), full.size());
+}
+
+TEST(Streaming, AccelMalformedGeometrySurfacesThroughWait) {
+  const Dataset bad("bad", {Box(10, 10, 5, 5)});  // inverted
+  const Dataset good("good", {Box(0, 0, 1, 1)});
+  auto handle = RunJoinAsync(kAccelPbsmEngine, bad, good);
+  ASSERT_TRUE(handle.ok());  // data-dependent: not a fail-fast error
+  EXPECT_EQ(handle->Wait().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Streaming, AccelInvalidConfigFailsFast) {
+  const Dataset d = testutil::Uniform(10, 80);
+  EngineConfig config;
+  config.accel_tile_cap = 0;
+  auto handle = RunJoinAsync(kAccelPbsmEngine, d, d, config);
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Streaming, AbandonedDeferredStreamReportsStatus) {

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "grid/hierarchical_partition.h"
 #include "hw/accelerator.h"
+#include "hw/multi_device.h"
 #include "join/nested_loop.h"
 #include "rtree/bulk_load.h"
 #include "tests/test_util.h"
@@ -58,6 +59,10 @@ TEST(AcceleratorPbsm, OverCapTilesSplitIntoBlockCrossProducts) {
   HierarchicalPartitionOptions opt;
   opt.tile_cap = 8;
   opt.max_depth = 4;
+  // One root tile: the coincident clump over-caps every split anyway, and
+  // the default 32x32 initial grid would multiply the identical depth-4
+  // recursion by 1024 (16.7M simulated block pairs -- minutes under ASan).
+  opt.initial_grid = 1;
   const auto partition = PartitionHierarchical(r, s, opt);
   ASSERT_GT(partition.over_cap_tiles, 0u);
 
@@ -67,6 +72,83 @@ TEST(AcceleratorPbsm, OverCapTilesSplitIntoBlockCrossProducts) {
   const auto report = Accelerator(cfg).RunPbsm(r, s, partition, &got);
   EXPECT_EQ(report.num_results, 60u * 60u);
   JoinResult expected = BruteForceJoin(r, s);
+  EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
+}
+
+// Multi-device dedup at ULP-colliding grid edges: above 2^24 the float
+// lattice steps by 2, so a 16x16 outer grid over an 8-wide extent collapses
+// runs of ~4 consecutive tile edges onto the same representable float --
+// the [2^24, 2^24+8] edge-collapse regime pinned for pbsm stripes in
+// pbsm_test. The outer grid's multi-assignment plus the CloseLastTile
+// index-driven dedup convention must still claim every boundary pair exactly
+// once across partitions, for both §6 strategies.
+TEST(MultiDeviceDedup, UlpCollidedGridEdgesClaimBoundaryPairsOnce) {
+  const Coord base = 16777216.0f;  // 2^24
+  std::vector<Box> boxes;
+  // Points ON the collapsed representable edges (including the extent
+  // corners) plus rectangles straddling them.
+  for (int i = 0; i <= 4; ++i) {
+    const Coord gx = base + static_cast<Coord>(2 * i);
+    for (int j = 0; j <= 4; ++j) {
+      const Coord gy = base + static_cast<Coord>(2 * j);
+      boxes.push_back(Box(gx, gy, gx, gy));
+    }
+    boxes.push_back(Box(gx, base + 1, gx, base + 3));          // vertical
+    boxes.push_back(Box(base + 1, gx, base + 3, gx));          // horizontal
+  }
+  const Dataset r("ulp_r", std::vector<Box>(boxes));
+  const Dataset s("ulp_s", std::move(boxes));
+  JoinResult expected = BruteForceJoin(r, s);
+  ASSERT_GT(expected.size(), r.size());  // edge-touching pairs exist
+
+  for (const OutOfMemoryStrategy strategy :
+       {OutOfMemoryStrategy::kMultipleDevices,
+        OutOfMemoryStrategy::kSingleDeviceIterative}) {
+    MultiDeviceConfig cfg;
+    cfg.device.num_join_units = 2;
+    cfg.strategy = strategy;
+    // A generous inner cap keeps the (orthogonal) hierarchical splitter
+    // from degenerate recursion on the coincident edge points; the outer
+    // grid's multi-assignment + dedup is what this test exercises.
+    cfg.tile_cap = 16;
+    cfg.min_grid = 16;  // forces the collapsed-edge outer grid
+    cfg.max_grid = 16;
+    JoinResult got;
+    auto report = PartitionedJoin(r, s, cfg, &got);
+    ASSERT_TRUE(report.ok()) << OutOfMemoryStrategyToString(strategy) << ": "
+                             << report.status().ToString();
+    EXPECT_TRUE(JoinResult::SameMultiset(expected, got))
+        << OutOfMemoryStrategyToString(strategy) << ": expected "
+        << expected.size() << " pairs, got " << got.size()
+        << " (double-claimed or dropped boundary pairs)";
+  }
+}
+
+// Same regime, forced-shard path used by the accel-pbsm-4x engine: a 2x2
+// grid whose single interior edge pair sits on collapsed floats.
+TEST(MultiDeviceDedup, ForcedCoarseGridOnCollapsedInteriorEdge) {
+  const Coord base = 16777216.0f;  // 2^24
+  std::vector<Box> boxes;
+  for (int i = 0; i <= 8; i += 2) {
+    for (int j = 0; j <= 8; j += 2) {
+      boxes.push_back(Box(base + static_cast<Coord>(i),
+                          base + static_cast<Coord>(j),
+                          base + static_cast<Coord>(i),
+                          base + static_cast<Coord>(j)));
+    }
+  }
+  const Dataset r("mid_r", std::vector<Box>(boxes));
+  const Dataset s("mid_s", std::move(boxes));
+  JoinResult expected = BruteForceJoin(r, s);
+
+  MultiDeviceConfig cfg;
+  cfg.device.num_join_units = 2;
+  cfg.tile_cap = 4;
+  cfg.min_grid = 2;
+  JoinResult got;
+  auto report = PartitionedJoin(r, s, cfg, &got);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->partitions, 2u);
   EXPECT_TRUE(JoinResult::SameMultiset(expected, got));
 }
 
