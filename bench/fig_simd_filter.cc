@@ -7,9 +7,13 @@
 //                 (NestedLoopTileJoin's rewired inner loop),
 //   simd_kernel : the batched bitmask kernel (FilterBoxBlock; AVX2 when the
 //                 binary is compiled with -mavx2/-march=native, otherwise
-//                 the auto-vectorized scalar fallback)
+//                 the auto-vectorized scalar fallback),
+//   probe_blocked : the probe-blocked kernel (FilterSoAProbeBlock): both
+//                 sides batched, candidate loads amortised across a probe
+//                 quad -- the before/after of batching probes as well as
+//                 candidates
 // -- and predicate throughput (million MBR pairs per second) is reported.
-// All three paths must agree on the match count; the sweep aborts if not.
+// All four paths must agree on the match count; the sweep aborts if not.
 //
 // Default: 64 probes x 100k candidates = 6.4M pairs per pass. --scale=N
 // changes the candidate count (--scale=1000000 for a 64M-pair sweep);
@@ -34,10 +38,12 @@ int Main(int argc, char** argv) {
   TablePrinter table(
       "Batched MBR filter: predicate throughput, one probe vs N candidates",
       {"candidates", "pairs", "matches", "aos_scalar_Mp/s", "soa_scalar_Mp/s",
-       "simd_kernel_Mp/s", "kernel_vs_aos"});
+       "simd_kernel_Mp/s", "probe_blocked_Mp/s", "kernel_vs_aos",
+       "blocked_vs_kernel"});
 
   bool throughput_ok = true;
   double worst_ratio = 1e9;
+  double worst_blocked_ratio = 1e9;
   for (const uint64_t scale : env.scales) {
     // Uniform rectangles at a density giving a few matches per probe, so the
     // match-recording branch is exercised but does not dominate.
@@ -106,12 +112,43 @@ int Main(int argc, char** argv) {
         },
         env.reps);
 
-    if (aos_matches != soa_matches || aos_matches != simd_matches) {
+    // The probe-blocked kernel (both sides batched): probes processed in
+    // the same 16-probe tiles SimdTileJoin uses, candidate arrays streamed
+    // once per probe quad instead of once per probe.
+    uint64_t blocked_matches = 0;
+    const BoxBlock probe_block = BoxBlock::FromBoxes(probes);
+    constexpr std::size_t kProbeTile = 16;
+    const std::size_t words = FilterMaskWords(block.size());
+    std::vector<uint64_t> masks(kProbeTile * words);
+    const double blocked_sec = MedianSeconds(
+        [&] {
+          uint64_t m = 0;
+          for (std::size_t p0 = 0; p0 < probe_block.size();
+               p0 += kProbeTile) {
+            const std::size_t np =
+                std::min(kProbeTile, probe_block.size() - p0);
+            FilterSoAProbeBlock(
+                probe_block.min_x() + p0, probe_block.min_y() + p0,
+                probe_block.max_x() + p0, probe_block.max_y() + p0, np,
+                block.min_x(), block.min_y(), block.max_x(), block.max_y(),
+                block.size(), masks.data());
+            for (std::size_t w = 0; w < np * words; ++w) {
+              m += static_cast<uint64_t>(__builtin_popcountll(masks[w]));
+            }
+          }
+          blocked_matches = m;
+        },
+        env.reps);
+
+    if (aos_matches != soa_matches || aos_matches != simd_matches ||
+        aos_matches != blocked_matches) {
       std::fprintf(stderr,
-                   "FATAL: paths disagree (aos=%llu soa=%llu simd=%llu)\n",
+                   "FATAL: paths disagree (aos=%llu soa=%llu simd=%llu "
+                   "probe_blocked=%llu)\n",
                    static_cast<unsigned long long>(aos_matches),
                    static_cast<unsigned long long>(soa_matches),
-                   static_cast<unsigned long long>(simd_matches));
+                   static_cast<unsigned long long>(simd_matches),
+                   static_cast<unsigned long long>(blocked_matches));
       return 1;
     }
 
@@ -123,7 +160,9 @@ int Main(int argc, char** argv) {
                   TablePrinter::Fmt(mpps(aos_sec), 0),
                   TablePrinter::Fmt(mpps(soa_sec), 0),
                   TablePrinter::Fmt(mpps(simd_sec), 0),
-                  Speedup(aos_sec, simd_sec)});
+                  TablePrinter::Fmt(mpps(blocked_sec), 0),
+                  Speedup(aos_sec, simd_sec),
+                  Speedup(simd_sec, blocked_sec)});
     // Throughput pin for the bitmask *pack* path. A scalar-backend
     // regression to a per-bit pack loop (which defeats auto-vectorization
     // of the compare loop) drags kernel throughput down to ~1.0x the
@@ -133,15 +172,28 @@ int Main(int argc, char** argv) {
     // range, so shared-runner timing noise can't flip it.
     worst_ratio = std::min(worst_ratio, aos_sec / simd_sec);
     throughput_ok = throughput_ok && aos_sec / simd_sec >= 1.2;
+    // The probe-blocked kernel amortises candidate loads across a probe
+    // quad held in registers: ~2x the per-probe kernel on the avx2 backend
+    // (load-port bound), parity on the scalar fallback (compute bound --
+    // the auto-vectorized compare+pack dominates either way). Guard only
+    // against blocking making things *worse*; the generous 0.7x floor sits
+    // below both backends' steady state but above a genuinely broken
+    // blocking scheme.
+    worst_blocked_ratio = std::min(worst_blocked_ratio,
+                                   simd_sec / blocked_sec);
+    throughput_ok = throughput_ok && simd_sec / blocked_sec >= 0.7;
   }
   table.Print();
   std::printf(
-      "Expected shape: the SoA layout alone beats the strided AoS loop, and "
-      "the batched kernel widens the gap further (largest with the avx2 "
-      "backend; the scalar backend relies on compiler auto-vectorization of "
-      "the block compare + pack loops).\n");
-  std::printf("throughput assertion (kernel >= 1.2x aos_scalar; worst %.2fx): %s\n",
-              worst_ratio, throughput_ok ? "PASS" : "FAIL");
+      "Expected shape: the SoA layout alone beats the strided AoS loop, the "
+      "batched kernel widens the gap further, and probe-blocking roughly "
+      "doubles the avx2 kernel again (scalar backend: parity -- the win is "
+      "register-level load amortisation, which auto-vectorized scalar code "
+      "cannot express).\n");
+  std::printf(
+      "throughput assertions (kernel >= 1.2x aos_scalar, worst %.2fx; "
+      "probe_blocked >= 0.7x kernel, worst %.2fx): %s\n",
+      worst_ratio, worst_blocked_ratio, throughput_ok ? "PASS" : "FAIL");
   return throughput_ok ? 0 : 1;
 }
 

@@ -1,0 +1,189 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace swiftspatial::dist {
+
+Node::Node(int id, const NodeOptions& options,
+           const std::vector<Shard>* shards, Exchange* exchange,
+           ShardExecutor executor, std::size_t chunk_pairs,
+           const FaultPlan& fault, exec::CancellationToken cancel)
+    : id_(id),
+      shards_(shards),
+      exchange_(exchange),
+      executor_(std::move(executor)),
+      chunk_pairs_(std::max<std::size_t>(1, chunk_pairs)),
+      fault_injected_(fault.fail_node == id),
+      fail_after_(fault.fail_after_shards),
+      cancel_(std::move(cancel)),
+      pool_(std::max<std::size_t>(1, options.worker_threads)),
+      runtime_([this] { RuntimeLoop(); }) {}
+
+Node::~Node() {
+  CloseInput();
+  Join();
+}
+
+void Node::Enqueue(ShardRef ref) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (input_closed_) return;
+    commands_.push_back(ref);
+  }
+  cv_cmd_.notify_one();
+}
+
+void Node::CloseInput() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    input_closed_ = true;
+  }
+  cv_cmd_.notify_all();
+}
+
+void Node::Join() {
+  if (joined_) return;
+  runtime_.join();
+  joined_ = true;
+}
+
+NodeStats Node::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+JoinStats Node::join_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return join_stats_;
+}
+
+void Node::RuntimeLoop() {
+  for (;;) {
+    ShardRef ref;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_cmd_.wait(lock, [this] {
+        return input_closed_ || failed_ || !commands_.empty();
+      });
+      // A failed node stops accepting work immediately: the coordinator
+      // needs its kNodeFailed promptly to start re-executing shards on
+      // survivors -- waiting for CloseInput here would deadlock the run.
+      if (failed_) break;
+      if (commands_.empty()) break;  // input closed and drained
+      ref = commands_.front();
+      commands_.pop_front();
+    }
+    pool_.Submit([this, ref] { RunShard(ref); });
+  }
+  // Every in-flight shard finishes its sends before the terminal message,
+  // preserving the Exchange FIFO invariant fault recovery depends on.
+  pool_.Wait();
+  Message terminal;
+  terminal.node = id_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    terminal.kind = failed_ ? Message::Kind::kNodeFailed
+                            : Message::Kind::kNodeDone;
+  }
+  exchange_->Send(std::move(terminal));  // false only when cancelled
+}
+
+void Node::RunShard(ShardRef ref) {
+  if (cancel_.cancelled() || exchange_->cancelled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return;  // dead nodes drop queued work silently
+  }
+  const Shard& shard = (*shards_)[static_cast<std::size_t>(ref.shard_index)];
+
+  Stopwatch sw;
+  std::vector<ResultPair> pairs;
+  JoinStats stats;
+  double device_seconds = 0;
+  const Status st = executor_(shard, &pairs, &stats, &device_seconds);
+  const double seconds = sw.ElapsedSeconds();
+
+  bool die_mid_transmission = false;
+  bool executor_crashed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    join_stats_ += stats;
+    stats_.busy_seconds += seconds;
+    stats_.device_seconds += device_seconds;
+    if (failed_) return;  // a concurrent shard already killed the node
+    if (!st.ok()) {
+      // Executor error: node-crash semantics, results dropped; the
+      // coordinator re-executes the shard on a survivor.
+      failed_ = true;
+      stats_.failed = true;
+      executor_crashed = true;
+    } else if (fault_injected_ && stats_.shards_executed >= fail_after_) {
+      // Injected failure: this shard dies mid-transmission below.
+      failed_ = true;
+      stats_.failed = true;
+      die_mid_transmission = true;
+    } else {
+      stats_.shards_executed += 1;
+      if (ref.attempt > 0) stats_.shards_retried += 1;
+      stats_.pairs_emitted += pairs.size();
+    }
+  }
+  if (executor_crashed) {
+    cv_cmd_.notify_all();  // wake the runtime loop to emit kNodeFailed
+    return;
+  }
+
+  // Ship result chunks, then the completion marker. A node dying
+  // mid-transmission sends at most its first chunk and never the marker:
+  // the coordinator is left with a partial, uncommitted buffer to discard.
+  std::size_t off = 0;
+  while (off < pairs.size()) {
+    const std::size_t end = std::min(off + chunk_pairs_, pairs.size());
+    Message msg;
+    msg.kind = Message::Kind::kShardChunk;
+    msg.node = id_;
+    msg.shard = ref.shard_index;
+    msg.attempt = ref.attempt;
+    msg.pairs.assign(pairs.begin() + off, pairs.begin() + end);
+    if (!exchange_->Send(std::move(msg))) return;  // cancelled
+    off = end;
+    if (die_mid_transmission) break;  // crash after the first chunk
+  }
+  if (die_mid_transmission) {
+    cv_cmd_.notify_all();
+    return;
+  }
+  Message done;
+  done.kind = Message::Kind::kShardDone;
+  done.node = id_;
+  done.shard = ref.shard_index;
+  done.attempt = ref.attempt;
+  exchange_->Send(std::move(done));
+}
+
+Cluster::Cluster(std::size_t num_nodes, const NodeOptions& node_options,
+                 const std::vector<Shard>* shards, Exchange* exchange,
+                 ShardExecutor executor, std::size_t chunk_pairs,
+                 const FaultPlan& fault, exec::CancellationToken cancel) {
+  SWIFT_CHECK_GE(num_nodes, 1u);
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(
+        static_cast<int>(i), node_options, shards, exchange, executor,
+        chunk_pairs, fault, cancel));
+  }
+}
+
+void Cluster::CloseAllInputs() {
+  for (auto& node : nodes_) node->CloseInput();
+}
+
+void Cluster::JoinAll() {
+  for (auto& node : nodes_) node->Join();
+}
+
+}  // namespace swiftspatial::dist

@@ -1,0 +1,141 @@
+#include "dist/dist_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "join/partitioned_driver.h"
+
+namespace swiftspatial::dist {
+
+namespace {
+
+DistJoinOptions OptionsFromConfig(const EngineConfig& config,
+                                  bool use_accel) {
+  DistJoinOptions options;
+  options.num_nodes = config.dist_nodes;
+  options.placement = config.dist_placement;
+  options.node_worker_threads =
+      config.dist_node_threads > 0
+          ? config.dist_node_threads
+          : std::max<std::size_t>(
+                1, config.num_threads /
+                       static_cast<std::size_t>(
+                           std::max(1, config.dist_nodes)));
+  options.grid_cols = config.grid_cols;
+  options.grid_rows = config.grid_rows;
+  options.tile_join = config.tile_join;
+  options.use_accel = use_accel;
+  options.accel_join_units = config.accel_join_units;
+  options.accel_tile_cap = config.accel_tile_cap;
+  // The engine validates geometry once, at Plan.
+  options.validate_inputs = false;
+  return options;
+}
+
+class DistEngineImpl : public DistJoinEngine {
+ public:
+  DistEngineImpl(std::string name, const EngineConfig& config, bool use_accel)
+      : name_(std::move(name)), config_(config), use_accel_(use_accel) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Plan(const Dataset& r, const Dataset& s) override {
+    SWIFT_RETURN_IF_ERROR(ValidateDistConfig(config_));
+    if (config_.validate_inputs) {
+      SWIFT_RETURN_IF_ERROR(r.ValidateBoxes());
+      SWIFT_RETURN_IF_ERROR(s.ValidateBoxes());
+    }
+    options_ = OptionsFromConfig(config_, use_accel_);
+    auto plan = PlanShards(r, s, options_.grid_cols, options_.grid_rows,
+                           options_.num_nodes, options_.placement);
+    if (!plan.ok()) return plan.status();
+    plan_ = std::move(*plan);
+    r_ = &r;
+    s_ = &s;
+    planned_ = true;
+    return Status::OK();
+  }
+
+  Status Execute(JoinResult* out, JoinStats* stats) override {
+    if (!planned_) {
+      return Status::Internal("Execute called before a successful Plan");
+    }
+    if (out == nullptr) {
+      return Status::InvalidArgument("Execute requires a non-null result");
+    }
+    *out = JoinResult();
+    auto report = RunPlannedJoin(*r_, *s_, plan_, options_, out, stats);
+    if (!report.ok()) return report.status();
+    report_ = std::move(*report);
+    return Status::OK();
+  }
+
+  Status ExecuteStreaming(const ShardSink& sink, JoinStats* stats,
+                          exec::CancellationToken cancel) override {
+    if (!planned_) {
+      return Status::Internal(
+          "ExecuteStreaming called before a successful Plan");
+    }
+    if (!sink) {
+      return Status::InvalidArgument(
+          "ExecuteStreaming requires a callable sink");
+    }
+    auto report = RunPlannedJoin(*r_, *s_, plan_, options_,
+                                 /*result=*/nullptr, stats, sink,
+                                 std::move(cancel));
+    if (!report.ok()) return report.status();
+    report_ = std::move(*report);
+    return Status::OK();
+  }
+
+  const ShardPlan& plan() const override { return plan_; }
+
+ private:
+  std::string name_;
+  EngineConfig config_;
+  bool use_accel_;
+  DistJoinOptions options_;
+  ShardPlan plan_;
+  const Dataset* r_ = nullptr;
+  const Dataset* s_ = nullptr;
+  bool planned_ = false;
+};
+
+}  // namespace
+
+bool IsDistEngine(const std::string& name) {
+  return name == kDistPbsmEngine || name == kDistAccelEngine;
+}
+
+Status ValidateDistConfig(const EngineConfig& config) {
+  if (config.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (config.dist_nodes < 1) {
+    return Status::InvalidArgument("dist_nodes must be >= 1");
+  }
+  SWIFT_RETURN_IF_ERROR(
+      ValidateGridConfig(config.grid_cols, config.grid_rows));
+  if (config.accel_join_units < 0) {
+    return Status::InvalidArgument("accel_join_units must be >= 0");
+  }
+  if (config.accel_tile_cap < 1) {
+    return Status::InvalidArgument("accel_tile_cap must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DistJoinEngine>> MakeDistEngine(
+    const std::string& name, const EngineConfig& config) {
+  if (name == kDistPbsmEngine) {
+    return std::unique_ptr<DistJoinEngine>(std::make_unique<DistEngineImpl>(
+        name, config, /*use_accel=*/false));
+  }
+  if (name == kDistAccelEngine) {
+    return std::unique_ptr<DistJoinEngine>(std::make_unique<DistEngineImpl>(
+        name, config, /*use_accel=*/true));
+  }
+  return Status::NotFound("not a distributed engine: " + name);
+}
+
+}  // namespace swiftspatial::dist

@@ -1,0 +1,292 @@
+#include "dist/dist_join.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "grid/hierarchical_partition.h"
+#include "hw/accelerator.h"
+
+namespace swiftspatial::dist {
+
+namespace {
+
+Status ValidateOptions(const DistJoinOptions& options) {
+  if (options.num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (options.chunk_pairs < 1) {
+    return Status::InvalidArgument("chunk_pairs must be >= 1");
+  }
+  if (options.use_accel && options.accel_tile_cap < 1) {
+    return Status::InvalidArgument("accel_tile_cap must be >= 1");
+  }
+  if (options.use_accel && options.accel_join_units < 0) {
+    return Status::InvalidArgument("accel_join_units must be >= 0");
+  }
+  return Status::OK();
+}
+
+// CPU shard execution: the same tile-join dispatch every partition driver
+// uses, with the shard's dedup tile enforcing the cross-node convention.
+ShardExecutor MakeCpuExecutor(const Dataset& r, const Dataset& s,
+                              TileJoin tile_join) {
+  return [&r, &s, tile_join](const Shard& shard,
+                             std::vector<ResultPair>* pairs, JoinStats* stats,
+                             double* device_seconds) -> Status {
+    (void)device_seconds;
+    JoinResult local;
+    RunTileJoin(tile_join, r, s, shard.r_ids, shard.s_ids, &shard.dedup_tile,
+                &local, stats);
+    *pairs = std::move(local.mutable_pairs());
+    return Status::OK();
+  };
+}
+
+// Accelerator shard execution: the node fronts a simulated device. Per
+// shard: local-id sub-datasets, hierarchical sub-partition, device PBSM
+// flow, then host-side reference-point dedup against the shard tile --
+// hw/multi_device's per-partition recipe, generalised from the fixed 2x2
+// grid to arbitrary shard placement.
+ShardExecutor MakeAccelExecutor(const Dataset& r, const Dataset& s,
+                                const DistJoinOptions& options) {
+  hw::AcceleratorConfig device;
+  if (options.accel_join_units > 0) {
+    device.num_join_units = options.accel_join_units;
+  }
+  const int tile_cap = options.accel_tile_cap;
+  return [&r, &s, device, tile_cap](const Shard& shard,
+                                    std::vector<ResultPair>* pairs,
+                                    JoinStats* stats,
+                                    double* device_seconds) -> Status {
+    std::vector<Box> r_boxes, s_boxes;
+    r_boxes.reserve(shard.r_ids.size());
+    for (ObjectId id : shard.r_ids) {
+      r_boxes.push_back(r.box(static_cast<std::size_t>(id)));
+    }
+    s_boxes.reserve(shard.s_ids.size());
+    for (ObjectId id : shard.s_ids) {
+      s_boxes.push_back(s.box(static_cast<std::size_t>(id)));
+    }
+    const Dataset sub_r("shard_r", std::move(r_boxes));
+    const Dataset sub_s("shard_s", std::move(s_boxes));
+
+    HierarchicalPartitionOptions hp;
+    hp.tile_cap = tile_cap;
+    // Scale the inner grid to the shard population so hierarchical
+    // splitting stays shallow (as hw/multi_device does per partition).
+    hp.initial_grid = std::clamp(
+        static_cast<int>(std::max(sub_r.size(), sub_s.size()) / 64), 4, 64);
+    const auto partition = PartitionHierarchical(sub_r, sub_s, hp);
+
+    JoinResult local;
+    hw::Accelerator dev(device);
+    const hw::AcceleratorReport report =
+        dev.RunPbsm(sub_r, sub_s, partition, &local);
+    if (device_seconds != nullptr) *device_seconds += report.total_seconds;
+    if (stats != nullptr) *stats += report.stats;
+
+    // Map device-local ids back to global ids and keep only the pairs this
+    // shard claims under the reference-point convention.
+    pairs->reserve(local.size());
+    for (const ResultPair& p : local.pairs()) {
+      const ObjectId gr = shard.r_ids[static_cast<std::size_t>(p.r)];
+      const ObjectId gs = shard.s_ids[static_cast<std::size_t>(p.s)];
+      const Box& rb = r.box(static_cast<std::size_t>(gr));
+      const Box& sb = s.box(static_cast<std::size_t>(gs));
+      if (!ReferencePointInTile(rb, sb, shard.dedup_tile)) continue;
+      pairs->push_back(ResultPair{gr, gs});
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace
+
+Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
+                                  const ShardPlan& plan,
+                                  const DistJoinOptions& options,
+                                  JoinResult* result, JoinStats* stats,
+                                  const ShardSink& sink,
+                                  exec::CancellationToken cancel) {
+  SWIFT_RETURN_IF_ERROR(ValidateOptions(options));
+  if (result != nullptr) *result = JoinResult();
+
+  DistReport report;
+  report.grid_cols = plan.grid_cols;
+  report.grid_rows = plan.grid_rows;
+  report.shards = plan.shards.size();
+  report.nodes = static_cast<std::size_t>(options.num_nodes);
+  report.placement = plan.placement;
+  report.replicated_objects = plan.replicated_objects;
+  report.input_bytes = plan.input_bytes;
+  report.node_stats.resize(report.nodes);
+  report.link_stats.resize(report.nodes);
+  if (plan.shards.empty()) return report;
+
+  Exchange exchange(report.nodes, options.link, cancel);
+  NodeOptions node_options;
+  node_options.worker_threads =
+      std::max<std::size_t>(1, options.node_worker_threads);
+  ShardExecutor executor = options.use_accel
+                               ? MakeAccelExecutor(r, s, options)
+                               : MakeCpuExecutor(r, s, options.tile_join);
+  Cluster cluster(report.nodes, node_options, &plan.shards, &exchange,
+                  std::move(executor), options.chunk_pairs, options.fault,
+                  cancel);
+
+  // Initial placement.
+  for (std::size_t i = 0; i < plan.shards.size(); ++i) {
+    cluster.node(static_cast<std::size_t>(plan.owner[i]))
+        .Enqueue(ShardRef{static_cast<int>(i), 0});
+  }
+
+  // --- Merge coordinator. ---
+  const std::size_t num_shards = plan.shards.size();
+  std::vector<uint64_t> expected_attempt(num_shards, 0);
+  std::vector<bool> committed(num_shards, false);
+  std::vector<std::vector<ResultPair>> buffer(num_shards);
+  std::vector<int> owner = plan.owner;            // retries move shards
+  std::vector<uint64_t> node_load = plan.node_cost;
+  std::vector<bool> node_alive(report.nodes, true);
+  std::size_t committed_count = 0;
+  Status fatal;
+
+  Message msg;
+  while (committed_count < num_shards && fatal.ok() && exchange.Recv(&msg)) {
+    const auto shard_index = static_cast<std::size_t>(std::max(0, msg.shard));
+    switch (msg.kind) {
+      case Message::Kind::kShardChunk: {
+        if (committed[shard_index] ||
+            msg.attempt != expected_attempt[shard_index]) {
+          break;  // stale attempt: a failed node's orphaned transmission
+        }
+        auto& buf = buffer[shard_index];
+        if (buf.empty()) {
+          buf = std::move(msg.pairs);
+        } else {
+          buf.insert(buf.end(), msg.pairs.begin(), msg.pairs.end());
+        }
+        break;
+      }
+      case Message::Kind::kShardDone: {
+        if (committed[shard_index] ||
+            msg.attempt != expected_attempt[shard_index]) {
+          break;
+        }
+        committed[shard_index] = true;
+        ++committed_count;
+        std::vector<ResultPair> pairs = std::move(buffer[shard_index]);
+        report.num_results += pairs.size();
+        if (result != nullptr) {
+          auto& out = result->mutable_pairs();
+          out.insert(out.end(), pairs.begin(), pairs.end());
+        }
+        if (sink && !pairs.empty()) {
+          sink(plan.shards[shard_index].id, std::move(pairs));
+        }
+        break;
+      }
+      case Message::Kind::kNodeFailed: {
+        const auto dead = static_cast<std::size_t>(msg.node);
+        node_alive[dead] = false;
+        ++report.failed_nodes;
+        // Re-execute every uncommitted shard the dead node owned --
+        // including retries routed to it before this message arrived -- on
+        // the least-loaded survivor. FIFO ordering guarantees the
+        // committed[] set is exact at this point.
+        for (std::size_t i = 0; i < num_shards && fatal.ok(); ++i) {
+          if (committed[i] || owner[i] != msg.node) continue;
+          buffer[i].clear();
+          ++expected_attempt[i];
+          std::size_t survivor = report.nodes;
+          uint64_t best = std::numeric_limits<uint64_t>::max();
+          for (std::size_t n = 0; n < report.nodes; ++n) {
+            if (node_alive[n] && node_load[n] < best) {
+              best = node_load[n];
+              survivor = n;
+            }
+          }
+          if (survivor == report.nodes) {
+            fatal = Status::Internal(
+                "every cluster node failed before shard " +
+                std::to_string(plan.shards[i].id) + " committed");
+            break;
+          }
+          owner[i] = static_cast<int>(survivor);
+          node_load[survivor] += plan.shards[i].EstimatedCost();
+          ++report.retried_shards;
+          cluster.node(survivor).Enqueue(
+              ShardRef{static_cast<int>(i), expected_attempt[i]});
+        }
+        break;
+      }
+      case Message::Kind::kNodeDone:
+        break;
+    }
+  }
+
+  const bool was_cancelled = cancel.cancelled() || exchange.cancelled();
+  if (fatal.ok() && !was_cancelled && committed_count < num_shards) {
+    fatal = Status::Internal(
+        "cluster retired with " +
+        std::to_string(num_shards - committed_count) +
+        " uncommitted shards");
+  }
+
+  // Shutdown: stop feeding nodes, unblock anything in flight, drain the
+  // remaining terminal messages so node runtimes retire, then join.
+  cluster.CloseAllInputs();
+  if (!fatal.ok() || was_cancelled) {
+    exchange.Cancel();
+  }
+  while (exchange.Recv(&msg)) {
+  }
+  cluster.JoinAll();
+
+  for (std::size_t n = 0; n < report.nodes; ++n) {
+    report.node_stats[n] = cluster.node(n).stats();
+    report.link_stats[n] = exchange.link_stats(n);
+    if (stats != nullptr) *stats += cluster.node(n).join_stats();
+  }
+  if (was_cancelled) {
+    return Status::Aborted("distributed join cancelled mid-exchange");
+  }
+  if (!fatal.ok()) return fatal;
+
+  double total_busy = 0;
+  for (const NodeStats& ns : report.node_stats) {
+    report.makespan_seconds = std::max(report.makespan_seconds,
+                                       ns.busy_seconds);
+    total_busy += ns.busy_seconds;
+  }
+  report.mean_busy_seconds = total_busy / static_cast<double>(report.nodes);
+  report.straggler_gap = report.mean_busy_seconds > 0
+                             ? report.makespan_seconds /
+                                   report.mean_busy_seconds
+                             : 0;
+  report.exchange_payload_bytes = exchange.total_payload_bytes();
+  report.exchange_messages = exchange.total_messages();
+  report.exchange_modelled_seconds = exchange.max_link_seconds();
+  return report;
+}
+
+Result<DistReport> DistributedJoin(const Dataset& r, const Dataset& s,
+                                   const DistJoinOptions& options,
+                                   JoinResult* result, JoinStats* stats,
+                                   const ShardSink& sink,
+                                   exec::CancellationToken cancel) {
+  SWIFT_RETURN_IF_ERROR(ValidateOptions(options));
+  if (options.validate_inputs) {
+    SWIFT_RETURN_IF_ERROR(r.ValidateBoxes());
+    SWIFT_RETURN_IF_ERROR(s.ValidateBoxes());
+  }
+  auto plan = PlanShards(r, s, options.grid_cols, options.grid_rows,
+                         options.num_nodes, options.placement);
+  if (!plan.ok()) return plan.status();
+  return RunPlannedJoin(r, s, *plan, options, result, stats, sink, cancel);
+}
+
+}  // namespace swiftspatial::dist

@@ -1,0 +1,139 @@
+// Distributed spatial join over the in-process simulated cluster: the §6
+// out-of-memory path with "device" replaced by "node", as the ROADMAP's
+// multi-node item calls for.
+//
+//   dist::DistJoinOptions options;
+//   options.num_nodes = 8;
+//   options.placement = dist::PlacementPolicy::kCostBalanced;
+//   JoinResult result;
+//   auto report = dist::DistributedJoin(r, s, options, &result);
+//
+// Execution: PlanShards grids the join and places shards on nodes; each
+// node joins its shards on its own worker budget (CPU tile joins, or one
+// simulated accelerator per shard for the dist-accel flavour) and streams
+// chunked results over its Exchange link; the merge coordinator commits a
+// shard when its completion marker arrives, releasing the shard's pairs
+// downstream in one piece. Cross-node dedup needs no merge-side predicate
+// work: every node claims pairs through the shared CloseLastTile
+// reference-point convention (Shard::dedup_tile), so committed shards are
+// disjoint by construction and their union is exactly the global join.
+//
+// Fault handling: when a node fails mid-join (injected via FaultPlan, or an
+// executor error), its kNodeFailed message -- FIFO-ordered after everything
+// it ever sent -- tells the coordinator precisely which shards committed.
+// Uncommitted shards are re-executed on the least-loaded survivor under a
+// bumped attempt number; stale-attempt stragglers are dropped, partial
+// buffers discarded. Shards already delivered downstream stay a well-defined
+// prefix, and the final multiset is identical to a failure-free run.
+#ifndef SWIFTSPATIAL_DIST_DIST_JOIN_H_
+#define SWIFTSPATIAL_DIST_DIST_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "dist/cluster.h"
+#include "dist/exchange.h"
+#include "dist/shard_planner.h"
+#include "exec/task_graph.h"
+#include "join/pbsm.h"
+#include "join/result.h"
+
+namespace swiftspatial::dist {
+
+struct DistJoinOptions {
+  int num_nodes = 4;
+  PlacementPolicy placement = PlacementPolicy::kCostBalanced;
+  /// Per-node worker budget (ThreadPool size).
+  std::size_t node_worker_threads = 1;
+  /// Shard grid; 0 = auto-size like PartitionedDriver.
+  int grid_cols = 0;
+  int grid_rows = 0;
+  /// CPU tile-level join within each shard (dist-pbsm).
+  TileJoin tile_join = TileJoin::kPlaneSweep;
+  /// dist-accel: each shard runs on a simulated device fronted by its node
+  /// (hierarchical sub-partition + device PBSM flow, reference-point dedup
+  /// on the host side, exactly the hw/multi_device per-partition recipe).
+  bool use_accel = false;
+  /// Simulated join units per device (0 = the AcceleratorConfig default).
+  int accel_join_units = 0;
+  /// Hierarchical-partition tile cap inside each accel shard.
+  int accel_tile_cap = 16;
+  /// Wire model for the node -> coordinator links.
+  LinkConfig link;
+  /// Result pairs per exchange chunk message.
+  std::size_t chunk_pairs = 4096;
+  /// Failure injection (tests / the resilience bench row).
+  FaultPlan fault;
+  /// Reject NaN/inf/inverted boxes before planning.
+  bool validate_inputs = true;
+};
+
+/// Everything a finished distributed run reports.
+struct DistReport {
+  int grid_cols = 0;
+  int grid_rows = 0;
+  std::size_t shards = 0;
+  std::size_t nodes = 0;
+  PlacementPolicy placement = PlacementPolicy::kCostBalanced;
+  uint64_t num_results = 0;
+
+  // Placement quality.
+  std::size_t replicated_objects = 0;
+  uint64_t input_bytes = 0;
+
+  // Fault recovery.
+  std::size_t failed_nodes = 0;
+  std::size_t retried_shards = 0;
+
+  // Load balance. Busy seconds sum per-shard execute wall on each node, so
+  // makespan = max over nodes is a work-proportional cluster time estimate
+  // that holds even when the host serialises the "concurrent" nodes.
+  double makespan_seconds = 0;
+  double mean_busy_seconds = 0;
+  /// max node busy / mean node busy; 1.0 = perfectly balanced. The
+  /// straggler gap the placement policies compete on.
+  double straggler_gap = 0;
+
+  // Exchange accounting.
+  uint64_t exchange_payload_bytes = 0;
+  uint64_t exchange_messages = 0;
+  /// Modelled wire seconds of the busiest link.
+  double exchange_modelled_seconds = 0;
+
+  std::vector<NodeStats> node_stats;
+  std::vector<LinkStats> link_stats;
+};
+
+/// Receives each committed shard's pairs, in commit order, identified by the
+/// shard's stable id (Shard::id, the grid tile index). Called from the
+/// coordinator thread only; delivered shards form a well-defined prefix of
+/// the join under cancellation or failure.
+using ShardSink = std::function<void(int shard_id,
+                                     std::vector<ResultPair> pairs)>;
+
+/// Runs a previously planned join on a fresh cluster. The plan is not
+/// consumed (repeated runs are idempotent); `result`/`stats` may be null;
+/// `sink` (when set) receives committed shards as they merge. Returns
+/// Aborted when `cancel` fires mid-run, Internal when every node died.
+Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
+                                  const ShardPlan& plan,
+                                  const DistJoinOptions& options,
+                                  JoinResult* result, JoinStats* stats,
+                                  const ShardSink& sink = nullptr,
+                                  exec::CancellationToken cancel = {});
+
+/// Plan + run in one call.
+Result<DistReport> DistributedJoin(const Dataset& r, const Dataset& s,
+                                   const DistJoinOptions& options,
+                                   JoinResult* result,
+                                   JoinStats* stats = nullptr,
+                                   const ShardSink& sink = nullptr,
+                                   exec::CancellationToken cancel = {});
+
+}  // namespace swiftspatial::dist
+
+#endif  // SWIFTSPATIAL_DIST_DIST_JOIN_H_

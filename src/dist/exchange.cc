@@ -1,0 +1,125 @@
+#include "dist/exchange.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace swiftspatial::dist {
+
+namespace {
+/// Fixed per-message framing overhead (kind, node, shard, attempt, length).
+constexpr uint64_t kHeaderBytes = 24;
+/// Wait tick: the external CancellationToken has no condition variable to
+/// notify, so blocked calls poll it at this granularity.
+constexpr auto kCancelTick = std::chrono::milliseconds(2);
+}  // namespace
+
+Exchange::Exchange(std::size_t num_nodes, const LinkConfig& config,
+                   exec::CancellationToken cancel)
+    : config_(config),
+      external_cancel_(std::move(cancel)),
+      links_(num_nodes),
+      open_links_(num_nodes) {
+  SWIFT_CHECK_GE(num_nodes, 1u);
+}
+
+uint64_t Exchange::MessageBytes(const Message& msg) const {
+  return kHeaderBytes + msg.pairs.size() * sizeof(ResultPair);
+}
+
+bool Exchange::Send(Message msg) {
+  const auto node = static_cast<std::size_t>(msg.node);
+  SWIFT_CHECK_LT(node, links_.size());
+  const bool terminal = msg.kind == Message::Kind::kNodeDone ||
+                        msg.kind == Message::Kind::kNodeFailed;
+  std::unique_lock<std::mutex> lock(mu_);
+  Link& link = links_[node];
+  SWIFT_CHECK(!link.closed);
+  while (link.queue.size() >= config_.queue_capacity) {
+    if (cancelled_ || external_cancel_.cancelled()) return false;
+    cv_space_.wait_for(lock, kCancelTick);
+  }
+  if (cancelled_ || external_cancel_.cancelled()) return false;
+
+  const uint64_t bytes = MessageBytes(msg);
+  link.stats.messages += 1;
+  link.stats.payload_bytes += msg.pairs.size() * sizeof(ResultPair);
+  link.stats.modelled_seconds +=
+      config_.latency_seconds +
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  link.queue.push_back(std::move(msg));
+  link.stats.max_depth = std::max(link.stats.max_depth, link.queue.size());
+  if (terminal) {
+    link.closed = true;
+    SWIFT_CHECK_GE(open_links_, 1u);
+    --open_links_;
+  }
+  cv_data_.notify_one();
+  return true;
+}
+
+bool Exchange::Recv(Message* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cancelled_ || external_cancel_.cancelled()) return false;
+    // Round-robin over links so one chatty node cannot starve the rest.
+    for (std::size_t k = 0; k < links_.size(); ++k) {
+      const std::size_t i = (next_link_ + k) % links_.size();
+      Link& link = links_[i];
+      if (link.queue.empty()) continue;
+      *out = std::move(link.queue.front());
+      link.queue.pop_front();
+      next_link_ = (i + 1) % links_.size();
+      cv_space_.notify_all();
+      return true;
+    }
+    if (open_links_ == 0) return false;  // all closed and drained
+    cv_data_.wait_for(lock, kCancelTick);
+  }
+}
+
+void Exchange::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  cv_data_.notify_all();
+  cv_space_.notify_all();
+}
+
+bool Exchange::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_ || external_cancel_.cancelled();
+}
+
+LinkStats Exchange::link_stats(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SWIFT_CHECK_LT(node, links_.size());
+  return links_[node].stats;
+}
+
+uint64_t Exchange::total_payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Link& link : links_) total += link.stats.payload_bytes;
+  return total;
+}
+
+uint64_t Exchange::total_messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Link& link : links_) total += link.stats.messages;
+  return total;
+}
+
+double Exchange::max_link_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double worst = 0;
+  for (const Link& link : links_) {
+    worst = std::max(worst, link.stats.modelled_seconds);
+  }
+  return worst;
+}
+
+}  // namespace swiftspatial::dist

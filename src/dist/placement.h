@@ -1,0 +1,35 @@
+// Shard-placement policies for the distributed join subsystem (src/dist/).
+// Kept in a dependency-free header so join/engine.h can expose the knob in
+// EngineConfig without pulling the cluster runtime into every engine user.
+//
+// SOLAR and Tsitsigkos et al. both find that shard *placement* -- not the
+// per-shard join -- dominates distributed spatial-join cost once data is
+// skewed, so the policy is a first-class, measurable choice
+// (bench/fig_dist_scalability sweeps all three).
+#ifndef SWIFTSPATIAL_DIST_PLACEMENT_H_
+#define SWIFTSPATIAL_DIST_PLACEMENT_H_
+
+namespace swiftspatial::dist {
+
+/// How the ShardPlanner maps grid shards onto cluster nodes.
+enum class PlacementPolicy {
+  /// Shard i goes to node i mod N, in grid (row-major) order. The naive
+  /// baseline: ignores both shard cost and spatial locality.
+  kRoundRobin,
+  /// Longest-processing-time greedy: shards sorted by estimated tile-pair
+  /// work (|R_shard| * |S_shard|), each assigned to the least-loaded node.
+  /// Best load balance; scatters neighbouring shards across nodes, so
+  /// boundary objects replicate to more nodes.
+  kCostBalanced,
+  /// Hilbert-clustered: shards ordered along the Hilbert curve of their
+  /// grid cells, then cut into N contiguous runs of roughly equal
+  /// estimated cost. Each node owns one compact spatial region, minimising
+  /// boundary-object replication while staying cost-aware.
+  kLocality,
+};
+
+const char* PlacementPolicyToString(PlacementPolicy p);
+
+}  // namespace swiftspatial::dist
+
+#endif  // SWIFTSPATIAL_DIST_PLACEMENT_H_

@@ -1,0 +1,186 @@
+#include "dist/shard_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "geometry/hilbert.h"
+#include "grid/uniform_grid.h"
+#include "join/partitioned_driver.h"
+
+namespace swiftspatial::dist {
+
+const char* PlacementPolicyToString(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kCostBalanced:
+      return "cost-balanced";
+    case PlacementPolicy::kLocality:
+      return "locality";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Bytes to ship one placed object: its box plus its id.
+constexpr uint64_t kObjectBytes = sizeof(Box) + sizeof(ObjectId);
+
+// Assigns shards[i] -> owner[i] per the policy. Shards arrive in grid
+// (row-major) order.
+void Place(const std::vector<Shard>& shards, int num_nodes,
+           PlacementPolicy placement, int grid_cols, int grid_rows,
+           std::vector<int>* owner, std::vector<uint64_t>* node_cost) {
+  owner->assign(shards.size(), 0);
+  node_cost->assign(static_cast<std::size_t>(num_nodes), 0);
+  if (shards.empty()) return;
+
+  switch (placement) {
+    case PlacementPolicy::kRoundRobin: {
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        (*owner)[i] = static_cast<int>(i % num_nodes);
+        (*node_cost)[i % num_nodes] += shards[i].EstimatedCost();
+      }
+      break;
+    }
+    case PlacementPolicy::kCostBalanced: {
+      // LPT greedy: heaviest shard first onto the least-loaded node. Ties
+      // break on shard id / node index for determinism.
+      std::vector<std::size_t> order(shards.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const uint64_t ca = shards[a].EstimatedCost();
+                  const uint64_t cb = shards[b].EstimatedCost();
+                  if (ca != cb) return ca > cb;
+                  return shards[a].id < shards[b].id;
+                });
+      for (std::size_t i : order) {
+        std::size_t best = 0;
+        for (std::size_t n = 1; n < node_cost->size(); ++n) {
+          if ((*node_cost)[n] < (*node_cost)[best]) best = n;
+        }
+        (*owner)[i] = static_cast<int>(best);
+        (*node_cost)[best] += shards[i].EstimatedCost();
+      }
+      break;
+    }
+    case PlacementPolicy::kLocality: {
+      // Order shards along the Hilbert curve of their grid cells, then cut
+      // the sequence into num_nodes contiguous runs of ~equal cumulative
+      // cost: compact per-node regions, cost-aware boundaries.
+      uint32_t order_bits = 1;
+      while ((1 << order_bits) < std::max(grid_cols, grid_rows)) ++order_bits;
+      std::vector<std::size_t> order(shards.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::vector<uint64_t> hilbert(shards.size());
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        const int tx = shards[i].id % grid_cols;
+        const int ty = shards[i].id / grid_cols;
+        hilbert[i] = HilbertD2XYInverse(order_bits,
+                                        static_cast<uint32_t>(tx),
+                                        static_cast<uint32_t>(ty));
+      }
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (hilbert[a] != hilbert[b]) return hilbert[a] < hilbert[b];
+                  return shards[a].id < shards[b].id;
+                });
+      uint64_t total = 0;
+      for (const Shard& s : shards) total += s.EstimatedCost();
+      // Cut after a run's cumulative cost reaches its fair share; every
+      // node keeps at least the chance of one shard.
+      uint64_t cum = 0;
+      int node = 0;
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        const std::size_t i = order[k];
+        (*owner)[i] = node;
+        (*node_cost)[static_cast<std::size_t>(node)] +=
+            shards[i].EstimatedCost();
+        cum += shards[i].EstimatedCost();
+        const uint64_t fair =
+            total * static_cast<uint64_t>(node + 1) /
+            static_cast<uint64_t>(num_nodes);
+        if (cum >= fair && node + 1 < num_nodes) ++node;
+      }
+      break;
+    }
+  }
+}
+
+// Counts boundary-object replicas and the input-shipping bill for one side:
+// each object is shipped once per distinct node its populated cells map to.
+// An object's node set is tiny (its MBR spans few cells), so a per-object
+// unsorted list dedup beats any set structure.
+void AccountReplicas(const std::vector<Shard>& shards,
+                     const std::vector<int>& owner, std::size_t num_objects,
+                     bool r_side, ShardPlan* plan) {
+  std::vector<std::vector<int>> nodes_of(num_objects);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const int node = owner[i];
+    for (ObjectId id : r_side ? shards[i].r_ids : shards[i].s_ids) {
+      auto& nodes = nodes_of[static_cast<std::size_t>(id)];
+      if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+        nodes.push_back(node);
+      }
+    }
+  }
+  for (const auto& nodes : nodes_of) {
+    if (nodes.size() > 1) plan->replicated_objects += nodes.size() - 1;
+    plan->input_bytes += static_cast<uint64_t>(nodes.size()) * kObjectBytes;
+  }
+}
+
+}  // namespace
+
+Result<ShardPlan> PlanShards(const Dataset& r, const Dataset& s,
+                             int grid_cols, int grid_rows, int num_nodes,
+                             PlacementPolicy placement) {
+  if (num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  SWIFT_RETURN_IF_ERROR(ValidateGridConfig(grid_cols, grid_rows));
+
+  ShardPlan plan;
+  plan.placement = placement;
+  plan.node_cost.assign(static_cast<std::size_t>(num_nodes), 0);
+  if (r.empty() || s.empty()) return plan;
+
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+  if (extent.IsEmpty()) return plan;
+
+  int cols, rows;
+  if (grid_cols > 0) {
+    cols = grid_cols;
+    rows = grid_rows;
+  } else {
+    cols = rows = AutoGridSide(r.size() + s.size(), kDefaultCellPopulation);
+  }
+  plan.grid_cols = cols;
+  plan.grid_rows = rows;
+
+  const UniformGrid grid(extent, cols, rows);
+  auto r_assign = grid.Assign(r);
+  auto s_assign = grid.Assign(s);
+
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    if (r_assign[t].empty() || s_assign[t].empty()) continue;
+    Shard shard;
+    shard.id = t;
+    shard.dedup_tile = grid.DedupTileByIndex(t);
+    shard.r_ids = std::move(r_assign[t]);
+    shard.s_ids = std::move(s_assign[t]);
+    plan.shards.push_back(std::move(shard));
+  }
+
+  Place(plan.shards, num_nodes, placement, cols, rows, &plan.owner,
+        &plan.node_cost);
+
+  AccountReplicas(plan.shards, plan.owner, r.size(), /*r_side=*/true, &plan);
+  AccountReplicas(plan.shards, plan.owner, s.size(), /*r_side=*/false, &plan);
+  return plan;
+}
+
+}  // namespace swiftspatial::dist

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace swiftspatial::exec {
 
@@ -47,7 +48,8 @@ JoinService::~JoinService() {
 Result<AsyncJoinHandle> JoinService::Submit(const std::string& tenant,
                                             const std::string& engine,
                                             const Dataset& r, const Dataset& s,
-                                            const EngineConfig& config) {
+                                            const EngineConfig& config,
+                                            const RequestOptions& request) {
   auto deferred =
       MakeJoinStream(engine, r, s, config, options_.stream, &pool_);
   if (!deferred.ok()) return deferred.status();
@@ -66,6 +68,19 @@ Result<AsyncJoinHandle> JoinService::Submit(const std::string& tenant,
                           std::to_string(options_.max_pending) + ")"));
       return Status::Aborted("admission queue full (max_pending=" +
                              std::to_string(options_.max_pending) + ")");
+    }
+    if (request.deadline_seconds > 0) {
+      const double wait = EstimatedQueueWaitLocked();
+      if (wait > request.deadline_seconds) {
+        ++stats_.rejected;
+        ++stats_.rejected_deadline;
+        const std::string msg =
+            "estimated queue wait " + std::to_string(wait) +
+            "s already exceeds the request deadline " +
+            std::to_string(request.deadline_seconds) + "s";
+        deferred->abandon(Status::DeadlineExceeded(msg));
+        return Status::DeadlineExceeded(msg);
+      }
     }
     Job job;
     job.sequence = next_sequence_++;
@@ -121,12 +136,15 @@ void JoinService::DispatcherLoop() {
     }
 
     const bool abandoned = job.cancel.cancelled();
+    double job_seconds = 0;
     if (abandoned) {
       // The consumer gave up while the request queued: close the stream
       // without running the join.
       job.abandon(Status::Aborted("join cancelled mid-stream"));
     } else {
+      Stopwatch sw;
       job.producer();  // blocking: runs the join, streams, closes
+      job_seconds = sw.ElapsedSeconds();
     }
 
     {
@@ -141,12 +159,39 @@ void JoinService::DispatcherLoop() {
         ++served_per_tenant_[job.tenant];
         ++stats_.completed;
         completion_order_.push_back(job.tenant);
+        // Feed the deadline-admission estimate. Alpha 0.3: reactive enough
+        // to track load shifts, stable enough that one outlier join does
+        // not swing admissions.
+        if (have_measurement_) {
+          ewma_job_seconds_ = 0.7 * ewma_job_seconds_ + 0.3 * job_seconds;
+        } else {
+          ewma_job_seconds_ = job_seconds;
+          have_measurement_ = true;
+        }
       }
       // Under the lock: a Drain()er may tear the service down once it sees
       // the idle state, which must not overlap the notify call.
       cv_idle_.notify_all();
     }
   }
+}
+
+double JoinService::EstimatedQueueWaitLocked() const {
+  const double per_job = have_measurement_
+                             ? ewma_job_seconds_
+                             : options_.initial_job_seconds_estimate;
+  const std::size_t slots = std::max<std::size_t>(1, options_.max_concurrent);
+  // Jobs that must finish before a request submitted now can start: with a
+  // free dispatcher slot the request runs immediately (zero queue wait),
+  // so only the load beyond the remaining slot capacity queues ahead of it.
+  const std::size_t load = pending_.size() + running_;
+  const std::size_t ahead = load >= slots ? load - (slots - 1) : 0;
+  return static_cast<double>(ahead) / static_cast<double>(slots) * per_job;
+}
+
+double JoinService::EstimatedQueueWaitSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EstimatedQueueWaitLocked();
 }
 
 void JoinService::Drain() {

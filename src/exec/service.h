@@ -71,12 +71,35 @@ struct JoinServiceOptions {
   SchedulingPolicy policy = SchedulingPolicy::kFcfs;
   /// Streaming knobs applied to every admitted request.
   StreamOptions stream;
+  /// Seed for the per-job duration estimate that deadline-aware admission
+  /// uses before any request has completed (see RequestOptions::
+  /// deadline_seconds). Once jobs finish, an EWMA of measured durations
+  /// takes over. 0 = optimistic: admit everything until measurements exist.
+  double initial_job_seconds_estimate = 0;
+};
+
+/// Per-request knobs for Submit.
+struct RequestOptions {
+  /// Optional latency budget: the caller's tolerance for *queue wait*, in
+  /// seconds from submission. Admission estimates the wait ahead of this
+  /// request -- the queued+running load beyond the free dispatcher slots,
+  /// over max_concurrent, times the EWMA job duration (zero while a slot
+  /// is free: the request would start immediately) -- and rejects with
+  /// DeadlineExceeded when the estimate already exceeds the budget, so
+  /// hopeless requests fail in microseconds instead of timing out after
+  /// queueing (the client retries elsewhere while its deadline is still
+  /// live). <= 0 means no deadline. Admission control only: an admitted
+  /// request is never killed mid-run.
+  double deadline_seconds = 0;
 };
 
 struct JoinServiceStats {
   std::size_t admitted = 0;
   /// Submissions bounced by admission control (queue full / shutdown).
   std::size_t rejected = 0;
+  /// Of the rejected: bounced because the estimated queue wait already
+  /// exceeded the request's deadline.
+  std::size_t rejected_deadline = 0;
   std::size_t completed = 0;
   /// Requests closed with Aborted without ever running the join: queued at
   /// service shutdown, or cancelled by their consumer while queued.
@@ -103,7 +126,16 @@ class JoinService {
   Result<AsyncJoinHandle> Submit(const std::string& tenant,
                                  const std::string& engine, const Dataset& r,
                                  const Dataset& s,
-                                 const EngineConfig& config = {});
+                                 const EngineConfig& config = {},
+                                 const RequestOptions& request = {});
+
+  /// Estimated queue wait a request submitted now would see, in seconds:
+  /// zero while a dispatcher slot is free, otherwise the load beyond the
+  /// remaining slots over max_concurrent, times the EWMA of measured job
+  /// durations (seeded by initial_job_seconds_estimate). The quantity
+  /// deadline-aware admission compares against RequestOptions::
+  /// deadline_seconds.
+  double EstimatedQueueWaitSeconds() const;
 
   /// Blocks until every admitted request has completed.
   void Drain();
@@ -127,6 +159,8 @@ class JoinService {
   /// Picks and removes the next job per the scheduling policy. Requires
   /// mu_ held and pending_ non-empty.
   Job TakeNextJobLocked();
+  /// EstimatedQueueWaitSeconds with mu_ held.
+  double EstimatedQueueWaitLocked() const;
 
   const JoinServiceOptions options_;
   ThreadPool pool_;
@@ -142,6 +176,10 @@ class JoinService {
   uint64_t next_sequence_ = 0;
   std::size_t running_ = 0;
   bool stopping_ = false;
+  /// EWMA of measured job durations (seconds); seeds from
+  /// initial_job_seconds_estimate until the first completion.
+  double ewma_job_seconds_ = 0;
+  bool have_measurement_ = false;
 
   std::vector<std::thread> dispatchers_;
 };

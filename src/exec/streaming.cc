@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "dist/dist_engine.h"
 #include "exec/task_graph.h"
 #include "grid/uniform_grid.h"
 #include "join/accel_engine.h"
@@ -424,6 +425,53 @@ void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
   state->Close(Status::OK(), stats, timing);
 }
 
+// Coalesces arbitrary-size producer batches into bounded chunks for the
+// stream queue: batches accumulate in a staging buffer and full chunks are
+// carved from the back (order across chunks is irrelevant -- the result is
+// a multiset; carving the front would shift the residue on every carve).
+// Shared by the accelerator and cluster producers, whose native batch
+// granularities (write-unit bursts, committed shards) are unbounded in
+// both directions.
+class ChunkStager {
+ public:
+  ChunkStager(std::size_t chunk_pairs, StreamState* state)
+      : chunk_pairs_(std::max<std::size_t>(1, chunk_pairs)), state_(state) {}
+
+  /// Adds one producer batch, shipping any full chunks. Batches are
+  /// dropped once a push has failed (the consumer cancelled).
+  void Add(std::vector<ResultPair> batch) {
+    if (push_failed_) return;
+    if (staged_.empty()) {
+      staged_ = std::move(batch);
+    } else {
+      staged_.insert(staged_.end(), batch.begin(), batch.end());
+    }
+    while (!push_failed_ && staged_.size() >= chunk_pairs_) {
+      std::vector<ResultPair> chunk(staged_.end() - chunk_pairs_,
+                                    staged_.end());
+      staged_.resize(staged_.size() - chunk_pairs_);
+      if (!state_->Push(std::move(chunk))) push_failed_ = true;
+    }
+  }
+
+  /// Ships the final partial chunk of a successful run. Returns false when
+  /// any push failed (the stream should close Aborted).
+  bool FlushTail() {
+    if (!push_failed_ && !staged_.empty()) {
+      if (!state_->Push(std::move(staged_))) push_failed_ = true;
+    }
+    return !push_failed_;
+  }
+
+  bool push_failed() const { return push_failed_; }
+
+ private:
+  const std::size_t chunk_pairs_;
+  StreamState* state_;
+  std::vector<ResultPair> staged_;
+  bool push_failed_ = false;
+};
+
 // The accelerator producer: the simulated device streams natively. Plan
 // builds the device images (trees / partitions) on the producer thread;
 // Execute then runs the simulated kernel with a write-unit sink, so every
@@ -462,32 +510,62 @@ void RunAccelProducer(const std::string& name, const Dataset& r,
   }
   sw.Reset();
   JoinStats stats;
-  const std::size_t chunk_pairs = std::max<std::size_t>(1, opts.chunk_pairs);
-  bool push_failed = false;
-  std::vector<ResultPair> staged;
-  const AccelBatchSink sink = [&](std::vector<ResultPair> batch) {
-    if (push_failed) return;  // consumer cancelled: drop the rest
-    if (staged.empty()) {
-      staged = std::move(batch);
-    } else {
-      staged.insert(staged.end(), batch.begin(), batch.end());
-    }
-    // Carve full chunks from the back (order across chunks is irrelevant,
-    // the result is a multiset; carving the front would shift the residue).
-    while (!push_failed && staged.size() >= chunk_pairs) {
-      std::vector<ResultPair> chunk(staged.end() - chunk_pairs,
-                                    staged.end());
-      staged.resize(staged.size() - chunk_pairs);
-      if (!state->Push(std::move(chunk))) push_failed = true;
-    }
+  ChunkStager stager(opts.chunk_pairs, state.get());
+  const AccelBatchSink sink = [&stager](std::vector<ResultPair> batch) {
+    stager.Add(std::move(batch));
   };
   st = engine->ExecuteStreaming(sink, &stats);
-  // Ship the final partial chunk of a successful run.
-  if (st.ok() && !push_failed && !staged.empty()) {
-    if (!state->Push(std::move(staged))) push_failed = true;
-  }
+  if (st.ok()) stager.FlushTail();
   timing.execute_seconds = sw.ElapsedSeconds();
-  if (push_failed || state->cancelled()) {
+  if (stager.push_failed() || state->cancelled()) {
+    state->Close(Status::Aborted("join cancelled mid-stream"), stats, timing);
+    return;
+  }
+  state->Close(std::move(st), stats, timing);
+}
+
+// The cluster producer: the distributed engines stream natively. Plan runs
+// the ShardPlanner on the producer thread; ExecuteStreaming then spins the
+// in-process cluster with a shard sink, so every shard the merge
+// coordinator commits surfaces as bounded-queue chunks while other nodes
+// are still joining. Committed shards are coalesced up to chunk_pairs and
+// oversized shards split, bounding chunk sizes both ways. Cancellation is
+// cooperative through the cluster itself (the stream's token reaches the
+// exchange and node runtimes), so a cancelled consumer stops the whole
+// cluster, not just the chunk delivery.
+void RunDistProducer(const std::string& name, const Dataset& r,
+                     const Dataset& s, const EngineConfig& config,
+                     StreamOptions opts,
+                     std::shared_ptr<StreamState> state) {
+  StageTiming timing;
+  Stopwatch sw;
+  auto created = dist::MakeDistEngine(name, config);
+  if (!created.ok()) {
+    state->Close(created.status(), JoinStats{}, timing);
+    return;
+  }
+  std::unique_ptr<dist::DistJoinEngine> engine = std::move(*created);
+  Status st = engine->Plan(r, s);
+  timing.plan_seconds = sw.ElapsedSeconds();
+  if (!st.ok()) {
+    state->Close(std::move(st), JoinStats{}, timing);
+    return;
+  }
+  if (state->cancelled()) {
+    state->Close(Status::Aborted("join cancelled mid-stream"), JoinStats{},
+                 timing);
+    return;
+  }
+  sw.Reset();
+  JoinStats stats;
+  ChunkStager stager(opts.chunk_pairs, state.get());
+  const dist::ShardSink sink = [&stager](int, std::vector<ResultPair> batch) {
+    stager.Add(std::move(batch));
+  };
+  st = engine->ExecuteStreaming(sink, &stats, state->token());
+  if (st.ok()) stager.FlushTail();
+  timing.execute_seconds = sw.ElapsedSeconds();
+  if (stager.push_failed() || state->cancelled()) {
     state->Close(Status::Aborted("join cancelled mid-stream"), stats, timing);
     return;
   }
@@ -729,6 +807,13 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
     SWIFT_RETURN_IF_ERROR(ValidateAccelConfig(config));
     producer = [engine, &r, &s, config, stream, state, guard] {
       RunAccelProducer(engine, r, s, config, stream, state);
+    };
+  } else if (dist::IsDistEngine(engine)) {
+    // The cluster owns its node pools and ignores `pool`; committed shards
+    // surface straight from the merge coordinator (see RunDistProducer).
+    SWIFT_RETURN_IF_ERROR(dist::ValidateDistConfig(config));
+    producer = [engine, &r, &s, config, stream, state, guard] {
+      RunDistProducer(engine, r, s, config, stream, state);
     };
   } else {
     auto created = EngineRegistry::Global().Create(engine, config);

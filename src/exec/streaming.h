@@ -14,7 +14,7 @@
 // pair a genuine result, no duplicates) and Wait()/Collect() report
 // Aborted.
 //
-// Three producer strategies sit behind one handle type:
+// Four producer strategies sit behind one handle type:
 //  - Partition-family engines ("partitioned", "simd", "async") stream
 //    natively: the grid is split into row bands, each band's cell
 //    assignment runs as a TaskGraph *plan task* that dynamically spawns
@@ -26,6 +26,11 @@
 //    the write unit (BFS level / PBSM tile batch / multi-device shard)
 //    becomes chunks while the simulated kernel still runs, so host-side
 //    consumption overlaps device execution (join/accel_engine.h).
+//  - Distributed engines ("dist-pbsm", "dist-accel") stream natively from
+//    the simulated cluster: every shard the merge coordinator commits
+//    surfaces as chunks while other nodes are still joining, and a
+//    cancelled consumer stops the whole cluster mid-exchange
+//    (dist/dist_engine.h).
 //  - Every other registered engine runs Plan -> Execute synchronously on
 //    the producer thread and streams the finished result out in chunks, so
 //    the streaming contract (chunks, backpressure, cancellation, Collect)

@@ -29,6 +29,7 @@ uint64_t EstimatePartitionBytes(std::size_t nr, std::size_t ns) {
 }
 
 struct SubJoinInput {
+  int tile = 0;    // outer grid tile index: the stable shard id
   Box outer_tile;  // closed at the global extent max (dedup across tiles)
   Dataset r;
   Dataset s;
@@ -45,6 +46,7 @@ std::vector<SubJoinInput> BuildSubInputs(const Dataset& r, const Dataset& s,
   for (int t = 0; t < grid.num_tiles(); ++t) {
     if (r_assign[t].empty() || s_assign[t].empty()) continue;
     SubJoinInput sub;
+    sub.tile = t;
     sub.outer_tile = grid.DedupTileByIndex(t);
     std::vector<Box> r_boxes, s_boxes;
     r_boxes.reserve(r_assign[t].size());
@@ -154,7 +156,7 @@ Result<MultiDeviceReport> PartitionedJoin(const Dataset& r, const Dataset& s,
       // may stream out before later partitions run: the delivered sequence
       // stays a genuine prefix even if a later partition fails.
       if (config.partition_sink && !kept.empty()) {
-        config.partition_sink(std::move(kept));
+        config.partition_sink(sub.tile, std::move(kept));
       }
 
       if (config.strategy == OutOfMemoryStrategy::kMultipleDevices) {

@@ -55,12 +55,17 @@ struct MultiDeviceConfig {
   int min_grid = 1;
   /// Streaming hook: when set, each partition's *deduplicated, global-id*
   /// results are handed over as that partition's sub-join retires, instead
-  /// of only accumulating into the final JoinResult. Because streamed pairs
-  /// cannot be recalled, a run that would need a grid-refinement retry
-  /// (actual footprint overrunning device memory) fails with
+  /// of only accumulating into the final JoinResult. `shard_id` is the
+  /// partition's outer grid tile index -- a pure function of the grid
+  /// geometry, NOT the enumeration order of populated partitions -- so a
+  /// shard re-executed later (e.g. by the dist/ fault-recovery path after
+  /// a node failure) reports the same id and downstream dedup can match
+  /// retried output to the original deterministically. Because streamed
+  /// pairs cannot be recalled, a run that would need a grid-refinement
+  /// retry (actual footprint overrunning device memory) fails with
   /// InvalidArgument rather than re-streaming duplicates; size
   /// device_memory_bytes generously when streaming.
-  std::function<void(std::vector<ResultPair>)> partition_sink;
+  std::function<void(int shard_id, std::vector<ResultPair>)> partition_sink;
 };
 
 /// Outcome of a partitioned join.

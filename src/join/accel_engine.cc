@@ -211,7 +211,10 @@ class AccelPbsmMultiEngine : public AccelEngineBase {
     mdc.tile_cap = config().accel_tile_cap;
     mdc.min_grid = 2;  // the "4x": 2x2 spatial shards, one device each
     if (sink != nullptr) {
-      mdc.partition_sink = [sink](std::vector<ResultPair> pairs) {
+      // The engine sink is shard-agnostic; the stable id matters to callers
+      // that dedup retried shards (the dist/ fault-recovery path).
+      mdc.partition_sink = [sink](int /*shard_id*/,
+                                  std::vector<ResultPair> pairs) {
         (*sink)(std::move(pairs));
       };
     }

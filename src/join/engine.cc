@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "dist/dist_engine.h"
 #include "exec/streaming.h"
 #include "join/accel_engine.h"
 #include "join/cuspatial_like.h"
@@ -424,6 +425,17 @@ EngineRegistry& EngineRegistry::Global() {
                   [accel](const EngineConfig& config)
                       -> std::unique_ptr<JoinEngine> {
                     return std::move(*MakeAccelEngine(accel, config));
+                  });
+    }
+    // The simulated cluster (dist/dist_engine.h). As with the accelerator
+    // engines, MakeDistEngine only fails for unknown names; config errors
+    // surface at Plan.
+    for (const char* dist_name : {kDistPbsmEngine, kDistAccelEngine}) {
+      r->Register(dist_name,
+                  [dist_name](const EngineConfig& config)
+                      -> std::unique_ptr<JoinEngine> {
+                    return std::move(*dist::MakeDistEngine(dist_name,
+                                                           config));
                   });
     }
     r->Register(kInterpretedEngineBaseline,

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "datagen/dataset.h"
+#include "dist/placement.h"
 #include "grid/pbsm_partition.h"
 #include "join/parallel_sync_traversal.h"
 #include "join/pbsm.h"
@@ -92,6 +93,17 @@ struct EngineConfig {
   /// accel-pbsm-4x: per-device memory budget in bytes (the U250's 64 GB by
   /// default; small values force finer sharding).
   uint64_t accel_device_memory_bytes = 64ULL << 30;
+
+  // --- Distributed cluster engines (dist-pbsm, dist-accel; see
+  // dist/dist_engine.h). ---
+  /// Cluster size (simulated in-process nodes).
+  int dist_nodes = 4;
+  /// Shard -> node placement policy.
+  dist::PlacementPolicy dist_placement =
+      dist::PlacementPolicy::kCostBalanced;
+  /// Worker threads per node; 0 = split num_threads evenly across the
+  /// cluster (at least 1 per node).
+  std::size_t dist_node_threads = 0;
 };
 
 /// Per-stage wall-clock timings filled in by JoinEngine::Run.
@@ -202,6 +214,14 @@ inline constexpr const char* kBigDataFrameworkBaseline = "big_data_framework";
 inline constexpr const char* kAccelBfsEngine = "accel-bfs";
 inline constexpr const char* kAccelPbsmEngine = "accel-pbsm";
 inline constexpr const char* kAccelPbsmMultiEngine = "accel-pbsm-4x";
+/// The in-process simulated cluster (src/dist/): grid shards placed on N
+/// nodes, per-shard results streamed over bounded exchange links to a merge
+/// coordinator, node failures recovered by shard re-execution. dist-pbsm
+/// joins shards on CPU workers; dist-accel fronts one simulated device per
+/// shard (accel-pbsm-4x generalised to N x M). Declared in
+/// dist/dist_engine.h, which also exposes their streaming Execute.
+inline constexpr const char* kDistPbsmEngine = "dist-pbsm";
+inline constexpr const char* kDistAccelEngine = "dist-accel";
 
 }  // namespace swiftspatial
 

@@ -72,27 +72,139 @@ void FilterSoA(const Box& probe, const Coord* min_x, const Coord* min_y,
   }
 }
 
+void FilterSoAProbeBlock(const Coord* p_min_x, const Coord* p_min_y,
+                         const Coord* p_max_x, const Coord* p_max_y,
+                         std::size_t np, const Coord* min_x,
+                         const Coord* min_y, const Coord* max_x,
+                         const Coord* max_y, std::size_t n, uint64_t* masks) {
+  const std::size_t words = FilterMaskWords(n);
+  std::size_t p = 0;
+#if defined(__AVX2__)
+  // Probe quads over 8-candidate vectors: the four candidate loads are
+  // amortised across four probes held broadcast in registers, quartering
+  // the load traffic of the per-probe kernel.
+  for (; p + 4 <= np; p += 4) {
+    uint64_t* m[4];
+    __m256 q_max_x[4], q_min_x[4], q_max_y[4], q_min_y[4];
+    for (std::size_t b = 0; b < 4; ++b) {
+      m[b] = masks + (p + b) * words;
+      std::fill_n(m[b], words, uint64_t{0});
+      q_max_x[b] = _mm256_set1_ps(p_max_x[p + b]);
+      q_min_x[b] = _mm256_set1_ps(p_min_x[p + b]);
+      q_max_y[b] = _mm256_set1_ps(p_max_y[p + b]);
+      q_min_y[b] = _mm256_set1_ps(p_min_y[p + b]);
+    }
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256 c_min_x = _mm256_loadu_ps(min_x + i);
+      const __m256 c_max_x = _mm256_loadu_ps(max_x + i);
+      const __m256 c_min_y = _mm256_loadu_ps(min_y + i);
+      const __m256 c_max_y = _mm256_loadu_ps(max_y + i);
+      for (std::size_t b = 0; b < 4; ++b) {
+        const __m256 hit_x = _mm256_and_ps(
+            _mm256_cmp_ps(q_max_x[b], c_min_x, _CMP_GE_OQ),
+            _mm256_cmp_ps(c_max_x, q_min_x[b], _CMP_GE_OQ));
+        const __m256 hit_y = _mm256_and_ps(
+            _mm256_cmp_ps(q_max_y[b], c_min_y, _CMP_GE_OQ),
+            _mm256_cmp_ps(c_max_y, q_min_y[b], _CMP_GE_OQ));
+        const auto bits = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_and_ps(hit_x, hit_y)));
+        m[b][i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+      }
+    }
+    // Candidate tail: per-bit, at most 7 per probe.
+    for (std::size_t b = 0; b < 4; ++b) {
+      for (std::size_t j = i; j < n; ++j) {
+        const bool hit =
+            p_max_x[p + b] >= min_x[j] && max_x[j] >= p_min_x[p + b] &&
+            p_max_y[p + b] >= min_y[j] && max_y[j] >= p_min_y[p + b];
+        m[b][j >> 6] |= static_cast<uint64_t>(hit) << (j & 63);
+      }
+    }
+  }
+#else
+  // Scalar fallback, candidate-block-major: each 64-candidate chunk (1 KB
+  // of SoA coordinates) is walked once per probe while it is L1-hot, so the
+  // candidate arrays are streamed from memory once per *probe batch*
+  // instead of once per probe. The per-probe inner loop keeps exactly the
+  // elementwise-byte compare + separate pack shape of FilterSoA -- the form
+  // compilers auto-vectorize; interleaving probes inside the candidate loop
+  // would break it.
+  for (std::size_t q = 0; q < np; ++q) {
+    std::fill_n(masks + q * words, words, uint64_t{0});
+  }
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    for (std::size_t q = 0; q < np; ++q) {
+      const Coord qmxx = p_max_x[q], qmnx = p_min_x[q];
+      const Coord qmxy = p_max_y[q], qmny = p_min_y[q];
+      unsigned char hits[64];
+      for (int c = 0; c < 64; ++c) {
+        const std::size_t j = i + static_cast<std::size_t>(c);
+        hits[c] = static_cast<unsigned char>(
+            (qmxx >= min_x[j]) & (max_x[j] >= qmnx) & (qmxy >= min_y[j]) &
+            (max_y[j] >= qmny));
+      }
+      uint64_t word = 0;
+      for (int c = 0; c < 64; ++c) {
+        word |= static_cast<uint64_t>(hits[c]) << c;
+      }
+      masks[q * words + (i >> 6)] = word;
+    }
+  }
+  // Candidate tail: per-bit, at most 63 per probe.
+  for (std::size_t q = 0; q < np; ++q) {
+    for (std::size_t j = i; j < n; ++j) {
+      const bool hit = p_max_x[q] >= min_x[j] && max_x[j] >= p_min_x[q] &&
+                       p_max_y[q] >= min_y[j] && max_y[j] >= p_min_y[q];
+      masks[q * words + (j >> 6)] |= static_cast<uint64_t>(hit) << (j & 63);
+    }
+  }
+  p = np;  // the block handled every probe
+#endif
+  // Probe tail of the AVX2 quad path (< 4 remaining; no-op for the scalar
+  // fallback): the per-probe kernel.
+  for (; p < np; ++p) {
+    FilterSoA(Box(p_min_x[p], p_min_y[p], p_max_x[p], p_max_y[p]), min_x,
+              min_y, max_x, max_y, n, masks + p * words);
+  }
+}
+
 void SimdTileJoin(const Dataset& r, const Dataset& s,
                   const std::vector<ObjectId>& r_ids,
                   const std::vector<ObjectId>& s_ids, const Box* dedup_tile,
                   JoinResult* out, JoinStats* stats) {
+  const BoxBlock probes = BoxBlock::FromSubset(r, r_ids);
   const BoxBlock block = BoxBlock::FromSubset(s, s_ids);
-  std::vector<uint64_t> mask(FilterMaskWords(block.size()));
-  for (ObjectId ri : r_ids) {
-    const Box& rb = r.box(static_cast<std::size_t>(ri));
-    FilterBoxBlock(rb, block, mask.data());
-    for (std::size_t w = 0; w < mask.size(); ++w) {
-      uint64_t bits = mask[w];
-      while (bits != 0) {
-        const std::size_t j = (w << 6) + std::countr_zero(bits);
-        bits &= bits - 1;
-        // The candidate's coordinates come from the SoA arrays already in
-        // cache, not a strided re-fetch from the Dataset.
-        if (dedup_tile != nullptr &&
-            !ReferencePointInTile(rb, block.BoxAt(j), *dedup_tile)) {
-          continue;
+  const std::size_t words = FilterMaskWords(block.size());
+  // Probes per kernel call: a multiple of the quad so only the last call
+  // takes the per-probe tail, small enough that the mask staging buffer
+  // stays cache-resident even for large tiles.
+  constexpr std::size_t kProbeTile = 16;
+  std::vector<uint64_t> masks(kProbeTile * words);
+  for (std::size_t p0 = 0; p0 < probes.size(); p0 += kProbeTile) {
+    const std::size_t np = std::min(kProbeTile, probes.size() - p0);
+    FilterSoAProbeBlock(probes.min_x() + p0, probes.min_y() + p0,
+                        probes.max_x() + p0, probes.max_y() + p0, np,
+                        block.min_x(), block.min_y(), block.max_x(),
+                        block.max_y(), block.size(), masks.data());
+    for (std::size_t b = 0; b < np; ++b) {
+      const Box rb = probes.BoxAt(p0 + b);
+      const ObjectId ri = probes.id(p0 + b);
+      const uint64_t* mask = masks.data() + b * words;
+      for (std::size_t w = 0; w < words; ++w) {
+        uint64_t bits = mask[w];
+        while (bits != 0) {
+          const std::size_t j = (w << 6) + std::countr_zero(bits);
+          bits &= bits - 1;
+          // The candidate's coordinates come from the SoA arrays already in
+          // cache, not a strided re-fetch from the Dataset.
+          if (dedup_tile != nullptr &&
+              !ReferencePointInTile(rb, block.BoxAt(j), *dedup_tile)) {
+            continue;
+          }
+          out->Add(ri, block.id(j));
         }
-        out->Add(ri, block.id(j));
       }
     }
   }

@@ -59,10 +59,28 @@ inline void FilterBoxBlock(const Box& probe, const BoxBlock& block,
             block.size(), mask);
 }
 
-/// Tile-level join through the batched kernel: every probe in `r_ids` is
-/// filtered against a BoxBlock built from `s_ids`, and matches surviving the
-/// optional reference-point dedup are appended to `out`. Drop-in equivalent
-/// of NestedLoopTileJoin (same result multiset, same stats accounting);
+/// Probe-blocked kernel: filters `np` probes (their coordinates in SoA
+/// arrays, exactly as a BoxBlock stores them) against the same n candidates
+/// in one pass. Per-probe semantics identical to FilterSoA; the point is
+/// bandwidth: the candidate arrays are streamed once per probe *quad*
+/// instead of once per probe, with the four candidate loads serving four
+/// probe comparisons from registers (the hardware analogue: SwiftSpatial's
+/// join unit feeds one fetched S-tile to its comparator banks for a whole
+/// block of R entries, not per R row). `masks` must hold
+/// np * FilterMaskWords(n) words, probe-major: probe p's words start at
+/// p * FilterMaskWords(n). All are overwritten.
+void FilterSoAProbeBlock(const Coord* p_min_x, const Coord* p_min_y,
+                         const Coord* p_max_x, const Coord* p_max_y,
+                         std::size_t np, const Coord* min_x,
+                         const Coord* min_y, const Coord* max_x,
+                         const Coord* max_y, std::size_t n, uint64_t* masks);
+
+/// Tile-level join through the batched kernel: probes from `r_ids` are
+/// gathered into a BoxBlock alongside the `s_ids` candidates and filtered
+/// through the probe-blocked kernel (FilterSoAProbeBlock), so both sides of
+/// the all-pairs tile join are batched. Matches surviving the optional
+/// reference-point dedup are appended to `out`. Drop-in equivalent of
+/// NestedLoopTileJoin (same result multiset, same stats accounting);
 /// selected in partition drivers with TileJoin::kSimd.
 void SimdTileJoin(const Dataset& r, const Dataset& s,
                   const std::vector<ObjectId>& r_ids,

@@ -7,6 +7,8 @@
 //   PackedRTree       -- rtree/: STR/Hilbert bulk load, or RTree::Pack()
 //   join algorithms   -- join/: every algorithm behind the JoinEngine
 //                        registry (RunJoin("pbsm", r, s, config), ...)
+//   exec::RunJoinAsync-- exec/: streaming execution + the JoinService
+//   dist::DistributedJoin -- dist/: the simulated multi-node cluster
 //   hw::Accelerator   -- hw/: the simulated SwiftSpatial device
 //   Refine            -- refine/: exact-geometry verification
 #ifndef SWIFTSPATIAL_SWIFTSPATIAL_H_
@@ -40,6 +42,7 @@
 #include "grid/pbsm_partition.h"
 #include "grid/uniform_grid.h"
 
+#include "join/accel_engine.h"
 #include "join/cuspatial_like.h"
 #include "join/engine.h"
 #include "join/engine_baselines.h"
@@ -52,6 +55,15 @@
 #include "join/result.h"
 #include "join/simd_filter.h"
 #include "join/sync_traversal.h"
+
+#include "exec/service.h"
+#include "exec/streaming.h"
+#include "exec/task_graph.h"
+
+#include "dist/dist_engine.h"
+#include "dist/dist_join.h"
+#include "dist/exchange.h"
+#include "dist/shard_planner.h"
 
 #include "refine/refinement.h"
 

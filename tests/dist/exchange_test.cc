@@ -1,0 +1,155 @@
+// Exchange contract tests: per-link FIFO order, bounded-queue backpressure
+// with an exact high-water mark, terminal messages closing links, fair
+// draining across links, cancellation unblocking both sides, and the wire
+// cost model's accounting.
+#include "dist/exchange.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace swiftspatial::dist {
+namespace {
+
+Message Chunk(int node, int shard, uint64_t attempt, std::size_t pairs) {
+  Message msg;
+  msg.kind = Message::Kind::kShardChunk;
+  msg.node = node;
+  msg.shard = shard;
+  msg.attempt = attempt;
+  msg.pairs.resize(pairs, ResultPair{1, 2});
+  return msg;
+}
+
+Message Terminal(int node, bool failed) {
+  Message msg;
+  msg.kind = failed ? Message::Kind::kNodeFailed : Message::Kind::kNodeDone;
+  msg.node = node;
+  return msg;
+}
+
+TEST(Exchange, FifoPerLinkAndRecvEndsWhenAllLinksClose) {
+  Exchange exchange(1, LinkConfig{});
+  ASSERT_TRUE(exchange.Send(Chunk(0, 7, 0, 3)));
+  ASSERT_TRUE(exchange.Send(Chunk(0, 7, 0, 2)));
+  ASSERT_TRUE(exchange.Send(Terminal(0, /*failed=*/false)));
+
+  Message msg;
+  ASSERT_TRUE(exchange.Recv(&msg));
+  EXPECT_EQ(msg.kind, Message::Kind::kShardChunk);
+  EXPECT_EQ(msg.pairs.size(), 3u);
+  ASSERT_TRUE(exchange.Recv(&msg));
+  EXPECT_EQ(msg.pairs.size(), 2u);
+  ASSERT_TRUE(exchange.Recv(&msg));
+  EXPECT_EQ(msg.kind, Message::Kind::kNodeDone);
+  // Closed and drained: end of stream, not a hang.
+  EXPECT_FALSE(exchange.Recv(&msg));
+}
+
+TEST(Exchange, BackpressureBoundsTheQueueExactly) {
+  LinkConfig config;
+  config.queue_capacity = 2;
+  Exchange exchange(1, config);
+
+  std::thread producer([&] {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(exchange.Send(Chunk(0, i, 0, 1)));
+    }
+    ASSERT_TRUE(exchange.Send(Terminal(0, false)));
+  });
+
+  std::size_t received = 0;
+  Message msg;
+  while (exchange.Recv(&msg)) {
+    if (msg.kind == Message::Kind::kShardChunk) ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, 20u);
+  EXPECT_LE(exchange.link_stats(0).max_depth, 2u);
+  EXPECT_GE(exchange.link_stats(0).max_depth, 1u);
+}
+
+TEST(Exchange, RecvDrainsEveryLinkWithoutStarvation) {
+  Exchange exchange(3, LinkConfig{});
+  for (int node = 0; node < 3; ++node) {
+    ASSERT_TRUE(exchange.Send(Chunk(node, node, 0, 1)));
+    ASSERT_TRUE(exchange.Send(Terminal(node, false)));
+  }
+  // The first three receives must come from three different links (fair
+  // round-robin scan), not all from link 0.
+  std::vector<bool> seen(3, false);
+  Message msg;
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_TRUE(exchange.Recv(&msg));
+    if (msg.kind == Message::Kind::kShardChunk) {
+      seen[static_cast<std::size_t>(msg.node)] = true;
+    }
+  }
+  EXPECT_TRUE(seen[0] || seen[1] || seen[2]);
+  std::size_t distinct = 0;
+  for (const bool b : seen) distinct += b;
+  EXPECT_GE(distinct, 2u) << "round-robin scan should interleave links";
+  while (exchange.Recv(&msg)) {
+  }
+}
+
+// Nobody drains the full link, so the second Send stays blocked until
+// Cancel -- and must return false whether it observes the flag before or
+// after entering its wait loop.
+TEST(Exchange, CancelUnblocksABlockedSender) {
+  LinkConfig config;
+  config.queue_capacity = 1;
+  Exchange exchange(1, config);
+  ASSERT_TRUE(exchange.Send(Chunk(0, 0, 0, 1)));  // queue now full
+
+  std::thread sender([&] {
+    EXPECT_FALSE(exchange.Send(Chunk(0, 1, 0, 1)));  // blocks, then fails
+  });
+  exchange.Cancel();
+  sender.join();
+  EXPECT_TRUE(exchange.cancelled());
+  EXPECT_FALSE(exchange.Send(Chunk(0, 2, 0, 1)));
+}
+
+// All links open but empty: Recv blocks until Cancel ends the stream.
+TEST(Exchange, CancelUnblocksABlockedReceiver) {
+  Exchange exchange(2, LinkConfig{});
+  std::atomic<bool> recv_returned{false};
+  std::thread receiver([&] {
+    Message msg;
+    EXPECT_FALSE(exchange.Recv(&msg));
+    recv_returned = true;
+  });
+  exchange.Cancel();
+  receiver.join();
+  EXPECT_TRUE(recv_returned.load());
+}
+
+TEST(Exchange, WireModelChargesLatencyPlusBytesOverBandwidth) {
+  LinkConfig config;
+  config.bandwidth_bytes_per_sec = 1e6;
+  config.latency_seconds = 1e-3;
+  Exchange exchange(2, config);
+  ASSERT_TRUE(exchange.Send(Chunk(0, 0, 0, 100)));  // 800 payload bytes
+  ASSERT_TRUE(exchange.Send(Terminal(0, false)));
+  ASSERT_TRUE(exchange.Send(Terminal(1, true)));
+
+  const LinkStats stats = exchange.link_stats(0);
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.payload_bytes, 100u * sizeof(ResultPair));
+  // Two latencies plus (payload + 2 headers) / bandwidth.
+  EXPECT_GT(stats.modelled_seconds, 2e-3);
+  EXPECT_LT(stats.modelled_seconds, 2e-3 + 1e-3);
+  EXPECT_EQ(exchange.total_messages(), 3u);
+  EXPECT_EQ(exchange.total_payload_bytes(), 100u * sizeof(ResultPair));
+  EXPECT_GE(exchange.max_link_seconds(), stats.modelled_seconds);
+
+  Message msg;
+  while (exchange.Recv(&msg)) {
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial::dist

@@ -198,6 +198,136 @@ INSTANTIATE_TEST_SUITE_P(Policies, JoinServicePolicyTest,
                                       : "FairShare";
                          });
 
+// Deadline-aware admission: with the estimate seeded to a known value, a
+// request whose deadline is below the estimated queue wait bounces with
+// DeadlineExceeded immediately -- before queueing -- while patient and
+// deadline-free requests are admitted. All queue states are pinned by the
+// wedged-dispatcher pattern, so nothing here depends on timing.
+TEST(JoinService, DeadlineAdmissionRejectsHopelessRequests) {
+  const Dataset dense_r = DenseSide(61);
+  const Dataset dense_s = DenseSide(62);
+  const Dataset small_r = SmallSide(63);
+  const Dataset small_s = SmallSide(64);
+
+  JoinServiceOptions options = BlockableOptions();  // max_concurrent = 1
+  options.initial_job_seconds_estimate = 10.0;      // deterministic estimate
+  JoinService service(options);
+
+  // Nothing ahead: zero estimated wait, so even a tight deadline admits.
+  RequestOptions tight;
+  tight.deadline_seconds = 0.001;
+  auto blocker = service.Submit("blocker", kPartitionedEngine, dense_r,
+                                dense_s, {}, tight);
+  ASSERT_TRUE(blocker.ok()) << blocker.status().ToString();
+  ResultChunk first;
+  ASSERT_TRUE(blocker->Next(&first));  // dispatcher wedged mid-stream
+
+  // One job running, none pending: estimated wait = 1 / 1 * 10s.
+  EXPECT_NEAR(service.EstimatedQueueWaitSeconds(), 10.0, 1e-9);
+
+  auto hopeless = service.Submit("tenant", kPartitionedEngine, small_r,
+                                 small_s, {}, tight);
+  ASSERT_FALSE(hopeless.ok());
+  EXPECT_EQ(hopeless.status().code(), StatusCode::kDeadlineExceeded)
+      << hopeless.status().ToString();
+
+  RequestOptions patient;
+  patient.deadline_seconds = 3600.0;
+  auto admitted = service.Submit("tenant", kPartitionedEngine, small_r,
+                                 small_s, {}, patient);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+
+  // No deadline at all is never deadline-bounced.
+  auto no_deadline =
+      service.Submit("tenant", kPartitionedEngine, small_r, small_s);
+  ASSERT_TRUE(no_deadline.ok());
+
+  const JoinServiceStats mid = service.stats();
+  EXPECT_EQ(mid.rejected, 1u);
+  EXPECT_EQ(mid.rejected_deadline, 1u);
+  EXPECT_EQ(mid.admitted, 3u);
+
+  EXPECT_TRUE(blocker->Collect().status.ok());
+  EXPECT_TRUE(admitted->Collect().status.ok());
+  EXPECT_TRUE(no_deadline->Collect().status.ok());
+  service.Drain();
+  EXPECT_EQ(service.stats().completed, 3u);
+}
+
+// A free dispatcher slot means zero estimated queue wait: a request
+// arriving while capacity is idle must never be deadline-bounced, no
+// matter how pessimistic the per-job estimate is.
+TEST(JoinService, DeadlineAdmissionNeverRejectsWhileASlotIsFree) {
+  const Dataset dense_r = DenseSide(71);
+  const Dataset dense_s = DenseSide(72);
+  const Dataset small_r = SmallSide(73);
+  const Dataset small_s = SmallSide(74);
+
+  JoinServiceOptions options = BlockableOptions();
+  options.max_concurrent = 2;  // a second, idle dispatcher slot
+  options.initial_job_seconds_estimate = 3600.0;
+  JoinService service(options);
+
+  auto blocker =
+      service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(blocker.ok());
+  ResultChunk first;
+  ASSERT_TRUE(blocker->Next(&first));  // one slot wedged, one idle
+
+  EXPECT_NEAR(service.EstimatedQueueWaitSeconds(), 0.0, 1e-9);
+  RequestOptions tight;
+  tight.deadline_seconds = 0.001;
+  auto admitted = service.Submit("tenant", kPartitionedEngine, small_r,
+                                 small_s, {}, tight);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_EQ(service.stats().rejected_deadline, 0u);
+
+  EXPECT_TRUE(admitted->Collect().status.ok());
+  EXPECT_TRUE(blocker->Collect().status.ok());
+  service.Drain();
+}
+
+// Once jobs complete, the measured-duration EWMA replaces the seed: an
+// absurd initial estimate stops bouncing requests after the service has
+// seen how fast jobs actually are.
+TEST(JoinService, DeadlineEstimateTracksMeasuredDurations) {
+  const Dataset dense_r = DenseSide(65);
+  const Dataset dense_s = DenseSide(66);
+  const Dataset small_r = SmallSide(67);
+  const Dataset small_s = SmallSide(68);
+
+  JoinServiceOptions options = BlockableOptions();
+  options.initial_job_seconds_estimate = 3600.0;  // absurdly pessimistic
+  JoinService service(options);
+
+  // A fast job completes and overrides the hour-long seed.
+  auto calibrate =
+      service.Submit("cal", kPartitionedEngine, small_r, small_s);
+  ASSERT_TRUE(calibrate.ok());
+  EXPECT_TRUE(calibrate->Collect().status.ok());
+  service.Drain();
+
+  auto blocker =
+      service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(blocker.ok());
+  ResultChunk first;
+  ASSERT_TRUE(blocker->Next(&first));  // dispatcher wedged again
+
+  // Estimated wait is now one measured small-join duration (milliseconds,
+  // generously bounded below 30s even under sanitizers), so a request that
+  // the seed estimate would have bounced admits.
+  RequestOptions request;
+  request.deadline_seconds = 30.0;
+  auto admitted = service.Submit("tenant", kPartitionedEngine, small_r,
+                                 small_s, {}, request);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_EQ(service.stats().rejected_deadline, 0u);
+
+  EXPECT_TRUE(blocker->Collect().status.ok());
+  EXPECT_TRUE(admitted->Collect().status.ok());
+  service.Drain();
+}
+
 TEST(JoinService, CancellingQueuedRequestNeverRunsIt) {
   const Dataset dense_r = DenseSide(31);
   const Dataset dense_s = DenseSide(32);

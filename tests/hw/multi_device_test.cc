@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
 #include "join/nested_loop.h"
 #include "tests/test_util.h"
 
@@ -106,6 +110,51 @@ TEST(PartitionedJoin, ImpossibleCapacityFails) {
   auto report = PartitionedJoin(r, s, cfg);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// partition_sink identifies every partition by its outer grid tile index --
+// a pure function of the grid geometry, not the enumeration order of
+// populated partitions -- so a shard re-executed later (the dist/
+// fault-recovery path) reports the same id and its output can be matched to
+// the original deterministically. Two identical runs must deliver an
+// identical shard-id -> result-multiset map, with ids inside the grid.
+TEST(PartitionedJoin, PartitionSinkShardIdsAreStableAcrossRuns) {
+  const Dataset r = testutil::Uniform(300, 411);
+  const Dataset s = testutil::Uniform(300, 412);
+
+  using ShardMap = std::map<int, std::vector<ResultPair>>;
+  const auto run = [&](ShardMap* by_shard, int* grid_res) {
+    MultiDeviceConfig cfg;
+    cfg.device.num_join_units = 2;
+    cfg.min_grid = 4;  // force a 4x4 outer grid: several populated shards
+    cfg.max_grid = 4;
+    cfg.partition_sink = [by_shard](int shard,
+                                    std::vector<ResultPair> pairs) {
+      auto& dst = (*by_shard)[shard];
+      dst.insert(dst.end(), pairs.begin(), pairs.end());
+    };
+    auto report = PartitionedJoin(r, s, cfg);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    *grid_res = report->grid_resolution;
+  };
+
+  ShardMap first, second;
+  int grid_first = 0, grid_second = 0;
+  run(&first, &grid_first);
+  run(&second, &grid_second);
+
+  EXPECT_EQ(grid_first, grid_second);
+  EXPECT_GT(first.size(), 1u);  // genuinely multi-shard
+  ASSERT_EQ(first.size(), second.size());
+  for (auto& [shard, pairs] : first) {
+    ASSERT_TRUE(second.count(shard)) << "shard " << shard;
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, grid_first * grid_first);
+    auto& other = second[shard];
+    std::sort(pairs.begin(), pairs.end());
+    std::sort(other.begin(), other.end());
+    EXPECT_EQ(pairs, other) << "shard " << shard;
+  }
 }
 
 TEST(PartitionedJoin, EmptyInputs) {

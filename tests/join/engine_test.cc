@@ -30,7 +30,9 @@ TEST(EngineRegistry, AllBuiltinsRegistered) {
        {kNestedLoopEngine, kPlaneSweepEngine, kPbsmEngine,
         kCuSpatialLikeEngine, kSyncTraversalEngine,
         kParallelSyncTraversalEngine, kPartitionedEngine, kSimdEngine,
-        kInterpretedEngineBaseline, kBigDataFrameworkBaseline}) {
+        kAccelBfsEngine, kAccelPbsmEngine, kAccelPbsmMultiEngine,
+        kDistPbsmEngine, kDistAccelEngine, kInterpretedEngineBaseline,
+        kBigDataFrameworkBaseline}) {
     EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
         << "missing builtin engine: " << expected;
     EXPECT_TRUE(EngineRegistry::Global().Contains(expected));

@@ -102,6 +102,79 @@ TEST(SimdFilter, MaskMatchesScalarPredicateOnRandomBlocks) {
   }
 }
 
+// The probe-blocked kernel must agree bit-for-bit with the per-probe
+// kernel (and hence with the scalar predicate) for every probe slot, across
+// probe counts straddling its quad/tail boundary and candidate counts
+// straddling every vector-body boundary.
+TEST(SimdFilter, ProbeBlockMatchesPerProbeKernel) {
+  Rng rng(54321);
+  for (const std::size_t np : {1u, 2u, 3u, 4u, 5u, 8u, 15u, 16u, 17u}) {
+    for (const std::size_t n : {0u, 1u, 7u, 8u, 63u, 64u, 65u, 130u}) {
+      std::vector<Box> candidates;
+      candidates.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Coord x = static_cast<Coord>(rng.Uniform(0, 100));
+        const Coord y = static_cast<Coord>(rng.Uniform(0, 100));
+        candidates.push_back(
+            Box(x, y, x + static_cast<Coord>(rng.Uniform(0, 10)),
+                y + static_cast<Coord>(rng.Uniform(0, 10))));
+      }
+      std::vector<Box> probes;
+      probes.reserve(np);
+      for (std::size_t p = 0; p < np; ++p) {
+        const Coord x = static_cast<Coord>(rng.Uniform(0, 100));
+        const Coord y = static_cast<Coord>(rng.Uniform(0, 100));
+        probes.push_back(
+            Box(x, y, x + static_cast<Coord>(rng.Uniform(0, 20)),
+                y + static_cast<Coord>(rng.Uniform(0, 20))));
+      }
+      const BoxBlock block = BoxBlock::FromBoxes(candidates);
+      const BoxBlock probe_block = BoxBlock::FromBoxes(probes);
+      const std::size_t words = FilterMaskWords(n);
+      // Pre-polluted: the probe-blocked kernel must overwrite every word.
+      std::vector<uint64_t> blocked(np * words, ~uint64_t{0});
+      FilterSoAProbeBlock(probe_block.min_x(), probe_block.min_y(),
+                          probe_block.max_x(), probe_block.max_y(), np,
+                          block.min_x(), block.min_y(), block.max_x(),
+                          block.max_y(), n, blocked.data());
+      std::vector<uint64_t> single(words);
+      for (std::size_t p = 0; p < np; ++p) {
+        FilterBoxBlock(probes[p], block, single.data());
+        for (std::size_t w = 0; w < words; ++w) {
+          EXPECT_EQ(blocked[p * words + w], single[w])
+              << "np=" << np << " n=" << n << " probe " << p << " word "
+              << w;
+        }
+      }
+    }
+  }
+}
+
+// Non-finite probe coordinates through the probe-blocked path: NaN matches
+// nothing in every slot of a quad, exactly as the per-probe kernel.
+TEST(SimdFilter, ProbeBlockNaNProbesMatchNothing) {
+  const std::vector<Box> candidates = {Box(0, 0, 100, 100),
+                                       Box(-kInf, -kInf, kInf, kInf)};
+  const std::vector<Box> probes = {Box(1, 1, 2, 2), Box(kNaN, 1, 2, 2),
+                                   Box(1, 1, 2, kNaN), Box(3, 3, 4, 4)};
+  const BoxBlock block = BoxBlock::FromBoxes(candidates);
+  const BoxBlock probe_block = BoxBlock::FromBoxes(probes);
+  const std::size_t words = FilterMaskWords(candidates.size());
+  std::vector<uint64_t> masks(probes.size() * words, ~uint64_t{0});
+  FilterSoAProbeBlock(probe_block.min_x(), probe_block.min_y(),
+                      probe_block.max_x(), probe_block.max_y(),
+                      probes.size(), block.min_x(), block.min_y(),
+                      block.max_x(), block.max_y(), candidates.size(),
+                      masks.data());
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const bool bit = (masks[p * words + (i >> 6)] >> (i & 63)) & 1;
+      EXPECT_EQ(bit, Intersects(probes[p], candidates[i]))
+          << "probe " << p << " candidate " << i;
+    }
+  }
+}
+
 TEST(SimdFilter, BackendIsReported) {
   const std::string backend = SimdFilterBackend();
   EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
