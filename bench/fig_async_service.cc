@@ -249,12 +249,130 @@ void RunServiceSection(const BenchEnv& env, uint64_t scale) {
       "served for real instead of simulated).\n");
 }
 
+// ---------------------------------------------------------------------------
+// Part 3: cold vs warm serving -- the dataset-registry plan cache.
+//
+// Cold requests re-register a dataset before each submission (the version
+// bump invalidates the cached plan, forcing a full re-plan); warm requests
+// hit the cache and skip Plan entirely. Exit-code-checked: warm p50 must
+// not exceed cold p50, warm plan time must collapse versus cold, and every
+// warm result must be bit-identical to the cold one -- warm serving changes
+// latency, never answers.
+// ---------------------------------------------------------------------------
+void RunWarmServingSection(const BenchEnv& env, uint64_t scale) {
+  const JoinInputs in = MakeInputs(WorkloadShape::kUniform,
+                                   JoinKind::kPolygonPolygon, scale,
+                                   /*seed_base=*/13);
+  EngineConfig config;
+  config.num_threads = env.cpu_threads;
+
+  exec::JoinServiceOptions options;
+  options.worker_threads = env.cpu_threads;
+  options.max_concurrent = 2;
+  options.max_pending = 64;
+  exec::JoinService service(options);
+  service.RegisterDataset("r", in.r);
+  service.RegisterDataset("s", in.s);
+
+  const int samples = std::max(5, env.reps * 3);
+  const auto serve_one = [&](const char* tenant, double* latency,
+                             double* plan_seconds,
+                             JoinResult* result) -> bool {
+    Stopwatch sw;
+    auto handle =
+        service.SubmitNamed(tenant, kPartitionedEngine, "r", "s", config);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   handle.status().ToString().c_str());
+      return false;
+    }
+    exec::StreamSummary summary = handle->Collect();
+    if (!summary.status.ok()) {
+      std::fprintf(stderr, "stream failed: %s\n",
+                   summary.status.ToString().c_str());
+      return false;
+    }
+    if (latency != nullptr) *latency = sw.ElapsedSeconds();
+    if (plan_seconds != nullptr) {
+      *plan_seconds = summary.run.timing.plan_seconds;
+    }
+    if (result != nullptr) *result = std::move(summary.run.result);
+    return true;
+  };
+
+  // Cold: every request re-plans (sequential, so queueing never skews p50).
+  std::vector<double> cold_lat(samples), cold_plan(samples);
+  JoinResult cold_result;
+  Stopwatch cold_wall;
+  for (int i = 0; i < samples; ++i) {
+    service.RegisterDataset("r", in.r);  // version bump: invalidate plans
+    if (!serve_one("cold", &cold_lat[i], &cold_plan[i], &cold_result)) {
+      std::exit(1);
+    }
+  }
+  const double cold_wall_s = cold_wall.ElapsedSeconds();
+
+  // Warm: one unmeasured request populates the cache for the current
+  // dataset versions; every measured request after it is a cache hit.
+  if (!serve_one("warmup", nullptr, nullptr, nullptr)) std::exit(1);
+  std::vector<double> warm_lat(samples), warm_plan(samples);
+  bool results_match = true;
+  Stopwatch warm_wall;
+  for (int i = 0; i < samples; ++i) {
+    JoinResult warm_result;
+    if (!serve_one("warm", &warm_lat[i], &warm_plan[i], &warm_result)) {
+      std::exit(1);
+    }
+    results_match =
+        results_match && JoinResult::SameMultiset(cold_result, warm_result);
+  }
+  const double warm_wall_s = warm_wall.ElapsedSeconds();
+
+  const double cold_p50 = Percentile(cold_lat, 0.50) * 1e3;
+  const double warm_p50 = Percentile(warm_lat, 0.50) * 1e3;
+  const double cold_plan_p50 = Percentile(cold_plan, 0.50) * 1e3;
+  const double warm_plan_p50 = Percentile(warm_plan, 0.50) * 1e3;
+
+  TablePrinter table(
+      "Cold vs warm serving at scale " + std::to_string(scale) +
+          " (cold = version bump forces re-plan; warm = plan-cache hit)",
+      {"mode", "requests", "p50_ms", "p99_ms", "plan_p50_ms", "req_per_s"});
+  table.AddRow({"cold", std::to_string(samples), TablePrinter::Fmt(cold_p50, 2),
+                TablePrinter::Fmt(Percentile(cold_lat, 0.99) * 1e3, 2),
+                TablePrinter::Fmt(cold_plan_p50, 3),
+                TablePrinter::Fmt(samples / cold_wall_s, 1)});
+  table.AddRow({"warm", std::to_string(samples), TablePrinter::Fmt(warm_p50, 2),
+                TablePrinter::Fmt(Percentile(warm_lat, 0.99) * 1e3, 2),
+                TablePrinter::Fmt(warm_plan_p50, 3),
+                TablePrinter::Fmt(samples / warm_wall_s, 1)});
+  table.Print();
+
+  const auto cache = service.stats().plan_cache;
+  std::printf("plan cache: %zu hits / %zu misses, %zu invalidated, "
+              "%zu bytes resident\n",
+              cache.hits, cache.misses, cache.invalidated,
+              cache.resident_bytes);
+
+  // The exit-code-checked contract (CI smoke-runs this section).
+  const bool p50_ok = warm_p50 <= cold_p50;
+  const bool plan_ok = warm_plan_p50 <= 0.5 * cold_plan_p50;
+  std::printf("warm p50 <= cold p50: %s (%.2fms vs %.2fms)\n",
+              p50_ok ? "PASS" : "FAIL", warm_p50, cold_p50);
+  std::printf("warm requests skip Plan (plan p50 collapses): %s "
+              "(%.3fms vs %.3fms)\n",
+              plan_ok ? "PASS" : "FAIL", warm_plan_p50, cold_plan_p50);
+  std::printf("warm results bit-identical to cold: %s\n\n",
+              results_match ? "PASS" : "FAIL");
+  if (!p50_ok || !plan_ok || !results_match) std::exit(1);
+}
+
 int Main(int argc, char** argv) {
   const BenchEnv env = BenchEnv::Parse(argc, argv, /*default_scale=*/60000);
   RunOverlapSection(env);
   // The service section uses smaller per-request joins so a burst of 64
   // stays container-friendly.
   RunServiceSection(env, std::max<uint64_t>(5000, env.scales.front() / 10));
+  RunWarmServingSection(env, std::max<uint64_t>(5000, env.scales.front() / 4));
   return 0;
 }
 

@@ -32,12 +32,77 @@ DistJoinOptions OptionsFromConfig(const EngineConfig& config,
   return options;
 }
 
+// The cached artifact of distributed planning: the immutable ShardPlan plus
+// the cluster options it was planned under. RunPlannedJoin spins a fresh
+// cluster per call and never mutates the plan, so one cached ShardPlan
+// serves concurrent warm executions.
+class DistPreparedPlan : public PreparedPlan {
+ public:
+  using PreparedPlan::PreparedPlan;
+
+  std::size_t MemoryBytes() const override {
+    std::size_t bytes = shard_plan.shards.capacity() * sizeof(Shard) +
+                        shard_plan.owner.capacity() * sizeof(int) +
+                        shard_plan.node_cost.capacity() * sizeof(uint64_t);
+    for (const Shard& shard : shard_plan.shards) {
+      bytes +=
+          (shard.r_ids.capacity() + shard.s_ids.capacity()) * sizeof(ObjectId);
+    }
+    return bytes;
+  }
+
+  DistJoinOptions options;
+  ShardPlan shard_plan;
+};
+
 class DistEngineImpl : public DistJoinEngine {
  public:
   DistEngineImpl(std::string name, const EngineConfig& config, bool use_accel)
       : name_(std::move(name)), config_(config), use_accel_(use_accel) {}
 
   const std::string& name() const override { return name_; }
+
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(
+      std::shared_ptr<const Dataset> r,
+      std::shared_ptr<const Dataset> s) override {
+    SWIFT_RETURN_IF_ERROR(ValidateDistConfig(config_));
+    if (config_.validate_inputs) {
+      SWIFT_RETURN_IF_ERROR(r->ValidateBoxes());
+      SWIFT_RETURN_IF_ERROR(s->ValidateBoxes());
+    }
+    auto plan = std::make_shared<DistPreparedPlan>(name_, r, s);
+    plan->options = OptionsFromConfig(config_, use_accel_);
+    auto shard_plan =
+        PlanShards(*r, *s, plan->options.grid_cols, plan->options.grid_rows,
+                   plan->options.num_nodes, plan->options.placement);
+    if (!shard_plan.ok()) return shard_plan.status();
+    plan->shard_plan = std::move(*shard_plan);
+    return std::shared_ptr<const PreparedPlan>(std::move(plan));
+  }
+
+  Status ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
+                         JoinStats* stats) override {
+    if (out == nullptr) {
+      return Status::InvalidArgument(
+          "ExecutePrepared requires a non-null result");
+    }
+    if (plan.engine() != name_) {
+      return Status::InvalidArgument("prepared plan belongs to engine \"" +
+                                     plan.engine() + "\", not \"" + name_ +
+                                     "\"");
+    }
+    const auto* typed = dynamic_cast<const DistPreparedPlan*>(&plan);
+    if (typed == nullptr) {
+      return Status::Internal("prepared plan type mismatch for engine " +
+                              name_);
+    }
+    *out = JoinResult();
+    auto report = RunPlannedJoin(plan.r(), plan.s(), typed->shard_plan,
+                                 typed->options, out, stats);
+    if (!report.ok()) return report.status();
+    report_ = std::move(*report);
+    return Status::OK();
+  }
 
   Status Plan(const Dataset& r, const Dataset& s) override {
     SWIFT_RETURN_IF_ERROR(ValidateDistConfig(config_));

@@ -147,21 +147,16 @@ Result<ShardPlan> PlanShards(const Dataset& r, const Dataset& s,
   plan.node_cost.assign(static_cast<std::size_t>(num_nodes), 0);
   if (r.empty() || s.empty()) return plan;
 
-  Box extent = r.Extent();
-  extent.Expand(s.Extent());
-  if (extent.IsEmpty()) return plan;
-
-  int cols, rows;
-  if (grid_cols > 0) {
-    cols = grid_cols;
-    rows = grid_rows;
-  } else {
-    cols = rows = AutoGridSide(r.size() + s.size(), kDefaultCellPopulation);
-  }
+  // One shared grid decision (DeriveJoinGrid) keeps shard ids -- grid tile
+  // indexes -- stable across the single-machine drivers and this planner.
+  const JoinGridSpec spec = DeriveJoinGrid(r, s, grid_cols, grid_rows);
+  if (!spec.has_grid) return plan;
+  const int cols = spec.cols;
+  const int rows = spec.rows;
   plan.grid_cols = cols;
   plan.grid_rows = rows;
 
-  const UniformGrid grid(extent, cols, rows);
+  const UniformGrid grid(spec.extent, cols, rows);
   auto r_assign = grid.Assign(r);
   auto s_assign = grid.Assign(s);
 

@@ -1,0 +1,163 @@
+#include "exec/dataset_registry.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace swiftspatial::exec {
+
+namespace {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.count = dataset.size();
+  stats.extent = dataset.Extent();
+  if (dataset.empty()) return stats;
+  double width_sum = 0, height_sum = 0;
+  for (const Box& box : dataset.boxes()) {
+    width_sum += box.max_x - box.min_x;
+    height_sum += box.max_y - box.min_y;
+  }
+  stats.avg_width = width_sum / static_cast<double>(dataset.size());
+  stats.avg_height = height_sum / static_cast<double>(dataset.size());
+  return stats;
+}
+
+}  // namespace
+
+DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
+    : options_(options) {}
+
+DatasetHandle DatasetRegistry::Put(std::string name, Dataset dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = datasets_[name];
+  entry.version += 1;
+  entry.stats = ComputeStats(dataset);
+  entry.dataset = std::make_shared<const Dataset>(std::move(dataset));
+
+  // Invalidate every plan built over an older version of this dataset. The
+  // new version's keys differ, so anything mentioning `name` at a version
+  // other than the fresh one is unreachable -- drop it now rather than
+  // letting dead artifacts squat on the byte budget.
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    const auto& [r_name, r_version, s_name, s_version, engine, fingerprint] =
+        it->first;
+    (void)engine;
+    (void)fingerprint;
+    const bool stale = (r_name == name && r_version != entry.version) ||
+                       (s_name == name && s_version != entry.version);
+    if (stale) {
+      stats_.resident_bytes -= it->second.bytes;
+      ++stats_.invalidated;
+      it = plans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.entries = plans_.size();
+  return DatasetHandle{std::move(name), entry.version};
+}
+
+Result<ResidentDataset> DatasetRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    std::string known;
+    for (const auto& [n, e] : datasets_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::NotFound("no registered dataset \"" + name +
+                            "\" (registered: " + known + ")");
+  }
+  ResidentDataset resident;
+  resident.dataset = it->second.dataset;
+  resident.version = it->second.version;
+  resident.stats = it->second.stats;
+  return resident;
+}
+
+std::vector<std::string> DatasetRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, entry] : datasets_) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+
+Result<std::shared_ptr<const PreparedPlan>> DatasetRegistry::GetOrPrepare(
+    const std::string& engine, const std::string& r_name,
+    const std::string& s_name, const EngineConfig& config) {
+  const uint64_t fingerprint = ConfigFingerprint(config);
+
+  std::shared_ptr<const Dataset> r, s;
+  CacheKey key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto r_it = datasets_.find(r_name);
+    const auto s_it = datasets_.find(s_name);
+    if (r_it == datasets_.end() || s_it == datasets_.end()) {
+      return Status::NotFound(
+          "no registered dataset \"" +
+          (r_it == datasets_.end() ? r_name : s_name) + "\"");
+    }
+    key = CacheKey(r_name, r_it->second.version, s_name, s_it->second.version,
+                   engine, fingerprint);
+    auto hit = plans_.find(key);
+    if (hit != plans_.end()) {
+      ++stats_.hits;
+      hit->second.last_used = ++lru_tick_;
+      return hit->second.plan;
+    }
+    ++stats_.misses;
+    r = r_it->second.dataset;
+    s = s_it->second.dataset;
+  }
+
+  // Cold: prepare outside the lock -- planning can be expensive, and warm
+  // lookups of other keys must not queue behind it. Concurrent misses on
+  // the same key may each prepare; the first insert wins below and later
+  // ones adopt it, so every caller shares one plan.
+  auto prepared = PrepareJoin(engine, std::move(r), std::move(s), config);
+  if (!prepared.ok()) return prepared.status();
+  std::shared_ptr<const PreparedPlan> plan = std::move(*prepared);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(std::move(key), CacheEntry{});
+  it->second.last_used = ++lru_tick_;  // before eviction: never the LRU pick
+  if (!inserted) return it->second.plan;  // lost the race: share the winner
+  it->second.plan = plan;
+  it->second.bytes = plan->MemoryBytes();
+  stats_.resident_bytes += it->second.bytes;
+  // May evict other entries (ours is the newest); return the local handle
+  // so even a pathologically small budget that drops everything is safe.
+  EvictOverBudgetLocked();
+  stats_.entries = plans_.size();
+  return plan;
+}
+
+void DatasetRegistry::EvictOverBudgetLocked() {
+  if (options_.max_plan_bytes == 0) return;
+  while (stats_.resident_bytes > options_.max_plan_bytes &&
+         plans_.size() > 1) {
+    auto victim = plans_.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+      if (it->second.last_used < oldest) {
+        oldest = it->second.last_used;
+        victim = it;
+      }
+    }
+    if (victim == plans_.end()) return;
+    stats_.resident_bytes -= victim->second.bytes;
+    ++stats_.evictions;
+    plans_.erase(victim);
+  }
+}
+
+PlanCacheStats DatasetRegistry::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace swiftspatial::exec

@@ -1,11 +1,11 @@
 #include "exec/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
 
 namespace swiftspatial::exec {
 
@@ -21,6 +21,8 @@ const char* SchedulingPolicyToString(SchedulingPolicy p) {
 
 JoinService::JoinService(const JoinServiceOptions& options)
     : options_(options),
+      registry_(options.registry ? options.registry
+                                 : std::make_shared<DatasetRegistry>()),
       pool_(std::max<std::size_t>(1, options.worker_threads)) {
   const std::size_t dispatchers =
       std::max<std::size_t>(1, options_.max_concurrent);
@@ -28,6 +30,7 @@ JoinService::JoinService(const JoinServiceOptions& options)
   for (std::size_t i = 0; i < dispatchers; ++i) {
     dispatchers_.emplace_back([this] { DispatcherLoop(); });
   }
+  deadline_watchdog_ = std::thread([this] { DeadlineLoop(); });
 }
 
 JoinService::~JoinService() {
@@ -42,7 +45,9 @@ JoinService::~JoinService() {
     pending_.clear();
   }
   cv_job_.notify_all();
+  cv_deadline_.notify_all();
   for (std::thread& d : dispatchers_) d.join();
+  deadline_watchdog_.join();
 }
 
 Result<AsyncJoinHandle> JoinService::Submit(const std::string& tenant,
@@ -53,23 +58,52 @@ Result<AsyncJoinHandle> JoinService::Submit(const std::string& tenant,
   auto deferred =
       MakeJoinStream(engine, r, s, config, options_.stream, &pool_);
   if (!deferred.ok()) return deferred.status();
+  return Admit(std::move(*deferred), tenant, request);
+}
 
+Result<AsyncJoinHandle> JoinService::SubmitNamed(const std::string& tenant,
+                                                 const std::string& engine,
+                                                 const std::string& r_name,
+                                                 const std::string& s_name,
+                                                 const EngineConfig& config,
+                                                 const RequestOptions& request) {
+  auto deferred = MakeRegisteredJoinStream(registry_.get(), engine, r_name,
+                                           s_name, config, options_.stream);
+  if (!deferred.ok()) return deferred.status();
+  return Admit(std::move(*deferred), tenant, request);
+}
+
+DatasetHandle JoinService::RegisterDataset(std::string name, Dataset dataset) {
+  return registry_->Put(std::move(name), std::move(dataset));
+}
+
+Result<AsyncJoinHandle> JoinService::Admit(DeferredStream deferred,
+                                           const std::string& tenant,
+                                           const RequestOptions& request) {
+  const bool has_deadline = request.deadline_seconds > 0;
+  // Stamped before the lock: the budget runs from submission, not from
+  // whenever admission control gets scheduled.
+  const auto deadline_tp =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              has_deadline ? request.deadline_seconds : 0));
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ++stats_.rejected;
-      deferred->abandon(Status::Aborted("service shutting down"));
+      deferred.abandon(Status::Aborted("service shutting down"));
       return Status::Aborted("service shutting down");
     }
     if (pending_.size() >= options_.max_pending) {
       ++stats_.rejected;
-      deferred->abandon(
+      deferred.abandon(
           Status::Aborted("admission queue full (max_pending=" +
                           std::to_string(options_.max_pending) + ")"));
       return Status::Aborted("admission queue full (max_pending=" +
                              std::to_string(options_.max_pending) + ")");
     }
-    if (request.deadline_seconds > 0) {
+    if (has_deadline) {
       const double wait = EstimatedQueueWaitLocked();
       if (wait > request.deadline_seconds) {
         ++stats_.rejected;
@@ -78,23 +112,29 @@ Result<AsyncJoinHandle> JoinService::Submit(const std::string& tenant,
             "estimated queue wait " + std::to_string(wait) +
             "s already exceeds the request deadline " +
             std::to_string(request.deadline_seconds) + "s";
-        deferred->abandon(Status::DeadlineExceeded(msg));
+        deferred.abandon(Status::DeadlineExceeded(msg));
         return Status::DeadlineExceeded(msg);
       }
     }
     Job job;
     job.sequence = next_sequence_++;
     job.tenant = tenant;
-    job.producer = std::move(deferred->producer);
-    job.abandon = std::move(deferred->abandon);
-    job.cancel = deferred->cancel;
+    job.producer = std::move(deferred.producer);
+    job.abandon = std::move(deferred.abandon);
+    job.cancel_with = std::move(deferred.cancel_with);
+    job.cancel = deferred.cancel;
+    job.has_deadline = has_deadline;
+    job.degrade = request.degrade_on_deadline;
+    job.deadline_tp = deadline_tp;
     pending_.push_back(std::move(job));
     ++stats_.admitted;
     stats_.max_pending_seen =
         std::max(stats_.max_pending_seen, pending_.size());
   }
   cv_job_.notify_one();
-  return std::move(deferred->handle);
+  // A new deadline may now be the earliest; re-aim the watchdog.
+  if (has_deadline) cv_deadline_.notify_all();
+  return std::move(deferred.handle);
 }
 
 JoinService::Job JoinService::TakeNextJobLocked() {
@@ -126,6 +166,8 @@ JoinService::Job JoinService::TakeNextJobLocked() {
 void JoinService::DispatcherLoop() {
   for (;;) {
     Job job;
+    bool abandoned = false;
+    bool expired_at_pickup = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_job_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
@@ -133,18 +175,33 @@ void JoinService::DispatcherLoop() {
       job = TakeNextJobLocked();
       ++running_;
       ++in_flight_per_tenant_[job.tenant];
+      abandoned = job.cancel.cancelled();
+      expired_at_pickup =
+          !abandoned && job.has_deadline &&
+          std::chrono::steady_clock::now() >= job.deadline_tp;
+      if (!abandoned && !expired_at_pickup && job.has_deadline) {
+        // Hand the running job to the watchdog before the join starts, so
+        // there is no window where an expired deadline goes unenforced.
+        running_deadlines_[job.sequence] =
+            RunningDeadline{job.deadline_tp, job.cancel_with, job.degrade};
+        cv_deadline_.notify_all();
+      }
     }
 
-    const bool abandoned = job.cancel.cancelled();
     double job_seconds = 0;
     if (abandoned) {
       // The consumer gave up while the request queued: close the stream
       // without running the join.
       job.abandon(Status::Aborted("join cancelled mid-stream"));
+    } else if (expired_at_pickup) {
+      // The deadline passed while the request queued but before the
+      // watchdog fired (or with no watchdog wakeup in between): same
+      // outcome, the join never runs.
+      job.abandon(Status::DeadlineExceeded("deadline expired while queued"));
     } else {
-      Stopwatch sw;
+      const double start = NowSeconds();
       job.producer();  // blocking: runs the join, streams, closes
-      job_seconds = sw.ElapsedSeconds();
+      job_seconds = NowSeconds() - start;
     }
 
     {
@@ -155,18 +212,32 @@ void JoinService::DispatcherLoop() {
         // Never ran: not served, not completed -- charging it to the
         // tenant would let cancelled requests skew fair-share ordering.
         ++stats_.abandoned;
+      } else if (expired_at_pickup) {
+        ++stats_.expired_queued;
       } else {
+        const auto rd = running_deadlines_.find(job.sequence);
+        const bool expired_mid_run =
+            job.has_deadline && rd == running_deadlines_.end();
+        if (rd != running_deadlines_.end()) running_deadlines_.erase(rd);
+        // The tenant consumed a dispatcher slot either way, so fair-share
+        // charges it; but an expired run is not a completion -- its result
+        // is a prefix (or nothing), and feeding its truncated duration to
+        // the EWMA would teach admission that jobs are faster than they
+        // are.
         ++served_per_tenant_[job.tenant];
-        ++stats_.completed;
-        completion_order_.push_back(job.tenant);
-        // Feed the deadline-admission estimate. Alpha 0.3: reactive enough
-        // to track load shifts, stable enough that one outlier join does
-        // not swing admissions.
-        if (have_measurement_) {
-          ewma_job_seconds_ = 0.7 * ewma_job_seconds_ + 0.3 * job_seconds;
-        } else {
-          ewma_job_seconds_ = job_seconds;
-          have_measurement_ = true;
+        if (!expired_mid_run) {
+          ++stats_.completed;
+          completion_order_.push_back(job.tenant);
+          // Feed the deadline-admission estimate. Alpha 0.3: reactive
+          // enough to track load shifts, stable enough that one outlier
+          // join does not swing admissions.
+          if (have_measurement_) {
+            ewma_job_seconds_ = 0.7 * ewma_job_seconds_ + 0.3 * job_seconds;
+          } else {
+            ewma_job_seconds_ = job_seconds;
+            have_measurement_ = true;
+          }
+          last_completion_seconds_ = NowSeconds();
         }
       }
       // Under the lock: a Drain()er may tear the service down once it sees
@@ -176,10 +247,93 @@ void JoinService::DispatcherLoop() {
   }
 }
 
+void JoinService::DeadlineLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    // Earliest deadline across queued and running jobs.
+    auto earliest = std::chrono::steady_clock::time_point::max();
+    bool have = false;
+    for (const Job& job : pending_) {
+      if (job.has_deadline && job.deadline_tp < earliest) {
+        earliest = job.deadline_tp;
+        have = true;
+      }
+    }
+    for (const auto& [sequence, rd] : running_deadlines_) {
+      if (rd.deadline_tp < earliest) {
+        earliest = rd.deadline_tp;
+        have = true;
+      }
+    }
+    if (!have) {
+      cv_deadline_.wait(lock);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now < earliest) {
+      cv_deadline_.wait_until(lock, earliest);
+      continue;
+    }
+
+    // Queued expirations: the join never runs. abandon() only touches the
+    // stream's own mutex (never mu_), so calling it under the lock is safe
+    // and keeps the removal + close atomic against dispatchers.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->has_deadline && it->deadline_tp <= now) {
+        Job job = std::move(*it);
+        it = pending_.erase(it);
+        ++stats_.expired_queued;
+        job.abandon(
+            Status::DeadlineExceeded("deadline expired while queued"));
+      } else {
+        ++it;
+      }
+    }
+    // Mid-run expirations: cooperative cancellation with the right terminal
+    // status. The producer keeps running until it observes the token; the
+    // dispatcher sees the erased entry at completion and skips the
+    // completed/EWMA accounting.
+    for (auto it = running_deadlines_.begin();
+         it != running_deadlines_.end();) {
+      if (it->second.deadline_tp <= now) {
+        ++stats_.expired_running;
+        if (it->second.degrade) {
+          ++stats_.degraded;
+          it->second.cancel_with(Status::OK());
+        } else {
+          it->second.cancel_with(
+              Status::DeadlineExceeded("deadline expired mid-run"));
+        }
+        it = running_deadlines_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+double JoinService::NowSeconds() const {
+  if (options_.clock_for_testing) return options_.clock_for_testing();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double JoinService::EffectiveJobSecondsLocked() const {
+  if (!have_measurement_) return options_.initial_job_seconds_estimate;
+  const double halflife = options_.ewma_idle_halflife_seconds;
+  if (halflife <= 0) return ewma_job_seconds_;
+  const double idle = NowSeconds() - last_completion_seconds_;
+  if (idle <= 0) return ewma_job_seconds_;
+  // Exponential idle decay: stale measurements stop vetoing admissions a
+  // few half-lives after the load that produced them went away.
+  return ewma_job_seconds_ * std::exp2(-idle / halflife);
+}
+
 double JoinService::EstimatedQueueWaitLocked() const {
-  const double per_job = have_measurement_
-                             ? ewma_job_seconds_
-                             : options_.initial_job_seconds_estimate;
+  const double per_job = EffectiveJobSecondsLocked();
   const std::size_t slots = std::max<std::size_t>(1, options_.max_concurrent);
   // Jobs that must finish before a request submitted now can start: with a
   // free dispatcher slot the request runs immediately (zero queue wait),
@@ -200,8 +354,15 @@ void JoinService::Drain() {
 }
 
 JoinServiceStats JoinService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  JoinServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  // Outside mu_: the registry has its own lock and must never nest inside
+  // the service's.
+  snapshot.plan_cache = registry_->plan_cache_stats();
+  return snapshot;
 }
 
 std::vector<std::string> JoinService::completion_order() const {

@@ -17,6 +17,20 @@
 //   if (!handle.ok()) ...;              // rejected (queue full) or bad config
 //   StreamSummary out = handle->Collect();
 //
+// Warm serving: the service owns a DatasetRegistry (or shares one passed in
+// options), so steady-state tenants register their datasets once and then
+// submit by name --
+//
+//   service.RegisterDataset("buildings", std::move(buildings));
+//   service.RegisterDataset("roads", std::move(roads));
+//   auto warm = service.SubmitNamed("tenant-a", "partitioned",
+//                                   "buildings", "roads", config);
+//
+// -- and every request after the first skips Plan entirely: the producer
+// fetches the cached PreparedPlan (packed R-trees, grid assignments,
+// ShardPlans) and goes straight to execution. Cache effectiveness shows up
+// in stats().plan_cache.
+//
 // Scheduling policies:
 //  - kFcfs: strict arrival order. Simple, but one tenant's burst of long
 //    analytical joins starves everyone behind it.
@@ -25,20 +39,30 @@
 //    smaller FPGA kernels so interactive tenants stop queueing behind
 //    analytical ones (§4.2).
 //
+// Deadlines are enforced end-to-end, not just at admission: a request whose
+// estimated queue wait already exceeds its budget is rejected immediately;
+// one that expires while still queued is abandoned with DeadlineExceeded;
+// and one that expires mid-run is cooperatively cancelled -- its stream
+// closes DeadlineExceeded, or, with degrade_on_deadline, OK with the
+// delivered prefix as the official partial result.
+//
 // Lifetime: the datasets passed to Submit must stay alive until that
-// request's stream closes. Destroying the service abandons queued requests
-// (their handles report Aborted) and waits for running ones; consumers
-// should drain or drop their handles promptly or the service will wait on
-// their backpressure.
+// request's stream closes (SubmitNamed requests pin their registered
+// datasets automatically through the cached plan). Destroying the service
+// abandons queued requests (their handles report Aborted) and waits for
+// running ones; consumers should drain or drop their handles promptly or
+// the service will wait on their backpressure.
 #ifndef SWIFTSPATIAL_EXEC_SERVICE_H_
 #define SWIFTSPATIAL_EXEC_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -47,6 +71,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "datagen/dataset.h"
+#include "exec/dataset_registry.h"
 #include "exec/streaming.h"
 #include "join/engine.h"
 
@@ -76,21 +101,43 @@ struct JoinServiceOptions {
   /// deadline_seconds). Once jobs finish, an EWMA of measured durations
   /// takes over. 0 = optimistic: admit everything until measurements exist.
   double initial_job_seconds_estimate = 0;
+  /// Half-life, in seconds, of the EWMA job-duration estimate while the
+  /// service is idle: after one half-life with no completions the estimate
+  /// halves, so a burst of slow analytical joins stops poisoning
+  /// deadline-aware admission long after the burst ended. 0 disables decay
+  /// (the estimate holds its last value forever).
+  double ewma_idle_halflife_seconds = 30;
+  /// Resident-dataset store backing SubmitNamed; pass one to share plans
+  /// across services, leave null and the service creates its own.
+  std::shared_ptr<DatasetRegistry> registry;
+  /// Test seam: replaces the monotonic clock used for *duration
+  /// measurement* (job EWMA, idle decay). Deadlines always run on the real
+  /// steady clock -- a fake clock must not stall the watchdog.
+  std::function<double()> clock_for_testing;
 };
 
-/// Per-request knobs for Submit.
+/// Per-request knobs for Submit / SubmitNamed.
 struct RequestOptions {
-  /// Optional latency budget: the caller's tolerance for *queue wait*, in
-  /// seconds from submission. Admission estimates the wait ahead of this
-  /// request -- the queued+running load beyond the free dispatcher slots,
-  /// over max_concurrent, times the EWMA job duration (zero while a slot
-  /// is free: the request would start immediately) -- and rejects with
-  /// DeadlineExceeded when the estimate already exceeds the budget, so
-  /// hopeless requests fail in microseconds instead of timing out after
-  /// queueing (the client retries elsewhere while its deadline is still
-  /// live). <= 0 means no deadline. Admission control only: an admitted
-  /// request is never killed mid-run.
+  /// Optional latency budget in seconds from submission, enforced at every
+  /// stage of a request's life:
+  ///  - admission: the estimated queue wait (queued+running load beyond the
+  ///    free dispatcher slots, over max_concurrent, times the EWMA job
+  ///    duration) already exceeds the budget -> rejected with
+  ///    DeadlineExceeded in microseconds, so hopeless requests fail fast
+  ///    while the client's own deadline is still live;
+  ///  - queued: the budget expires before a dispatcher picks the request up
+  ///    -> abandoned, the stream closes DeadlineExceeded;
+  ///  - running: the budget expires mid-join -> cooperative cancellation
+  ///    through the stream's token, the stream closes DeadlineExceeded (or
+  ///    OK, see degrade_on_deadline).
+  /// <= 0 means no deadline.
   double deadline_seconds = 0;
+  /// Degraded-results mode for streaming consumers: when the deadline
+  /// expires *mid-run*, close the stream OK instead of DeadlineExceeded --
+  /// the chunks already delivered (a well-defined prefix) become the
+  /// official, partial, result. Admission rejection and queued expiry still
+  /// report DeadlineExceeded (no results exist to degrade to).
+  bool degrade_on_deadline = false;
 };
 
 struct JoinServiceStats {
@@ -104,8 +151,19 @@ struct JoinServiceStats {
   /// Requests closed with Aborted without ever running the join: queued at
   /// service shutdown, or cancelled by their consumer while queued.
   std::size_t abandoned = 0;
+  /// Admitted requests whose deadline expired before a dispatcher picked
+  /// them up; their streams closed DeadlineExceeded without running.
+  std::size_t expired_queued = 0;
+  /// Requests cancelled mid-run by deadline expiry.
+  std::size_t expired_running = 0;
+  /// Of expired_running: closed OK with a partial result instead of
+  /// DeadlineExceeded (RequestOptions::degrade_on_deadline).
+  std::size_t degraded = 0;
   /// High-water mark of the pending queue; never exceeds max_pending.
   std::size_t max_pending_seen = 0;
+  /// Plan-artifact cache counters from the backing DatasetRegistry: the
+  /// warm-serving effectiveness signal (hits = requests that skipped Plan).
+  PlanCacheStats plan_cache;
 };
 
 /// A multi-tenant spatial-join server over the streaming executor. All
@@ -129,12 +187,31 @@ class JoinService {
                                  const EngineConfig& config = {},
                                  const RequestOptions& request = {});
 
+  /// The warm path: like Submit, but `r_name`/`s_name` reference datasets
+  /// registered through RegisterDataset (or directly on registry()) instead
+  /// of shipping boxes. Repeat requests hit the plan cache and skip Plan
+  /// entirely. Fails fast with NotFound for unknown engines or unregistered
+  /// names.
+  Result<AsyncJoinHandle> SubmitNamed(const std::string& tenant,
+                                      const std::string& engine,
+                                      const std::string& r_name,
+                                      const std::string& s_name,
+                                      const EngineConfig& config = {},
+                                      const RequestOptions& request = {});
+
+  /// Registers `dataset` in the backing registry (see DatasetRegistry::Put:
+  /// re-registering bumps the version and invalidates cached plans).
+  DatasetHandle RegisterDataset(std::string name, Dataset dataset);
+
+  /// The backing resident-dataset store.
+  DatasetRegistry& registry() { return *registry_; }
+
   /// Estimated queue wait a request submitted now would see, in seconds:
   /// zero while a dispatcher slot is free, otherwise the load beyond the
   /// remaining slots over max_concurrent, times the EWMA of measured job
-  /// durations (seeded by initial_job_seconds_estimate). The quantity
-  /// deadline-aware admission compares against RequestOptions::
-  /// deadline_seconds.
+  /// durations (seeded by initial_job_seconds_estimate, decayed while the
+  /// service idles). The quantity deadline-aware admission compares against
+  /// RequestOptions::deadline_seconds.
   double EstimatedQueueWaitSeconds() const;
 
   /// Blocks until every admitted request has completed.
@@ -152,23 +229,57 @@ class JoinService {
     std::string tenant;
     std::function<void()> producer;
     std::function<void(Status)> abandon;
+    std::function<void(Status)> cancel_with;
     CancellationToken cancel;
+    bool has_deadline = false;
+    bool degrade = false;
+    /// Absolute expiry on the real steady clock (see clock_for_testing).
+    std::chrono::steady_clock::time_point deadline_tp;
   };
 
+  /// What the deadline watchdog needs to kill a running job: the expiry and
+  /// the stream's status-stamping cancel hook.
+  struct RunningDeadline {
+    std::chrono::steady_clock::time_point deadline_tp;
+    std::function<void(Status)> cancel_with;
+    bool degrade = false;
+  };
+
+  /// Shared admission tail of Submit/SubmitNamed: runs admission control on
+  /// the already-built stream and queues the job (or abandons it).
+  Result<AsyncJoinHandle> Admit(DeferredStream deferred,
+                                const std::string& tenant,
+                                const RequestOptions& request);
+
   void DispatcherLoop();
+  /// Enforces deadlines after admission: sleeps until the earliest pending
+  /// or running deadline, then abandons expired queued jobs and cancels
+  /// expired running ones.
+  void DeadlineLoop();
   /// Picks and removes the next job per the scheduling policy. Requires
   /// mu_ held and pending_ non-empty.
   Job TakeNextJobLocked();
   /// EstimatedQueueWaitSeconds with mu_ held.
   double EstimatedQueueWaitLocked() const;
+  /// The EWMA job-duration estimate with idle decay applied. Requires mu_.
+  double EffectiveJobSecondsLocked() const;
+  /// Monotonic seconds for duration measurement; clock_for_testing seam.
+  double NowSeconds() const;
 
   const JoinServiceOptions options_;
+  std::shared_ptr<DatasetRegistry> registry_;
   ThreadPool pool_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_job_;   // dispatchers: work available / stop
-  std::condition_variable cv_idle_;  // Drain: all quiet
+  std::condition_variable cv_job_;       // dispatchers: work available / stop
+  std::condition_variable cv_idle_;      // Drain: all quiet
+  std::condition_variable cv_deadline_;  // watchdog: deadlines changed / stop
   std::deque<Job> pending_;
+  /// Deadline + cancel hook of every running job that has a deadline, keyed
+  /// by job sequence. The watchdog erases an entry when it fires; the
+  /// dispatcher erases it on normal completion -- an absent entry at
+  /// completion is how the dispatcher learns the job was expired.
+  std::map<uint64_t, RunningDeadline> running_deadlines_;
   std::map<std::string, std::size_t> in_flight_per_tenant_;
   std::map<std::string, std::size_t> served_per_tenant_;
   std::vector<std::string> completion_order_;
@@ -177,11 +288,15 @@ class JoinService {
   std::size_t running_ = 0;
   bool stopping_ = false;
   /// EWMA of measured job durations (seconds); seeds from
-  /// initial_job_seconds_estimate until the first completion.
+  /// initial_job_seconds_estimate until the first completion, decays toward
+  /// zero while the service idles (ewma_idle_halflife_seconds).
   double ewma_job_seconds_ = 0;
   bool have_measurement_ = false;
+  /// NowSeconds() at the last completion: the idle-decay anchor.
+  double last_completion_seconds_ = 0;
 
   std::vector<std::thread> dispatchers_;
+  std::thread deadline_watchdog_;
 };
 
 }  // namespace swiftspatial::exec

@@ -82,6 +82,21 @@ class StreamState {
     cv_space_.notify_all();
   }
 
+  /// Cancel() that also stamps the terminal status: when the producer
+  /// subsequently closes with the generic cancellation Aborted, the stamp
+  /// replaces it -- DeadlineExceeded for deadline kills, OK for graceful
+  /// degradation (the delivered prefix becomes the official result). First
+  /// stamp wins; a stream that already closed is left untouched.
+  void CancelWith(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!closed_ && !status_override_.has_value()) {
+        status_override_ = std::move(status);
+      }
+    }
+    Cancel();
+  }
+
   /// Marks the stream finished. Called exactly once, by the producer (or by
   /// DeferredStream::abandon when the producer never ran).
   void Close(Status status, const JoinStats& stats,
@@ -133,6 +148,13 @@ class StreamState {
   void CloseLocked(Status status, const JoinStats& stats,
                    const StageTiming& timing) {
     closed_ = true;
+    // A CancelWith stamp overrides the generic cancellation status (every
+    // producer flavour closes a cancelled stream with kAborted). Genuine
+    // errors and normal completion pass through untouched.
+    if (status_override_.has_value() &&
+        status.code() == StatusCode::kAborted) {
+      status = std::move(*status_override_);
+    }
     status_ = std::move(status);
     stats_ = stats;
     timing_ = timing;
@@ -152,6 +174,9 @@ class StreamState {
   std::size_t max_depth_ = 0;
   bool closed_ = false;
   Status status_;
+  /// Terminal-status stamp from CancelWith; applied by CloseLocked when the
+  /// producer closes with the generic cancellation kAborted.
+  std::optional<Status> status_override_;
   JoinStats stats_;
   StageTiming timing_;
 };
@@ -257,25 +282,17 @@ void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
       }
     }
   }
-  if (r.empty() || s.empty()) {
+  // One shared grid decision (DeriveJoinGrid) keeps the banded streaming
+  // shards identical to PartitionedDriver's and the dist ShardPlanner's.
+  const JoinGridSpec spec =
+      DeriveJoinGrid(r, s, config.grid_cols, config.grid_rows);
+  if (!spec.has_grid) {
     state->Close(Status::OK(), JoinStats{}, timing);
     return;
   }
-  Box extent = r.Extent();
-  extent.Expand(s.Extent());
-  if (extent.IsEmpty()) {
-    state->Close(Status::OK(), JoinStats{}, timing);
-    return;
-  }
-
-  int cols, rows;
-  if (config.grid_cols > 0) {
-    cols = config.grid_cols;
-    rows = config.grid_rows;
-  } else {
-    cols = rows = AutoGridSide(r.size() + s.size(), kDefaultCellPopulation);
-  }
-  const UniformGrid grid(extent, cols, rows);
+  const int cols = spec.cols;
+  const int rows = spec.rows;
+  const UniformGrid grid(spec.extent, cols, rows);
 
   const int shards =
       opts.num_shards > 0
@@ -613,6 +630,56 @@ void RunGenericProducer(std::shared_ptr<JoinEngine> engine, const Dataset& r,
   state->Close(Status::OK(), stats, timing);
 }
 
+// The warm-path producer: plan artifacts come from the registry's cache, so
+// on a hit the "plan" stage is just the cache lookup (plan_seconds ~ 0) and
+// execution starts immediately against the shared, immutable PreparedPlan.
+// The finished result streams out in chunks like the generic path; the
+// fetched plan pins its datasets for the whole execution, so a concurrent
+// re-Put of either name cannot pull the data out from under the join.
+void RunRegisteredProducer(DatasetRegistry* registry, std::string engine,
+                           std::string r_name, std::string s_name,
+                           EngineConfig config, StreamOptions opts,
+                           std::shared_ptr<StreamState> state) {
+  StageTiming timing;
+  Stopwatch sw;
+  auto prepared = registry->GetOrPrepare(engine, r_name, s_name, config);
+  timing.plan_seconds = sw.ElapsedSeconds();
+  if (!prepared.ok()) {
+    state->Close(prepared.status(), JoinStats{}, timing);
+    return;
+  }
+  if (state->cancelled()) {
+    state->Close(Status::Aborted("join cancelled mid-stream"), JoinStats{},
+                 timing);
+    return;
+  }
+  sw.Reset();
+  auto created = EngineRegistry::Global().Create(engine, config);
+  if (!created.ok()) {
+    state->Close(created.status(), JoinStats{}, StageTiming{});
+    return;
+  }
+  JoinResult result;
+  JoinStats stats;
+  Status st = (*created)->ExecutePrepared(**prepared, &result, &stats);
+  timing.execute_seconds = sw.ElapsedSeconds();
+  if (!st.ok()) {
+    state->Close(std::move(st), stats, timing);
+    return;
+  }
+  const std::vector<ResultPair>& pairs = result.pairs();
+  const std::size_t chunk_pairs = std::max<std::size_t>(1, opts.chunk_pairs);
+  for (std::size_t off = 0; off < pairs.size(); off += chunk_pairs) {
+    const std::size_t end = std::min(off + chunk_pairs, pairs.size());
+    if (!state->Push({pairs.begin() + off, pairs.begin() + end})) {
+      state->Close(Status::Aborted("join cancelled mid-stream"), stats,
+                   timing);
+      return;
+    }
+  }
+  state->Close(Status::OK(), stats, timing);
+}
+
 bool IsNativeStreamingEngine(const std::string& name) {
   return name == kPartitionedEngine || name == kSimdEngine ||
          name == kAsyncEngine;
@@ -827,10 +894,17 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
   auto abandon = [state, guard](Status status) {
     state->CloseIfOpen(std::move(status));
   };
+  // Deliberately does NOT co-own the abandon guard: a caller that drops the
+  // producer and abandon closures must close the stream even while a
+  // watchdog still holds cancel_with (cancelling a closed stream is a
+  // no-op).
+  auto cancel_with = [state](Status status) {
+    state->CancelWith(std::move(status));
+  };
   guard.reset();  // closures now co-own the safety net
   return DeferredStream{AsyncJoinHandle(state, std::thread()),
                         std::move(producer), std::move(abandon),
-                        state->token()};
+                        std::move(cancel_with), state->token()};
 }
 
 Result<AsyncJoinHandle> RunJoinAsync(const std::string& engine,
@@ -839,6 +913,70 @@ Result<AsyncJoinHandle> RunJoinAsync(const std::string& engine,
                                      const StreamOptions& stream) {
   auto deferred = MakeJoinStream(engine, r, s, config, stream,
                                  /*pool=*/nullptr);
+  if (!deferred.ok()) return deferred.status();
+  DeferredStream d = std::move(*deferred);
+  d.handle.producer_ = std::thread(std::move(d.producer));
+  return std::move(d.handle);
+}
+
+Result<DeferredStream> MakeRegisteredJoinStream(
+    DatasetRegistry* registry, const std::string& engine,
+    const std::string& r_name, const std::string& s_name,
+    const EngineConfig& config, const StreamOptions& stream) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument(
+        "MakeRegisteredJoinStream requires a registry");
+  }
+  if (config.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  // Fail fast on unknown engines and unregistered names, so admission-time
+  // callers (JoinService::SubmitNamed) can reject bad requests before
+  // queueing them. The producer re-resolves at run time and uses whatever
+  // version is then current.
+  if (!EngineRegistry::Global().Contains(engine)) {
+    return Status::NotFound("no registered engine: " + engine);
+  }
+  for (const std::string* name : {&r_name, &s_name}) {
+    auto resident = registry->Get(*name);
+    if (!resident.ok()) return resident.status();
+  }
+  auto state = std::make_shared<StreamState>(stream.queue_capacity);
+  auto guard = std::shared_ptr<void>(nullptr, [state](void*) {
+    state->CloseIfOpen(
+        Status::Aborted("stream dropped without running the producer"));
+  });
+  std::function<void()> producer = [registry, engine, r_name, s_name, config,
+                                    stream, state, guard] {
+    RunRegisteredProducer(registry, engine, r_name, s_name, config, stream,
+                          state);
+  };
+  producer = ContainFaults(std::move(producer), state);
+  auto abandon = [state, guard](Status status) {
+    state->CloseIfOpen(std::move(status));
+  };
+  // Deliberately does NOT co-own the abandon guard: a caller that drops the
+  // producer and abandon closures must close the stream even while a
+  // watchdog still holds cancel_with (cancelling a closed stream is a
+  // no-op).
+  auto cancel_with = [state](Status status) {
+    state->CancelWith(std::move(status));
+  };
+  guard.reset();  // closures now co-own the safety net
+  return DeferredStream{AsyncJoinHandle(state, std::thread()),
+                        std::move(producer), std::move(abandon),
+                        std::move(cancel_with), state->token()};
+}
+
+Result<AsyncJoinHandle> RunJoinAsync(DatasetRegistry& registry,
+                                     const std::string& engine,
+                                     const std::string& r_name,
+                                     const std::string& s_name,
+                                     const EngineConfig& config,
+                                     const StreamOptions& stream) {
+  auto deferred =
+      MakeRegisteredJoinStream(&registry, engine, r_name, s_name, config,
+                               stream);
   if (!deferred.ok()) return deferred.status();
   DeferredStream d = std::move(*deferred);
   d.handle.producer_ = std::thread(std::move(d.producer));

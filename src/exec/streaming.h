@@ -55,6 +55,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "datagen/dataset.h"
+#include "exec/dataset_registry.h"
 #include "exec/task_graph.h"
 #include "join/engine.h"
 #include "join/result.h"
@@ -108,6 +109,18 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
                                       const EngineConfig& config,
                                       const StreamOptions& stream,
                                       ThreadPool* pool);
+Result<DeferredStream> MakeRegisteredJoinStream(DatasetRegistry* registry,
+                                                const std::string& engine,
+                                                const std::string& r_name,
+                                                const std::string& s_name,
+                                                const EngineConfig& config,
+                                                const StreamOptions& stream);
+Result<AsyncJoinHandle> RunJoinAsync(DatasetRegistry& registry,
+                                     const std::string& engine,
+                                     const std::string& r_name,
+                                     const std::string& s_name,
+                                     const EngineConfig& config,
+                                     const StreamOptions& stream);
 
 /// Consumer handle for one asynchronous join. Movable, not copyable; the
 /// destructor cancels and drains an unfinished stream, so dropping a handle
@@ -156,6 +169,15 @@ class AsyncJoinHandle {
                                                const EngineConfig&,
                                                const StreamOptions&,
                                                ThreadPool*);
+  friend Result<DeferredStream> MakeRegisteredJoinStream(
+      DatasetRegistry*, const std::string&, const std::string&,
+      const std::string&, const EngineConfig&, const StreamOptions&);
+  friend Result<AsyncJoinHandle> RunJoinAsync(DatasetRegistry&,
+                                              const std::string&,
+                                              const std::string&,
+                                              const std::string&,
+                                              const EngineConfig&,
+                                              const StreamOptions&);
 
   AsyncJoinHandle(std::shared_ptr<internal::StreamState> state,
                   std::thread producer);
@@ -190,6 +212,13 @@ struct DeferredStream {
   /// Closes the stream with `status` without running the join (e.g. the
   /// request was cancelled or the service shut down while it queued).
   std::function<void(Status)> abandon;
+  /// Cooperative mid-run cancellation that stamps the stream's terminal
+  /// status: the join stops like Cancel(), but instead of the generic
+  /// Aborted the stream closes with `status` -- DeadlineExceeded for
+  /// deadline enforcement, or OK to degrade gracefully (the delivered
+  /// prefix becomes the official, partial, result). First stamp wins;
+  /// no-op once the stream already closed.
+  std::function<void(Status)> cancel_with;
   /// Observes the handle's cancellation flag, letting a scheduler abandon
   /// queued work whose consumer already gave up.
   CancellationToken cancel;
@@ -204,6 +233,27 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
                                       const EngineConfig& config = {},
                                       const StreamOptions& stream = {},
                                       ThreadPool* pool = nullptr);
+
+/// The warm-path variant of MakeJoinStream: `r_name`/`s_name` name datasets
+/// resident in `registry` instead of shipping boxes. The producer fetches
+/// the cached PreparedPlan (DatasetRegistry::GetOrPrepare) and streams
+/// ExecutePrepared output -- on a cache hit the stream's plan_seconds is
+/// just the cache lookup, effectively zero, which is the measurable
+/// warm-serving win. Fails fast with NotFound for unknown engines or
+/// unregistered dataset names. `registry` must outlive the stream.
+Result<DeferredStream> MakeRegisteredJoinStream(
+    DatasetRegistry* registry, const std::string& engine,
+    const std::string& r_name, const std::string& s_name,
+    const EngineConfig& config = {}, const StreamOptions& stream = {});
+
+/// Warm-path RunJoinAsync: like the dataset-reference overload but over
+/// registered datasets, skipping Plan on every cache hit.
+Result<AsyncJoinHandle> RunJoinAsync(DatasetRegistry& registry,
+                                     const std::string& engine,
+                                     const std::string& r_name,
+                                     const std::string& s_name,
+                                     const EngineConfig& config = {},
+                                     const StreamOptions& stream = {});
 
 /// Factory behind the "async" engine registered in EngineRegistry::Global():
 /// Execute() runs the native banded streaming path and Collect()s it, so the

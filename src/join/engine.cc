@@ -27,6 +27,29 @@ Status ValidateCommon(const EngineConfig& config) {
   return Status::OK();
 }
 
+// Shared by ExecutePrepared overrides: the output/name/type checks every
+// native implementation needs before touching plan artifacts.
+template <typename PlanT>
+Result<const PlanT*> CheckPreparedPlan(const JoinEngine& engine,
+                                       const PreparedPlan& plan,
+                                       JoinResult* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument(
+        "ExecutePrepared requires a non-null result");
+  }
+  if (plan.engine() != engine.name()) {
+    return Status::InvalidArgument("prepared plan belongs to engine \"" +
+                                   plan.engine() + "\", not \"" +
+                                   engine.name() + "\"");
+  }
+  const auto* typed = dynamic_cast<const PlanT*>(&plan);
+  if (typed == nullptr) {
+    return Status::Internal("prepared plan type mismatch for engine " +
+                            engine.name());
+  }
+  return typed;
+}
+
 // Base class factoring the Plan bookkeeping every adapter needs: common
 // config validation, dataset capture, and the planned/empty-input guards.
 // Subclasses override PlanImpl/ExecuteImpl.
@@ -38,14 +61,7 @@ class EngineBase : public JoinEngine {
   const std::string& name() const override { return name_; }
 
   Status Plan(const Dataset& r, const Dataset& s) final {
-    SWIFT_RETURN_IF_ERROR(ValidateCommon(config_));
-    SWIFT_RETURN_IF_ERROR(Validate());
-    // Reject-at-ingest policy for malformed geometry (NaN/inf coordinates,
-    // inverted boxes): see EngineConfig::validate_inputs.
-    if (config_.validate_inputs) {
-      SWIFT_RETURN_IF_ERROR(r.ValidateBoxes());
-      SWIFT_RETURN_IF_ERROR(s.ValidateBoxes());
-    }
+    SWIFT_RETURN_IF_ERROR(PrepareChecks(r, s));
     r_ = &r;
     s_ = &s;
     // Empty inputs join to the empty set; skip index builds so every engine
@@ -74,6 +90,21 @@ class EngineBase : public JoinEngine {
   }
 
  protected:
+  /// The validation Plan runs before building anything: common + engine
+  /// config checks, then the reject-at-ingest geometry policy (NaN/inf
+  /// coordinates, inverted boxes; see EngineConfig::validate_inputs).
+  /// Prepare overrides run the same gauntlet so the warm path accepts
+  /// exactly what the cold path accepts.
+  Status PrepareChecks(const Dataset& r, const Dataset& s) {
+    SWIFT_RETURN_IF_ERROR(ValidateCommon(config_));
+    SWIFT_RETURN_IF_ERROR(Validate());
+    if (config_.validate_inputs) {
+      SWIFT_RETURN_IF_ERROR(r.ValidateBoxes());
+      SWIFT_RETURN_IF_ERROR(s.ValidateBoxes());
+    }
+    return Status::OK();
+  }
+
   /// Engine-specific config validation (beyond ValidateCommon).
   virtual Status Validate() { return Status::OK(); }
   /// Builds indexes/partitions. Only called for non-empty inputs.
@@ -145,9 +176,57 @@ class PlaneSweepEngine : public EngineBase {
 // ---------------------------------------------------------------------------
 // pbsm: 1-D stripes + per-stripe tile joins (Algorithm 3).
 // ---------------------------------------------------------------------------
+
+// The cached artifact of pbsm planning: the immutable stripe partition plus
+// the options it was built under. PbsmJoin reads the partition const, so
+// one plan serves concurrent warm executions.
+class PbsmPreparedPlan : public PreparedPlan {
+ public:
+  using PreparedPlan::PreparedPlan;
+
+  std::size_t MemoryBytes() const override {
+    std::size_t bytes = partition.stripes.capacity() * sizeof(Box);
+    for (const auto& part : partition.r_parts) {
+      bytes += part.capacity() * sizeof(ObjectId);
+    }
+    for (const auto& part : partition.s_parts) {
+      bytes += part.capacity() * sizeof(ObjectId);
+    }
+    return bytes;
+  }
+
+  PbsmOptions options;
+  StripePartition partition;
+  bool built = false;  // false for empty inputs: nothing to join
+};
+
 class PbsmEngine : public EngineBase {
  public:
   using EngineBase::EngineBase;
+
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(
+      std::shared_ptr<const Dataset> r,
+      std::shared_ptr<const Dataset> s) override {
+    SWIFT_RETURN_IF_ERROR(PrepareChecks(*r, *s));
+    auto plan = std::make_shared<PbsmPreparedPlan>(name(), r, s);
+    if (!r->empty() && !s->empty()) {
+      plan->options = OptionsFromConfig();
+      plan->partition = PbsmPartition(*r, *s, plan->options);
+      plan->built = true;
+    }
+    return std::shared_ptr<const PreparedPlan>(std::move(plan));
+  }
+
+  Status ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
+                         JoinStats* stats) override {
+    auto typed = CheckPreparedPlan<PbsmPreparedPlan>(*this, plan, out);
+    if (!typed.ok()) return typed.status();
+    *out = JoinResult();
+    if (!(*typed)->built) return Status::OK();
+    *out = PbsmJoin(plan.r(), plan.s(), (*typed)->partition,
+                    (*typed)->options, stats);
+    return Status::OK();
+  }
 
  protected:
   Status Validate() override {
@@ -158,11 +237,7 @@ class PbsmEngine : public EngineBase {
   }
 
   Status PlanImpl(const Dataset& r, const Dataset& s) override {
-    options_.num_partitions = config().num_partitions;
-    options_.axis = config().axis;
-    options_.num_threads = config().num_threads;
-    options_.schedule = config().schedule;
-    options_.tile_join = config().tile_join;
+    options_ = OptionsFromConfig();
     partition_ = PbsmPartition(r, s, options_);
     return Status::OK();
   }
@@ -174,6 +249,16 @@ class PbsmEngine : public EngineBase {
   }
 
  private:
+  PbsmOptions OptionsFromConfig() const {
+    PbsmOptions options;
+    options.num_partitions = config().num_partitions;
+    options.axis = config().axis;
+    options.num_threads = config().num_threads;
+    options.schedule = config().schedule;
+    options.tile_join = config().tile_join;
+    return options;
+  }
+
   PbsmOptions options_;
   StripePartition partition_;
 };
@@ -221,9 +306,42 @@ class CuSpatialLikeEngine : public EngineBase {
 // sync_traversal / parallel_sync_traversal: R-tree engines. Plan bulk-loads
 // both trees (STR, the paper's default).
 // ---------------------------------------------------------------------------
+
+// The cached artifact of R-tree planning: both packed trees. Traversals
+// only read the DRAM images, so one plan serves concurrent warm executions.
+class RTreePreparedPlan : public PreparedPlan {
+ public:
+  using PreparedPlan::PreparedPlan;
+
+  std::size_t MemoryBytes() const override {
+    std::size_t bytes = 0;
+    if (r_tree) bytes += r_tree->bytes().capacity();
+    if (s_tree) bytes += s_tree->bytes().capacity();
+    return bytes;
+  }
+
+  std::optional<PackedRTree> r_tree;  // empty for empty inputs
+  std::optional<PackedRTree> s_tree;
+};
+
 class RTreeEngineBase : public EngineBase {
  public:
   using EngineBase::EngineBase;
+
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(
+      std::shared_ptr<const Dataset> r,
+      std::shared_ptr<const Dataset> s) override {
+    SWIFT_RETURN_IF_ERROR(PrepareChecks(*r, *s));
+    auto plan = std::make_shared<RTreePreparedPlan>(name(), r, s);
+    if (!r->empty() && !s->empty()) {
+      BulkLoadOptions bl;
+      bl.max_entries = config().node_capacity;
+      bl.num_threads = config().num_threads;
+      plan->r_tree.emplace(StrBulkLoad(*r, bl));
+      plan->s_tree.emplace(StrBulkLoad(*s, bl));
+    }
+    return std::shared_ptr<const PreparedPlan>(std::move(plan));
+  }
 
  protected:
   Status Validate() override {
@@ -250,6 +368,19 @@ class SyncTraversalEngine : public RTreeEngineBase {
  public:
   using RTreeEngineBase::RTreeEngineBase;
 
+  Status ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
+                         JoinStats* stats) override {
+    auto typed = CheckPreparedPlan<RTreePreparedPlan>(*this, plan, out);
+    if (!typed.ok()) return typed.status();
+    *out = JoinResult();
+    if (!(*typed)->r_tree.has_value()) return Status::OK();
+    *out = config().bfs
+               ? SyncTraversalBfs(*(*typed)->r_tree, *(*typed)->s_tree, stats)
+               : SyncTraversalDfs(*(*typed)->r_tree, *(*typed)->s_tree,
+                                  stats);
+    return Status::OK();
+  }
+
  protected:
   Status ExecuteImpl(const Dataset&, const Dataset&, JoinResult* out,
                      JoinStats* stats) override {
@@ -263,6 +394,17 @@ class ParallelSyncTraversalEngine : public RTreeEngineBase {
  public:
   using RTreeEngineBase::RTreeEngineBase;
 
+  Status ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
+                         JoinStats* stats) override {
+    auto typed = CheckPreparedPlan<RTreePreparedPlan>(*this, plan, out);
+    if (!typed.ok()) return typed.status();
+    *out = JoinResult();
+    if (!(*typed)->r_tree.has_value()) return Status::OK();
+    *out = ParallelSyncTraversal(*(*typed)->r_tree, *(*typed)->s_tree,
+                                 TraversalOptions(), stats);
+    return Status::OK();
+  }
+
  protected:
   Status Validate() override {
     SWIFT_RETURN_IF_ERROR(RTreeEngineBase::Validate());
@@ -274,13 +416,19 @@ class ParallelSyncTraversalEngine : public RTreeEngineBase {
 
   Status ExecuteImpl(const Dataset&, const Dataset&, JoinResult* out,
                      JoinStats* stats) override {
+    *out = ParallelSyncTraversal(*r_tree_, *s_tree_, TraversalOptions(),
+                                 stats);
+    return Status::OK();
+  }
+
+ private:
+  ParallelSyncTraversalOptions TraversalOptions() const {
     ParallelSyncTraversalOptions options;
     options.num_threads = config().num_threads;
     options.strategy = config().strategy;
     options.schedule = config().schedule;
     options.dfs_switch_factor = config().dfs_switch_factor;
-    *out = ParallelSyncTraversal(*r_tree_, *s_tree_, options, stats);
-    return Status::OK();
+    return options;
   }
 };
 
@@ -290,6 +438,20 @@ class ParallelSyncTraversalEngine : public RTreeEngineBase {
 // so the grid supplies thread scaling and the kernel supplies per-cell
 // predicate throughput.
 // ---------------------------------------------------------------------------
+// The cached artifact of grid planning: the shared immutable cell plan
+// (see PartitionedPlanState). ExecutePartitionedPlan reads it const with
+// per-call accumulators, so one plan serves concurrent warm executions.
+class PartitionedPreparedPlan : public PreparedPlan {
+ public:
+  using PreparedPlan::PreparedPlan;
+
+  std::size_t MemoryBytes() const override {
+    return state ? state->MemoryBytes() : 0;
+  }
+
+  std::shared_ptr<const PartitionedPlanState> state;  // null: empty inputs
+};
+
 class PartitionedEngine : public EngineBase {
  public:
   PartitionedEngine(std::string name, const EngineConfig& config)
@@ -298,14 +460,33 @@ class PartitionedEngine : public EngineBase {
                     TileJoin forced_tile_join)
       : EngineBase(std::move(name), config), tile_join_(forced_tile_join) {}
 
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(
+      std::shared_ptr<const Dataset> r,
+      std::shared_ptr<const Dataset> s) override {
+    SWIFT_RETURN_IF_ERROR(PrepareChecks(*r, *s));
+    auto plan = std::make_shared<PartitionedPreparedPlan>(name(), r, s);
+    if (!r->empty() && !s->empty()) {
+      auto state = PlanPartitionedCells(*r, *s, DriverOptions());
+      if (!state.ok()) return state.status();
+      plan->state = std::move(*state);
+    }
+    return std::shared_ptr<const PreparedPlan>(std::move(plan));
+  }
+
+  Status ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
+                         JoinStats* stats) override {
+    auto typed = CheckPreparedPlan<PartitionedPreparedPlan>(*this, plan, out);
+    if (!typed.ok()) return typed.status();
+    *out = JoinResult();
+    if ((*typed)->state == nullptr) return Status::OK();
+    *out = ExecutePartitionedPlan(*(*typed)->state, plan.r(), plan.s(),
+                                  tile_join_, config().num_threads, stats);
+    return Status::OK();
+  }
+
  protected:
   Status PlanImpl(const Dataset& r, const Dataset& s) override {
-    PartitionedDriverOptions options;
-    options.grid_cols = config().grid_cols;
-    options.grid_rows = config().grid_rows;
-    options.num_threads = config().num_threads;
-    options.tile_join = tile_join_;
-    driver_ = PartitionedDriver(options);
+    driver_ = PartitionedDriver(DriverOptions());
     return driver_.Plan(r, s);
   }
 
@@ -316,6 +497,15 @@ class PartitionedEngine : public EngineBase {
   }
 
  private:
+  PartitionedDriverOptions DriverOptions() const {
+    PartitionedDriverOptions options;
+    options.grid_cols = config().grid_cols;
+    options.grid_rows = config().grid_rows;
+    options.num_threads = config().num_threads;
+    options.tile_join = tile_join_;
+    return options;
+  }
+
   TileJoin tile_join_;
   PartitionedDriver driver_;
 };
@@ -371,6 +561,37 @@ class BigDataFrameworkAdapter : public EngineBase {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Generic prepared-plan fallback for engines without native support: the
+// plan owns a fully planned engine instance and serializes warm executions
+// behind a mutex. Correct for every engine (repeated-Execute idempotence is
+// pinned by the registry tests), at the cost of no warm concurrency --
+// engines that matter for serving override Prepare natively instead.
+// ---------------------------------------------------------------------------
+class GenericPreparedPlan : public PreparedPlan {
+ public:
+  GenericPreparedPlan(std::string engine, std::shared_ptr<const Dataset> r,
+                      std::shared_ptr<const Dataset> s,
+                      std::unique_ptr<JoinEngine> planned)
+      : PreparedPlan(std::move(engine), std::move(r), std::move(s)),
+        planned_(std::move(planned)) {}
+
+  std::size_t MemoryBytes() const override {
+    // The planned artifacts are opaque; estimate proportional to the inputs
+    // (id lists, tree entries, and partitions are all O(n)).
+    return (r().size() + s().size()) * sizeof(Box);
+  }
+
+  Status Execute(JoinResult* out, JoinStats* stats) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return planned_->Execute(out, stats);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<JoinEngine> planned_;
+};
+
 template <typename Engine>
 EngineFactory MakeFactory(const char* name) {
   return [name](const EngineConfig& config) -> std::unique_ptr<JoinEngine> {
@@ -379,6 +600,96 @@ EngineFactory MakeFactory(const char* name) {
 }
 
 }  // namespace
+
+Result<std::shared_ptr<const PreparedPlan>> JoinEngine::Prepare(
+    std::shared_ptr<const Dataset> r, std::shared_ptr<const Dataset> s) {
+  (void)r;
+  (void)s;
+  // PrepareJoin turns this into the serialized generic fallback.
+  return Status::NotSupported("engine " + name() +
+                              " has no native prepared-plan support");
+}
+
+Status JoinEngine::ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
+                                   JoinStats* stats) {
+  auto generic = CheckPreparedPlan<GenericPreparedPlan>(*this, plan, out);
+  if (!generic.ok()) return generic.status();
+  *out = JoinResult();
+  return (*generic)->Execute(out, stats);
+}
+
+uint64_t ConfigFingerprint(const EngineConfig& config) {
+  // FNV-1a over every field. A new EngineConfig field MUST be mixed in here:
+  // omitting one lets two configs that plan differently share a cache slot,
+  // i.e. a stale-plan bug.
+  uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  mix(config.num_threads);
+  mix(static_cast<uint64_t>(config.schedule));
+  mix(config.validate_inputs ? 1 : 0);
+  mix(static_cast<uint64_t>(config.node_capacity));
+  mix(config.bfs ? 1 : 0);
+  mix(static_cast<uint64_t>(config.strategy));
+  mix(config.dfs_switch_factor);
+  mix(static_cast<uint64_t>(config.num_partitions));
+  mix(static_cast<uint64_t>(config.axis));
+  mix(static_cast<uint64_t>(config.tile_join));
+  mix(static_cast<uint64_t>(config.grid_cols));
+  mix(static_cast<uint64_t>(config.grid_rows));
+  mix(static_cast<uint64_t>(config.quadtree_leaf_capacity));
+  mix(config.batch_size);
+  mix(static_cast<uint64_t>(config.index_max_entries));
+  mix(static_cast<uint64_t>(config.accel_join_units));
+  mix(static_cast<uint64_t>(config.accel_tile_cap));
+  mix(config.accel_device_memory_bytes);
+  mix(static_cast<uint64_t>(config.dist_nodes));
+  mix(static_cast<uint64_t>(config.dist_placement));
+  mix(config.dist_node_threads);
+  return hash;
+}
+
+Result<std::shared_ptr<const PreparedPlan>> PrepareJoin(
+    const std::string& engine, std::shared_ptr<const Dataset> r,
+    std::shared_ptr<const Dataset> s, const EngineConfig& config) {
+  if (r == nullptr || s == nullptr) {
+    return Status::InvalidArgument("PrepareJoin requires non-null datasets");
+  }
+  auto created = EngineRegistry::Global().Create(engine, config);
+  if (!created.ok()) return created.status();
+  auto prepared = (*created)->Prepare(r, s);
+  if (prepared.ok()) return prepared;
+  if (prepared.status().code() != StatusCode::kNotSupported) {
+    return prepared.status();
+  }
+  // Generic fallback: plan a dedicated instance and serialize warm
+  // executions against it. The plan's base holds the datasets, so the
+  // planned engine's raw pointers into them stay valid for the plan's
+  // lifetime (members are destroyed before the base releases them).
+  SWIFT_RETURN_IF_ERROR((*created)->Plan(*r, *s));
+  return std::shared_ptr<const PreparedPlan>(
+      std::make_shared<GenericPreparedPlan>(engine, std::move(r),
+                                            std::move(s),
+                                            std::move(*created)));
+}
+
+Result<JoinRun> RunPreparedJoin(const PreparedPlan& plan,
+                                const EngineConfig& config) {
+  JoinRun run;
+  Stopwatch sw;
+  auto created = EngineRegistry::Global().Create(plan.engine(), config);
+  if (!created.ok()) return created.status();
+  // Engine instantiation is all the warm path pays before executing: the
+  // planning the cold path bills here was done once, at Prepare.
+  run.timing.plan_seconds = sw.ElapsedSeconds();
+  sw.Reset();
+  SWIFT_RETURN_IF_ERROR(
+      (*created)->ExecutePrepared(plan, &run.result, &run.stats));
+  run.timing.execute_seconds = sw.ElapsedSeconds();
+  return run;
+}
 
 Result<JoinRun> JoinEngine::Run(const Dataset& r, const Dataset& s) {
   JoinRun run;

@@ -123,6 +123,54 @@ struct JoinRun {
   StageTiming timing;
 };
 
+/// The immutable output of planning, detached from the engine instance that
+/// built it: packed R-trees, grid cell assignments, stripe partitions,
+/// shard plans. A PreparedPlan pins the datasets it was planned over
+/// (shared ownership), so a cached plan can outlive the request that built
+/// it. Engines with native support expose plans that are safe to Execute
+/// against from many threads at once; engines without it fall back to a
+/// serialized generic wrapper (see PrepareJoin). This is the seam the
+/// warm-serving plan cache (exec/dataset_registry) stores.
+class PreparedPlan {
+ public:
+  PreparedPlan(std::string engine, std::shared_ptr<const Dataset> r,
+               std::shared_ptr<const Dataset> s)
+      : r_(std::move(r)), s_(std::move(s)), engine_(std::move(engine)) {}
+  virtual ~PreparedPlan() = default;
+
+  /// The engine name the plan was prepared for; ExecutePrepared on any
+  /// other engine rejects it.
+  const std::string& engine() const { return engine_; }
+  const Dataset& r() const { return *r_; }
+  const Dataset& s() const { return *s_; }
+  const std::shared_ptr<const Dataset>& r_ptr() const { return r_; }
+  const std::shared_ptr<const Dataset>& s_ptr() const { return s_; }
+
+  /// Rough resident footprint of the planned artifacts (excluding the
+  /// datasets themselves), for cache byte accounting.
+  virtual std::size_t MemoryBytes() const = 0;
+
+ private:
+  // Declared first so every subclass's artifacts (which may reference the
+  // datasets) are destroyed before the datasets are released.
+  std::shared_ptr<const Dataset> r_;
+  std::shared_ptr<const Dataset> s_;
+  std::string engine_;
+};
+
+/// Wraps a stack- or caller-owned Dataset in a non-owning shared_ptr for
+/// Prepare. The dataset must outlive every plan prepared over it.
+inline std::shared_ptr<const Dataset> BorrowDataset(const Dataset& d) {
+  return std::shared_ptr<const Dataset>(std::shared_ptr<const Dataset>(),
+                                        &d);
+}
+
+/// Stable 64-bit fingerprint over every EngineConfig field, part of the
+/// plan-cache key: two configs that could plan differently must fingerprint
+/// differently. (New EngineConfig fields must be added to the hash -- see
+/// the implementation's field list.)
+uint64_t ConfigFingerprint(const EngineConfig& config);
+
 /// A spatial-join algorithm behind the two-stage Plan -> Execute interface.
 ///
 /// Lifecycle: create (via EngineRegistry::Create), Plan once, then Execute
@@ -145,6 +193,24 @@ class JoinEngine {
   /// Runs the join. Must be called after a successful Plan. `*out` is
   /// overwritten; `*stats` (when non-null) accumulates across calls.
   virtual Status Execute(JoinResult* out, JoinStats* stats) = 0;
+
+  /// Warm-serving seam: like Plan, but the planned artifacts come back as a
+  /// detached immutable PreparedPlan instead of mutating engine state, so
+  /// they can be cached and shared across requests. Engines with native
+  /// support (partitioned/simd, the R-tree traversals, pbsm, the dist
+  /// engines) return plans whose ExecutePrepared is safe from many threads
+  /// at once; the default returns NotSupported, which PrepareJoin turns
+  /// into the serialized generic fallback.
+  virtual Result<std::shared_ptr<const PreparedPlan>> Prepare(
+      std::shared_ptr<const Dataset> r, std::shared_ptr<const Dataset> s);
+
+  /// Runs the join against a previously prepared plan, skipping Plan
+  /// entirely -- the steady-state warm path. The plan must have been
+  /// prepared for this engine name (InvalidArgument otherwise). Same
+  /// output contract as Execute: `*out` is overwritten, `*stats`
+  /// accumulates; results are bit-identical to a cold Plan + Execute.
+  virtual Status ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
+                                 JoinStats* stats);
 
   /// Convenience: Plan + Execute with per-stage timing.
   Result<JoinRun> Run(const Dataset& r, const Dataset& s);
@@ -188,6 +254,22 @@ class EngineRegistry {
 /// Plan + Execute with timing.
 Result<JoinRun> RunJoin(const std::string& engine, const Dataset& r,
                         const Dataset& s, const EngineConfig& config = {});
+
+/// Builds a PreparedPlan for `engine` (a global-registry name) over (r, s).
+/// Engines with native prepared-plan support return shareable immutable
+/// plans; for the rest this falls back to wrapping a planned engine
+/// instance behind a mutex (correct, but warm executions serialize). The
+/// returned plan holds shared ownership of both datasets.
+Result<std::shared_ptr<const PreparedPlan>> PrepareJoin(
+    const std::string& engine, std::shared_ptr<const Dataset> r,
+    std::shared_ptr<const Dataset> s, const EngineConfig& config = {});
+
+/// Warm-path convenience: instantiate the plan's engine from the global
+/// registry and ExecutePrepared with timing. plan_seconds is what the warm
+/// path saves -- it covers only engine instantiation, not planning, and is
+/// ~0 for every engine.
+Result<JoinRun> RunPreparedJoin(const PreparedPlan& plan,
+                                const EngineConfig& config = {});
 
 // Built-in engine names (all registered in EngineRegistry::Global()).
 inline constexpr const char* kNestedLoopEngine = "nested_loop";

@@ -37,79 +37,100 @@ Status ValidateGridConfig(int grid_cols, int grid_rows) {
   return Status::OK();
 }
 
-Status PartitionedDriver::Plan(const Dataset& r, const Dataset& s) {
-  if (options_.num_threads < 1) {
+JoinGridSpec DeriveJoinGrid(const Dataset& r, const Dataset& s, int grid_cols,
+                            int grid_rows,
+                            std::size_t target_cell_population) {
+  JoinGridSpec spec;
+  // Disjoint or empty inputs produce no grid; callers short-circuit to the
+  // empty result.
+  if (r.empty() || s.empty()) return spec;
+  Box extent = r.Extent();
+  extent.Expand(s.Extent());
+  if (extent.IsEmpty()) return spec;
+  spec.has_grid = true;
+  spec.extent = extent;
+  if (grid_cols > 0) {
+    spec.cols = grid_cols;
+    spec.rows = grid_rows;
+  } else {
+    spec.cols = spec.rows =
+        AutoGridSide(r.size() + s.size(), target_cell_population);
+  }
+  return spec;
+}
+
+std::size_t PartitionedPlanState::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this) + cells.capacity() * sizeof(cells[0]);
+  for (const PartitionedCell& cell : cells) {
+    bytes += (cell.r_ids.capacity() + cell.s_ids.capacity()) *
+             sizeof(ObjectId);
+  }
+  return bytes;
+}
+
+Result<std::shared_ptr<const PartitionedPlanState>> PlanPartitionedCells(
+    const Dataset& r, const Dataset& s,
+    const PartitionedDriverOptions& options) {
+  if (options.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
   SWIFT_RETURN_IF_ERROR(
-      ValidateGridConfig(options_.grid_cols, options_.grid_rows));
-  if (options_.grid_cols == 0 && options_.target_cell_population == 0) {
+      ValidateGridConfig(options.grid_cols, options.grid_rows));
+  if (options.grid_cols == 0 && options.target_cell_population == 0) {
     return Status::InvalidArgument(
         "target_cell_population must be >= 1 for auto grid sizing");
   }
 
-  r_ = &r;
-  s_ = &s;
-  tasks_.clear();
-  planned_ = true;
-
-  // Disjoint or empty inputs produce no tasks; Execute returns empty.
-  if (r.empty() || s.empty()) {
-    cols_ = rows_ = 0;
-    return Status::OK();
+  auto plan = std::make_shared<PartitionedPlanState>();
+  const JoinGridSpec spec =
+      DeriveJoinGrid(r, s, options.grid_cols, options.grid_rows,
+                     options.target_cell_population);
+  if (!spec.has_grid) {
+    return std::shared_ptr<const PartitionedPlanState>(std::move(plan));
   }
-  Box extent = r.Extent();
-  extent.Expand(s.Extent());
-  if (extent.IsEmpty()) {
-    cols_ = rows_ = 0;
-    return Status::OK();
-  }
+  plan->cols = spec.cols;
+  plan->rows = spec.rows;
 
-  if (options_.grid_cols > 0) {
-    cols_ = options_.grid_cols;
-    rows_ = options_.grid_rows;
-  } else {
-    cols_ = rows_ =
-        AutoGridSide(r.size() + s.size(), options_.target_cell_population);
-  }
-
-  const UniformGrid grid(extent, cols_, rows_);
+  const UniformGrid grid(spec.extent, plan->cols, plan->rows);
   std::vector<std::vector<ObjectId>> r_cells = grid.Assign(r);
   std::vector<std::vector<ObjectId>> s_cells = grid.Assign(s);
 
-  tasks_.reserve(grid.num_tiles());
+  plan->cells.reserve(grid.num_tiles());
   for (int t = 0; t < grid.num_tiles(); ++t) {
     if (r_cells[t].empty() || s_cells[t].empty()) continue;
-    CellTask task;
+    PartitionedCell cell;
     // Closing the last row/column of cells keeps reference points that land
     // exactly on the global boundary claimable (no cell beyond exists).
-    task.dedup_tile = grid.DedupTileByIndex(t);
-    task.r_ids = std::move(r_cells[t]);
-    task.s_ids = std::move(s_cells[t]);
-    tasks_.push_back(std::move(task));
+    cell.dedup_tile = grid.DedupTileByIndex(t);
+    cell.r_ids = std::move(r_cells[t]);
+    cell.s_ids = std::move(s_cells[t]);
+    plan->cells.push_back(std::move(cell));
   }
   // Largest batches first: under dynamic scheduling the expensive cells
   // start early and the small ones backfill, tightening the makespan.
-  std::sort(tasks_.begin(), tasks_.end(),
-            [](const CellTask& a, const CellTask& b) {
+  std::sort(plan->cells.begin(), plan->cells.end(),
+            [](const PartitionedCell& a, const PartitionedCell& b) {
               return a.r_ids.size() * a.s_ids.size() >
                      b.r_ids.size() * b.s_ids.size();
             });
-  return Status::OK();
+  return std::shared_ptr<const PartitionedPlanState>(std::move(plan));
 }
 
-JoinResult PartitionedDriver::Execute(JoinStats* stats) {
+JoinResult ExecutePartitionedPlan(const PartitionedPlanState& plan,
+                                  const Dataset& r, const Dataset& s,
+                                  TileJoin tile_join, std::size_t num_threads,
+                                  JoinStats* stats) {
   JoinResult merged;
-  if (!planned_ || tasks_.empty()) return merged;
+  if (plan.cells.empty()) return merged;
 
-  const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
+  const std::size_t workers = std::max<std::size_t>(1, num_threads);
   std::vector<JoinStats> local_stats(workers);
 
   if (workers == 1) {
     // Inline on the calling thread; no pool, no graph.
-    for (const CellTask& task : tasks_) {
-      RunTileJoin(options_.tile_join, *r_, *s_, task.r_ids, task.s_ids,
-                  &task.dedup_tile, &merged, &local_stats[0]);
+    for (const PartitionedCell& cell : plan.cells) {
+      RunTileJoin(tile_join, r, s, cell.r_ids, cell.s_ids, &cell.dedup_tile,
+                  &merged, &local_stats[0]);
     }
   } else {
     // Cells run as one TaskGraph wave with the merge as a downstream task.
@@ -125,17 +146,17 @@ JoinResult PartitionedDriver::Execute(JoinStats* stats) {
     ThreadPool pool(workers);
     exec::TaskGraph graph(&pool);
     const std::size_t groups =
-        std::min(tasks_.size(), workers * kCellTaskGroupsPerWorker);
+        std::min(plan.cells.size(), workers * kCellTaskGroupsPerWorker);
     std::vector<exec::TaskId> cells;
     cells.reserve(groups);
     for (std::size_t g = 0; g < groups; ++g) {
-      cells.push_back(graph.Add([this, g, groups, &pool, &local_results,
-                                 &local_stats] {
+      cells.push_back(graph.Add([&plan, &r, &s, tile_join, g, groups, &pool,
+                                 &local_results, &local_stats] {
         const std::size_t w = pool.CurrentWorkerIndex();
-        for (std::size_t i = g; i < tasks_.size(); i += groups) {
-          const CellTask& task = tasks_[i];
-          RunTileJoin(options_.tile_join, *r_, *s_, task.r_ids, task.s_ids,
-                      &task.dedup_tile, &local_results[w], &local_stats[w]);
+        for (std::size_t i = g; i < plan.cells.size(); i += groups) {
+          const PartitionedCell& cell = plan.cells[i];
+          RunTileJoin(tile_join, r, s, cell.r_ids, cell.s_ids,
+                      &cell.dedup_tile, &local_results[w], &local_stats[w]);
         }
       }));
     }
@@ -154,6 +175,22 @@ JoinResult PartitionedDriver::Execute(JoinStats* stats) {
     for (const JoinStats& ls : local_stats) *stats += ls;
   }
   return merged;
+}
+
+Status PartitionedDriver::Plan(const Dataset& r, const Dataset& s) {
+  auto plan = PlanPartitionedCells(r, s, options_);
+  if (!plan.ok()) return plan.status();
+  plan_ = std::move(*plan);
+  r_ = &r;
+  s_ = &s;
+  planned_ = true;
+  return Status::OK();
+}
+
+JoinResult PartitionedDriver::Execute(JoinStats* stats) {
+  if (!planned_ || plan_ == nullptr) return JoinResult();
+  return ExecutePartitionedPlan(*plan_, *r_, *s_, options_.tile_join,
+                                options_.num_threads, stats);
 }
 
 }  // namespace swiftspatial

@@ -20,6 +20,7 @@
 #define SWIFTSPATIAL_JOIN_PARTITIONED_DRIVER_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -58,6 +59,29 @@ int AutoGridSide(std::size_t total_objects,
 /// accept.
 Status ValidateGridConfig(int grid_cols, int grid_rows);
 
+/// One grid decision for a join: the joint extent plus the derived (or
+/// explicit) resolution.
+struct JoinGridSpec {
+  /// False when either input is empty or the joint extent is degenerate --
+  /// there is nothing to grid (and no pairs to produce).
+  bool has_grid = false;
+  Box extent;
+  int cols = 0;
+  int rows = 0;
+};
+
+/// The single authority for sizing a join's uniform grid, shared by every
+/// grid-sharding planner -- the synchronous PartitionedDriver, the banded
+/// streaming executor (exec/streaming), and the distributed ShardPlanner
+/// (dist/shard_planner). Cross-engine shard-id stability depends on all
+/// three deriving the *same* grid for the same inputs; routing them through
+/// one helper makes silent drift impossible. Explicit `grid_cols > 0` wins;
+/// otherwise the grid is auto-sized via AutoGridSide over the combined
+/// cardinality. Callers validate dimensions first (ValidateGridConfig).
+JoinGridSpec DeriveJoinGrid(
+    const Dataset& r, const Dataset& s, int grid_cols, int grid_rows,
+    std::size_t target_cell_population = kDefaultCellPopulation);
+
 struct PartitionedDriverOptions {
   /// Grid resolution. 0 = auto-size so the average cell holds roughly
   /// `target_cell_population` objects.
@@ -74,6 +98,45 @@ struct PartitionedDriverOptions {
   // algorithms (pbsm, parallel_sync_traversal).
 };
 
+/// One populated grid cell of a partitioned plan: the per-side id lists to
+/// join plus the reference-point dedup tile (cell box, closed at the extent
+/// max per the half-open rule).
+struct PartitionedCell {
+  Box dedup_tile;
+  std::vector<ObjectId> r_ids;
+  std::vector<ObjectId> s_ids;
+};
+
+/// The immutable output of partitioned planning: the derived grid and the
+/// populated cells, largest first. Once built it is never mutated --
+/// Execute reads it const -- so one plan may be shared (shared_ptr) across
+/// threads and across repeated executions, which is what the warm-serving
+/// plan cache (exec/dataset_registry) relies on.
+struct PartitionedPlanState {
+  int cols = 0;
+  int rows = 0;
+  std::vector<PartitionedCell> cells;
+
+  /// Rough resident footprint, for cache accounting.
+  std::size_t MemoryBytes() const;
+};
+
+/// Plans the grid join of (r, s): validates options, derives the grid
+/// (DeriveJoinGrid), and builds the per-cell id lists. Empty/disjoint
+/// inputs yield a plan with no cells.
+Result<std::shared_ptr<const PartitionedPlanState>> PlanPartitionedCells(
+    const Dataset& r, const Dataset& s,
+    const PartitionedDriverOptions& options);
+
+/// Joins every cell of a previously built plan. Thread-safe for concurrent
+/// callers sharing one plan: all plan state is read const, each call owns
+/// its accumulators. `r` and `s` must be the datasets the plan was built
+/// from; `stats` may be null.
+JoinResult ExecutePartitionedPlan(const PartitionedPlanState& plan,
+                                  const Dataset& r, const Dataset& s,
+                                  TileJoin tile_join, std::size_t num_threads,
+                                  JoinStats* stats);
+
 /// Two-stage partition-parallel join driver. Plan shards the inputs onto the
 /// grid; Execute joins the populated cells on `num_threads` workers and
 /// merges the per-worker results. Execute may be called repeatedly after one
@@ -89,24 +152,20 @@ class PartitionedDriver {
   JoinResult Execute(JoinStats* stats = nullptr);
 
   // Introspection (valid after Plan).
-  int grid_cols() const { return cols_; }
-  int grid_rows() const { return rows_; }
+  int grid_cols() const { return plan_ ? plan_->cols : 0; }
+  int grid_rows() const { return plan_ ? plan_->rows : 0; }
   /// Cells where both inputs are populated (the parallel task count).
-  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_tasks() const { return plan_ ? plan_->cells.size() : 0; }
+  /// The immutable plan (valid after Plan); shareable beyond the driver.
+  std::shared_ptr<const PartitionedPlanState> plan_state() const {
+    return plan_;
+  }
 
  private:
-  struct CellTask {
-    Box dedup_tile;  // cell box, closed at the extent max (half-open rule)
-    std::vector<ObjectId> r_ids;
-    std::vector<ObjectId> s_ids;
-  };
-
   PartitionedDriverOptions options_;
   const Dataset* r_ = nullptr;
   const Dataset* s_ = nullptr;
-  int cols_ = 0;
-  int rows_ = 0;
-  std::vector<CellTask> tasks_;
+  std::shared_ptr<const PartitionedPlanState> plan_;
   bool planned_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <set>
 
+#include "join/partitioned_driver.h"
 #include "tests/test_util.h"
 
 namespace swiftspatial::dist {
@@ -121,6 +122,52 @@ TEST(ShardPlanner, AutoGridAndEmptyAndInvalidInputs) {
                           PlacementPolicy::kRoundRobin).ok());
   EXPECT_FALSE(PlanShards(r, s, -2, 4, 2,
                           PlacementPolicy::kRoundRobin).ok());
+}
+
+// All grid-sharding planners must derive the *identical* grid for the same
+// inputs -- shard-id stability across the synchronous PartitionedDriver,
+// the banded streaming executor, and the distributed ShardPlanner depends
+// on it. This pins the consolidation of the three formerly-duplicated
+// auto-sizing call sites behind DeriveJoinGrid: the helper's decision and
+// both planners' decisions must agree, for auto-sized and explicit grids,
+// across input scales.
+TEST(ShardPlanner, GridDecisionIdenticalAcrossAllPlanners) {
+  struct Case {
+    uint64_t scale;
+    int cols;
+    int rows;
+  };
+  for (const Case& c : {Case{60, 0, 0}, Case{500, 0, 0}, Case{3000, 0, 0},
+                        Case{500, 9, 5}}) {
+    const Dataset r = testutil::Uniform(c.scale, 100 + c.scale);
+    const Dataset s = testutil::Skewed(c.scale, 200 + c.scale);
+
+    const JoinGridSpec spec = DeriveJoinGrid(r, s, c.cols, c.rows);
+    ASSERT_TRUE(spec.has_grid);
+
+    PartitionedDriverOptions options;
+    options.grid_cols = c.cols;
+    options.grid_rows = c.rows;
+    PartitionedDriver driver(options);
+    ASSERT_TRUE(driver.Plan(r, s).ok());
+
+    auto shard_plan =
+        PlanShards(r, s, c.cols, c.rows, 4, PlacementPolicy::kRoundRobin);
+    ASSERT_TRUE(shard_plan.ok());
+
+    EXPECT_EQ(driver.grid_cols(), spec.cols)
+        << "scale=" << c.scale << " cols=" << c.cols;
+    EXPECT_EQ(driver.grid_rows(), spec.rows);
+    EXPECT_EQ(shard_plan->grid_cols, spec.cols)
+        << "scale=" << c.scale << " cols=" << c.cols;
+    EXPECT_EQ(shard_plan->grid_rows, spec.rows);
+  }
+
+  // Empty inputs: one shared "no grid" decision.
+  const Dataset empty;
+  const Dataset some = testutil::Uniform(50, 7);
+  EXPECT_FALSE(DeriveJoinGrid(empty, some, 0, 0).has_grid);
+  EXPECT_FALSE(DeriveJoinGrid(some, empty, 4, 4).has_grid);
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+// DatasetRegistry + plan-artifact cache: registration/versioning semantics,
+// warm lookups returning the one shared PreparedPlan, version-bump
+// invalidation (with in-flight plans pinning their data), byte-budget LRU
+// eviction, and -- the tentpole correctness claim -- warm executions
+// bit-identical to cold Plan+Execute across engine families, including
+// under concurrent lookups (the TSan job runs this file).
+#include "exec/dataset_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/dist_engine.h"
+#include "join/engine.h"
+#include "tests/test_util.h"
+
+namespace swiftspatial::exec {
+namespace {
+
+Dataset Side(uint64_t seed) { return testutil::Uniform(300, seed); }
+
+TEST(DatasetRegistry, PutGetRoundTripWithVersionBumpAndStats) {
+  DatasetRegistry registry;
+  const DatasetHandle h1 = registry.Put("roads", Side(1));
+  EXPECT_EQ(h1.name, "roads");
+  EXPECT_EQ(h1.version, 1u);
+
+  auto resident = registry.Get("roads");
+  ASSERT_TRUE(resident.ok());
+  EXPECT_EQ(resident->version, 1u);
+  EXPECT_EQ(resident->dataset->size(), 300u);
+  EXPECT_EQ(resident->stats.count, 300u);
+  EXPECT_GT(resident->stats.avg_width, 0.0);
+
+  // Re-registration bumps the version; the handle pins the exact data.
+  const DatasetHandle h2 = registry.Put("roads", Side(2));
+  EXPECT_EQ(h2.version, 2u);
+  auto updated = registry.Get("roads");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->version, 2u);
+
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"roads"});
+  auto missing = registry.Get("buildings");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetRegistry, GetOrPrepareCachesAndSharesOnePlan) {
+  DatasetRegistry registry;
+  registry.Put("r", Side(11));
+  registry.Put("s", Side(12));
+  EngineConfig config;
+  config.num_threads = 2;
+
+  auto cold = registry.GetOrPrepare(kPartitionedEngine, "r", "s", config);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = registry.GetOrPrepare(kPartitionedEngine, "r", "s", config);
+  ASSERT_TRUE(warm.ok());
+  // Warm lookups return the identical shared artifact, not a rebuild.
+  EXPECT_EQ(cold->get(), warm->get());
+
+  const PlanCacheStats stats = registry.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.resident_bytes, (*cold)->MemoryBytes());
+
+  auto unknown = registry.GetOrPrepare(kPartitionedEngine, "r", "nope");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+// The tentpole oracle: for every engine family -- native prepared plans
+// (grid, R-tree, stripes, shards) and the generic planned-engine fallback
+// -- executing the cached plan warm produces the identical result multiset
+// as a cold Plan+Execute, and repeat warm executions stay identical
+// (repeated-Execute idempotence through the prepared seam).
+TEST(DatasetRegistry, WarmExecutionBitIdenticalToColdAcrossEngines) {
+  const Dataset r = Side(21);
+  const Dataset s = testutil::Skewed(300, 22);
+  DatasetRegistry registry;
+  registry.Put("r", r);
+  registry.Put("s", s);
+  EngineConfig config;
+  config.num_threads = 2;
+  config.num_partitions = 8;
+
+  for (const char* engine :
+       {kPartitionedEngine, kPbsmEngine, kSyncTraversalEngine,
+        kParallelSyncTraversalEngine, kNestedLoopEngine, kDistPbsmEngine}) {
+    auto cold = RunJoin(engine, r, s, config);
+    ASSERT_TRUE(cold.ok()) << engine << ": " << cold.status().ToString();
+
+    auto plan = registry.GetOrPrepare(engine, "r", "s", config);
+    ASSERT_TRUE(plan.ok()) << engine << ": " << plan.status().ToString();
+    for (int round = 0; round < 2; ++round) {
+      auto warm = RunPreparedJoin(**plan, config);
+      ASSERT_TRUE(warm.ok()) << engine << ": " << warm.status().ToString();
+      EXPECT_TRUE(JoinResult::SameMultiset(cold->result, warm->result))
+          << engine << " round " << round << ": cold " << cold->result.size()
+          << " pairs, warm " << warm->result.size();
+      // The warm path's entire point: plan_seconds covers only engine
+      // instantiation, not planning.
+      EXPECT_LT(warm->timing.plan_seconds, 0.05) << engine;
+    }
+  }
+}
+
+TEST(DatasetRegistry, VersionBumpInvalidatesButInFlightPlansStayUsable) {
+  const Dataset old_s = Side(32);
+  DatasetRegistry registry;
+  registry.Put("r", Side(31));
+  registry.Put("s", old_s);
+  EngineConfig config;
+  config.num_threads = 2;
+
+  auto old_plan = registry.GetOrPrepare(kPartitionedEngine, "r", "s", config);
+  ASSERT_TRUE(old_plan.ok());
+  auto old_cold = RunJoin(kPartitionedEngine, Side(31), old_s, config);
+  ASSERT_TRUE(old_cold.ok());
+
+  // Re-register "s": the cached plan is invalidated immediately...
+  const Dataset new_s = Side(33);
+  registry.Put("s", new_s);
+  PlanCacheStats stats = registry.plan_cache_stats();
+  EXPECT_EQ(stats.invalidated, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+
+  // ...so the next lookup is a miss that plans over the new version...
+  auto new_plan = registry.GetOrPrepare(kPartitionedEngine, "r", "s", config);
+  ASSERT_TRUE(new_plan.ok());
+  EXPECT_NE(old_plan->get(), new_plan->get());
+  auto new_cold = RunJoin(kPartitionedEngine, Side(31), new_s, config);
+  ASSERT_TRUE(new_cold.ok());
+  auto new_warm = RunPreparedJoin(**new_plan, config);
+  ASSERT_TRUE(new_warm.ok());
+  EXPECT_TRUE(JoinResult::SameMultiset(new_cold->result, new_warm->result));
+
+  // ...while the plan a request already holds keeps working and still
+  // joins the data it was planned over (shared_ptr pinning).
+  auto old_warm = RunPreparedJoin(**old_plan, config);
+  ASSERT_TRUE(old_warm.ok());
+  EXPECT_TRUE(JoinResult::SameMultiset(old_cold->result, old_warm->result));
+}
+
+TEST(DatasetRegistry, ConfigAndEngineKeySeparateCacheEntries) {
+  DatasetRegistry registry;
+  registry.Put("r", Side(41));
+  registry.Put("s", Side(42));
+  EngineConfig a;
+  a.num_threads = 2;
+  EngineConfig b = a;
+  b.grid_cols = 7;
+  b.grid_rows = 7;
+
+  ASSERT_TRUE(registry.GetOrPrepare(kPartitionedEngine, "r", "s", a).ok());
+  ASSERT_TRUE(registry.GetOrPrepare(kPartitionedEngine, "r", "s", b).ok());
+  ASSERT_TRUE(registry.GetOrPrepare(kPbsmEngine, "r", "s", a).ok());
+  const PlanCacheStats stats = registry.plan_cache_stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(DatasetRegistry, ByteBudgetEvictsLeastRecentlyUsed) {
+  DatasetRegistryOptions options;
+  options.max_plan_bytes = 1;  // pathologically small: keep-newest only
+  DatasetRegistry registry(options);
+  registry.Put("r", Side(51));
+  registry.Put("s", Side(52));
+  EngineConfig a;
+  a.num_threads = 1;
+  EngineConfig b = a;
+  b.grid_cols = 5;
+  b.grid_rows = 5;
+
+  auto first = registry.GetOrPrepare(kPartitionedEngine, "r", "s", a);
+  ASSERT_TRUE(first.ok());
+  auto second = registry.GetOrPrepare(kPartitionedEngine, "r", "s", b);
+  ASSERT_TRUE(second.ok());
+  const PlanCacheStats stats = registry.plan_cache_stats();
+  EXPECT_EQ(stats.entries, 1u);  // never below one entry
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // The evicted artifact a caller still holds remains fully usable.
+  auto run = RunPreparedJoin(**first, a);
+  ASSERT_TRUE(run.ok());
+
+  // Re-requesting the evicted key is a fresh miss, not a corrupt hit.
+  auto again = registry.GetOrPrepare(kPartitionedEngine, "r", "s", a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(registry.plan_cache_stats().misses, 3u);
+}
+
+// Race coverage for the TSan job: concurrent warm lookups and executions of
+// one cached plan, overlapping a cold miss, must be data-race-free and all
+// produce the identical multiset.
+TEST(DatasetRegistry, ConcurrentWarmLookupsAndExecutionsAreRaceFree) {
+  const Dataset r = Side(61);
+  const Dataset s = Side(62);
+  DatasetRegistry registry;
+  registry.Put("r", r);
+  registry.Put("s", s);
+  EngineConfig config;
+  config.num_threads = 2;
+  auto cold = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(cold.ok());
+
+  constexpr int kThreads = 8;
+  std::vector<JoinRun> runs(kThreads);
+  std::vector<Status> statuses(kThreads, Status::OK());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto plan = registry.GetOrPrepare(kPartitionedEngine, "r", "s", config);
+      if (!plan.ok()) {
+        statuses[i] = plan.status();
+        return;
+      }
+      auto run = RunPreparedJoin(**plan, config);
+      if (!run.ok()) {
+        statuses[i] = run.status();
+        return;
+      }
+      runs[i] = std::move(*run);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << i << ": " << statuses[i].ToString();
+    EXPECT_TRUE(JoinResult::SameMultiset(cold->result, runs[i].result)) << i;
+  }
+  // However the misses raced, exactly one plan won the insert.
+  EXPECT_EQ(registry.plan_cache_stats().entries, 1u);
+}
+
+TEST(DatasetRegistry, EmptyDatasetsPrepareAndExecuteSafely) {
+  DatasetRegistry registry;
+  registry.Put("empty", Dataset());
+  registry.Put("s", Side(71));
+
+  for (const char* engine :
+       {kPartitionedEngine, kPbsmEngine, kSyncTraversalEngine,
+        kNestedLoopEngine}) {
+    auto plan = registry.GetOrPrepare(engine, "empty", "s");
+    ASSERT_TRUE(plan.ok()) << engine << ": " << plan.status().ToString();
+    auto run = RunPreparedJoin(**plan);
+    ASSERT_TRUE(run.ok()) << engine << ": " << run.status().ToString();
+    EXPECT_EQ(run->result.size(), 0u) << engine;
+  }
+}
+
+}  // namespace
+}  // namespace swiftspatial::exec

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -213,11 +215,11 @@ TEST(JoinService, DeadlineAdmissionRejectsHopelessRequests) {
   options.initial_job_seconds_estimate = 10.0;      // deterministic estimate
   JoinService service(options);
 
-  // Nothing ahead: zero estimated wait, so even a tight deadline admits.
-  RequestOptions tight;
-  tight.deadline_seconds = 0.001;
-  auto blocker = service.Submit("blocker", kPartitionedEngine, dense_r,
-                                dense_s, {}, tight);
+  // The blocker carries no deadline: deadlines are now enforced after
+  // admission too, and a deadline short enough to be interesting here
+  // would get the wedged blocker killed mid-run by the watchdog.
+  auto blocker =
+      service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
   ASSERT_TRUE(blocker.ok()) << blocker.status().ToString();
   ResultChunk first;
   ASSERT_TRUE(blocker->Next(&first));  // dispatcher wedged mid-stream
@@ -225,6 +227,8 @@ TEST(JoinService, DeadlineAdmissionRejectsHopelessRequests) {
   // One job running, none pending: estimated wait = 1 / 1 * 10s.
   EXPECT_NEAR(service.EstimatedQueueWaitSeconds(), 10.0, 1e-9);
 
+  RequestOptions tight;
+  tight.deadline_seconds = 0.001;
   auto hopeless = service.Submit("tenant", kPartitionedEngine, small_r,
                                  small_s, {}, tight);
   ASSERT_FALSE(hopeless.ok());
@@ -275,8 +279,13 @@ TEST(JoinService, DeadlineAdmissionNeverRejectsWhileASlotIsFree) {
   ASSERT_TRUE(blocker->Next(&first));  // one slot wedged, one idle
 
   EXPECT_NEAR(service.EstimatedQueueWaitSeconds(), 0.0, 1e-9);
+  // Far below the hour-long estimate -- this would be bounced if the wedged
+  // slot were the only one -- yet roomy enough that the admitted request
+  // also *finishes* within it (deadlines now kill expired requests
+  // post-admission, so a microscopic deadline would turn this into an
+  // expiry test).
   RequestOptions tight;
-  tight.deadline_seconds = 0.001;
+  tight.deadline_seconds = 30.0;
   auto admitted = service.Submit("tenant", kPartitionedEngine, small_r,
                                  small_s, {}, tight);
   ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
@@ -447,6 +456,247 @@ TEST(JoinService, ShutdownAbandonsQueuedRequests) {
   for (auto& handle : queued) {
     EXPECT_EQ(handle->Wait().code(), StatusCode::kAborted);
   }
+}
+
+// Deadlines are enforced after admission too: a request that admission
+// accepted but whose budget runs out while the dispatcher is still wedged
+// never runs -- the watchdog abandons it and the stream closes
+// DeadlineExceeded (not the generic Aborted of a consumer cancel).
+TEST(JoinService, DeadlineExpiresWhileQueued) {
+  const Dataset dense_r = DenseSide(81);
+  const Dataset dense_s = DenseSide(82);
+  const Dataset small_r = SmallSide(83);
+  const Dataset small_s = SmallSide(84);
+
+  JoinService service(BlockableOptions());  // max_concurrent = 1
+  auto blocker =
+      service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(blocker.ok());
+  ResultChunk first;
+  ASSERT_TRUE(blocker->Next(&first));  // dispatcher is running it, wedged
+
+  RequestOptions request;
+  request.deadline_seconds = 0.05;
+  auto victim = service.Submit("victim", kPartitionedEngine, small_r,
+                               small_s, {}, request);
+  ASSERT_TRUE(victim.ok()) << victim.status().ToString();
+
+  // Wait() blocks until the watchdog expires the queued request: no
+  // sleeps, no polling -- the terminal status is the synchronization.
+  EXPECT_EQ(victim->Wait().code(), StatusCode::kDeadlineExceeded);
+
+  ASSERT_TRUE(blocker->Collect().status.ok());
+  service.Drain();
+  const JoinServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_queued, 1u);
+  EXPECT_EQ(stats.expired_running, 0u);
+  EXPECT_EQ(stats.completed, 1u);  // the blocker only; the victim never ran
+}
+
+// Polls service stats until `pred` holds. The deadline watchdog runs on the
+// real clock, so mid-run expiry is the one event these tests must wait for
+// -- draining the stream earlier would unblock the wedged producer and let
+// the join finish before its deadline.
+template <typename Pred>
+bool WaitForStats(const JoinService& service, Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred(service.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+// Mid-run expiry: the join is already streaming when the budget runs out.
+// The watchdog cancels it cooperatively and the stream closes
+// DeadlineExceeded -- the delivered chunks remain a well-defined prefix.
+TEST(JoinService, DeadlineExpiresMidRunCancelsWithDeadlineExceeded) {
+  const Dataset dense_r = DenseSide(85);
+  const Dataset dense_s = DenseSide(86);
+
+  JoinService service(BlockableOptions());
+  RequestOptions request;
+  request.deadline_seconds = 0.05;
+  // A free slot: picked up immediately, so the deadline expires mid-run
+  // (the unconsumed dense stream wedges the producer far past 50ms).
+  auto handle = service.Submit("tenant", kPartitionedEngine, dense_r,
+                               dense_s, {}, request);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  // At least one chunk proves the join genuinely ran before expiring.
+  ResultChunk chunk;
+  ASSERT_TRUE(handle->Next(&chunk));
+  EXPECT_FALSE(chunk.pairs.empty());
+
+  // The producer is wedged on the unconsumed stream's backpressure; hold
+  // off draining until the watchdog has killed it, or the drain itself
+  // would let the join finish inside the budget.
+  ASSERT_TRUE(WaitForStats(service, [](const JoinServiceStats& s) {
+    return s.expired_running == 1;
+  }));
+  EXPECT_EQ(handle->Wait().code(), StatusCode::kDeadlineExceeded);
+  service.Drain();
+  const JoinServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_running, 1u);
+  EXPECT_EQ(stats.expired_queued, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_EQ(stats.completed, 0u);  // an expired run is not a completion
+}
+
+// Degraded-results mode: same mid-run expiry, but the stream closes OK and
+// the chunks delivered before the kill are the official partial result --
+// every pair genuine (a subset of the full join), none duplicated.
+TEST(JoinService, DeadlineDegradeDeliversPartialPrefix) {
+  const Dataset dense_r = DenseSide(87);
+  const Dataset dense_s = DenseSide(88);
+  EngineConfig config;
+  auto full = RunJoin(kPartitionedEngine, dense_r, dense_s, config);
+  ASSERT_TRUE(full.ok());
+
+  JoinService service(BlockableOptions());
+  RequestOptions request;
+  request.deadline_seconds = 0.05;
+  request.degrade_on_deadline = true;
+  auto handle = service.Submit("tenant", kPartitionedEngine, dense_r,
+                               dense_s, config, request);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  // As above: let the watchdog land the (degrading) kill before draining.
+  ASSERT_TRUE(WaitForStats(service, [](const JoinServiceStats& s) {
+    return s.expired_running == 1;
+  }));
+  StreamSummary summary = handle->Collect();
+  EXPECT_TRUE(summary.status.ok()) << summary.status.ToString();
+  // The kill raced the join, so the prefix may be anything from empty to
+  // complete -- but every delivered pair must be a genuine result, with no
+  // duplicates (multiset inclusion via std::includes over sorted pairs).
+  ASSERT_LE(summary.run.result.size(), full->result.size());
+  summary.run.result.Sort();
+  full->result.Sort();
+  EXPECT_TRUE(std::includes(
+      full->result.pairs().begin(), full->result.pairs().end(),
+      summary.run.result.pairs().begin(), summary.run.result.pairs().end()));
+
+  service.Drain();
+  const JoinServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_running, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+// The EWMA job-duration estimate decays while the service idles, pinned
+// deterministically through the injected measurement clock: a 100s job
+// poisons the estimate, two idle half-lives later the same deadline that
+// was bounced admits. Deadlines themselves run on the real clock, so the
+// fake clock cannot stall the watchdog.
+TEST(JoinService, EwmaEstimateDecaysWhileIdle) {
+  const Dataset dense_r = DenseSide(91);
+  const Dataset dense_s = DenseSide(92);
+  const Dataset small_r = SmallSide(93);
+  const Dataset small_s = SmallSide(94);
+
+  std::atomic<double> fake_now{0.0};
+  JoinServiceOptions options = BlockableOptions();  // max_concurrent = 1
+  options.ewma_idle_halflife_seconds = 50.0;
+  options.clock_for_testing = [&fake_now] { return fake_now.load(); };
+  JoinService service(options);
+
+  // Calibration job: picked up at fake t=0, "runs" until we advance the
+  // clock to 100 and release it -> measured duration exactly 100s.
+  auto calibrate =
+      service.Submit("cal", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(calibrate.ok());
+  ResultChunk first;
+  ASSERT_TRUE(calibrate->Next(&first));  // running (wedged), clock still 0
+  fake_now.store(100.0);
+  ASSERT_TRUE(calibrate->Collect().status.ok());
+  service.Drain();
+
+  // Wedge the dispatcher again so the estimate actually gates admission.
+  auto blocker =
+      service.Submit("blocker", kPartitionedEngine, dense_r, dense_s);
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(blocker->Next(&first));
+
+  // No idle time yet: the estimate is the full measured 100s, so a 50s
+  // deadline is hopeless.
+  EXPECT_NEAR(service.EstimatedQueueWaitSeconds(), 100.0, 1e-6);
+  RequestOptions request;
+  request.deadline_seconds = 50.0;
+  auto bounced = service.Submit("tenant", kPartitionedEngine, small_r,
+                                small_s, {}, request);
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_EQ(bounced.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Two idle half-lives later the estimate has quartered: 25s fits a 50s
+  // budget, so the identical request now admits.
+  fake_now.store(200.0);
+  EXPECT_NEAR(service.EstimatedQueueWaitSeconds(), 25.0, 1e-6);
+  auto admitted = service.Submit("tenant", kPartitionedEngine, small_r,
+                                 small_s, {}, request);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+
+  ASSERT_TRUE(blocker->Collect().status.ok());
+  EXPECT_TRUE(admitted->Collect().status.ok());
+  service.Drain();
+  EXPECT_EQ(service.stats().rejected_deadline, 1u);
+}
+
+// The warm path end to end: datasets registered once, repeat SubmitNamed
+// requests hit the plan cache (stats prove it) and still produce results
+// bit-identical to the cold dataset-reference path.
+TEST(JoinService, SubmitNamedServesWarmRequestsFromThePlanCache) {
+  const Dataset r = testutil::Uniform(400, 95);
+  const Dataset s = testutil::Skewed(400, 96);
+  EngineConfig config;
+  config.num_threads = 2;
+  auto sync = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(sync.ok());
+
+  JoinServiceOptions options;
+  options.worker_threads = 4;
+  options.max_concurrent = 2;
+  JoinService service(options);
+  service.RegisterDataset("r", r);
+  service.RegisterDataset("s", s);
+
+  constexpr int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) {
+    auto handle = service.SubmitNamed("tenant", kPartitionedEngine, "r", "s",
+                                      config);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    StreamSummary summary = handle->Collect();
+    ASSERT_TRUE(summary.status.ok()) << summary.status.ToString();
+    EXPECT_TRUE(JoinResult::SameMultiset(sync->result, summary.run.result))
+        << "request " << i;
+    if (i > 0) {
+      // Warm requests skip Plan: the "plan" stage is just the cache
+      // lookup.
+      EXPECT_LT(summary.run.timing.plan_seconds, 0.05);
+    }
+  }
+  service.Drain();
+  const JoinServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache.hits, static_cast<std::size_t>(kRequests - 1));
+  EXPECT_EQ(stats.plan_cache.entries, 1u);
+  EXPECT_GT(stats.plan_cache.resident_bytes, 0u);
+}
+
+TEST(JoinService, SubmitNamedFailsFastForUnknownNamesAndEngines) {
+  JoinService service(BlockableOptions());
+  service.RegisterDataset("r", SmallSide(97));
+
+  auto no_dataset =
+      service.SubmitNamed("tenant", kPartitionedEngine, "r", "nope");
+  ASSERT_FALSE(no_dataset.ok());
+  EXPECT_EQ(no_dataset.status().code(), StatusCode::kNotFound);
+
+  auto no_engine = service.SubmitNamed("tenant", "no-such-engine", "r", "r");
+  ASSERT_FALSE(no_engine.ok());
+  EXPECT_EQ(no_engine.status().code(), StatusCode::kNotFound);
+
+  // Fail-fast rejections never touch admission accounting.
+  EXPECT_EQ(service.stats().admitted, 0u);
 }
 
 }  // namespace

@@ -232,5 +232,46 @@ TEST(EngineOracleEdgeCases, EmptyAndSingleElementInputs) {
   }
 }
 
+// The warm half of the oracle: every engine's cached-plan path
+// (PrepareJoin -> a fresh instance's ExecutePrepared, which is exactly what
+// a DatasetRegistry cache hit runs) must reproduce the cold Plan+Execute
+// multiset -- and keep reproducing it on repeat executions of the one
+// shared plan. This is the proof that warm serving changes latency, never
+// answers.
+TEST(EngineOracleWarm, PreparedPlansMatchColdRunsForEveryEngine) {
+  const uint64_t scale = 400;
+  const Dataset rects_r = testutil::Uniform(scale, 81, 1000.0, 10.0);
+  const Dataset rects_s = testutil::Skewed(scale, 82, 1000.0);
+  const Dataset points_r = testutil::UniformPoints(scale, 83, 1000.0);
+
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    const bool point_only = IsPointOnlyEngine(name);
+    const Dataset& r = point_only ? points_r : rects_r;
+
+    for (const std::size_t threads : {1u, 4u}) {
+      EngineConfig config;
+      config.num_threads = threads;
+      config.num_partitions = 16;
+      auto cold = RunJoin(name, r, rects_s, config);
+      ASSERT_TRUE(cold.ok()) << name << " threads=" << threads << ": "
+                             << cold.status().ToString();
+
+      auto plan =
+          PrepareJoin(name, BorrowDataset(r), BorrowDataset(rects_s), config);
+      ASSERT_TRUE(plan.ok()) << name << " threads=" << threads << ": "
+                             << plan.status().ToString();
+      for (int round = 0; round < 2; ++round) {
+        auto warm = RunPreparedJoin(**plan, config);
+        ASSERT_TRUE(warm.ok()) << name << " threads=" << threads << ": "
+                               << warm.status().ToString();
+        EXPECT_TRUE(JoinResult::SameMultiset(cold->result, warm->result))
+            << name << " threads=" << threads << " round=" << round
+            << ": cold " << cold->result.size() << " pairs, warm "
+            << warm->result.size();
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace swiftspatial
