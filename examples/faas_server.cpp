@@ -16,7 +16,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -25,6 +24,7 @@
 #include "common/flags.h"
 #include "common/percentile.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "common/table_printer.h"
 #include "datagen/generator.h"
 #include "exec/service.h"
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
     // three tenants.
     std::vector<double> inter_latency, anal_latency;
     std::vector<std::thread> consumers;
-    std::mutex latency_mu;
+    swiftspatial::Mutex latency_mu;
     Stopwatch wall;
     auto submit = [&](const std::string& tenant, const Dataset& r,
                       const Dataset& s, std::vector<double>* sink) {
@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
                            summary.status.ToString().c_str());
               std::exit(1);
             }
-            std::lock_guard<std::mutex> lock(latency_mu);
+            swiftspatial::MutexLock lock(&latency_mu);
             sink->push_back(wall.ElapsedSeconds());
           });
     };

@@ -39,28 +39,28 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push(std::move(task));
     ++outstanding_;
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   // Waiting from a worker can never finish: the calling task is itself part
   // of the outstanding count.
   SWIFT_CHECK(CurrentWorkerIndex() == kNotAWorker);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(&mu_);
+  while (outstanding_ != 0) cv_done_.Wait(&mu_);
 }
 
 std::size_t ThreadPool::CurrentWorkerIndex() const {
@@ -73,17 +73,17 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_task_.Wait(&mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --outstanding_;
-      if (outstanding_ == 0) cv_done_.notify_all();
+      if (outstanding_ == 0) cv_done_.NotifyAll();
     }
   }
 }

@@ -6,13 +6,13 @@
 #define SWIFTSPATIAL_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace swiftspatial {
 
@@ -58,12 +58,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every previously submitted task has finished (see the
   /// class comment for the exact contract). Must not be called from one of
   /// this pool's own workers.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
@@ -76,12 +76,12 @@ class ThreadPool {
   void WorkerLoop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t outstanding_ = 0;  // queued + running tasks
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_done_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::size_t outstanding_ GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// Runs `body(i)` for every i in [0, n) on `num_threads` threads.

@@ -30,34 +30,36 @@ Node::~Node() {
 
 void Node::Enqueue(ShardRef ref) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (input_closed_) return;
     commands_.push_back(ref);
   }
-  cv_cmd_.notify_one();
+  cv_cmd_.NotifyOne();
 }
 
 void Node::CloseInput() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     input_closed_ = true;
   }
-  cv_cmd_.notify_all();
+  cv_cmd_.NotifyAll();
 }
 
 void Node::Join() {
-  if (joined_) return;
-  runtime_.join();
-  joined_ = true;
+  // call_once rather than a guarded bool: every concurrent caller must
+  // block until the one performing runtime_.join() finishes, and none may
+  // join the thread twice. The old `if (joined_) return;` fast path did
+  // neither when JoinAll raced ~Node.
+  std::call_once(join_once_, [this] { runtime_.join(); });
 }
 
 NodeStats Node::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 JoinStats Node::join_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return join_stats_;
 }
 
@@ -65,10 +67,10 @@ void Node::RuntimeLoop() {
   for (;;) {
     ShardRef ref;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_cmd_.wait(lock, [this] {
-        return input_closed_ || failed_ || !commands_.empty();
-      });
+      MutexLock lock(&mu_);
+      while (!input_closed_ && !failed_ && commands_.empty()) {
+        cv_cmd_.Wait(&mu_);
+      }
       // A failed node stops accepting work immediately: the coordinator
       // needs its kNodeFailed promptly to start re-executing shards on
       // survivors -- waiting for CloseInput here would deadlock the run.
@@ -85,7 +87,7 @@ void Node::RuntimeLoop() {
   Message terminal;
   terminal.node = id_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     terminal.kind = failed_ ? Message::Kind::kNodeFailed
                             : Message::Kind::kNodeDone;
   }
@@ -95,7 +97,7 @@ void Node::RuntimeLoop() {
 void Node::RunShard(ShardRef ref) {
   if (cancel_.cancelled() || exchange_->cancelled()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (failed_) return;  // dead nodes drop queued work silently
   }
   const Shard& shard = (*shards_)[static_cast<std::size_t>(ref.shard_index)];
@@ -110,7 +112,7 @@ void Node::RunShard(ShardRef ref) {
   bool die_mid_transmission = false;
   bool executor_crashed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     join_stats_ += stats;
     stats_.busy_seconds += seconds;
     stats_.device_seconds += device_seconds;
@@ -133,7 +135,7 @@ void Node::RunShard(ShardRef ref) {
     }
   }
   if (executor_crashed) {
-    cv_cmd_.notify_all();  // wake the runtime loop to emit kNodeFailed
+    cv_cmd_.NotifyAll();  // wake the runtime loop to emit kNodeFailed
     return;
   }
 
@@ -154,7 +156,7 @@ void Node::RunShard(ShardRef ref) {
     if (die_mid_transmission) break;  // crash after the first chunk
   }
   if (die_mid_transmission) {
-    cv_cmd_.notify_all();
+    cv_cmd_.NotifyAll();
     return;
   }
   Message done;

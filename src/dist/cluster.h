@@ -19,17 +19,17 @@
 #define SWIFTSPATIAL_DIST_CLUSTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag / std::call_once (not a banned primitive)
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "dist/exchange.h"
 #include "dist/shard_planner.h"
@@ -95,20 +95,22 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   /// Thread-safe; no-op after CloseInput.
-  void Enqueue(ShardRef ref);
-  void CloseInput();
-  /// Blocks until the runtime thread has retired. Idempotent.
+  void Enqueue(ShardRef ref) EXCLUDES(mu_);
+  void CloseInput() EXCLUDES(mu_);
+  /// Blocks until the runtime thread has retired. Idempotent and safe to
+  /// call concurrently (e.g. Cluster::JoinAll racing ~Node): exactly one
+  /// caller performs the underlying thread join, the rest wait on it.
   void Join();
 
   int id() const { return id_; }
-  NodeStats stats() const;
+  NodeStats stats() const EXCLUDES(mu_);
   /// Work counters from every shard this node executed (including attempts
   /// whose results were dropped by failure injection -- work happened).
-  JoinStats join_stats() const;
+  JoinStats join_stats() const EXCLUDES(mu_);
 
  private:
-  void RuntimeLoop();
-  void RunShard(ShardRef ref);
+  void RuntimeLoop() EXCLUDES(mu_);
+  void RunShard(ShardRef ref) EXCLUDES(mu_);
 
   const int id_;
   const std::vector<Shard>* shards_;
@@ -121,16 +123,20 @@ class Node {
 
   ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_cmd_;
-  std::deque<ShardRef> commands_;
-  bool input_closed_ = false;
-  bool failed_ = false;
-  NodeStats stats_;
-  JoinStats join_stats_;
+  mutable Mutex mu_;
+  CondVar cv_cmd_;
+  std::deque<ShardRef> commands_ GUARDED_BY(mu_);
+  bool input_closed_ GUARDED_BY(mu_) = false;
+  bool failed_ GUARDED_BY(mu_) = false;
+  NodeStats stats_ GUARDED_BY(mu_);
+  JoinStats join_stats_ GUARDED_BY(mu_);
 
   std::thread runtime_;
-  bool joined_ = false;
+  /// Serializes the runtime_.join() so concurrent Join() calls (JoinAll
+  /// racing ~Node) cannot double-join or return before retirement. A plain
+  /// guarded flag is not enough: the "already joined" fast path would have
+  /// to read it without blocking on the slow path's join.
+  std::once_flag join_once_;
 };
 
 /// Owns the node set over one shared Exchange. The merge coordinator keeps

@@ -144,6 +144,15 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
   }
 
   // --- Merge coordinator. ---
+  // Concurrency note (checked by the thread-safety analysis by absence):
+  // every piece of coordinator state below -- the committed[] set,
+  // expected_attempt[], the per-shard chunk buffers, owner/load/alive
+  // bookkeeping -- is function-local and touched only by this thread.
+  // Nodes never share it; their results arrive as messages through the
+  // Exchange (whose own queue is mutex-guarded), and the per-link FIFO
+  // order makes the committed set exact at the moment a failure message is
+  // processed. Single ownership, not locks, is the invariant here; keep it
+  // that way rather than annotating this state into a lock hierarchy.
   const std::size_t num_shards = plan.shards.size();
   std::vector<uint64_t> expected_attempt(num_shards, 0);
   std::vector<bool> committed(num_shards, false);

@@ -19,6 +19,7 @@ Exchange::Exchange(std::size_t num_nodes, const LinkConfig& config,
                    exec::CancellationToken cancel)
     : config_(config),
       external_cancel_(std::move(cancel)),
+      num_links_(num_nodes),
       links_(num_nodes),
       open_links_(num_nodes) {
   SWIFT_CHECK_GE(num_nodes, 1u);
@@ -30,15 +31,15 @@ uint64_t Exchange::MessageBytes(const Message& msg) const {
 
 bool Exchange::Send(Message msg) {
   const auto node = static_cast<std::size_t>(msg.node);
-  SWIFT_CHECK_LT(node, links_.size());
+  SWIFT_CHECK_LT(node, num_links_);
   const bool terminal = msg.kind == Message::Kind::kNodeDone ||
                         msg.kind == Message::Kind::kNodeFailed;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Link& link = links_[node];
   SWIFT_CHECK(!link.closed);
   while (link.queue.size() >= config_.queue_capacity) {
     if (cancelled_ || external_cancel_.cancelled()) return false;
-    cv_space_.wait_for(lock, kCancelTick);
+    cv_space_.WaitFor(&mu_, kCancelTick);
   }
   if (cancelled_ || external_cancel_.cancelled()) return false;
 
@@ -55,12 +56,12 @@ bool Exchange::Send(Message msg) {
     SWIFT_CHECK_GE(open_links_, 1u);
     --open_links_;
   }
-  cv_data_.notify_one();
+  cv_data_.NotifyOne();
   return true;
 }
 
 bool Exchange::Recv(Message* out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
     if (cancelled_ || external_cancel_.cancelled()) return false;
     // Round-robin over links so one chatty node cannot starve the rest.
@@ -71,50 +72,50 @@ bool Exchange::Recv(Message* out) {
       *out = std::move(link.queue.front());
       link.queue.pop_front();
       next_link_ = (i + 1) % links_.size();
-      cv_space_.notify_all();
+      cv_space_.NotifyAll();
       return true;
     }
     if (open_links_ == 0) return false;  // all closed and drained
-    cv_data_.wait_for(lock, kCancelTick);
+    cv_data_.WaitFor(&mu_, kCancelTick);
   }
 }
 
 void Exchange::Cancel() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cancelled_ = true;
   }
-  cv_data_.notify_all();
-  cv_space_.notify_all();
+  cv_data_.NotifyAll();
+  cv_space_.NotifyAll();
 }
 
 bool Exchange::cancelled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cancelled_ || external_cancel_.cancelled();
 }
 
 LinkStats Exchange::link_stats(std::size_t node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SWIFT_CHECK_LT(node, links_.size());
   return links_[node].stats;
 }
 
 uint64_t Exchange::total_payload_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const Link& link : links_) total += link.stats.payload_bytes;
   return total;
 }
 
 uint64_t Exchange::total_messages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const Link& link : links_) total += link.stats.messages;
   return total;
 }
 
 double Exchange::max_link_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   double worst = 0;
   for (const Link& link : links_) {
     worst = std::max(worst, link.stats.modelled_seconds);

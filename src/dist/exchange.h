@@ -14,13 +14,12 @@
 #ifndef SWIFTSPATIAL_DIST_EXCHANGE_H_
 #define SWIFTSPATIAL_DIST_EXCHANGE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "exec/task_graph.h"
 #include "join/result.h"
 
@@ -82,23 +81,23 @@ class Exchange {
   /// Enqueues `msg` on link msg.node, blocking while that link is full.
   /// Terminal messages (kNodeDone / kNodeFailed) close the link behind
   /// them. Returns false (dropping the message) once cancelled.
-  bool Send(Message msg);
+  bool Send(Message msg) EXCLUDES(mu_);
 
   /// Pops the next message from any open link, scanning links round-robin
   /// for fairness. Blocks while all links are open but empty; returns false
   /// once cancelled, or when every link has closed and drained.
-  bool Recv(Message* out);
+  bool Recv(Message* out) EXCLUDES(mu_);
 
   /// Makes every blocked Send/Recv return false. Idempotent.
-  void Cancel();
-  bool cancelled() const;
+  void Cancel() EXCLUDES(mu_);
+  bool cancelled() const EXCLUDES(mu_);
 
-  std::size_t num_links() const { return links_.size(); }
-  LinkStats link_stats(std::size_t node) const;
+  std::size_t num_links() const { return num_links_; }
+  LinkStats link_stats(std::size_t node) const EXCLUDES(mu_);
   /// Sums / maxima over links, for report aggregation.
-  uint64_t total_payload_bytes() const;
-  uint64_t total_messages() const;
-  double max_link_seconds() const;
+  uint64_t total_payload_bytes() const EXCLUDES(mu_);
+  uint64_t total_messages() const EXCLUDES(mu_);
+  double max_link_seconds() const EXCLUDES(mu_);
 
  private:
   struct Link {
@@ -111,14 +110,16 @@ class Exchange {
 
   const LinkConfig config_;
   exec::CancellationToken external_cancel_;
+  /// Link count, fixed at construction (the lock-free num_links answer).
+  const std::size_t num_links_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_data_;   // coordinator: message or all-closed
-  std::condition_variable cv_space_;  // senders: space on their link
-  std::vector<Link> links_;
-  std::size_t open_links_;
-  std::size_t next_link_ = 0;  // round-robin scan position
-  bool cancelled_ = false;
+  mutable Mutex mu_;
+  CondVar cv_data_;   // coordinator: message or all-closed
+  CondVar cv_space_;  // senders: space on their link
+  std::vector<Link> links_ GUARDED_BY(mu_);
+  std::size_t open_links_ GUARDED_BY(mu_);
+  std::size_t next_link_ GUARDED_BY(mu_) = 0;  // round-robin scan position
+  bool cancelled_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace swiftspatial::dist

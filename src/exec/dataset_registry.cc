@@ -29,7 +29,7 @@ DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
     : options_(options) {}
 
 DatasetHandle DatasetRegistry::Put(std::string name, Dataset dataset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry& entry = datasets_[name];
   entry.version += 1;
   entry.stats = ComputeStats(dataset);
@@ -59,7 +59,7 @@ DatasetHandle DatasetRegistry::Put(std::string name, Dataset dataset) {
 }
 
 Result<ResidentDataset> DatasetRegistry::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     std::string known;
@@ -78,7 +78,7 @@ Result<ResidentDataset> DatasetRegistry::Get(const std::string& name) const {
 }
 
 std::vector<std::string> DatasetRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(datasets_.size());
   for (const auto& [name, entry] : datasets_) names.push_back(name);
@@ -93,7 +93,7 @@ Result<std::shared_ptr<const PreparedPlan>> DatasetRegistry::GetOrPrepare(
   std::shared_ptr<const Dataset> r, s;
   CacheKey key;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto r_it = datasets_.find(r_name);
     const auto s_it = datasets_.find(s_name);
     if (r_it == datasets_.end() || s_it == datasets_.end()) {
@@ -122,7 +122,7 @@ Result<std::shared_ptr<const PreparedPlan>> DatasetRegistry::GetOrPrepare(
   if (!prepared.ok()) return prepared.status();
   std::shared_ptr<const PreparedPlan> plan = std::move(*prepared);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = plans_.emplace(std::move(key), CacheEntry{});
   it->second.last_used = ++lru_tick_;  // before eviction: never the LRU pick
   if (!inserted) return it->second.plan;  // lost the race: share the winner
@@ -156,7 +156,7 @@ void DatasetRegistry::EvictOverBudgetLocked() {
 }
 
 PlanCacheStats DatasetRegistry::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

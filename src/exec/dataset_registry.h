@@ -29,12 +29,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "datagen/dataset.h"
 #include "geometry/box.h"
 #include "join/engine.h"
@@ -97,13 +97,13 @@ class DatasetRegistry {
   /// Registers `dataset` under `name`, or updates an existing registration
   /// -- the version bumps and every plan cached for the old version is
   /// invalidated (in-flight executions against old plans finish safely).
-  DatasetHandle Put(std::string name, Dataset dataset);
+  DatasetHandle Put(std::string name, Dataset dataset) EXCLUDES(mu_);
 
   /// Resolves a registered dataset, or NotFound listing the known names.
-  Result<ResidentDataset> Get(const std::string& name) const;
+  Result<ResidentDataset> Get(const std::string& name) const EXCLUDES(mu_);
 
   /// Sorted names of all registered datasets.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const EXCLUDES(mu_);
 
   /// The warm path: returns the cached PreparedPlan for (engine, r@current,
   /// s@current, config) or -- on a miss -- prepares one (PrepareJoin) and
@@ -113,9 +113,10 @@ class DatasetRegistry {
   /// even across invalidation or eviction.
   Result<std::shared_ptr<const PreparedPlan>> GetOrPrepare(
       const std::string& engine, const std::string& r_name,
-      const std::string& s_name, const EngineConfig& config = {});
+      const std::string& s_name, const EngineConfig& config = {})
+      EXCLUDES(mu_);
 
-  PlanCacheStats plan_cache_stats() const;
+  PlanCacheStats plan_cache_stats() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -136,15 +137,15 @@ class DatasetRegistry {
   };
 
   /// Drops LRU entries until resident_bytes fits the budget. Requires mu_.
-  void EvictOverBudgetLocked();
+  void EvictOverBudgetLocked() REQUIRES(mu_);
 
   const DatasetRegistryOptions options_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> datasets_;
-  std::map<CacheKey, CacheEntry> plans_;
-  PlanCacheStats stats_;
-  uint64_t lru_tick_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> datasets_ GUARDED_BY(mu_);
+  std::map<CacheKey, CacheEntry> plans_ GUARDED_BY(mu_);
+  PlanCacheStats stats_ GUARDED_BY(mu_);
+  uint64_t lru_tick_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace swiftspatial::exec

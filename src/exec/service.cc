@@ -35,7 +35,7 @@ JoinService::JoinService(const JoinServiceOptions& options)
 
 JoinService::~JoinService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
     // Queued requests never run; their consumers see a clean Aborted end.
     for (Job& job : pending_) {
@@ -44,8 +44,8 @@ JoinService::~JoinService() {
     }
     pending_.clear();
   }
-  cv_job_.notify_all();
-  cv_deadline_.notify_all();
+  cv_job_.NotifyAll();
+  cv_deadline_.NotifyAll();
   for (std::thread& d : dispatchers_) d.join();
   deadline_watchdog_.join();
 }
@@ -89,7 +89,7 @@ Result<AsyncJoinHandle> JoinService::Admit(DeferredStream deferred,
           std::chrono::duration<double>(
               has_deadline ? request.deadline_seconds : 0));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       ++stats_.rejected;
       deferred.abandon(Status::Aborted("service shutting down"));
@@ -131,9 +131,9 @@ Result<AsyncJoinHandle> JoinService::Admit(DeferredStream deferred,
     stats_.max_pending_seen =
         std::max(stats_.max_pending_seen, pending_.size());
   }
-  cv_job_.notify_one();
+  cv_job_.NotifyOne();
   // A new deadline may now be the earliest; re-aim the watchdog.
-  if (has_deadline) cv_deadline_.notify_all();
+  if (has_deadline) cv_deadline_.NotifyAll();
   return std::move(deferred.handle);
 }
 
@@ -169,8 +169,8 @@ void JoinService::DispatcherLoop() {
     bool abandoned = false;
     bool expired_at_pickup = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_job_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && pending_.empty()) cv_job_.Wait(&mu_);
       if (pending_.empty()) return;  // stopping_ and nothing left to serve
       job = TakeNextJobLocked();
       ++running_;
@@ -184,7 +184,7 @@ void JoinService::DispatcherLoop() {
         // there is no window where an expired deadline goes unenforced.
         running_deadlines_[job.sequence] =
             RunningDeadline{job.deadline_tp, job.cancel_with, job.degrade};
-        cv_deadline_.notify_all();
+        cv_deadline_.NotifyAll();
       }
     }
 
@@ -205,7 +205,7 @@ void JoinService::DispatcherLoop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --running_;
       --in_flight_per_tenant_[job.tenant];
       if (abandoned) {
@@ -242,13 +242,13 @@ void JoinService::DispatcherLoop() {
       }
       // Under the lock: a Drain()er may tear the service down once it sees
       // the idle state, which must not overlap the notify call.
-      cv_idle_.notify_all();
+      cv_idle_.NotifyAll();
     }
   }
 }
 
 void JoinService::DeadlineLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
     if (stopping_) return;
     // Earliest deadline across queued and running jobs.
@@ -267,12 +267,12 @@ void JoinService::DeadlineLoop() {
       }
     }
     if (!have) {
-      cv_deadline_.wait(lock);
+      cv_deadline_.Wait(&mu_);
       continue;
     }
     const auto now = std::chrono::steady_clock::now();
     if (now < earliest) {
-      cv_deadline_.wait_until(lock, earliest);
+      cv_deadline_.WaitUntil(&mu_, earliest);
       continue;
     }
 
@@ -310,7 +310,7 @@ void JoinService::DeadlineLoop() {
         ++it;
       }
     }
-    cv_idle_.notify_all();
+    cv_idle_.NotifyAll();
   }
 }
 
@@ -344,19 +344,19 @@ double JoinService::EstimatedQueueWaitLocked() const {
 }
 
 double JoinService::EstimatedQueueWaitSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return EstimatedQueueWaitLocked();
 }
 
 void JoinService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!pending_.empty() || running_ != 0) cv_idle_.Wait(&mu_);
 }
 
 JoinServiceStats JoinService::stats() const {
   JoinServiceStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snapshot = stats_;
   }
   // Outside mu_: the registry has its own lock and must never nest inside
@@ -366,7 +366,7 @@ JoinServiceStats JoinService::stats() const {
 }
 
 std::vector<std::string> JoinService::completion_order() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return completion_order_;
 }
 

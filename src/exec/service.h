@@ -56,19 +56,18 @@
 #define SWIFTSPATIAL_EXEC_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "datagen/dataset.h"
 #include "exec/dataset_registry.h"
@@ -185,7 +184,8 @@ class JoinService {
                                  const std::string& engine, const Dataset& r,
                                  const Dataset& s,
                                  const EngineConfig& config = {},
-                                 const RequestOptions& request = {});
+                                 const RequestOptions& request = {})
+      EXCLUDES(mu_);
 
   /// The warm path: like Submit, but `r_name`/`s_name` reference datasets
   /// registered through RegisterDataset (or directly on registry()) instead
@@ -197,7 +197,8 @@ class JoinService {
                                       const std::string& r_name,
                                       const std::string& s_name,
                                       const EngineConfig& config = {},
-                                      const RequestOptions& request = {});
+                                      const RequestOptions& request = {})
+      EXCLUDES(mu_);
 
   /// Registers `dataset` in the backing registry (see DatasetRegistry::Put:
   /// re-registering bumps the version and invalidates cached plans).
@@ -212,16 +213,16 @@ class JoinService {
   /// durations (seeded by initial_job_seconds_estimate, decayed while the
   /// service idles). The quantity deadline-aware admission compares against
   /// RequestOptions::deadline_seconds.
-  double EstimatedQueueWaitSeconds() const;
+  double EstimatedQueueWaitSeconds() const EXCLUDES(mu_);
 
   /// Blocks until every admitted request has completed.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
-  JoinServiceStats stats() const;
+  JoinServiceStats stats() const EXCLUDES(mu_);
 
   /// Tenant label of each completed request, in completion order. The
   /// fairness tests assert on this.
-  std::vector<std::string> completion_order() const;
+  std::vector<std::string> completion_order() const EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -249,20 +250,20 @@ class JoinService {
   /// the already-built stream and queues the job (or abandons it).
   Result<AsyncJoinHandle> Admit(DeferredStream deferred,
                                 const std::string& tenant,
-                                const RequestOptions& request);
+                                const RequestOptions& request) EXCLUDES(mu_);
 
-  void DispatcherLoop();
+  void DispatcherLoop() EXCLUDES(mu_);
   /// Enforces deadlines after admission: sleeps until the earliest pending
   /// or running deadline, then abandons expired queued jobs and cancels
   /// expired running ones.
-  void DeadlineLoop();
+  void DeadlineLoop() EXCLUDES(mu_);
   /// Picks and removes the next job per the scheduling policy. Requires
   /// mu_ held and pending_ non-empty.
-  Job TakeNextJobLocked();
+  Job TakeNextJobLocked() REQUIRES(mu_);
   /// EstimatedQueueWaitSeconds with mu_ held.
-  double EstimatedQueueWaitLocked() const;
+  double EstimatedQueueWaitLocked() const REQUIRES(mu_);
   /// The EWMA job-duration estimate with idle decay applied. Requires mu_.
-  double EffectiveJobSecondsLocked() const;
+  double EffectiveJobSecondsLocked() const REQUIRES(mu_);
   /// Monotonic seconds for duration measurement; clock_for_testing seam.
   double NowSeconds() const;
 
@@ -270,30 +271,30 @@ class JoinService {
   std::shared_ptr<DatasetRegistry> registry_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_job_;       // dispatchers: work available / stop
-  std::condition_variable cv_idle_;      // Drain: all quiet
-  std::condition_variable cv_deadline_;  // watchdog: deadlines changed / stop
-  std::deque<Job> pending_;
+  mutable Mutex mu_;
+  CondVar cv_job_;       // dispatchers: work available / stop
+  CondVar cv_idle_;      // Drain: all quiet
+  CondVar cv_deadline_;  // watchdog: deadlines changed / stop
+  std::deque<Job> pending_ GUARDED_BY(mu_);
   /// Deadline + cancel hook of every running job that has a deadline, keyed
   /// by job sequence. The watchdog erases an entry when it fires; the
   /// dispatcher erases it on normal completion -- an absent entry at
   /// completion is how the dispatcher learns the job was expired.
-  std::map<uint64_t, RunningDeadline> running_deadlines_;
-  std::map<std::string, std::size_t> in_flight_per_tenant_;
-  std::map<std::string, std::size_t> served_per_tenant_;
-  std::vector<std::string> completion_order_;
-  JoinServiceStats stats_;
-  uint64_t next_sequence_ = 0;
-  std::size_t running_ = 0;
-  bool stopping_ = false;
+  std::map<uint64_t, RunningDeadline> running_deadlines_ GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> in_flight_per_tenant_ GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> served_per_tenant_ GUARDED_BY(mu_);
+  std::vector<std::string> completion_order_ GUARDED_BY(mu_);
+  JoinServiceStats stats_ GUARDED_BY(mu_);
+  uint64_t next_sequence_ GUARDED_BY(mu_) = 0;
+  std::size_t running_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
   /// EWMA of measured job durations (seconds); seeds from
   /// initial_job_seconds_estimate until the first completion, decays toward
   /// zero while the service idles (ewma_idle_halflife_seconds).
-  double ewma_job_seconds_ = 0;
-  bool have_measurement_ = false;
+  double ewma_job_seconds_ GUARDED_BY(mu_) = 0;
+  bool have_measurement_ GUARDED_BY(mu_) = false;
   /// NowSeconds() at the last completion: the idle-decay anchor.
-  double last_completion_seconds_ = 0;
+  double last_completion_seconds_ GUARDED_BY(mu_) = 0;
 
   std::vector<std::thread> dispatchers_;
   std::thread deadline_watchdog_;

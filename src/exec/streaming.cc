@@ -1,14 +1,13 @@
 #include "exec/streaming.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/stopwatch.h"
 #include "dist/dist_engine.h"
 #include "exec/task_graph.h"
@@ -38,12 +37,12 @@ class StreamState {
   /// Enqueues one chunk, blocking while the queue is full. Returns false
   /// (dropping the chunk) once the stream is cancelled. Empty pair sets are
   /// not enqueued.
-  bool Push(std::vector<ResultPair> pairs) {
+  bool Push(std::vector<ResultPair> pairs) EXCLUDES(mu_) {
     if (pairs.empty()) return !cancel_.cancelled();
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_space_.wait(lock, [this] {
-      return queue_.size() < capacity_ || cancel_.cancelled();
-    });
+    MutexLock lock(&mu_);
+    while (queue_.size() >= capacity_ && !cancel_.cancelled()) {
+      cv_space_.Wait(&mu_);
+    }
     if (cancel_.cancelled()) return false;
     PushLocked(std::move(pairs));
     return true;
@@ -53,8 +52,8 @@ class StreamState {
   /// by tile tasks on a *shared* pool, where blocking a worker on one
   /// stream's backpressure could starve (and with sequential consumers,
   /// deadlock) every other stream on the pool.
-  PushResult TryPush(std::vector<ResultPair>* pairs) {
-    std::lock_guard<std::mutex> lock(mu_);
+  PushResult TryPush(std::vector<ResultPair>* pairs) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (cancel_.cancelled()) return PushResult::kCancelled;
     if (pairs->empty()) return PushResult::kPushed;
     if (queue_.size() >= capacity_) return PushResult::kFull;
@@ -66,20 +65,20 @@ class StreamState {
   /// Dequeues the next chunk; false at end-of-stream. Buffered chunks are
   /// still delivered after Close/Cancel -- the delivered prefix stays
   /// well-defined.
-  bool Pop(ResultChunk* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_data_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  bool Pop(ResultChunk* out) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (queue_.empty() && !closed_) cv_data_.Wait(&mu_);
     if (queue_.empty()) return false;
     *out = std::move(queue_.front());
     queue_.pop_front();
-    cv_space_.notify_one();
+    cv_space_.NotifyOne();
     return true;
   }
 
-  void Cancel() {
+  void Cancel() EXCLUDES(mu_) {
     cancel_.Cancel();
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_space_.notify_all();
+    MutexLock lock(&mu_);
+    cv_space_.NotifyAll();
   }
 
   /// Cancel() that also stamps the terminal status: when the producer
@@ -87,9 +86,9 @@ class StreamState {
   /// replaces it -- DeadlineExceeded for deadline kills, OK for graceful
   /// degradation (the delivered prefix becomes the official result). First
   /// stamp wins; a stream that already closed is left untouched.
-  void CancelWith(Status status) {
+  void CancelWith(Status status) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!closed_ && !status_override_.has_value()) {
         status_override_ = std::move(status);
       }
@@ -100,53 +99,53 @@ class StreamState {
   /// Marks the stream finished. Called exactly once, by the producer (or by
   /// DeferredStream::abandon when the producer never ran).
   void Close(Status status, const JoinStats& stats,
-             const StageTiming& timing) {
-    std::lock_guard<std::mutex> lock(mu_);
+             const StageTiming& timing) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     SWIFT_CHECK(!closed_);
     CloseLocked(std::move(status), stats, timing);
   }
 
   /// Safety-net variant for abandon paths that may race a normal Close.
-  void CloseIfOpen(Status status) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void CloseIfOpen(Status status) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (closed_) return;
     CloseLocked(std::move(status), JoinStats{}, StageTiming{});
   }
 
-  void WaitClosed() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_closed_.wait(lock, [this] { return closed_; });
+  void WaitClosed() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_) cv_closed_.Wait(&mu_);
   }
 
-  Status status() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Status status() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return status_;
   }
-  JoinStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  JoinStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
-  StageTiming timing() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  StageTiming timing() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return timing_;
   }
-  std::size_t max_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t max_depth() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return max_depth_;
   }
 
  private:
-  void PushLocked(std::vector<ResultPair> pairs) {
+  void PushLocked(std::vector<ResultPair> pairs) REQUIRES(mu_) {
     ResultChunk chunk;
     chunk.sequence = next_sequence_++;
     chunk.pairs = std::move(pairs);
     queue_.push_back(std::move(chunk));
     max_depth_ = std::max(max_depth_, queue_.size());
-    cv_data_.notify_one();
+    cv_data_.NotifyOne();
   }
 
   void CloseLocked(Status status, const JoinStats& stats,
-                   const StageTiming& timing) {
+                   const StageTiming& timing) REQUIRES(mu_) {
     closed_ = true;
     // A CancelWith stamp overrides the generic cancellation status (every
     // producer flavour closes a cancelled stream with kAborted). Genuine
@@ -158,27 +157,27 @@ class StreamState {
     status_ = std::move(status);
     stats_ = stats;
     timing_ = timing;
-    cv_data_.notify_all();
-    cv_closed_.notify_all();
+    cv_data_.NotifyAll();
+    cv_closed_.NotifyAll();
   }
 
   const std::size_t capacity_;
   CancellationSource cancel_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_data_;    // consumer waits: data or closed
-  std::condition_variable cv_space_;   // producer waits: space or cancelled
-  std::condition_variable cv_closed_;  // Wait/Collect wait: closed
-  std::deque<ResultChunk> queue_;
-  uint64_t next_sequence_ = 0;
-  std::size_t max_depth_ = 0;
-  bool closed_ = false;
-  Status status_;
+  mutable Mutex mu_;
+  CondVar cv_data_;    // consumer waits: data or closed
+  CondVar cv_space_;   // producer waits: space or cancelled
+  CondVar cv_closed_;  // Wait/Collect wait: closed
+  std::deque<ResultChunk> queue_ GUARDED_BY(mu_);
+  uint64_t next_sequence_ GUARDED_BY(mu_) = 0;
+  std::size_t max_depth_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+  Status status_ GUARDED_BY(mu_);
   /// Terminal-status stamp from CancelWith; applied by CloseLocked when the
   /// producer closes with the generic cancellation kAborted.
-  std::optional<Status> status_override_;
-  JoinStats stats_;
-  StageTiming timing_;
+  std::optional<Status> status_override_ GUARDED_BY(mu_);
+  JoinStats stats_ GUARDED_BY(mu_);
+  StageTiming timing_ GUARDED_BY(mu_);
 };
 
 }  // namespace internal

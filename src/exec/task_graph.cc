@@ -36,7 +36,7 @@ TaskId TaskGraph::Add(std::function<void()> fn,
   std::size_t index;
   bool ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     index = tasks_.size();
     auto node = std::make_unique<Node>();
     node->fn = std::move(fn);
@@ -66,7 +66,7 @@ void TaskGraph::RunNode(std::size_t index) {
   {
     // tasks_ may be reallocating under a concurrent Add; the nodes
     // themselves are heap-stable, so only the indexing needs the lock.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     node_ptr = tasks_[index].get();
   }
   Node& node = *node_ptr;
@@ -83,7 +83,7 @@ void TaskGraph::FinishNode(std::size_t index, bool skipped,
                            Clock::time_point start, Clock::time_point end) {
   std::vector<std::size_t> newly_ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Node& node = *tasks_[index];
     node.finished = true;
     // Timing is stamped under mu_ so the locked getters
@@ -109,7 +109,7 @@ void TaskGraph::FinishNode(std::size_t index, bool skipped,
       // Notify while holding the lock: a Wait()er may destroy this graph
       // (cv included) the moment it observes the drain, which must not
       // overlap the notify call itself.
-      cv_drained_.notify_all();
+      cv_drained_.NotifyAll();
     }
   }
   for (const std::size_t r : newly_ready) SubmitNode(r);
@@ -117,34 +117,34 @@ void TaskGraph::FinishNode(std::size_t index, bool skipped,
 
 void TaskGraph::Wait() {
   SWIFT_CHECK(pool_->CurrentWorkerIndex() == ThreadPool::kNotAWorker);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_drained_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(&mu_);
+  while (unfinished_ != 0) cv_drained_.Wait(&mu_);
 }
 
 std::size_t TaskGraph::tasks_added() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tasks_.size();
 }
 
 std::size_t TaskGraph::tasks_run() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return run_;
 }
 
 std::size_t TaskGraph::tasks_skipped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return skipped_;
 }
 
 double TaskGraph::total_task_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   double total = 0;
   for (const auto& node : tasks_) total += node->timing.run_seconds;
   return total;
 }
 
 TaskTiming TaskGraph::timing(TaskId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SWIFT_CHECK_LT(id, tasks_.size());
   return tasks_[id]->timing;
 }

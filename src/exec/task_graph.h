@@ -23,13 +23,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 
 namespace swiftspatial::exec {
@@ -100,43 +99,47 @@ class TaskGraph {
 
   /// Adds a task that runs once every task in `deps` has completed (or been
   /// skipped). Tasks with no deps are submitted to the pool immediately.
-  TaskId Add(std::function<void()> fn, const std::vector<TaskId>& deps = {});
+  TaskId Add(std::function<void()> fn, const std::vector<TaskId>& deps = {})
+      EXCLUDES(mu_);
 
   /// Blocks until every task added so far -- including tasks added by
   /// running tasks while this call blocks -- has completed or been skipped.
   /// Must not be called from a task running on the underlying pool.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   bool cancelled() const { return cancel_.cancelled(); }
 
   // Introspection. Safe to call mid-run (timings are stamped under the
   // graph lock as each task finishes); values are final once Wait() returns.
-  std::size_t tasks_added() const;
-  std::size_t tasks_run() const;
-  std::size_t tasks_skipped() const;
+  std::size_t tasks_added() const EXCLUDES(mu_);
+  std::size_t tasks_run() const EXCLUDES(mu_);
+  std::size_t tasks_skipped() const EXCLUDES(mu_);
   /// Sum of run_seconds over all tasks (total work, not wall-clock).
-  double total_task_seconds() const;
-  TaskTiming timing(TaskId id) const;
+  double total_task_seconds() const EXCLUDES(mu_);
+  TaskTiming timing(TaskId id) const EXCLUDES(mu_);
 
  private:
   struct Node;
 
   void SubmitNode(std::size_t index);
-  void RunNode(std::size_t index);
+  void RunNode(std::size_t index) EXCLUDES(mu_);
   void FinishNode(std::size_t index, bool skipped,
                   std::chrono::steady_clock::time_point start,
-                  std::chrono::steady_clock::time_point end);
+                  std::chrono::steady_clock::time_point end) EXCLUDES(mu_);
 
   ThreadPool* pool_;
   CancellationToken cancel_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_drained_;
-  // unique_ptr keeps nodes stable while tasks_ grows from running tasks.
-  std::vector<std::unique_ptr<Node>> tasks_;
-  std::size_t unfinished_ = 0;
-  std::size_t run_ = 0;
-  std::size_t skipped_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_drained_;
+  // unique_ptr keeps nodes stable while tasks_ grows from running tasks:
+  // mu_ guards the vector (indexing during reallocation), while a node's
+  // fn runs outside the lock by design -- RunNode is the only writer of an
+  // unfinished node's fn/timing between submit and FinishNode.
+  std::vector<std::unique_ptr<Node>> tasks_ GUARDED_BY(mu_);
+  std::size_t unfinished_ GUARDED_BY(mu_) = 0;
+  std::size_t run_ GUARDED_BY(mu_) = 0;
+  std::size_t skipped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace swiftspatial::exec

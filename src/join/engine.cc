@@ -582,14 +582,14 @@ class GenericPreparedPlan : public PreparedPlan {
     return (r().size() + s().size()) * sizeof(Box);
   }
 
-  Status Execute(JoinResult* out, JoinStats* stats) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Status Execute(JoinResult* out, JoinStats* stats) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return planned_->Execute(out, stats);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unique_ptr<JoinEngine> planned_;
+  mutable Mutex mu_;
+  std::unique_ptr<JoinEngine> planned_ PT_GUARDED_BY(mu_);
 };
 
 template <typename Engine>
@@ -768,7 +768,7 @@ Status EngineRegistry::Register(const std::string& name,
   if (factory == nullptr) {
     return Status::InvalidArgument("engine factory must be non-null");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!factories_.emplace(name, std::move(factory)).second) {
     return Status::InvalidArgument("engine already registered: " + name);
   }
@@ -776,7 +776,7 @@ Status EngineRegistry::Register(const std::string& name,
 }
 
 bool EngineRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return factories_.count(name) > 0;
 }
 
@@ -784,7 +784,7 @@ Result<std::unique_ptr<JoinEngine>> EngineRegistry::Create(
     const std::string& name, const EngineConfig& config) const {
   EngineFactory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = factories_.find(name);
     if (it == factories_.end()) {
       std::string known;
@@ -801,7 +801,7 @@ Result<std::unique_ptr<JoinEngine>> EngineRegistry::Create(
 }
 
 std::vector<std::string> EngineRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) names.push_back(name);

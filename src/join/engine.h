@@ -22,11 +22,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "datagen/dataset.h"
 #include "dist/placement.h"
@@ -234,20 +234,22 @@ class EngineRegistry {
 
   /// Registers a factory. Fails with InvalidArgument on empty names or
   /// AlreadyExists-style collisions (reported as InvalidArgument).
-  Status Register(const std::string& name, EngineFactory factory);
+  Status Register(const std::string& name, EngineFactory factory)
+      EXCLUDES(mu_);
 
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const EXCLUDES(mu_);
 
   /// Instantiates engine `name`, or NotFound listing the known engines.
   Result<std::unique_ptr<JoinEngine>> Create(
-      const std::string& name, const EngineConfig& config = {}) const;
+      const std::string& name, const EngineConfig& config = {}) const
+      EXCLUDES(mu_);
 
   /// Sorted names of all registered engines.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, EngineFactory> factories_;
+  mutable Mutex mu_;
+  std::map<std::string, EngineFactory> factories_ GUARDED_BY(mu_);
 };
 
 /// One-call convenience: instantiate `engine` from the global registry, then

@@ -238,6 +238,86 @@ TEST(DatasetRegistry, ConcurrentWarmLookupsAndExecutionsAreRaceFree) {
   EXPECT_EQ(registry.plan_cache_stats().entries, 1u);
 }
 
+// TSan stress: GetOrPrepare racing byte-budget LRU eviction AND version
+// bumps, all at maximum churn (a budget that evicts on every insert, and a
+// writer re-registering "s" mid-flight). Invariants under fire: every
+// returned plan stays fully usable regardless of being invalidated or
+// evicted while held (shared_ptr pinning), every execution produces the
+// exact cold multiset (the bumper re-Puts identical data, so results must
+// never change), and once the race quiesces exactly one insert owns each
+// key -- a repeat lookup shares the winner pointer instead of replanning.
+TEST(DatasetRegistry, StressGetOrPrepareRacingEvictionAndVersionBump) {
+  const Dataset r = Side(81);
+  const Dataset s = Side(82);
+  EngineConfig config;
+  config.num_threads = 1;
+  auto cold = RunJoin(kPartitionedEngine, r, s, config);
+  ASSERT_TRUE(cold.ok());
+
+  DatasetRegistryOptions options;
+  options.max_plan_bytes = 1;  // keep-newest only: every insert evicts
+  DatasetRegistry registry(options);
+  registry.Put("r", r);
+  registry.Put("s", s);
+
+  constexpr int kThreads = 6;
+  constexpr int kIterations = 8;
+  std::vector<Status> statuses(kThreads, Status::OK());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      // Private copy of the oracle: SameMultiset sorts both sides in place,
+      // so sharing one reference across threads would race in the test.
+      JoinResult oracle = cold->result;
+      // Two alternating configs per thread: distinct cache keys contending
+      // for a one-entry budget, so lookups constantly evict each other.
+      EngineConfig mine = config;
+      for (int iter = 0; iter < kIterations; ++iter) {
+        mine.grid_cols = (iter % 2 == 0) ? 0 : 4 + i;
+        mine.grid_rows = mine.grid_cols;
+        auto plan = registry.GetOrPrepare(kPartitionedEngine, "r", "s", mine);
+        if (!plan.ok()) {
+          statuses[i] = plan.status();
+          return;
+        }
+        // Execute while eviction/invalidation may have already dropped the
+        // cache entry: the held plan must keep working and keep joining the
+        // data it was planned over.
+        auto run = RunPreparedJoin(**plan, mine);
+        if (!run.ok()) {
+          statuses[i] = run.status();
+          return;
+        }
+        if (!JoinResult::SameMultiset(oracle, run->result)) {
+          statuses[i] = Status::Internal("stress run diverged from cold");
+          return;
+        }
+      }
+    });
+  }
+  // The version bumper: re-registers "s" with identical data while lookups
+  // and executions are in flight. Every bump invalidates all cached plans
+  // mentioning "s", so misses, insert races, eviction, and invalidation all
+  // overlap.
+  std::thread bumper([&] {
+    for (int b = 0; b < 5; ++b) registry.Put("s", s);
+  });
+  for (auto& t : threads) t.join();
+  bumper.join();
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << i << ": " << statuses[i].ToString();
+  }
+
+  // Quiescent: one miss re-plans at the final version, then a repeat lookup
+  // must share that exact winner (one insert per key, no silent replans).
+  auto final_plan = registry.GetOrPrepare(kPartitionedEngine, "r", "s", config);
+  ASSERT_TRUE(final_plan.ok());
+  auto repeat = registry.GetOrPrepare(kPartitionedEngine, "r", "s", config);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(final_plan->get(), repeat->get());
+  EXPECT_EQ(registry.plan_cache_stats().entries, 1u);
+}
+
 TEST(DatasetRegistry, EmptyDatasetsPrepareAndExecuteSafely) {
   DatasetRegistry registry;
   registry.Put("empty", Dataset());

@@ -4,8 +4,9 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace swiftspatial::exec {
 namespace {
@@ -42,9 +43,9 @@ TEST(TaskGraph, DiamondDependencyOrdering) {
   ThreadPool pool(4);
   TaskGraph graph(&pool);
   std::vector<int> order;
-  std::mutex mu;
+  Mutex mu;
   auto record = [&](int id) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     order.push_back(id);
   };
   const TaskId a = graph.Add([&] { record(0); });

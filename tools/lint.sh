@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Repo lint, run in CI (see .github/workflows/ci.yml) and locally via
+#   tools/lint.sh
+#
+# Two checks, both about keeping the compile-time concurrency verification
+# honest (src/common/sync.h):
+#
+#  1. Raw synchronization primitives are banned outside src/common/sync.h.
+#     Code that locks through std::mutex / std::lock_guard /
+#     std::unique_lock / std::condition_variable is invisible to Clang
+#     Thread Safety Analysis -- the annotated Mutex/MutexLock/CondVar
+#     wrappers are the only sanctioned vocabulary. (std::once_flag /
+#     std::call_once and std::atomic are fine: they carry no capability to
+#     track.)
+#
+#  2. NO_THREAD_SAFETY_ANALYSIS escapes must be on the documented allowlist
+#     below. Each allowlisted site must carry a justification comment; new
+#     escapes require editing this file, which puts them in front of a
+#     reviewer.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- Check 1: raw sync primitives confined to src/common/sync.h ------------
+banned='std::mutex\b|std::recursive_mutex\b|std::timed_mutex\b|std::shared_mutex\b|std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b|std::shared_lock\b|std::condition_variable\b'
+raw_hits=$(grep -rnE "$banned" src tests examples bench \
+  --include='*.h' --include='*.cc' --include='*.cpp' \
+  | grep -v '^src/common/sync\.h:' || true)
+if [ -n "$raw_hits" ]; then
+  echo "FAIL: raw synchronization primitives outside src/common/sync.h."
+  echo "Use swiftspatial::Mutex / MutexLock / CondVar (common/sync.h) so"
+  echo "Clang Thread Safety Analysis can check the locking:"
+  echo
+  echo "$raw_hits"
+  echo
+  fail=1
+fi
+
+# --- Check 2: NO_THREAD_SAFETY_ANALYSIS allowlist --------------------------
+# Allowlisted escape sites, one per line as <file>:<symbol-or-reason>.
+# Keep this list at three entries or fewer; every entry must point at a
+# justification comment next to the attribute. Currently empty: the whole
+# tree analyzes cleanly.
+allowlist='
+'
+escape_hits=$(grep -rn 'NO_THREAD_SAFETY_ANALYSIS' src tests examples bench \
+  --include='*.h' --include='*.cc' --include='*.cpp' \
+  | grep -v '^src/common/sync\.h:' || true)
+if [ -n "$escape_hits" ]; then
+  while IFS= read -r hit; do
+    file=${hit%%:*}
+    if ! printf '%s\n' "$allowlist" | grep -qF "$file"; then
+      echo "FAIL: NO_THREAD_SAFETY_ANALYSIS escape not on the allowlist in"
+      echo "tools/lint.sh (add it with a justification, max 3 entries):"
+      echo "  $hit"
+      echo
+      fail=1
+    fi
+  done <<EOF
+$escape_hits
+EOF
+fi
+
+allowed_count=$(printf '%s\n' "$allowlist" | grep -c ':' || true)
+if [ "$allowed_count" -gt 3 ]; then
+  echo "FAIL: NO_THREAD_SAFETY_ANALYSIS allowlist has $allowed_count entries (max 3)."
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint OK: no raw sync primitives outside src/common/sync.h,"
+  echo "no unlisted NO_THREAD_SAFETY_ANALYSIS escapes."
+fi
+exit "$fail"
