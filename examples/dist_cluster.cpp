@@ -12,17 +12,30 @@
 //
 // Build & run:
 //   cmake -B build && cmake --build build
-//   ./build/examples/dist_cluster
+//   ./build/examples/dist_cluster [--metrics] [--trace-file=PATH]
+//
+// --metrics dumps the swiftspatial_dist_* Prometheus exposition at the end;
+// --trace-file writes a Chrome trace_event JSON of the traced cluster run
+// (merge/shard/commit spans, one track per node) for chrome://tracing or
+// https://ui.perfetto.dev.
 #include <cstdio>
+#include <fstream>
+#include <string>
 
+#include "common/flags.h"
 #include "datagen/generator.h"
 #include "dist/dist_engine.h"
 #include "exec/streaming.h"
 #include "join/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace swiftspatial;
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool dump_metrics = flags.GetBool("metrics", false);
+  const std::string trace_file = flags.GetString("trace-file", "");
   OsmLikeConfig config;  // spatially skewed: placement policy matters
   config.count = 30000;
   config.seed = 21;
@@ -50,7 +63,14 @@ int main() {
   std::printf("single machine: %zu pairs in %.1f ms; 8-node cluster agrees\n",
               local->result.size(), local->timing.total_seconds() * 1e3);
 
-  // 2. The cluster report through the typed handle.
+  // 2. The cluster report through the typed handle; with --trace-file this
+  // run is traced end to end (merge span, per-node shard spans, commits).
+  obs::ScopedSpan root;
+  if (!trace_file.empty()) {
+    root = obs::ScopedSpan(
+        obs::TraceContext::StartTrace(&obs::SpanBuffer::Global()), "request");
+    ecfg.trace = root.context();
+  }
   auto engine = dist::MakeDistEngine(kDistPbsmEngine, ecfg);
   if (!engine.ok()) return 1;
   JoinResult out;
@@ -58,6 +78,7 @@ int main() {
       !(*engine)->Execute(&out, nullptr).ok()) {
     return 1;
   }
+  root.End();
   const dist::DistReport& report = (*engine)->last_report();
   std::printf(
       "cluster: %zu shards on %zu nodes, makespan %.2f ms, straggler gap "
@@ -110,5 +131,16 @@ int main() {
   if (!handle->Wait().ok()) return 1;
   std::printf("streamed the cluster join: %zu pairs in %zu chunks\n", pairs,
               chunks);
+
+  if (dump_metrics) {
+    std::printf("--- metrics ---\n%s",
+                obs::MetricsRegistry::Global().TextExposition().c_str());
+  }
+  if (!trace_file.empty()) {
+    std::ofstream trace_out(trace_file);
+    trace_out << obs::SpanBuffer::Global().ChromeTraceJson();
+    std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
+                obs::SpanBuffer::Global().size(), trace_file.c_str());
+  }
   return 0;
 }

@@ -13,9 +13,16 @@
 // kernels instead of one large one.
 //
 //   ./build/examples/faas_server [--interactive=N] [--analytical=N]
+//                                [--metrics] [--trace-file=PATH]
+//
+// --metrics dumps the Prometheus text exposition of the service's
+// MetricsRegistry after each policy run; --trace-file writes a Chrome
+// trace_event JSON of every request's span tree (load it in
+// chrome://tracing or https://ui.perfetto.dev).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -29,6 +36,7 @@
 #include "datagen/generator.h"
 #include "exec/service.h"
 #include "join/engine.h"
+#include "obs/trace.h"
 
 using namespace swiftspatial;
 
@@ -61,6 +69,8 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
   const int interactive = static_cast<int>(flags.GetInt("interactive", 20));
   const int analytical = static_cast<int>(flags.GetInt("analytical", 4));
+  const bool dump_metrics = flags.GetBool("metrics", false);
+  const std::string trace_file = flags.GetString("trace-file", "");
 
   // Two request classes, sized so one analytical join costs roughly an
   // order of magnitude more than an interactive one.
@@ -86,6 +96,9 @@ int main(int argc, char** argv) {
     options.max_concurrent = 2;
     options.max_pending = static_cast<std::size_t>(interactive + analytical);
     options.policy = policy;
+    if (!trace_file.empty()) {
+      options.span_buffer = &obs::SpanBuffer::Global();
+    }
     exec::JoinService service(options);
 
     EngineConfig config;
@@ -137,8 +150,19 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(anal.mean_ms, 2),
                   TablePrinter::Fmt(anal.p99_ms, 2),
                   TablePrinter::Fmt(makespan * 1e3, 2)});
+    if (dump_metrics) {
+      std::printf("--- metrics (%s) ---\n%s",
+                  exec::SchedulingPolicyToString(policy),
+                  service.MetricsText().c_str());
+    }
   }
   table.Print();
+  if (!trace_file.empty()) {
+    std::ofstream out(trace_file);
+    out << obs::SpanBuffer::Global().ChromeTraceJson();
+    std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
+                obs::SpanBuffer::Global().size(), trace_file.c_str());
+  }
   std::printf(
       "fair-share pulls interactive requests ahead of the analytical burst "
       "(lower interactive mean/p99) while total makespan stays put -- the "

@@ -1,12 +1,20 @@
 #include "dist/cluster.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace swiftspatial::dist {
+
+namespace {
+obs::MetricsRegistry& ResolveMetrics(const NodeOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::Global();
+}
+}  // namespace
 
 Node::Node(int id, const NodeOptions& options,
            const std::vector<Shard>* shards, Exchange* exchange,
@@ -20,6 +28,10 @@ Node::Node(int id, const NodeOptions& options,
       fault_injected_(fault.fail_node == id),
       fail_after_(fault.fail_after_shards),
       cancel_(std::move(cancel)),
+      trace_(options.trace),
+      m_shard_seconds_(ResolveMetrics(options).GetHistogram("swiftspatial_dist_shard_run_seconds", {}, {}, "Per-shard execute wall seconds across cluster nodes")),
+      m_shards_executed_(ResolveMetrics(options).GetCounter("swiftspatial_dist_shards_executed_total", {}, "Shards whose results a node shipped completely")),
+      m_shards_retried_(ResolveMetrics(options).GetCounter("swiftspatial_dist_shards_retried_total", {}, "Committed shards that were fault-recovery retries")),
       pool_(std::max<std::size_t>(1, options.worker_threads)),
       runtime_([this] { RuntimeLoop(); }) {}
 
@@ -102,12 +114,23 @@ void Node::RunShard(ShardRef ref) {
   }
   const Shard& shard = (*shards_)[static_cast<std::size_t>(ref.shard_index)];
 
+  // One span per shard-attempt, on this node's track; its context rides
+  // the outgoing messages so the coordinator's commit span links back.
+  obs::ScopedSpan span;
+  if (trace_.active()) {
+    span = obs::ScopedSpan(trace_, "shard", id_ + 1);
+    span.AddAttr("shard", std::to_string(shard.id));
+    span.AddAttr("attempt", std::to_string(ref.attempt));
+    span.AddAttr("node", std::to_string(id_));
+  }
+
   Stopwatch sw;
   std::vector<ResultPair> pairs;
   JoinStats stats;
   double device_seconds = 0;
   const Status st = executor_(shard, &pairs, &stats, &device_seconds);
   const double seconds = sw.ElapsedSeconds();
+  m_shard_seconds_->Observe(seconds);
 
   bool die_mid_transmission = false;
   bool executor_crashed = false;
@@ -135,9 +158,15 @@ void Node::RunShard(ShardRef ref) {
     }
   }
   if (executor_crashed) {
+    span.AddAttr("outcome", "executor_error");
     cv_cmd_.NotifyAll();  // wake the runtime loop to emit kNodeFailed
     return;
   }
+  if (!die_mid_transmission) {
+    m_shards_executed_->Increment();
+    if (ref.attempt > 0) m_shards_retried_->Increment();
+  }
+  const obs::TraceContext msg_trace = span.context();
 
   // Ship result chunks, then the completion marker. A node dying
   // mid-transmission sends at most its first chunk and never the marker:
@@ -151,11 +180,13 @@ void Node::RunShard(ShardRef ref) {
     msg.shard = ref.shard_index;
     msg.attempt = ref.attempt;
     msg.pairs.assign(pairs.begin() + off, pairs.begin() + end);
+    msg.trace = msg_trace;
     if (!exchange_->Send(std::move(msg))) return;  // cancelled
     off = end;
     if (die_mid_transmission) break;  // crash after the first chunk
   }
   if (die_mid_transmission) {
+    span.AddAttr("outcome", "failed_mid_transmission");
     cv_cmd_.NotifyAll();
     return;
   }
@@ -164,6 +195,7 @@ void Node::RunShard(ShardRef ref) {
   done.node = id_;
   done.shard = ref.shard_index;
   done.attempt = ref.attempt;
+  done.trace = msg_trace;
   exchange_->Send(std::move(done));
 }
 

@@ -47,6 +47,12 @@ struct ShardRef {
 struct NodeOptions {
   /// The node's worker budget: its private ThreadPool size.
   std::size_t worker_threads = 1;
+  /// Trace context for shard-attempt spans (typically the coordinator's
+  /// merge span); inactive = untraced. Shard spans land on track id+1.
+  obs::TraceContext trace;
+  /// Metrics sink for the swiftspatial_dist_shard* series; nullptr selects
+  /// obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Failure injection for fault-recovery tests and the resilience bench.
@@ -120,6 +126,11 @@ class Node {
   const bool fault_injected_;
   const std::size_t fail_after_;
   exec::CancellationToken cancel_;
+  const obs::TraceContext trace_;
+  // Pre-resolved metric handles (lock-free to update).
+  obs::Histogram* const m_shard_seconds_;
+  obs::Counter* const m_shards_executed_;
+  obs::Counter* const m_shards_retried_;
 
   ThreadPool pool_;
 

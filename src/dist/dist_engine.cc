@@ -29,6 +29,7 @@ DistJoinOptions OptionsFromConfig(const EngineConfig& config,
   options.accel_tile_cap = config.accel_tile_cap;
   // The engine validates geometry once, at Plan.
   options.validate_inputs = false;
+  options.trace = config.trace;
   return options;
 }
 
@@ -97,8 +98,13 @@ class DistEngineImpl : public DistJoinEngine {
                               name_);
     }
     *out = JoinResult();
+    // The cached options froze the PREPARING request's trace context; a
+    // warm execution must carry its own, so override from this engine
+    // instance's config (one engine instance per request).
+    DistJoinOptions options = typed->options;
+    options.trace = config_.trace;
     auto report = RunPlannedJoin(plan.r(), plan.s(), typed->shard_plan,
-                                 typed->options, out, stats);
+                                 options, out, stats);
     if (!report.ok()) return report.status();
     report_ = std::move(*report);
     return Status::OK();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "grid/hierarchical_partition.h"
 #include "hw/accelerator.h"
 
@@ -114,6 +115,13 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
   SWIFT_RETURN_IF_ERROR(ValidateOptions(options));
   if (result != nullptr) *result = JoinResult();
 
+  // Coordinator wall clock (satellite: wall_seconds). Spans the whole run
+  // -- cluster spin-up, merge loop, drain, join -- unlike the modelled
+  // makespan, which only sums node work.
+  Stopwatch wall;
+  // The merge span parents every node shard span and commit span.
+  obs::ScopedSpan merge_span(options.trace, "merge");
+
   DistReport report;
   report.grid_cols = plan.grid_cols;
   report.grid_rows = plan.grid_rows;
@@ -124,12 +132,17 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
   report.input_bytes = plan.input_bytes;
   report.node_stats.resize(report.nodes);
   report.link_stats.resize(report.nodes);
-  if (plan.shards.empty()) return report;
+  if (plan.shards.empty()) {
+    report.wall_seconds = wall.ElapsedSeconds();
+    return report;
+  }
 
-  Exchange exchange(report.nodes, options.link, cancel);
+  Exchange exchange(report.nodes, options.link, cancel, options.metrics);
   NodeOptions node_options;
   node_options.worker_threads =
       std::max<std::size_t>(1, options.node_worker_threads);
+  node_options.trace = merge_span.context();
+  node_options.metrics = options.metrics;
   ShardExecutor executor = options.use_accel
                                ? MakeAccelExecutor(r, s, options)
                                : MakeCpuExecutor(r, s, options.tile_join);
@@ -187,6 +200,11 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
         }
         committed[shard_index] = true;
         ++committed_count;
+        // Commit span: parented to the sending shard-attempt span through
+        // the message's trace context, so the tree stays connected across
+        // the node boundary. Covers the merge + sink delivery work.
+        obs::ScopedSpan commit(msg.trace, "commit");
+        commit.AddAttr("shard", std::to_string(plan.shards[shard_index].id));
         std::vector<ResultPair> pairs = std::move(buffer[shard_index]);
         report.num_results += pairs.size();
         if (result != nullptr) {
@@ -279,6 +297,21 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
   report.exchange_payload_bytes = exchange.total_payload_bytes();
   report.exchange_messages = exchange.total_messages();
   report.exchange_modelled_seconds = exchange.max_link_seconds();
+  report.wall_seconds = wall.ElapsedSeconds();
+
+  // Export the run-level signals. Gauges reflect the latest run; counters
+  // accumulate across runs.
+  auto& metrics = options.metrics != nullptr ? *options.metrics
+                                             : obs::MetricsRegistry::Global();
+  metrics.GetGauge("swiftspatial_dist_wall_seconds", {}, "End-to-end coordinator wall seconds of the last distributed run")->Set(report.wall_seconds);
+  metrics.GetGauge("swiftspatial_dist_makespan_seconds", {}, "Modelled makespan (max node busy seconds) of the last distributed run")->Set(report.makespan_seconds);
+  metrics.GetGauge("swiftspatial_dist_straggler_gap", {}, "Makespan / mean node busy seconds of the last distributed run")->Set(report.straggler_gap);
+  metrics.GetCounter("swiftspatial_dist_runs_total", {}, "Completed distributed joins")->Increment();
+  metrics.GetCounter("swiftspatial_dist_failed_nodes_total", {}, "Node failures observed by the merge coordinator")->Increment(report.failed_nodes);
+  metrics.GetCounter("swiftspatial_dist_retried_shards_total", {}, "Shard re-executions scheduled by fault recovery")->Increment(report.retried_shards);
+  for (std::size_t n = 0; n < report.nodes; ++n) {
+    metrics.GetGauge("swiftspatial_dist_node_busy_seconds", {{"node", std::to_string(n)}}, "Busy seconds per node in the last distributed run")->Set(report.node_stats[n].busy_seconds);
+  }
   return report;
 }
 

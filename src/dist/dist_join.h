@@ -70,6 +70,12 @@ struct DistJoinOptions {
   FaultPlan fault;
   /// Reject NaN/inf/inverted boxes before planning.
   bool validate_inputs = true;
+  /// Trace context for the coordinator's merge span (and, through it, the
+  /// node shard spans and commit spans). Inactive = untraced run.
+  obs::TraceContext trace;
+  /// Metrics sink for the swiftspatial_dist_* series; nullptr selects
+  /// obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything a finished distributed run reports.
@@ -94,6 +100,12 @@ struct DistReport {
   // that holds even when the host serialises the "concurrent" nodes.
   double makespan_seconds = 0;
   double mean_busy_seconds = 0;
+  /// End-to-end coordinator wall clock for the run (cluster spin-up through
+  /// merge completion), stamped by the coordinator. On a host that truly
+  /// runs nodes in parallel this is what an operator experiences; comparing
+  /// it against makespan_seconds (work-proportional model) bounds how much
+  /// the single-host simulation serialises the cluster.
+  double wall_seconds = 0;
   /// max node busy / mean node busy; 1.0 = perfectly balanced. The
   /// straggler gap the placement policies compete on.
   double straggler_gap = 0;

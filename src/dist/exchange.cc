@@ -15,10 +15,20 @@ constexpr uint64_t kHeaderBytes = 24;
 constexpr auto kCancelTick = std::chrono::milliseconds(2);
 }  // namespace
 
+namespace {
+obs::MetricsRegistry& ResolveMetrics(obs::MetricsRegistry* metrics) {
+  return metrics != nullptr ? *metrics : obs::MetricsRegistry::Global();
+}
+}  // namespace
+
 Exchange::Exchange(std::size_t num_nodes, const LinkConfig& config,
-                   exec::CancellationToken cancel)
+                   exec::CancellationToken cancel,
+                   obs::MetricsRegistry* metrics)
     : config_(config),
       external_cancel_(std::move(cancel)),
+      m_messages_(ResolveMetrics(metrics).GetCounter("swiftspatial_dist_exchange_messages_total", {}, "Messages enqueued on node->coordinator links")),
+      m_payload_bytes_(ResolveMetrics(metrics).GetCounter("swiftspatial_dist_exchange_payload_bytes_total", {}, "Result-pair payload bytes shipped over exchange links")),
+      m_stalls_(ResolveMetrics(metrics).GetCounter("swiftspatial_dist_exchange_stalls_total", {}, "Sends that blocked on a full link (backpressure)")),
       num_links_(num_nodes),
       links_(num_nodes),
       open_links_(num_nodes) {
@@ -37,6 +47,11 @@ bool Exchange::Send(Message msg) {
   MutexLock lock(&mu_);
   Link& link = links_[node];
   SWIFT_CHECK(!link.closed);
+  if (link.queue.size() >= config_.queue_capacity) {
+    // One stall per blocking Send, however many wakeups it takes.
+    link.stats.stalls += 1;
+    m_stalls_->Increment();
+  }
   while (link.queue.size() >= config_.queue_capacity) {
     if (cancelled_ || external_cancel_.cancelled()) return false;
     cv_space_.WaitFor(&mu_, kCancelTick);
@@ -46,6 +61,8 @@ bool Exchange::Send(Message msg) {
   const uint64_t bytes = MessageBytes(msg);
   link.stats.messages += 1;
   link.stats.payload_bytes += msg.pairs.size() * sizeof(ResultPair);
+  m_messages_->Increment();
+  m_payload_bytes_->Increment(msg.pairs.size() * sizeof(ResultPair));
   link.stats.modelled_seconds +=
       config_.latency_seconds +
       static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;

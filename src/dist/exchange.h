@@ -22,6 +22,8 @@
 #include "common/sync.h"
 #include "exec/task_graph.h"
 #include "join/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swiftspatial::dist {
 
@@ -41,6 +43,9 @@ struct LinkStats {
   double modelled_seconds = 0;
   /// High-water mark of buffered messages (bounded by queue_capacity).
   std::size_t max_depth = 0;
+  /// Times a Send found the link full and had to block (backpressure
+  /// stalls; counted once per blocking Send, not per wakeup).
+  uint64_t stalls = 0;
 };
 
 /// One message on a node -> coordinator link.
@@ -67,6 +72,10 @@ struct Message {
   /// Re-execution attempt; the coordinator drops stale-attempt messages.
   uint64_t attempt = 0;
   std::vector<ResultPair> pairs;
+  /// Trace context of the sending shard-attempt span (inactive when the
+  /// run is untraced). The coordinator parents its commit spans here, so
+  /// the span tree stays connected across the node boundary.
+  obs::TraceContext trace;
 };
 
 /// N bounded FIFO links feeding one coordinator. Thread-safe: any node
@@ -75,8 +84,11 @@ class Exchange {
  public:
   /// `cancel` is the external kill switch (e.g. a streaming consumer's
   /// Cancel): blocked Send/Recv calls observe it and return false.
+  /// `metrics` feeds the swiftspatial_dist_exchange_* counters; nullptr
+  /// selects obs::MetricsRegistry::Global().
   Exchange(std::size_t num_nodes, const LinkConfig& config,
-           exec::CancellationToken cancel = {});
+           exec::CancellationToken cancel = {},
+           obs::MetricsRegistry* metrics = nullptr);
 
   /// Enqueues `msg` on link msg.node, blocking while that link is full.
   /// Terminal messages (kNodeDone / kNodeFailed) close the link behind
@@ -110,6 +122,10 @@ class Exchange {
 
   const LinkConfig config_;
   exec::CancellationToken external_cancel_;
+  // Pre-resolved process-wide counters (lock-free to bump).
+  obs::Counter* const m_messages_;
+  obs::Counter* const m_payload_bytes_;
+  obs::Counter* const m_stalls_;
   /// Link count, fixed at construction (the lock-free num_links answer).
   const std::size_t num_links_;
 

@@ -25,8 +25,26 @@ DatasetStats ComputeStats(const Dataset& dataset) {
 
 }  // namespace
 
+namespace {
+obs::MetricsRegistry& ResolveMetrics(const DatasetRegistryOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::Global();
+}
+}  // namespace
+
 DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
-    : options_(options) {}
+    : options_(options),
+      m_hits_(ResolveMetrics(options).GetCounter("swiftspatial_cache_hits_total", {}, "Plan-cache hits")),
+      m_misses_(ResolveMetrics(options).GetCounter("swiftspatial_cache_misses_total", {}, "Plan-cache misses")),
+      m_evictions_(ResolveMetrics(options).GetCounter("swiftspatial_cache_evictions_total", {}, "Plan-cache LRU evictions")),
+      m_invalidated_(ResolveMetrics(options).GetCounter("swiftspatial_cache_invalidated_total", {}, "Plan-cache entries dropped by dataset re-registration")),
+      m_entries_(ResolveMetrics(options).GetGauge("swiftspatial_cache_entries", {}, "Resident plan-cache entries")),
+      m_resident_bytes_(ResolveMetrics(options).GetGauge("swiftspatial_cache_resident_bytes", {}, "Bytes of resident plan artifacts")) {}
+
+void DatasetRegistry::SyncGaugesLocked() {
+  m_entries_->Set(static_cast<double>(stats_.entries));
+  m_resident_bytes_->Set(static_cast<double>(stats_.resident_bytes));
+}
 
 DatasetHandle DatasetRegistry::Put(std::string name, Dataset dataset) {
   MutexLock lock(&mu_);
@@ -49,12 +67,14 @@ DatasetHandle DatasetRegistry::Put(std::string name, Dataset dataset) {
     if (stale) {
       stats_.resident_bytes -= it->second.bytes;
       ++stats_.invalidated;
+      m_invalidated_->Increment();
       it = plans_.erase(it);
     } else {
       ++it;
     }
   }
   stats_.entries = plans_.size();
+  SyncGaugesLocked();
   return DatasetHandle{std::move(name), entry.version};
 }
 
@@ -106,10 +126,12 @@ Result<std::shared_ptr<const PreparedPlan>> DatasetRegistry::GetOrPrepare(
     auto hit = plans_.find(key);
     if (hit != plans_.end()) {
       ++stats_.hits;
+      m_hits_->Increment();
       hit->second.last_used = ++lru_tick_;
       return hit->second.plan;
     }
     ++stats_.misses;
+    m_misses_->Increment();
     r = r_it->second.dataset;
     s = s_it->second.dataset;
   }
@@ -133,6 +155,7 @@ Result<std::shared_ptr<const PreparedPlan>> DatasetRegistry::GetOrPrepare(
   // so even a pathologically small budget that drops everything is safe.
   EvictOverBudgetLocked();
   stats_.entries = plans_.size();
+  SyncGaugesLocked();
   return plan;
 }
 
@@ -151,6 +174,7 @@ void DatasetRegistry::EvictOverBudgetLocked() {
     if (victim == plans_.end()) return;
     stats_.resident_bytes -= victim->second.bytes;
     ++stats_.evictions;
+    m_evictions_->Increment();
     plans_.erase(victim);
   }
 }

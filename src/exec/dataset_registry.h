@@ -38,6 +38,7 @@
 #include "datagen/dataset.h"
 #include "geometry/box.h"
 #include "join/engine.h"
+#include "obs/metrics.h"
 
 namespace swiftspatial::exec {
 
@@ -85,6 +86,9 @@ struct DatasetRegistryOptions {
   /// Byte budget for cached plan artifacts; least-recently-used entries are
   /// evicted once the budget is exceeded. 0 = unbounded.
   std::size_t max_plan_bytes = 0;
+  /// Metrics sink for the swiftspatial_cache_* series; nullptr selects
+  /// obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Thread-safe resident-dataset store + plan-artifact cache.
@@ -139,7 +143,18 @@ class DatasetRegistry {
   /// Drops LRU entries until resident_bytes fits the budget. Requires mu_.
   void EvictOverBudgetLocked() REQUIRES(mu_);
 
+  /// Mirrors entries/resident_bytes into the exported gauges. Requires mu_.
+  void SyncGaugesLocked() REQUIRES(mu_);
+
   const DatasetRegistryOptions options_;
+
+  // Pre-resolved metric handles (lock-free to update; see obs/metrics.h).
+  obs::Counter* const m_hits_;
+  obs::Counter* const m_misses_;
+  obs::Counter* const m_evictions_;
+  obs::Counter* const m_invalidated_;
+  obs::Gauge* const m_entries_;
+  obs::Gauge* const m_resident_bytes_;
 
   mutable Mutex mu_;
   std::map<std::string, Entry> datasets_ GUARDED_BY(mu_);

@@ -19,11 +19,34 @@ const char* SchedulingPolicyToString(SchedulingPolicy p) {
   return "unknown";
 }
 
+namespace {
+obs::MetricsRegistry& ResolveMetrics(const JoinServiceOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::Global();
+}
+DatasetRegistryOptions RegistryOptionsFor(const JoinServiceOptions& options) {
+  DatasetRegistryOptions ro;
+  ro.metrics = options.metrics;
+  return ro;
+}
+}  // namespace
+
 JoinService::JoinService(const JoinServiceOptions& options)
     : options_(options),
-      registry_(options.registry ? options.registry
-                                 : std::make_shared<DatasetRegistry>()),
-      pool_(std::max<std::size_t>(1, options.worker_threads)) {
+      metrics_(&ResolveMetrics(options)),
+      registry_(options.registry
+                    ? options.registry
+                    : std::make_shared<DatasetRegistry>(
+                          RegistryOptionsFor(options))),
+      pool_(std::max<std::size_t>(1, options.worker_threads)),
+      m_admitted_(metrics_->GetCounter("swiftspatial_service_admitted_total", {}, "Requests past admission control")),
+      m_rejected_(metrics_->GetCounter("swiftspatial_service_rejected_total", {}, "Submissions bounced by admission control")),
+      m_rejected_deadline_(metrics_->GetCounter("swiftspatial_service_rejected_deadline_total", {}, "Rejections due to estimated wait exceeding the deadline")),
+      m_completed_(metrics_->GetCounter("swiftspatial_service_completed_total", {}, "Requests that ran to completion")),
+      m_abandoned_(metrics_->GetCounter("swiftspatial_service_abandoned_total", {}, "Requests closed Aborted without running")),
+      m_expired_queued_(metrics_->GetCounter("swiftspatial_service_expired_queued_total", {}, "Deadlines expired while queued")),
+      m_expired_running_(metrics_->GetCounter("swiftspatial_service_expired_running_total", {}, "Deadlines expired mid-run (cooperative cancellation)")),
+      m_degraded_(metrics_->GetCounter("swiftspatial_service_degraded_total", {}, "Mid-run expiries closed OK with a partial result")) {
   const std::size_t dispatchers =
       std::max<std::size_t>(1, options_.max_concurrent);
   dispatchers_.reserve(dispatchers);
@@ -41,6 +64,7 @@ JoinService::~JoinService() {
     for (Job& job : pending_) {
       job.abandon(Status::Aborted("service shutting down"));
       ++stats_.abandoned;
+      m_abandoned_->Increment();
     }
     pending_.clear();
   }
@@ -55,10 +79,14 @@ Result<AsyncJoinHandle> JoinService::Submit(const std::string& tenant,
                                             const Dataset& r, const Dataset& s,
                                             const EngineConfig& config,
                                             const RequestOptions& request) {
-  auto deferred =
-      MakeJoinStream(engine, r, s, config, options_.stream, &pool_);
+  auto span = StartRequestSpan(tenant, engine);
+  EngineConfig cfg = config;
+  if (span) cfg.trace = span->context();
+  StreamOptions stream = options_.stream;
+  stream.metrics = metrics_;
+  auto deferred = MakeJoinStream(engine, r, s, cfg, stream, &pool_);
   if (!deferred.ok()) return deferred.status();
-  return Admit(std::move(*deferred), tenant, request);
+  return Admit(std::move(*deferred), tenant, request, std::move(span));
 }
 
 Result<AsyncJoinHandle> JoinService::SubmitNamed(const std::string& tenant,
@@ -67,19 +95,46 @@ Result<AsyncJoinHandle> JoinService::SubmitNamed(const std::string& tenant,
                                                  const std::string& s_name,
                                                  const EngineConfig& config,
                                                  const RequestOptions& request) {
+  auto span = StartRequestSpan(tenant, engine);
+  EngineConfig cfg = config;
+  if (span) cfg.trace = span->context();
+  StreamOptions stream = options_.stream;
+  stream.metrics = metrics_;
   auto deferred = MakeRegisteredJoinStream(registry_.get(), engine, r_name,
-                                           s_name, config, options_.stream);
+                                           s_name, cfg, stream);
   if (!deferred.ok()) return deferred.status();
-  return Admit(std::move(*deferred), tenant, request);
+  return Admit(std::move(*deferred), tenant, request, std::move(span));
 }
 
 DatasetHandle JoinService::RegisterDataset(std::string name, Dataset dataset) {
   return registry_->Put(std::move(name), std::move(dataset));
 }
 
-Result<AsyncJoinHandle> JoinService::Admit(DeferredStream deferred,
-                                           const std::string& tenant,
-                                           const RequestOptions& request) {
+std::shared_ptr<obs::ScopedSpan> JoinService::StartRequestSpan(
+    const std::string& tenant, const std::string& engine) const {
+  if (options_.span_buffer == nullptr) return nullptr;
+  auto span = std::make_shared<obs::ScopedSpan>(
+      obs::TraceContext::StartTrace(options_.span_buffer), "request");
+  span->AddAttr("tenant", tenant);
+  span->AddAttr("engine", engine);
+  return span;
+}
+
+void JoinService::TenantHistsLocked(const std::string& tenant, Job* job) {
+  auto it = tenant_hists_.find(tenant);
+  if (it == tenant_hists_.end()) {
+    obs::Histogram* wait = metrics_->GetHistogram("swiftspatial_service_queue_wait_seconds", {{"tenant", tenant}}, {}, "Admission-to-dispatcher-pickup latency");
+    obs::Histogram* run = metrics_->GetHistogram("swiftspatial_service_run_seconds", {{"tenant", tenant}}, {}, "Producer wall time (plan + execute + streaming)");
+    it = tenant_hists_.emplace(tenant, std::make_pair(wait, run)).first;
+  }
+  job->queue_wait_hist = it->second.first;
+  job->run_hist = it->second.second;
+}
+
+Result<AsyncJoinHandle> JoinService::Admit(
+    DeferredStream deferred, const std::string& tenant,
+    const RequestOptions& request,
+    std::shared_ptr<obs::ScopedSpan> request_span) {
   const bool has_deadline = request.deadline_seconds > 0;
   // Stamped before the lock: the budget runs from submission, not from
   // whenever admission control gets scheduled.
@@ -92,11 +147,15 @@ Result<AsyncJoinHandle> JoinService::Admit(DeferredStream deferred,
     MutexLock lock(&mu_);
     if (stopping_) {
       ++stats_.rejected;
+      m_rejected_->Increment();
+      if (request_span) request_span->AddAttr("outcome", "rejected");
       deferred.abandon(Status::Aborted("service shutting down"));
       return Status::Aborted("service shutting down");
     }
     if (pending_.size() >= options_.max_pending) {
       ++stats_.rejected;
+      m_rejected_->Increment();
+      if (request_span) request_span->AddAttr("outcome", "rejected");
       deferred.abandon(
           Status::Aborted("admission queue full (max_pending=" +
                           std::to_string(options_.max_pending) + ")"));
@@ -108,6 +167,11 @@ Result<AsyncJoinHandle> JoinService::Admit(DeferredStream deferred,
       if (wait > request.deadline_seconds) {
         ++stats_.rejected;
         ++stats_.rejected_deadline;
+        m_rejected_->Increment();
+        m_rejected_deadline_->Increment();
+        if (request_span) {
+          request_span->AddAttr("outcome", "rejected_deadline");
+        }
         const std::string msg =
             "estimated queue wait " + std::to_string(wait) +
             "s already exceeds the request deadline " +
@@ -126,8 +190,31 @@ Result<AsyncJoinHandle> JoinService::Admit(DeferredStream deferred,
     job.has_deadline = has_deadline;
     job.degrade = request.degrade_on_deadline;
     job.deadline_tp = deadline_tp;
+    job.submit_seconds = NowSeconds();
+    TenantHistsLocked(tenant, &job);
+    if (request_span) {
+      // The queued span covers admission -> dispatcher pickup (or abandon);
+      // the request span stays open until the producer finishes, so the
+      // whole request life is one bar in the trace with queue time nested.
+      auto queued_span = std::make_shared<obs::ScopedSpan>(
+          request_span->context(), "queued");
+      job.producer = [producer = std::move(job.producer), request_span,
+                      queued_span] {
+        queued_span->End();
+        producer();
+        request_span->End();
+      };
+      job.abandon = [abandon = std::move(job.abandon), request_span,
+                     queued_span](Status status) {
+        queued_span->End();
+        abandon(std::move(status));
+        request_span->AddAttr("outcome", "abandoned");
+        request_span->End();
+      };
+    }
     pending_.push_back(std::move(job));
     ++stats_.admitted;
+    m_admitted_->Increment();
     stats_.max_pending_seen =
         std::max(stats_.max_pending_seen, pending_.size());
   }
@@ -200,8 +287,12 @@ void JoinService::DispatcherLoop() {
       job.abandon(Status::DeadlineExceeded("deadline expired while queued"));
     } else {
       const double start = NowSeconds();
+      if (job.queue_wait_hist != nullptr) {
+        job.queue_wait_hist->Observe(start - job.submit_seconds);
+      }
       job.producer();  // blocking: runs the join, streams, closes
       job_seconds = NowSeconds() - start;
+      if (job.run_hist != nullptr) job.run_hist->Observe(job_seconds);
     }
 
     {
@@ -212,8 +303,10 @@ void JoinService::DispatcherLoop() {
         // Never ran: not served, not completed -- charging it to the
         // tenant would let cancelled requests skew fair-share ordering.
         ++stats_.abandoned;
+        m_abandoned_->Increment();
       } else if (expired_at_pickup) {
         ++stats_.expired_queued;
+        m_expired_queued_->Increment();
       } else {
         const auto rd = running_deadlines_.find(job.sequence);
         const bool expired_mid_run =
@@ -227,6 +320,7 @@ void JoinService::DispatcherLoop() {
         ++served_per_tenant_[job.tenant];
         if (!expired_mid_run) {
           ++stats_.completed;
+          m_completed_->Increment();
           completion_order_.push_back(job.tenant);
           // Feed the deadline-admission estimate. Alpha 0.3: reactive
           // enough to track load shifts, stable enough that one outlier
@@ -284,6 +378,7 @@ void JoinService::DeadlineLoop() {
         Job job = std::move(*it);
         it = pending_.erase(it);
         ++stats_.expired_queued;
+        m_expired_queued_->Increment();
         job.abandon(
             Status::DeadlineExceeded("deadline expired while queued"));
       } else {
@@ -298,8 +393,10 @@ void JoinService::DeadlineLoop() {
          it != running_deadlines_.end();) {
       if (it->second.deadline_tp <= now) {
         ++stats_.expired_running;
+        m_expired_running_->Increment();
         if (it->second.degrade) {
           ++stats_.degraded;
+          m_degraded_->Increment();
           it->second.cancel_with(Status::OK());
         } else {
           it->second.cancel_with(
@@ -353,16 +450,40 @@ void JoinService::Drain() {
   while (!pending_.empty() || running_ != 0) cv_idle_.Wait(&mu_);
 }
 
-JoinServiceStats JoinService::stats() const {
-  JoinServiceStats snapshot;
-  {
-    MutexLock lock(&mu_);
-    snapshot = stats_;
-  }
-  // Outside mu_: the registry has its own lock and must never nest inside
-  // the service's.
+JoinServiceStats JoinService::Snapshot() const {
+  // Both reads happen under mu_ so the service counters and the plan-cache
+  // counters cannot tear against a concurrent request. Lock order: service
+  // mu_ -> registry internal lock. The registry never calls back into the
+  // service, so the order is acyclic and this nesting is safe.
+  MutexLock lock(&mu_);
+  JoinServiceStats snapshot = stats_;
   snapshot.plan_cache = registry_->plan_cache_stats();
   return snapshot;
+}
+
+std::string JoinService::MetricsText() const {
+  SyncServiceGauges();
+  return metrics_->TextExposition();
+}
+
+std::string JoinService::MetricsJson() const {
+  SyncServiceGauges();
+  return metrics_->JsonSnapshot();
+}
+
+void JoinService::SyncServiceGauges() const {
+  std::size_t pending = 0;
+  std::size_t running = 0;
+  std::size_t max_pending_seen = 0;
+  {
+    MutexLock lock(&mu_);
+    pending = pending_.size();
+    running = running_;
+    max_pending_seen = stats_.max_pending_seen;
+  }
+  metrics_->GetGauge("swiftspatial_service_pending", {}, "Requests queued behind admission right now")->Set(static_cast<double>(pending));
+  metrics_->GetGauge("swiftspatial_service_running", {}, "Requests holding a dispatcher slot right now")->Set(static_cast<double>(running));
+  metrics_->GetGauge("swiftspatial_service_max_pending_seen", {}, "High-water mark of the pending queue")->Set(static_cast<double>(max_pending_seen));
 }
 
 std::vector<std::string> JoinService::completion_order() const {

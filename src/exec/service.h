@@ -64,6 +64,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -73,6 +74,8 @@
 #include "exec/dataset_registry.h"
 #include "exec/streaming.h"
 #include "join/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swiftspatial::exec {
 
@@ -113,6 +116,15 @@ struct JoinServiceOptions {
   /// measurement* (job EWMA, idle decay). Deadlines always run on the real
   /// steady clock -- a fake clock must not stall the watchdog.
   std::function<double()> clock_for_testing;
+  /// Metrics sink for the swiftspatial_service_* series (and the registry
+  /// this service creates, when it creates one); nullptr selects
+  /// obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Span sink enabling request-scoped tracing: each Submit/SubmitNamed
+  /// mints a TraceContext, wraps the request in request/queued spans, and
+  /// propagates the context through the producer (EngineConfig::trace).
+  /// nullptr (the default) disables tracing entirely.
+  obs::SpanBuffer* span_buffer = nullptr;
 };
 
 /// Per-request knobs for Submit / SubmitNamed.
@@ -218,7 +230,24 @@ class JoinService {
   /// Blocks until every admitted request has completed.
   void Drain() EXCLUDES(mu_);
 
-  JoinServiceStats stats() const EXCLUDES(mu_);
+  /// One consistent snapshot of the service counters AND the plan-cache
+  /// counters: both reads happen while mu_ is held, so the pair cannot
+  /// tear against a concurrent request (lock order: service mu_ before the
+  /// registry's internal lock; the registry never locks back into the
+  /// service, so the order is acyclic).
+  JoinServiceStats Snapshot() const EXCLUDES(mu_);
+
+  /// Deprecated: use Snapshot(). Kept as an alias for older callers; the
+  /// piecemeal read it used to do (service counters and plan-cache counters
+  /// under separate locks) could tear between the two.
+  JoinServiceStats stats() const EXCLUDES(mu_) { return Snapshot(); }
+
+  /// Prometheus text exposition of the backing MetricsRegistry, with the
+  /// service's point-in-time gauges (pending, running, max_pending_seen)
+  /// synced from Snapshot() first. The one-pane-of-glass endpoint.
+  std::string MetricsText() const EXCLUDES(mu_);
+  /// Same snapshot as JSON (MetricsRegistry::JsonSnapshot()).
+  std::string MetricsJson() const EXCLUDES(mu_);
 
   /// Tenant label of each completed request, in completion order. The
   /// fairness tests assert on this.
@@ -236,6 +265,11 @@ class JoinService {
     bool degrade = false;
     /// Absolute expiry on the real steady clock (see clock_for_testing).
     std::chrono::steady_clock::time_point deadline_tp;
+    /// NowSeconds() at admission; queue-wait latency = pickup - submit.
+    double submit_seconds = 0;
+    /// Per-tenant latency histograms, resolved once at admission.
+    obs::Histogram* queue_wait_hist = nullptr;
+    obs::Histogram* run_hist = nullptr;
   };
 
   /// What the deadline watchdog needs to kill a running job: the expiry and
@@ -248,9 +282,26 @@ class JoinService {
 
   /// Shared admission tail of Submit/SubmitNamed: runs admission control on
   /// the already-built stream and queues the job (or abandons it).
+  /// `request_span` is the request's root span (null when tracing is off);
+  /// it is kept open until the stream producer finishes or the request is
+  /// abandoned, whichever ends the request.
   Result<AsyncJoinHandle> Admit(DeferredStream deferred,
                                 const std::string& tenant,
-                                const RequestOptions& request) EXCLUDES(mu_);
+                                const RequestOptions& request,
+                                std::shared_ptr<obs::ScopedSpan> request_span)
+      EXCLUDES(mu_);
+
+  /// Mints the per-request root span (tagged tenant/engine), or null when
+  /// options_.span_buffer is unset.
+  std::shared_ptr<obs::ScopedSpan> StartRequestSpan(
+      const std::string& tenant, const std::string& engine) const;
+
+  /// Resolves (and caches) the per-tenant latency histograms.
+  void TenantHistsLocked(const std::string& tenant, Job* job) REQUIRES(mu_);
+
+  /// Pushes the point-in-time service gauges (pending/running/
+  /// max_pending_seen) into the registry ahead of an exposition.
+  void SyncServiceGauges() const EXCLUDES(mu_);
 
   void DispatcherLoop() EXCLUDES(mu_);
   /// Enforces deadlines after admission: sleeps until the earliest pending
@@ -268,8 +319,19 @@ class JoinService {
   double NowSeconds() const;
 
   const JoinServiceOptions options_;
+  obs::MetricsRegistry* const metrics_;
   std::shared_ptr<DatasetRegistry> registry_;
   ThreadPool pool_;
+
+  // Pre-resolved outcome counters (lock-free to bump; see obs/metrics.h).
+  obs::Counter* const m_admitted_;
+  obs::Counter* const m_rejected_;
+  obs::Counter* const m_rejected_deadline_;
+  obs::Counter* const m_completed_;
+  obs::Counter* const m_abandoned_;
+  obs::Counter* const m_expired_queued_;
+  obs::Counter* const m_expired_running_;
+  obs::Counter* const m_degraded_;
 
   mutable Mutex mu_;
   CondVar cv_job_;       // dispatchers: work available / stop
@@ -283,6 +345,10 @@ class JoinService {
   std::map<uint64_t, RunningDeadline> running_deadlines_ GUARDED_BY(mu_);
   std::map<std::string, std::size_t> in_flight_per_tenant_ GUARDED_BY(mu_);
   std::map<std::string, std::size_t> served_per_tenant_ GUARDED_BY(mu_);
+  /// Cached per-tenant histogram handles (registration hashes; hot paths
+  /// must not). Values are registry-owned and stable.
+  std::map<std::string, std::pair<obs::Histogram*, obs::Histogram*>>
+      tenant_hists_ GUARDED_BY(mu_);
   std::vector<std::string> completion_order_ GUARDED_BY(mu_);
   JoinServiceStats stats_ GUARDED_BY(mu_);
   uint64_t next_sequence_ GUARDED_BY(mu_) = 0;

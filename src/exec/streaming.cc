@@ -133,6 +133,11 @@ class StreamState {
     MutexLock lock(&mu_);
     return max_depth_;
   }
+  /// Chunks pushed over the stream's lifetime (the sequence counter).
+  uint64_t chunks_pushed() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_sequence_;
+  }
 
  private:
   void PushLocked(std::vector<ResultPair> pairs) REQUIRES(mu_) {
@@ -271,6 +276,7 @@ void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
                        std::shared_ptr<StreamState> state) {
   StageTiming timing;
   Stopwatch plan_sw;
+  obs::ScopedSpan plan_span(config.trace, "plan");
 
   if (config.validate_inputs) {
     for (const Dataset* d : {&r, &s}) {
@@ -329,7 +335,9 @@ void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
   bucket(r, band_r);
   bucket(s, band_s);
   timing.plan_seconds = plan_sw.ElapsedSeconds();
+  plan_span.End();
 
+  obs::ScopedSpan exec_span(config.trace, "execute");
   Stopwatch exec_sw;
   std::optional<ThreadPool> owned_pool;
   ThreadPool* pool = shared_pool;
@@ -343,7 +351,7 @@ void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
 
   const std::size_t chunk_pairs = std::max<std::size_t>(1, opts.chunk_pairs);
   std::vector<WorkerSlot> slots(pool->num_threads());
-  TaskGraph graph(pool, state->token());
+  TaskGraph graph(pool, state->token(), exec_span.context());
 
   for (int b = 0; b < shards; ++b) {
     graph.Add([&, b] {
@@ -513,8 +521,10 @@ void RunAccelProducer(const std::string& name, const Dataset& r,
     return;
   }
   std::unique_ptr<AccelJoinEngine> engine = std::move(*created);
+  obs::ScopedSpan plan_span(config.trace, "plan");
   Status st = engine->Plan(r, s);
   timing.plan_seconds = sw.ElapsedSeconds();
+  plan_span.End();
   if (!st.ok()) {
     state->Close(std::move(st), JoinStats{}, timing);
     return;
@@ -524,6 +534,7 @@ void RunAccelProducer(const std::string& name, const Dataset& r,
                  timing);
     return;
   }
+  obs::ScopedSpan exec_span(config.trace, "execute");
   sw.Reset();
   JoinStats stats;
   ChunkStager stager(opts.chunk_pairs, state.get());
@@ -561,8 +572,10 @@ void RunDistProducer(const std::string& name, const Dataset& r,
     return;
   }
   std::unique_ptr<dist::DistJoinEngine> engine = std::move(*created);
+  obs::ScopedSpan plan_span(config.trace, "plan");
   Status st = engine->Plan(r, s);
   timing.plan_seconds = sw.ElapsedSeconds();
+  plan_span.End();
   if (!st.ok()) {
     state->Close(std::move(st), JoinStats{}, timing);
     return;
@@ -572,6 +585,10 @@ void RunDistProducer(const std::string& name, const Dataset& r,
                  timing);
     return;
   }
+  // The execute span is a sibling of the coordinator's merge span (both
+  // parented on the request): the engine froze its trace context at
+  // creation, before this span existed.
+  obs::ScopedSpan exec_span(config.trace, "execute");
   sw.Reset();
   JoinStats stats;
   ChunkStager stager(opts.chunk_pairs, state.get());
@@ -592,12 +609,15 @@ void RunDistProducer(const std::string& name, const Dataset& r,
 // producer thread and the finished result streams out in chunks, giving the
 // whole registry one uniform streaming contract.
 void RunGenericProducer(std::shared_ptr<JoinEngine> engine, const Dataset& r,
-                        const Dataset& s, StreamOptions opts,
+                        const Dataset& s, obs::TraceContext trace,
+                        StreamOptions opts,
                         std::shared_ptr<StreamState> state) {
   StageTiming timing;
   Stopwatch sw;
+  obs::ScopedSpan plan_span(trace, "plan");
   Status st = engine->Plan(r, s);
   timing.plan_seconds = sw.ElapsedSeconds();
+  plan_span.End();
   if (!st.ok()) {
     state->Close(std::move(st), JoinStats{}, timing);
     return;
@@ -607,11 +627,13 @@ void RunGenericProducer(std::shared_ptr<JoinEngine> engine, const Dataset& r,
                  timing);
     return;
   }
+  obs::ScopedSpan exec_span(trace, "execute");
   sw.Reset();
   JoinResult result;
   JoinStats stats;
   st = engine->Execute(&result, &stats);
   timing.execute_seconds = sw.ElapsedSeconds();
+  exec_span.End();
   if (!st.ok()) {
     state->Close(std::move(st), stats, timing);
     return;
@@ -641,8 +663,10 @@ void RunRegisteredProducer(DatasetRegistry* registry, std::string engine,
                            std::shared_ptr<StreamState> state) {
   StageTiming timing;
   Stopwatch sw;
+  obs::ScopedSpan plan_span(config.trace, "plan");
   auto prepared = registry->GetOrPrepare(engine, r_name, s_name, config);
   timing.plan_seconds = sw.ElapsedSeconds();
+  plan_span.End();
   if (!prepared.ok()) {
     state->Close(prepared.status(), JoinStats{}, timing);
     return;
@@ -652,6 +676,7 @@ void RunRegisteredProducer(DatasetRegistry* registry, std::string engine,
                  timing);
     return;
   }
+  obs::ScopedSpan exec_span(config.trace, "execute");
   sw.Reset();
   auto created = EngineRegistry::Global().Create(engine, config);
   if (!created.ok()) {
@@ -662,6 +687,7 @@ void RunRegisteredProducer(DatasetRegistry* registry, std::string engine,
   JoinStats stats;
   Status st = (*created)->ExecutePrepared(**prepared, &result, &stats);
   timing.execute_seconds = sw.ElapsedSeconds();
+  exec_span.End();
   if (!st.ok()) {
     state->Close(std::move(st), stats, timing);
     return;
@@ -701,6 +727,27 @@ std::function<void()> ContainFaults(std::function<void()> body,
       state->CloseIfOpen(
           Status::Internal("join producer threw a non-standard exception"));
     }
+  };
+}
+
+// Observes the per-engine swiftspatial_stream_* series once the producer
+// has closed the stream: stage timings from the stream's own StageTiming
+// (so the metrics agree with StreamSummary by construction) plus the chunk
+// count. Runs on the producer thread after the close -- never on the hot
+// chunk path -- so per-request registry lookups are fine here.
+std::function<void()> InstrumentProducer(std::string engine,
+                                         obs::MetricsRegistry* metrics,
+                                         std::function<void()> body,
+                                         std::shared_ptr<StreamState> state) {
+  return [engine = std::move(engine), metrics, body = std::move(body),
+          state = std::move(state)] {
+    body();
+    obs::MetricsRegistry& reg =
+        metrics != nullptr ? *metrics : obs::MetricsRegistry::Global();
+    const StageTiming timing = state->timing();
+    reg.GetHistogram("swiftspatial_stream_plan_seconds", {{"engine", engine}}, {}, "Stream producer plan-stage wall time")->Observe(timing.plan_seconds);
+    reg.GetHistogram("swiftspatial_stream_execute_seconds", {{"engine", engine}}, {}, "Stream producer execute-stage wall time")->Observe(timing.execute_seconds);
+    reg.GetCounter("swiftspatial_stream_chunks_total", {{"engine", engine}}, "Chunks pushed to bounded stream queues")->Increment(state->chunks_pushed());
   };
 }
 
@@ -885,11 +932,13 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
     auto created = EngineRegistry::Global().Create(engine, config);
     if (!created.ok()) return created.status();
     std::shared_ptr<JoinEngine> eng = std::move(*created);
-    producer = [eng, &r, &s, stream, state, guard] {
-      RunGenericProducer(eng, r, s, stream, state);
+    producer = [eng, &r, &s, trace = config.trace, stream, state, guard] {
+      RunGenericProducer(eng, r, s, trace, stream, state);
     };
   }
-  producer = ContainFaults(std::move(producer), state);
+  producer = InstrumentProducer(engine, stream.metrics,
+                                ContainFaults(std::move(producer), state),
+                                state);
   auto abandon = [state, guard](Status status) {
     state->CloseIfOpen(std::move(status));
   };
@@ -950,7 +999,9 @@ Result<DeferredStream> MakeRegisteredJoinStream(
     RunRegisteredProducer(registry, engine, r_name, s_name, config, stream,
                           state);
   };
-  producer = ContainFaults(std::move(producer), state);
+  producer = InstrumentProducer(engine, stream.metrics,
+                                ContainFaults(std::move(producer), state),
+                                state);
   auto abandon = [state, guard](Status status) {
     state->CloseIfOpen(std::move(status));
   };

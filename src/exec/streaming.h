@@ -59,6 +59,7 @@
 #include "exec/task_graph.h"
 #include "join/engine.h"
 #include "join/result.h"
+#include "obs/metrics.h"
 
 namespace swiftspatial::exec {
 
@@ -84,6 +85,10 @@ struct StreamOptions {
   /// Row bands for the native streaming planner; 0 = auto
   /// (min(grid rows, max(2, num_threads))). Ignored by the generic path.
   int num_shards = 0;
+  /// Sink for the swiftspatial_stream_* series (per-engine plan/execute
+  /// latency, chunk counts), observed once per stream after the producer
+  /// closes it; nullptr selects obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything Collect() reports: the final stream status, the collected

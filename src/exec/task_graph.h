@@ -30,6 +30,7 @@
 
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace swiftspatial::exec {
 
@@ -89,7 +90,11 @@ struct TaskTiming {
 /// graph (checked).
 class TaskGraph {
  public:
-  explicit TaskGraph(ThreadPool* pool, CancellationToken cancel = {});
+  /// `trace`: when active, every executed task body is wrapped in a "task"
+  /// span (child of the context's parent span, tracked per pool worker).
+  /// Inactive by default -- untraced graphs pay one pointer test per task.
+  explicit TaskGraph(ThreadPool* pool, CancellationToken cancel = {},
+                     obs::TraceContext trace = {});
 
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
@@ -129,6 +134,7 @@ class TaskGraph {
 
   ThreadPool* pool_;
   CancellationToken cancel_;
+  const obs::TraceContext trace_;
 
   mutable Mutex mu_;
   CondVar cv_drained_;

@@ -13,6 +13,7 @@
 #include "join/nested_loop.h"
 #include "join/partitioned_driver.h"
 #include "join/plane_sweep.h"
+#include "obs/metrics.h"
 #include "join/sync_traversal.h"
 #include "rtree/bulk_load.h"
 
@@ -621,7 +622,10 @@ Status JoinEngine::ExecutePrepared(const PreparedPlan& plan, JoinResult* out,
 uint64_t ConfigFingerprint(const EngineConfig& config) {
   // FNV-1a over every field. A new EngineConfig field MUST be mixed in here:
   // omitting one lets two configs that plan differently share a cache slot,
-  // i.e. a stale-plan bug.
+  // i.e. a stale-plan bug. Sole exception: `config.trace` is deliberately
+  // NOT mixed -- it is request-scoped observability context, not a planning
+  // input, and mixing it would defeat the plan cache (every request carries
+  // a fresh trace id).
   uint64_t hash = 1469598103934665603ull;
   const auto mix = [&hash](uint64_t v) {
     hash ^= v;
@@ -699,6 +703,17 @@ Result<JoinRun> JoinEngine::Run(const Dataset& r, const Dataset& s) {
   sw.Reset();
   SWIFT_RETURN_IF_ERROR(Execute(&run.result, &run.stats));
   run.timing.execute_seconds = sw.ElapsedSeconds();
+  // Stage timing per engine; handles resolve through the registry lock once
+  // per Run, which is noise next to a full Plan+Execute.
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics
+      .GetHistogram("swiftspatial_join_plan_seconds", {{"engine", name()}},
+                    {}, "Plan-stage wall seconds per JoinEngine::Run")
+      ->Observe(run.timing.plan_seconds);
+  metrics
+      .GetHistogram("swiftspatial_join_execute_seconds", {{"engine", name()}},
+                    {}, "Execute-stage wall seconds per JoinEngine::Run")
+      ->Observe(run.timing.execute_seconds);
   return run;
 }
 

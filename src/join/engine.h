@@ -34,6 +34,7 @@
 #include "join/parallel_sync_traversal.h"
 #include "join/pbsm.h"
 #include "join/result.h"
+#include "obs/trace.h"
 
 namespace swiftspatial {
 
@@ -104,6 +105,14 @@ struct EngineConfig {
   /// Worker threads per node; 0 = split num_threads evenly across the
   /// cluster (at least 1 per node).
   std::size_t dist_node_threads = 0;
+
+  // --- Observability (src/obs/). ---
+  /// Request-scoped trace context: set by JoinService per request (or by
+  /// callers invoking engines directly) and propagated through producers,
+  /// TaskGraph tasks, and dist exchange messages. Deliberately EXCLUDED
+  /// from ConfigFingerprint: two configs differing only in trace context
+  /// plan identically and must share plan-cache entries.
+  obs::TraceContext trace;
 };
 
 /// Per-stage wall-clock timings filled in by JoinEngine::Run.

@@ -1,0 +1,226 @@
+// MetricsRegistry: the process-wide telemetry substrate -- named counters,
+// gauges, and fixed-bucket latency histograms behind pre-resolved handles.
+//
+// Design targets, in order:
+//
+//   1. The hot path is lock-free. Instruments are plain structs of relaxed
+//      atomics; Increment/Set/Observe never touch a mutex, never allocate,
+//      and never hash. Handles are resolved ONCE (registration takes the
+//      annotated registry Mutex, hashes the name + rendered label set) and
+//      stay valid for the registry's lifetime -- instruments are
+//      unique_ptr-held and never erased, so a cached `Counter*` in a
+//      worker loop is always safe.
+//   2. Labels are pre-resolved. A labelled series (`{tenant="analytics"}`)
+//      is just another handle; hot loops pay the label cost at setup, not
+//      per event.
+//   3. Snapshots are consistent enough: TextExposition()/JsonSnapshot()
+//      walk the families under the registry lock but read values with
+//      relaxed atomic loads, so concurrent updates are fine -- counters
+//      read during a storm are monotonic across successive snapshots
+//      (atomic modification order), they just may not be mutually
+//      synchronized within one snapshot.
+//
+// Naming convention (enforced by tools/lint.sh): metric names match
+// `swiftspatial_<layer>_<name>` where <layer> is one of
+// service | cache | stream | join | dist | obs, and <name> is lower_snake.
+// Counters end in `_total`, latency histograms in `_seconds`.
+//
+// Two off switches:
+//   - Runtime: MetricsRegistry::set_enabled(false) turns every mutation
+//     into a relaxed-load-and-return (handles stay valid; snapshots still
+//     render whatever was recorded).
+//   - Compile time: building with -DSWIFTSPATIAL_OBS_OFF (CMake option of
+//     the same name) compiles every mutation to an empty inline body, so
+//     even the residual relaxed load disappears from instrumented loops.
+#ifndef SWIFTSPATIAL_OBS_METRICS_H_
+#define SWIFTSPATIAL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace swiftspatial::obs {
+
+/// Label set for one series, as (key, value) pairs. Order does not matter;
+/// the registry canonicalizes (sorts by key) before keying the series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count. value() is exact once writers
+/// quiesce; during a storm it is some value on the counter's modification
+/// order (and therefore non-decreasing across repeated reads).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+#ifndef SWIFTSPATIAL_OBS_OFF
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, resident bytes,
+/// seconds-of-wall gauges). Add() is a CAS loop because GCC has no native
+/// atomic<double>::fetch_add.
+class Gauge {
+ public:
+  void Set(double v) {
+#ifndef SWIFTSPATIAL_OBS_OFF
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(double delta) {
+#ifndef SWIFTSPATIAL_OBS_OFF
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)delta;
+#endif
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus classic shape: cumulative `le`
+/// buckets plus `_sum` and `_count`). Bucket bounds are fixed at
+/// registration; Observe() is a linear scan over typically ~14 bounds plus
+/// three relaxed atomic updates -- no locks, no allocation.
+class Histogram {
+ public:
+  void Observe(double v) {
+#ifndef SWIFTSPATIAL_OBS_OFF
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Upper bounds, excluding the implicit +Inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds)
+      : enabled_(enabled),
+        bounds_(std::move(bounds)),
+        buckets_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() +
+                                                           1)) {}
+  const std::atomic<bool>* enabled_;
+  const std::vector<double> bounds_;
+  // bounds_.size() + 1 slots; the last is the +Inf overflow bucket.
+  // Zero-initialized by make_unique's value-initialization.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Registry of metric families. Get*() registers on first use and returns
+/// the existing handle afterwards; the returned pointer is stable for the
+/// registry's lifetime. Re-registering a name with a different instrument
+/// type (or a histogram with different bounds) is a programming error and
+/// aborts via SWIFT_CHECK.
+///
+/// Global() is the process-wide instance every subsystem defaults to;
+/// tests construct private registries to isolate counts.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "") EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "") EXCLUDES(mu_);
+  /// `bounds` empty selects DefaultLatencyBuckets().
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          std::vector<double> bounds = {},
+                          const std::string& help = "") EXCLUDES(mu_);
+
+  /// 1us .. 100s, roughly logarithmic -- wide enough to cover both a warm
+  /// cache hit and a multi-second distributed join with one bucket layout.
+  static const std::vector<double>& DefaultLatencyBuckets();
+
+  /// Runtime kill switch; affects every handle from this registry.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Prometheus text exposition format (HELP/TYPE + one line per series;
+  /// histograms as cumulative `le` buckets + `_sum`/`_count`).
+  std::string TextExposition() const EXCLUDES(mu_);
+  /// The same snapshot as a JSON document:
+  /// {"metrics":[{"name","type","help","series":[...]}]}.
+  std::string JsonSnapshot() const EXCLUDES(mu_);
+
+  /// Number of registered families (for tests).
+  std::size_t family_count() const EXCLUDES(mu_);
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histogram families only
+    // Keyed by the canonical rendered label string ("" for unlabelled).
+    // std::map keeps exposition output deterministic.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    // Parsed label sets, same keys as above, for the JSON snapshot.
+    std::map<std::string, Labels> label_sets;
+  };
+
+  Family* FamilyLocked(const std::string& name, Type type,
+                       const std::string& help) REQUIRES(mu_);
+
+  std::atomic<bool> enabled_{true};
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
+};
+
+}  // namespace swiftspatial::obs
+
+#endif  // SWIFTSPATIAL_OBS_METRICS_H_

@@ -2,8 +2,9 @@
 # Repo lint, run in CI (see .github/workflows/ci.yml) and locally via
 #   tools/lint.sh
 #
-# Two checks, both about keeping the compile-time concurrency verification
-# honest (src/common/sync.h):
+# Three checks. The first two keep the compile-time concurrency
+# verification honest (src/common/sync.h); the third keeps the metric
+# namespace coherent (src/obs/):
 #
 #  1. Raw synchronization primitives are banned outside src/common/sync.h.
 #     Code that locks through std::mutex / std::lock_guard /
@@ -17,6 +18,13 @@
 #     below. Each allowlisted site must carry a justification comment; new
 #     escapes require editing this file, which puts them in front of a
 #     reviewer.
+#
+#  3. Metric names registered through MetricsRegistry::Get{Counter,Gauge,
+#     Histogram} must match swiftspatial_<layer>_<name> with a known layer,
+#     counters must end in _total and histograms in _seconds (README
+#     "Observability" documents the convention). Registration sites keep
+#     the name literal on the same line as the Get* call so this check can
+#     see it.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -68,8 +76,42 @@ if [ "$allowed_count" -gt 3 ]; then
   fail=1
 fi
 
+# --- Check 3: metric-name convention ---------------------------------------
+# swiftspatial_<layer>_<name>, lower_snake, layer from the documented set;
+# counters end _total, histograms end _seconds (latency histograms are
+# always in base seconds). src/obs/ itself defines the registry and
+# registers nothing, so every hit below is an instrumentation site.
+metric_name_re='^swiftspatial_(service|cache|stream|join|dist|obs)_[a-z0-9_]+$'
+bad_metrics=$(grep -rnoE 'Get(Counter|Gauge|Histogram)\("[^"]+"' src tests examples bench \
+  --include='*.h' --include='*.cc' --include='*.cpp' \
+  | while IFS= read -r hit; do
+      loc=${hit%%:Get*}
+      kind=$(printf '%s' "$hit" | sed -E 's/.*:Get(Counter|Gauge|Histogram)\(.*/\1/')
+      name=$(printf '%s' "$hit" | sed -E 's/.*\("([^"]+)"$/\1/')
+      reason=''
+      if ! printf '%s' "$name" | grep -qE "$metric_name_re"; then
+        reason='name must be swiftspatial_<layer>_<lower_snake> with layer in service|cache|stream|join|dist|obs'
+      elif [ "$kind" = Counter ] && ! printf '%s' "$name" | grep -q '_total$'; then
+        reason='counter names must end in _total'
+      elif [ "$kind" = Histogram ] && ! printf '%s' "$name" | grep -q '_seconds$'; then
+        reason='histogram names must end in _seconds'
+      fi
+      if [ -n "$reason" ]; then
+        echo "  $loc: $name ($reason)"
+      fi
+    done)
+if [ -n "$bad_metrics" ]; then
+  echo "FAIL: metric names off the swiftspatial_<layer>_<name> convention"
+  echo "(see the Observability section of README.md):"
+  echo
+  echo "$bad_metrics"
+  echo
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "lint OK: no raw sync primitives outside src/common/sync.h,"
-  echo "no unlisted NO_THREAD_SAFETY_ANALYSIS escapes."
+  echo "no unlisted NO_THREAD_SAFETY_ANALYSIS escapes, and all metric"
+  echo "names follow swiftspatial_<layer>_<name>."
 fi
 exit "$fail"
