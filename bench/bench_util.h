@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -157,6 +159,48 @@ inline Result<EngineTiming> TimeEngine(const std::string& name,
   timing.results = out.size();
   if (last_result != nullptr) *last_result = std::move(out);
   return timing;
+}
+
+// --- Checked exits: no partial-table fall-through ---------------------------
+//
+// A harness that drops a failed row and still exits 0 turns breakage into a
+// silently thinner table. Row-production failures split into two classes:
+//   * kNotSupported -- the engine declares itself inapplicable to the input
+//     (e.g. cuspatial_like on a rectangle probe set). Expected: noted on
+//     stderr, exit code unaffected.
+//   * anything else -- real breakage: reported on stderr, and the binary
+//     exits non-zero (via ExitCode() or OrDie).
+
+inline int& UnexpectedFailures() {
+  static int count = 0;
+  return count;
+}
+
+/// Harnesses that skip rows end their main with `return bench::ExitCode();`.
+inline int ExitCode() { return UnexpectedFailures() == 0 ? 0 : 1; }
+
+/// Records a row that could not be produced; see the class split above.
+inline void SkipRow(const std::string& label, const Status& status) {
+  if (status.code() == StatusCode::kNotSupported) {
+    std::fprintf(stderr, "note: %s skipped: %s\n", label.c_str(),
+                 status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "ERROR: %s: %s\n", label.c_str(),
+               status.ToString().c_str());
+  ++UnexpectedFailures();
+}
+
+/// Unwraps a Result whose failure has no expected-skip reading (a baseline
+/// engine on an input it supports): prints the status and exits non-zero.
+template <typename T>
+T OrDie(Result<T> result, const std::string& what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
 }
 
 /// Formats seconds as engineering-readable milliseconds.

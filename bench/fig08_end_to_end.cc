@@ -79,7 +79,10 @@ void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
     cfg.schedule = Schedule::kDynamic;
     cfg.num_partitions = 1024;
     const auto timing = TimeEngine(baseline.engine, cfg, in.r, in.s, env.reps);
-    if (!timing.ok()) continue;
+    if (!timing.ok()) {
+      SkipRow(baseline.label, timing.status());
+      continue;
+    }
     rows.push_back(
         {baseline.label, timing->median_execute_seconds, timing->results});
   }
@@ -117,7 +120,7 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print();
-  return 0;
+  return ExitCode();
 }
 
 }  // namespace

@@ -61,7 +61,12 @@ void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
     if (system.num_partitions > 0) cfg.num_partitions = system.num_partitions;
     cfg.batch_size = 20000;  // the paper's max feasible GPU batch
     const auto timing = TimeEngine(system.engine, cfg, in.r, in.s, env.reps);
-    if (!timing.ok()) continue;  // e.g. cuSpatial on a rectangle probe set
+    if (!timing.ok()) {
+      // cuSpatial on a rectangle probe set is a NotSupported expected skip;
+      // anything else marks the run failed.
+      SkipRow(system.label, timing.status());
+      continue;
+    }
     rows.push_back(
         {system.label, timing->median_execute_seconds, timing->results});
   }
@@ -93,7 +98,7 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print();
-  return 0;
+  return ExitCode();
 }
 
 }  // namespace

@@ -39,9 +39,11 @@ int Main(int argc, char** argv) {
         EngineConfig ecfg;
         ecfg.num_threads = env.cpu_threads;
         ecfg.node_capacity = node_size;
-        const auto cpu = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
-                                    in.s, env.reps);
-        const double cpu_sec = cpu.ok() ? cpu->median_execute_seconds : 0;
+        const EngineTiming cpu =
+            OrDie(TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r, in.s,
+                             env.reps),
+                  "CPU sync-traversal baseline");
+        const double cpu_sec = cpu.median_execute_seconds;
 
         hw::AcceleratorConfig cfg;
         cfg.num_join_units = env.units;

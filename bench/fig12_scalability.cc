@@ -91,7 +91,10 @@ int Main(int argc, char** argv) {
         cfg.num_threads = threads;
         cfg.schedule = Schedule::kDynamic;
         const auto timing = TimeEngine(name, cfg, in.r, in.s, env.reps);
-        if (!timing.ok()) continue;
+        if (!timing.ok()) {
+          SkipRow(name, timing.status());
+          continue;
+        }
         const double sec = timing->median_execute_seconds;
         if (threads == 1) base = sec;
         cpu_table.AddRow({name, ShapeName(shape), std::to_string(threads),
@@ -106,7 +109,7 @@ int Main(int argc, char** argv) {
       "small nodes plateau early; PBSM scales better than sync traversal at "
       "equal sizes (paper Fig. 12). CPU engines approach linear speedup "
       "while physical cores last.\n");
-  return 0;
+  return ExitCode();
 }
 
 }  // namespace

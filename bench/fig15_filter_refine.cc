@@ -35,10 +35,11 @@ int Main(int argc, char** argv) {
       EngineConfig ecfg;
       ecfg.num_threads = env.cpu_threads;
       JoinResult candidates;
-      const auto filter = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
-                                     in.s, env.reps, &candidates);
-      const double filter_sec =
-          filter.ok() ? filter->median_execute_seconds : 0;
+      const EngineTiming filter =
+          OrDie(TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r, in.s,
+                           env.reps, &candidates),
+                "CPU filter stage");
+      const double filter_sec = filter.median_execute_seconds;
 
       RefinementOptions ropt;
       ropt.num_threads = env.cpu_threads;

@@ -46,9 +46,11 @@ int Main(int argc, char** argv) {
         EngineConfig ecfg;
         ecfg.num_threads = env.cpu_threads;
         JoinResult cpu_candidates;
-        const auto cpu = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
-                                    in.s, env.reps, &cpu_candidates);
-        const double cpu_filter = cpu.ok() ? cpu->median_execute_seconds : 0;
+        const EngineTiming cpu =
+            OrDie(TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r, in.s,
+                             env.reps, &cpu_candidates),
+                  "CPU filter stage");
+        const double cpu_filter = cpu.median_execute_seconds;
         std::size_t final_results = 0;
         const double cpu_refine = MedianSeconds(
             [&] {

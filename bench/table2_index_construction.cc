@@ -61,9 +61,11 @@ int Main(int argc, char** argv) {
       // Joins for scale reference.
       EngineConfig ecfg;
       ecfg.num_threads = env.cpu_threads;
-      const auto cpu = TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r,
-                                  in.s, env.reps);
-      const double cpu_join = cpu.ok() ? cpu->median_execute_seconds : 0;
+      const EngineTiming cpu =
+          OrDie(TimeEngine(kParallelSyncTraversalEngine, ecfg, in.r, in.s,
+                           env.reps),
+                "CPU sync-traversal baseline");
+      const double cpu_join = cpu.median_execute_seconds;
       hw::AcceleratorConfig cfg;
       cfg.num_join_units = env.units;
       const auto report = hw::Accelerator(cfg).RunSyncTraversal(rt, st);

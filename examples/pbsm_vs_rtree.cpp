@@ -102,16 +102,19 @@ int main(int argc, char** argv) {
   // StageTiming split makes the plan (preprocessing) vs execute (join)
   // costs of each control flow directly comparable.
   std::printf("\nCPU engines (plan = preprocessing, execute = join):\n");
+  int failures = 0;
   for (const char* name :
        {kPbsmEngine, kPartitionedEngine, kSyncTraversalEngine}) {
     auto run = RunJoin(name, r, s);
     if (!run.ok()) {
-      std::printf("  %-24s %s\n", name, run.status().ToString().c_str());
+      std::fprintf(stderr, "  %-24s FAILED: %s\n", name,
+                   run.status().ToString().c_str());
+      ++failures;
       continue;
     }
     std::printf("  %-24s plan %8.1f ms + execute %8.1f ms -> %zu results\n",
                 name, run->timing.plan_seconds * 1e3,
                 run->timing.execute_seconds * 1e3, run->result.size());
   }
-  return 0;
+  return failures == 0 ? 0 : 1;
 }

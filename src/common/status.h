@@ -3,12 +3,27 @@
 // Result<T>) from any operation that can fail for reasons other than
 // programmer error; programmer errors are handled with CHECK macros
 // (see common/logging.h).
+//
+// Both types are class-level [[nodiscard]]: a caller that drops a returned
+// Status or Result<T> on the floor fails the build (CI compiles with
+// -Werror=unused-result; see the nodiscard probe in CMakeLists.txt). The
+// only sanctioned ways to consume one are
+//   - propagation: SWIFT_RETURN_IF_ERROR / SWIFT_ASSIGN_OR_RETURN or an
+//     explicit `if (!s.ok())` branch,
+//   - a CHECK on paths where failure is a programmer error, or
+//   - Status::IgnoreError(), the explicit, greppable escape hatch. Every
+//     IgnoreError() call site must carry a justification comment and be
+//     allowlisted in tools/lint.sh (same policy as the thread-safety
+//     analysis escape attribute).
 #ifndef SWIFTSPATIAL_COMMON_STATUS_H_
 #define SWIFTSPATIAL_COMMON_STATUS_H_
 
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
+
+#include "common/logging.h"
 
 namespace swiftspatial {
 
@@ -36,7 +51,7 @@ const char* StatusCodeToString(StatusCode code);
 ///
 ///   Status s = dataset.SaveTo(path);
 ///   if (!s.ok()) return s;
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -81,20 +96,38 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards this status. The escape hatch from [[nodiscard]]:
+  /// use only where dropping the error is a considered decision, never as a
+  /// convenience. Call sites must carry a justification comment and appear
+  /// on the allowlist in tools/lint.sh, which also bans the anonymous
+  /// `(void)` cast alternative.
+  void IgnoreError() const {}
+
  private:
   StatusCode code_;
   std::string msg_;
 };
 
 /// Result<T> is either a value of type T or an error Status. It mirrors the
-/// common StatusOr pattern.
+/// common StatusOr pattern. Like Status it is [[nodiscard]], and accessing
+/// the value of an error Result is a programmer error that CHECK-fails with
+/// the carried status (not a std::bad_variant_access from deep inside
+/// std::variant).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
+  // Result<Status> is ambiguous (both alternatives are a Status; the
+  // converting constructors collide) -- return plain Status instead.
+  static_assert(!std::is_same_v<std::decay_t<T>, Status>,
+                "Result<Status> is ill-formed: return Status directly");
+
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Constructs from an error status. `status.ok()` must be false.
-  Result(Status status) : v_(std::move(status)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SWIFT_CHECK(!std::get<Status>(v_).ok())
+        << "Result<T> constructed from an OK status carries no value";
+  }
 
   bool ok() const { return std::holds_alternative<T>(v_); }
 
@@ -104,25 +137,71 @@ class Result {
     return std::get<Status>(v_);
   }
 
-  /// Accesses the value. Must only be called when ok().
-  T& value() { return std::get<T>(v_); }
-  const T& value() const { return std::get<T>(v_); }
+  /// Accesses the value. Calling this on an error Result is a programmer
+  /// error: it CHECK-fails with the carried status message.
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  /// Rvalue access, so `SWIFT_ASSIGN_OR_RETURN` and
+  /// `std::move(result).value()` move the value out instead of copying.
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
 
-  T& operator*() { return value(); }
-  const T& operator*() const { return value(); }
-  T* operator->() { return &value(); }
-  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &(this->value()); }
+  const T* operator->() const { return &(this->value()); }
 
  private:
+  void CheckOk() const {
+    SWIFT_CHECK(ok()) << "Result<T>::value() called on error result: "
+                      << std::get<Status>(v_).ToString();
+  }
+
   std::variant<T, Status> v_;
 };
 
-// Propagates a non-OK status to the caller.
-#define SWIFT_RETURN_IF_ERROR(expr)              \
-  do {                                           \
-    ::swiftspatial::Status _st = (expr);         \
-    if (!_st.ok()) return _st;                   \
+// Token-pasting helpers for macro-unique local names: two expansions on the
+// same line would collide, but the macros below each expand exactly once per
+// statement, so __LINE__ uniquification is sufficient.
+#define SWIFT_STATUS_CONCAT_IMPL(a, b) a##b
+#define SWIFT_STATUS_CONCAT(a, b) SWIFT_STATUS_CONCAT_IMPL(a, b)
+
+// Propagates a non-OK status to the caller. `expr` is evaluated exactly
+// once; the macro body is a do-while so the temporary cannot shadow or be
+// shadowed by caller locals across statements.
+#define SWIFT_RETURN_IF_ERROR(expr)                                       \
+  do {                                                                    \
+    ::swiftspatial::Status SWIFT_STATUS_CONCAT(_swift_status_,            \
+                                               __LINE__) = (expr);        \
+    if (!SWIFT_STATUS_CONCAT(_swift_status_, __LINE__).ok())              \
+      return SWIFT_STATUS_CONCAT(_swift_status_, __LINE__);               \
   } while (0)
+
+// Evaluates `rexpr` (a Result<T>, exactly once); on error returns the
+// status to the caller, otherwise moves the value into `lhs`. `lhs` may be
+// a declaration (`auto v`) or an existing lvalue. The temporary holding the
+// Result is line-uniquified so nested use across lines cannot shadow, and
+// deliberately not named after `lhs` so `SWIFT_ASSIGN_OR_RETURN(auto x,
+// F(x))` reads the *outer* x when evaluating F (no surprise
+// self-capture). Not an expression: like its Abseil namesake it cannot be
+// used where a value is expected (`if (SWIFT_ASSIGN_OR_RETURN(...))`).
+#define SWIFT_ASSIGN_OR_RETURN(lhs, rexpr)                                \
+  SWIFT_ASSIGN_OR_RETURN_IMPL_(                                           \
+      SWIFT_STATUS_CONCAT(_swift_result_, __LINE__), lhs, rexpr)
+
+#define SWIFT_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
 
 }  // namespace swiftspatial
 

@@ -94,6 +94,12 @@ Status SaveCsvDataset(const Dataset& dataset, const std::string& path) {
       return Status::IOError("write failed: " + path);
     }
   }
+  // stdio buffers writes; the data only reaches the file system at close.
+  // Letting the FileCloser destructor eat fclose's return value here turned
+  // a full disk into a silent Status::OK() -- close explicitly and check.
+  if (std::fclose(f.release()) != 0) {
+    return Status::IOError("close failed (buffered write lost): " + path);
+  }
   return Status::OK();
 }
 

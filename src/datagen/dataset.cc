@@ -68,6 +68,12 @@ Status Dataset::SaveTo(const std::string& path) const {
       std::fwrite(boxes_.data(), sizeof(Box), count, f.get()) != count) {
     return Status::IOError("short write on boxes: " + path);
   }
+  // stdio buffers writes; the data only reaches the file system at close.
+  // Letting the FileCloser destructor eat fclose's return value here turned
+  // a full disk into a silent Status::OK() -- close explicitly and check.
+  if (std::fclose(f.release()) != 0) {
+    return Status::IOError("close failed (buffered write lost): " + path);
+  }
   return Status::OK();
 }
 

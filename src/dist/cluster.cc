@@ -103,7 +103,11 @@ void Node::RuntimeLoop() {
     terminal.kind = failed_ ? Message::Kind::kNodeFailed
                             : Message::Kind::kNodeDone;
   }
-  exchange_->Send(std::move(terminal));  // false only when cancelled
+  if (!exchange_->Send(std::move(terminal))) {
+    // Cancelled: the coordinator stopped receiving, so the lost terminal
+    // cannot strand it -- nothing more to do on this node.
+    return;
+  }
 }
 
 void Node::RunShard(ShardRef ref) {
@@ -196,7 +200,12 @@ void Node::RunShard(ShardRef ref) {
   done.shard = ref.shard_index;
   done.attempt = ref.attempt;
   done.trace = msg_trace;
-  exchange_->Send(std::move(done));
+  if (!exchange_->Send(std::move(done))) {
+    // Cancelled: the shard stays uncommitted at the coordinator, which is
+    // the correct outcome for a cancelled run (commit markers must never
+    // be assumed delivered past a cancellation).
+    return;
+  }
 }
 
 Cluster::Cluster(std::size_t num_nodes, const NodeOptions& node_options,

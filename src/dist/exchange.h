@@ -92,13 +92,15 @@ class Exchange {
 
   /// Enqueues `msg` on link msg.node, blocking while that link is full.
   /// Terminal messages (kNodeDone / kNodeFailed) close the link behind
-  /// them. Returns false (dropping the message) once cancelled.
-  bool Send(Message msg) EXCLUDES(mu_);
+  /// them. Returns false (dropping the message) once cancelled -- nodiscard
+  /// because a dropped false is a silently lost message: callers must
+  /// either stop producing or record why the loss is benign.
+  [[nodiscard]] bool Send(Message msg) EXCLUDES(mu_);
 
   /// Pops the next message from any open link, scanning links round-robin
   /// for fairness. Blocks while all links are open but empty; returns false
   /// once cancelled, or when every link has closed and drained.
-  bool Recv(Message* out) EXCLUDES(mu_);
+  [[nodiscard]] bool Recv(Message* out) EXCLUDES(mu_);
 
   /// Makes every blocked Send/Recv return false. Idempotent.
   void Cancel() EXCLUDES(mu_);

@@ -144,8 +144,9 @@ class AsyncJoinHandle {
 
   /// Pops the next chunk, blocking while the stream is open but empty.
   /// Returns false at end-of-stream (the join finished, failed, or was
-  /// cancelled and every buffered chunk has been delivered).
-  bool Next(ResultChunk* out);
+  /// cancelled and every buffered chunk has been delivered) -- nodiscard:
+  /// ignoring it means spinning past end-of-stream on stale chunk data.
+  [[nodiscard]] bool Next(ResultChunk* out);
 
   /// Requests cooperative cancellation: unstarted tile tasks are skipped,
   /// blocked producers unblock, and the stream closes after the tasks

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "dist/dist_engine.h"
 #include "exec/streaming.h"
@@ -285,7 +286,10 @@ class CuSpatialLikeEngine : public EngineBase {
   Status PlanImpl(const Dataset& r, const Dataset& s) override {
     (void)s;
     if (!r.IsPointDataset()) {
-      return Status::InvalidArgument(
+      // NotSupported, not InvalidArgument: the input is well-formed, this
+      // engine just does not apply to it. Harnesses key expected skips on
+      // the distinction (bench::SkipRow).
+      return Status::NotSupported(
           "cuspatial_like requires R to be a point dataset (point-polygon "
           "orientation)");
     }
@@ -720,26 +724,36 @@ Result<JoinRun> JoinEngine::Run(const Dataset& r, const Dataset& s) {
 EngineRegistry& EngineRegistry::Global() {
   static EngineRegistry* registry = [] {
     auto* r = new EngineRegistry();
-    r->Register(kNestedLoopEngine, MakeFactory<NestedLoopEngine>(
-                                       kNestedLoopEngine));
-    r->Register(kPlaneSweepEngine, MakeFactory<PlaneSweepEngine>(
-                                       kPlaneSweepEngine));
-    r->Register(kPbsmEngine, MakeFactory<PbsmEngine>(kPbsmEngine));
-    r->Register(kCuSpatialLikeEngine, MakeFactory<CuSpatialLikeEngine>(
-                                          kCuSpatialLikeEngine));
-    r->Register(kSyncTraversalEngine, MakeFactory<SyncTraversalEngine>(
-                                          kSyncTraversalEngine));
-    r->Register(kParallelSyncTraversalEngine,
-                MakeFactory<ParallelSyncTraversalEngine>(
-                    kParallelSyncTraversalEngine));
-    r->Register(kPartitionedEngine, MakeFactory<PartitionedEngine>(
-                                        kPartitionedEngine));
-    r->Register(kSimdEngine,
-                [](const EngineConfig& config) -> std::unique_ptr<JoinEngine> {
-                  return std::make_unique<PartitionedEngine>(
-                      kSimdEngine, config, TileJoin::kSimd);
-                });
-    r->Register(kAsyncEngine, [](const EngineConfig& config) {
+    // A failed built-in registration (duplicate or empty name, null
+    // factory) is a programmer error that would silently unlist an engine,
+    // so it CHECK-fails rather than dropping the Status.
+    const auto register_or_die = [r](const std::string& name,
+                                     EngineFactory factory) {
+      const Status st = r->Register(name, std::move(factory));
+      SWIFT_CHECK(st.ok()) << "built-in engine registration failed: "
+                           << st.ToString();
+    };
+    register_or_die(kNestedLoopEngine, MakeFactory<NestedLoopEngine>(
+                                           kNestedLoopEngine));
+    register_or_die(kPlaneSweepEngine, MakeFactory<PlaneSweepEngine>(
+                                           kPlaneSweepEngine));
+    register_or_die(kPbsmEngine, MakeFactory<PbsmEngine>(kPbsmEngine));
+    register_or_die(kCuSpatialLikeEngine, MakeFactory<CuSpatialLikeEngine>(
+                                              kCuSpatialLikeEngine));
+    register_or_die(kSyncTraversalEngine, MakeFactory<SyncTraversalEngine>(
+                                              kSyncTraversalEngine));
+    register_or_die(kParallelSyncTraversalEngine,
+                    MakeFactory<ParallelSyncTraversalEngine>(
+                        kParallelSyncTraversalEngine));
+    register_or_die(kPartitionedEngine, MakeFactory<PartitionedEngine>(
+                                            kPartitionedEngine));
+    register_or_die(
+        kSimdEngine,
+        [](const EngineConfig& config) -> std::unique_ptr<JoinEngine> {
+          return std::make_unique<PartitionedEngine>(kSimdEngine, config,
+                                                     TileJoin::kSimd);
+        });
+    register_or_die(kAsyncEngine, [](const EngineConfig& config) {
       return exec::MakeAsyncJoinEngine(config);
     });
     // The simulated accelerator (join/accel_engine.h). MakeAccelEngine only
@@ -747,29 +761,29 @@ EngineRegistry& EngineRegistry::Global() {
     // surface at Plan like every other engine.
     for (const char* accel : {kAccelBfsEngine, kAccelPbsmEngine,
                               kAccelPbsmMultiEngine}) {
-      r->Register(accel,
-                  [accel](const EngineConfig& config)
-                      -> std::unique_ptr<JoinEngine> {
-                    return std::move(*MakeAccelEngine(accel, config));
-                  });
+      register_or_die(accel,
+                      [accel](const EngineConfig& config)
+                          -> std::unique_ptr<JoinEngine> {
+                        return std::move(*MakeAccelEngine(accel, config));
+                      });
     }
     // The simulated cluster (dist/dist_engine.h). As with the accelerator
     // engines, MakeDistEngine only fails for unknown names; config errors
     // surface at Plan.
     for (const char* dist_name : {kDistPbsmEngine, kDistAccelEngine}) {
-      r->Register(dist_name,
-                  [dist_name](const EngineConfig& config)
-                      -> std::unique_ptr<JoinEngine> {
-                    return std::move(*dist::MakeDistEngine(dist_name,
-                                                           config));
-                  });
+      register_or_die(dist_name,
+                      [dist_name](const EngineConfig& config)
+                          -> std::unique_ptr<JoinEngine> {
+                        return std::move(*dist::MakeDistEngine(dist_name,
+                                                               config));
+                      });
     }
-    r->Register(kInterpretedEngineBaseline,
-                MakeFactory<InterpretedEngineAdapter>(
-                    kInterpretedEngineBaseline));
-    r->Register(kBigDataFrameworkBaseline,
-                MakeFactory<BigDataFrameworkAdapter>(
-                    kBigDataFrameworkBaseline));
+    register_or_die(kInterpretedEngineBaseline,
+                    MakeFactory<InterpretedEngineAdapter>(
+                        kInterpretedEngineBaseline));
+    register_or_die(kBigDataFrameworkBaseline,
+                    MakeFactory<BigDataFrameworkAdapter>(
+                        kBigDataFrameworkBaseline));
     return r;
   }();
   return *registry;

@@ -58,7 +58,8 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch sw;
   // Burn a little CPU deterministically.
   volatile double acc = 0;
-  for (int i = 0; i < 2000000; ++i) acc += i * 0.5;
+  // Plain assignment: compound assignment on volatile is deprecated (C++20).
+  for (int i = 0; i < 2000000; ++i) acc = acc + i * 0.5;
   const double first = sw.ElapsedSeconds();
   EXPECT_GT(first, 0.0);
   EXPECT_GE(sw.ElapsedMillis(), first * 1e3);

@@ -106,6 +106,23 @@ TEST(CsvIo, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+// Regression: the buffered stdio write only reaches the file system at
+// fclose, whose return value used to vanish inside the FileCloser
+// destructor -- saving to a full disk reported Status::OK(). /dev/full
+// fails the flush-at-close deterministically (writes buffer fine, the
+// flush gets ENOSPC), which is exactly the swallowed path.
+TEST(CsvIo, SaveReportsCloseTimeWriteFailure) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  const Dataset small = testutil::Uniform(4, 7);
+  const Status s = SaveCsvDataset(small, "/dev/full");
+  ASSERT_FALSE(s.ok()) << "flush-at-close failure was swallowed";
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("close failed"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(CsvIo, EmptyFileGivesEmptyDataset) {
   const std::string path = TempPath("empty.csv");
   WriteFile(path, "");

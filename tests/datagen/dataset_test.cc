@@ -49,6 +49,26 @@ TEST(Dataset, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+// Regression: binary SaveTo had the same swallowed flush-at-close as the
+// CSV writer -- fclose's return value died in the FileCloser destructor,
+// so a full disk reported Status::OK(). See CsvIo.SaveReportsCloseTime-
+// WriteFailure for the /dev/full mechanics.
+TEST(Dataset, SaveReportsCloseTimeWriteFailure) {
+  std::FILE* probe = std::fopen("/dev/full", "wb");
+  if (probe == nullptr) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  // IgnoreError-free cleanup: fclose of an unwritten handle cannot fail
+  // meaningfully here, and it returns int, not Status.
+  std::fclose(probe);
+  const Dataset small = testutil::Uniform(4, 7);
+  const Status s = small.SaveTo("/dev/full");
+  ASSERT_FALSE(s.ok()) << "flush-at-close failure was swallowed";
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("close failed"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(Dataset, SaveLoadEmptyDataset) {
   const Dataset empty("none", {});
   const std::string path = TempPath("empty.swst");

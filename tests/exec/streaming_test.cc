@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "join/engine.h"
 #include "tests/test_util.h"
 
@@ -69,15 +70,19 @@ constexpr const char* kFaultThrowEngine = "fault-throw";
 
 void RegisterFaultEnginesOnce() {
   static const bool registered = [] {
-    EngineRegistry::Global().Register(
+    // A registration failure here would silently skip the fault-path
+    // coverage below, so it aborts the test binary.
+    const Status error_st = EngineRegistry::Global().Register(
         kFaultErrorEngine, [](const EngineConfig&) {
           return std::make_unique<ErrorAfterPartialResultEngine>(
               kFaultErrorEngine);
         });
-    EngineRegistry::Global().Register(
+    SWIFT_CHECK(error_st.ok()) << error_st.ToString();
+    const Status throw_st = EngineRegistry::Global().Register(
         kFaultThrowEngine, [](const EngineConfig&) {
           return std::make_unique<ThrowingEngine>(kFaultThrowEngine);
         });
+    SWIFT_CHECK(throw_st.ok()) << throw_st.ToString();
     return true;
   }();
   (void)registered;

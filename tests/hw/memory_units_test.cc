@@ -147,7 +147,7 @@ TEST(TaskQueueManagerTest, LevelStartResetsCursorAndCount) {
 
   auto driver = [](TqmHarness* t, uint64_t a, uint64_t b,
                    SyncResponse* first, SyncResponse* second) -> sim::Process {
-    for (const auto [base, tasks, out] :
+    for (const auto& [base, tasks, out] :
          {std::tuple{a, 2, first}, std::tuple{b, 1, second}}) {
       TaskStreamItem start;
       start.kind = TaskStreamItem::Kind::kLevelStart;

@@ -82,7 +82,9 @@ TEST(RStarTree, MixedWorkloadStaysValid) {
       t.Insert(static_cast<ObjectId>(i), d.box(i));
     }
     present[i] = !present[i];
-    if (step % 500 == 499) ASSERT_TRUE(t.Validate().ok()) << step;
+    if (step % 500 == 499) {
+      ASSERT_TRUE(t.Validate().ok()) << step;
+    }
   }
   ASSERT_TRUE(t.Validate().ok());
 }

@@ -43,7 +43,9 @@ TEST(RTree, GrowsAndStaysValid) {
   const Dataset d = testutil::Uniform(2000, 21);
   for (std::size_t i = 0; i < d.size(); ++i) {
     t.Insert(static_cast<ObjectId>(i), d.box(i));
-    if (i % 250 == 249) ASSERT_TRUE(t.Validate().ok()) << "at insert " << i;
+    if (i % 250 == 249) {
+      ASSERT_TRUE(t.Validate().ok()) << "at insert " << i;
+    }
   }
   EXPECT_EQ(t.size(), 2000u);
   EXPECT_GE(t.height(), 3);
@@ -138,7 +140,9 @@ TEST(RTree, MixedInsertDeleteWorkload) {
       present[i] = true;
       ++live;
     }
-    if (step % 500 == 499) ASSERT_TRUE(t.Validate().ok()) << "step " << step;
+    if (step % 500 == 499) {
+      ASSERT_TRUE(t.Validate().ok()) << "step " << step;
+    }
   }
   EXPECT_EQ(t.size(), live);
   auto all = t.WindowQuery(d.Extent());

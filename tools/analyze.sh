@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Local static-analysis run matching the CI clang-tidy job: the repo
+# .clang-tidy baseline (bugprone/concurrency/performance plus the Clang
+# Static Analyzer classes -- clang-analyzer-core/cplusplus/deadcode/optin
+# and the selected misc-*/cert-* checks) over every .cc under src/, against
+# an exported compile_commands.json. CI scopes PR runs to changed layers;
+# this script always runs the full tree, so a clean exit here means the CI
+# job is green no matter what the PR touched.
+#
+# Usage:
+#   tools/analyze.sh                # configure build-tidy/ and analyze src/
+#   BUILD_DIR=build tools/analyze.sh  # reuse an existing build dir's
+#                                     # compile_commands.json
+#
+# Requires clang-tidy (and clang for configuring the default build dir);
+# exits 2 with a hint when the toolchain is missing rather than failing
+# cryptically, since the sweep is also enforced in CI.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tidy}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tools/analyze.sh: clang-tidy not found on PATH." >&2
+  echo "Install clang-tidy (apt-get install clang clang-tidy) or rely on" >&2
+  echo "the CI clang-tidy job, which runs this same sweep." >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "tools/analyze.sh: no $BUILD_DIR/compile_commands.json and no" >&2
+    echo "clang++ to configure one. Point BUILD_DIR at an existing build" >&2
+    echo "directory (compile_commands.json is always exported) or install" >&2
+    echo "clang." >&2
+    exit 2
+  fi
+  # Library-only configure, exactly like CI: no test/bench/example deps
+  # needed to analyze src/.
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+      -DSWIFTSPATIAL_BUILD_TESTS=OFF -DSWIFTSPATIAL_BUILD_BENCH=OFF \
+      -DSWIFTSPATIAL_BUILD_EXAMPLES=OFF || exit 1
+fi
+
+files=$(find src -name '*.cc' | sort)
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # run-clang-tidy parallelizes across files and aggregates the exit code.
+  run-clang-tidy -p "$BUILD_DIR" -quiet $files
+else
+  status=0
+  for f in $files; do
+    clang-tidy -p "$BUILD_DIR" --quiet "$f" || status=1
+  done
+  exit $status
+fi

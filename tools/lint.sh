@@ -2,9 +2,10 @@
 # Repo lint, run in CI (see .github/workflows/ci.yml) and locally via
 #   tools/lint.sh
 #
-# Three checks. The first two keep the compile-time concurrency
+# Five checks. The first two keep the compile-time concurrency
 # verification honest (src/common/sync.h); the third keeps the metric
-# namespace coherent (src/obs/):
+# namespace coherent (src/obs/); the last two keep the error-path
+# verification honest (src/common/status.h):
 #
 #  1. Raw synchronization primitives are banned outside src/common/sync.h.
 #     Code that locks through std::mutex / std::lock_guard /
@@ -25,6 +26,19 @@
 #     "Observability" documents the convention). Registration sites keep
 #     the name literal on the same line as the Get* call so this check can
 #     see it.
+#
+#  4. Status::IgnoreError() escapes must be on the documented allowlist
+#     below and carry a justification comment at the call site. Status and
+#     Result<T> are [[nodiscard]] (CI builds with -Werror=unused-result);
+#     IgnoreError() is the one sanctioned way to drop an error, and adding
+#     a site means editing this file, which puts it in front of a reviewer.
+#
+#  5. `(void)`-casting a call expression is banned everywhere: it is the
+#     anonymous way to defeat [[nodiscard]] on a Status/Result return and
+#     is invisible to the allowlist above. `(void)name;` (silencing an
+#     unused parameter/variable) stays legal, as does `(void)co_await`
+#     (the hw/sim coroutine drain idiom: the discarded FIFO element is
+#     data, not an error).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -109,9 +123,76 @@ if [ -n "$bad_metrics" ]; then
   fail=1
 fi
 
+# --- Check 4: Status::IgnoreError() allowlist ------------------------------
+# Allowlisted escape sites, one per line as <file>:<symbol-or-reason>.
+# Keep this list at five entries or fewer; every entry must point at a
+# justification comment next to the call (same line or the two lines
+# above it -- the check verifies the comment exists).
+ignore_allowlist='
+tests/common/status_test.cc: pins that the escape hatch compiles and is a no-op
+'
+ignore_hits=$(grep -rn '\.IgnoreError()' src tests examples bench \
+  --include='*.h' --include='*.cc' --include='*.cpp' \
+  | grep -v '^src/common/status\.h:' || true)
+if [ -n "$ignore_hits" ]; then
+  while IFS= read -r hit; do
+    file=${hit%%:*}
+    rest=${hit#*:}
+    lineno=${rest%%:*}
+    if ! printf '%s\n' "$ignore_allowlist" | grep -qF "$file"; then
+      echo "FAIL: Status::IgnoreError() escape not on the allowlist in"
+      echo "tools/lint.sh (add it with a justification, max 5 entries):"
+      echo "  $hit"
+      echo
+      fail=1
+    fi
+    # Justification comment: the call line or one of the two lines above
+    # it must contain a // comment.
+    start=$((lineno - 2))
+    [ "$start" -lt 1 ] && start=1
+    if ! sed -n "${start},${lineno}p" "$file" | grep -q '//'; then
+      echo "FAIL: Status::IgnoreError() call without a justification comment"
+      echo "(on the call line or the two lines above it):"
+      echo "  $hit"
+      echo
+      fail=1
+    fi
+  done <<EOF
+$ignore_hits
+EOF
+fi
+
+ignore_count=$(printf '%s\n' "$ignore_allowlist" | grep -c ':' || true)
+if [ "$ignore_count" -gt 5 ]; then
+  echo "FAIL: IgnoreError allowlist has $ignore_count entries (max 5)."
+  fail=1
+fi
+
+# --- Check 5: no (void)-cast of call expressions ---------------------------
+# `(void)SomeCall(...)` silently defeats [[nodiscard]] on Status/Result and
+# bypasses the IgnoreError allowlist above, so it is banned outright for
+# *any* call; `(void)name;` (unused parameter/variable) and
+# `(void)co_await ...` (hw/sim FIFO drain: the discarded element is data,
+# not an error) remain legal.
+void_hits=$(grep -rnE '(^|[[:space:](;{])\(void\) ?[A-Za-z_:~][A-Za-z0-9_:.>-]*\(' \
+  src tests examples bench \
+  --include='*.h' --include='*.cc' --include='*.cpp' \
+  | grep -v 'co_await' || true)
+if [ -n "$void_hits" ]; then
+  echo "FAIL: (void)-cast call expressions (the anonymous [[nodiscard]]"
+  echo "defeat). Propagate the status, check it, or use"
+  echo "Status::IgnoreError() with a justification (tools/lint.sh check 4):"
+  echo
+  echo "$void_hits"
+  echo
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "lint OK: no raw sync primitives outside src/common/sync.h,"
-  echo "no unlisted NO_THREAD_SAFETY_ANALYSIS escapes, and all metric"
-  echo "names follow swiftspatial_<layer>_<name>."
+  echo "no unlisted NO_THREAD_SAFETY_ANALYSIS escapes, all metric"
+  echo "names follow swiftspatial_<layer>_<name>, no unlisted or"
+  echo "uncommented Status::IgnoreError() escapes, and no (void)-cast"
+  echo "call expressions."
 fi
 exit "$fail"

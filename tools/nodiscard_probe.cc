@@ -1,0 +1,36 @@
+// Negative-compilation probe for the [[nodiscard]] Status contract, driven
+// by the try_compile pair in CMakeLists.txt ("Error-path static
+// verification" in README.md):
+//
+//   - compiled WITHOUT defines, this file drops a returned Status on the
+//     floor and must FAIL to compile under -Werror=unused-result (the flag
+//     every CI build uses). If it compiles, the contract is broken --
+//     someone removed [[nodiscard]] from Status or the flag from the build
+//     -- and configuration aborts.
+//   - compiled with -DSWIFTSPATIAL_PROBE_CONSUME, the status is consumed
+//     and the file must COMPILE. This positive control proves the probe's
+//     include paths and flags are sound, so the negative result above
+//     means "the warning fired", not "the probe is broken".
+//
+// Self-contained on purpose: only the header is needed (no status.cc
+// symbols are referenced), so try_compile's link step cannot fail for
+// unrelated reasons.
+#include "common/status.h"
+
+namespace {
+
+swiftspatial::Status MakeProbeError() {
+  return swiftspatial::Status::Internal("nodiscard probe");
+}
+
+}  // namespace
+
+int main() {
+#ifdef SWIFTSPATIAL_PROBE_CONSUME
+  const swiftspatial::Status s = MakeProbeError();
+  return s.ok() ? 0 : 1;
+#else
+  MakeProbeError();  // dropped Status: must not compile
+  return 0;
+#endif
+}
