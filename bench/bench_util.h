@@ -6,18 +6,28 @@
 //   --threads=N       CPU worker threads (default: hardware concurrency)
 //   --units=N         simulated join units (default 16, the paper's config)
 //   --reps=N          timed repetitions after one warmup (default 3)
+//   --json-out=DIR    additionally write machine-readable telemetry to
+//                     DIR/BENCH_<name>.json (see JsonReporter below); the
+//                     CI bench-telemetry job diffs these against committed
+//                     baselines with tools/perf_compare.py
 #ifndef SWIFTSPATIAL_BENCH_BENCH_UTIL_H_
 #define SWIFTSPATIAL_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <functional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/flags.h"
 #include "common/stopwatch.h"
@@ -48,6 +58,8 @@ struct BenchEnv {
   int units = 16;
   int reps = 3;
   std::vector<uint64_t> scales;
+  /// Directory for BENCH_<name>.json telemetry; empty disables emission.
+  std::string json_dir;
 
   static BenchEnv Parse(int argc, char** argv,
                         uint64_t default_scale = 100000) {
@@ -59,6 +71,7 @@ struct BenchEnv {
         std::max<int64_t>(1, std::thread::hardware_concurrency())));
     env.units = static_cast<int>(env.flags.GetInt("units", 16));
     env.reps = static_cast<int>(env.flags.GetInt("reps", 3));
+    env.json_dir = env.flags.GetString("json-out", "");
     if (env.flags.Has("scale")) {
       env.scales = {static_cast<uint64_t>(env.flags.GetInt("scale", 100000))};
     } else if (env.full) {
@@ -213,6 +226,161 @@ inline std::string Speedup(double baseline_seconds, double seconds) {
   if (seconds <= 0) return "-";
   return TablePrinter::Fmt(baseline_seconds / seconds, 2) + "x";
 }
+
+// --- Machine-readable bench telemetry ---------------------------------------
+
+/// Process CPU time (user + system) from getrusage: the numerator of the
+/// per-row CPU utilization metric. 0 where rusage is unavailable.
+inline double ProcessCpuSeconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + 1e-6 * t.tv_usec;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+#else
+  return 0;
+#endif
+}
+
+/// Emits one BENCH_<name>.json per harness run: a schema-versioned record
+/// of every table row as named numeric metrics, plus the machine/run
+/// context needed to compare two runs honestly (threads, units, reps,
+/// scales, hardware concurrency, git sha). tools/perf_compare.py consumes
+/// pairs of these; the CI bench-telemetry job gates on the comparison.
+///
+///   bench::JsonReporter json("fig08_end_to_end", env);
+///   ...
+///   json.AddRow(label, {{"execute_seconds", t.median_execute_seconds},
+///                       {"results", double(t.results)}});
+///   ...
+///   if (!json.WriteIfRequested()) return 1;   // before bench::ExitCode()
+///
+/// Every row additionally records `cpu_utilization`: process CPU time
+/// (user+sys, all threads) over wall time, both measured across the
+/// interval since the previous AddRow (so warmups and dataset setup done
+/// for the row are included). ~1.0 = single-threaded, ~N = N cores busy,
+/// << 1 = the row mostly waited.
+///
+/// Schema (schema_version 1):
+///   { "schema_version": 1, "name": "...", "context": {...},
+///     "rows": [ { "label": "...", "metrics": { "<metric>": <number> } } ] }
+class JsonReporter {
+ public:
+  JsonReporter(std::string name, const BenchEnv& env)
+      : name_(std::move(name)),
+        json_dir_(env.json_dir),
+        row_wall_(),
+        row_cpu_(ProcessCpuSeconds()) {
+    context_ = "{";
+    context_ += "\"threads\":" + std::to_string(env.cpu_threads);
+    context_ += ",\"units\":" + std::to_string(env.units);
+    context_ += ",\"reps\":" + std::to_string(env.reps);
+    context_ += ",\"full\":" + std::string(env.full ? "true" : "false");
+    context_ += ",\"scales\":[";
+    for (std::size_t i = 0; i < env.scales.size(); ++i) {
+      if (i != 0) context_ += ",";
+      context_ += std::to_string(env.scales[i]);
+    }
+    context_ += "]";
+    context_ += ",\"hardware_concurrency\":" +
+                std::to_string(std::thread::hardware_concurrency());
+#ifdef SWIFTSPATIAL_GIT_SHA
+    context_ += ",\"git_sha\":\"" SWIFTSPATIAL_GIT_SHA "\"";
+#else
+    context_ += ",\"git_sha\":\"unknown\"";
+#endif
+    context_ += ",\"unix_time\":" +
+                std::to_string(static_cast<long long>(std::time(nullptr)));
+    context_ += "}";
+  }
+
+  /// Records one row. Metric names should be stable snake_case identifiers;
+  /// time-like metrics should end in `_seconds` (perf_compare.py treats
+  /// them as lower-is-better; counts are compared for drift, not gated).
+  void AddRow(const std::string& label,
+              std::vector<std::pair<std::string, double>> metrics) {
+    const double wall = row_wall_.ElapsedSeconds();
+    const double cpu = ProcessCpuSeconds() - row_cpu_;
+    if (wall > 0) {
+      metrics.emplace_back("cpu_utilization", cpu / wall);
+    }
+    std::string row = "    {\"label\":\"" + EscapeJson(label) +
+                      "\",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      if (i != 0) row += ",";
+      row += "\"" + EscapeJson(metrics[i].first) + "\":" +
+             FormatNumber(metrics[i].second);
+    }
+    row += "}}";
+    rows_.push_back(std::move(row));
+    row_wall_.Reset();
+    row_cpu_ = ProcessCpuSeconds();
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"schema_version\": 1,\n  \"name\": \"" +
+                      EscapeJson(name_) + "\",\n  \"context\": " + context_ +
+                      ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += rows_[i];
+      if (i + 1 != rows_.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes DIR/BENCH_<name>.json when --json-out=DIR was passed; no-op
+  /// (returning true) otherwise. Returns false on I/O failure, which
+  /// harness mains turn into a non-zero exit -- a telemetry run that
+  /// silently wrote nothing would let CI "pass" on stale baselines.
+  bool WriteIfRequested() const {
+    if (json_dir_.empty()) return true;
+    const std::string path = json_dir_ + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = ToJson();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (ok) std::fprintf(stderr, "note: wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string EscapeJson(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  static std::string FormatNumber(double v) {
+    if (!std::isfinite(v)) return "0";  // JSON has no inf/nan literals
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::string json_dir_;
+  std::string context_;
+  std::vector<std::string> rows_;
+  Stopwatch row_wall_;
+  double row_cpu_ = 0;
+};
 
 }  // namespace swiftspatial::bench
 

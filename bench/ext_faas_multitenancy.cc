@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/flags.h"
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "faas/service.h"
@@ -39,8 +39,9 @@ std::vector<JoinRequest> MakeMixedStream(int interactive, uint64_t seed) {
 }
 
 int Main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const int interactive = static_cast<int>(flags.GetInt("requests", 64));
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  const int interactive =
+      static_cast<int>(env.flags.GetInt("requests", 64));
   std::printf(
       "§4.2 extension: multi-tenancy -- 1 heavy + %d interactive joins on "
       "one 16-unit FPGA\n",
@@ -51,6 +52,7 @@ int Main(int argc, char** argv) {
       {"kernels", "units_each", "mean_latency_ms", "p99_latency_ms",
        "max_wait_ms", "makespan_ms"});
   const auto requests = MakeMixedStream(interactive, 777);
+  JsonReporter json("ext_faas_multitenancy", env);
   for (const int kernels : {1, 2, 4, 8}) {
     FaasConfig cfg;
     cfg.total_units = 16;
@@ -63,12 +65,18 @@ int Main(int argc, char** argv) {
                   TablePrinter::Fmt(metrics.p99_latency_seconds * 1e3, 2),
                   TablePrinter::Fmt(metrics.max_wait_seconds * 1e3, 2),
                   TablePrinter::Fmt(metrics.makespan_seconds * 1e3, 2)});
+    json.AddRow("kernels" + std::to_string(kernels),
+                {{"mean_latency_seconds", metrics.mean_latency_seconds},
+                 {"p99_latency_seconds", metrics.p99_latency_seconds},
+                 {"max_wait_seconds", metrics.max_wait_seconds},
+                 {"makespan_seconds", metrics.makespan_seconds}});
   }
   table.Print();
   std::printf(
       "Expected shape: more kernels -> sharply lower p99/max-wait for "
       "interactive queries (fairness), at the cost of a longer makespan for "
       "the heavy query (§4.2's trade-off).\n");
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

@@ -66,6 +66,7 @@ int Main(int argc, char** argv) {
       "Construction method vs topology quality and join latency",
       {"method", "build_ms", "leaf_fill", "leaf_overlap", "node_accesses",
        "device_join_ms"});
+  JsonReporter json("ext_rtree_quality", env);
   for (const char* method : {"guttman", "r-star", "str", "hilbert"}) {
     const Built r_built = Build(method, in.r, env.cpu_threads);
     const Built s_built = Build(method, in.s, env.cpu_threads);
@@ -81,6 +82,11 @@ int Main(int argc, char** argv) {
                   TablePrinter::FmtSci(q.leaf_overlap_area, 2),
                   TablePrinter::Fmt(AvgNodeAccesses(r_built.tree, windows), 1),
                   Ms(report.total_seconds)});
+    json.AddRow(method,
+                {{"build_seconds", (r_built.build_ms + s_built.build_ms) / 1e3},
+                 {"leaf_fill", q.avg_leaf_fill},
+                 {"node_accesses", AvgNodeAccesses(r_built.tree, windows)},
+                 {"device_join_seconds", report.total_seconds}});
   }
   table.Print();
   std::printf(
@@ -88,6 +94,7 @@ int Main(int argc, char** argv) {
       "yields fuller, less-overlapping leaves than dynamic insertion; R* "
       "improves on Guttman at a higher insert cost; better topology "
       "translates into fewer node accesses and faster device joins.\n");
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

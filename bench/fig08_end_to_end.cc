@@ -19,7 +19,7 @@ namespace swiftspatial::bench {
 namespace {
 
 void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
-             uint64_t scale, TablePrinter* table) {
+             uint64_t scale, TablePrinter* table, JsonReporter* json) {
   const JoinInputs in = MakeInputs(shape, kind, scale);
 
   BulkLoadOptions bl;
@@ -97,6 +97,10 @@ void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
                    row.system, Ms(row.seconds),
                    Speedup(best_cpu, row.seconds),
                    std::to_string(row.results)});
+    json->AddRow(std::string(ShapeName(shape)) + "/" + JoinName(kind) + "/" +
+                     std::to_string(scale) + "/" + row.system,
+                 {{"latency_seconds", row.seconds},
+                  {"results", static_cast<double>(row.results)}});
   }
 }
 
@@ -110,16 +114,18 @@ int Main(int argc, char** argv) {
   TablePrinter table("Fig. 8 -- end-to-end spatial join latency",
                      {"dataset", "join", "scale", "system", "latency_ms",
                       "vs_best_cpu", "results"});
+  JsonReporter json("fig08_end_to_end", env);
   for (const uint64_t scale : env.scales) {
     for (const WorkloadShape shape :
          {WorkloadShape::kUniform, WorkloadShape::kOsm}) {
       for (const JoinKind kind :
            {JoinKind::kPointPolygon, JoinKind::kPolygonPolygon}) {
-        RunCase(env, shape, kind, scale, &table);
+        RunCase(env, shape, kind, scale, &table, &json);
       }
     }
   }
   table.Print();
+  if (!json.WriteIfRequested()) return 1;
   return ExitCode();
 }
 

@@ -16,7 +16,7 @@ namespace swiftspatial::bench {
 namespace {
 
 void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
-             uint64_t scale, TablePrinter* table) {
+             uint64_t scale, TablePrinter* table, JsonReporter* json) {
   const JoinInputs in = MakeInputs(shape, kind, scale);
   BulkLoadOptions bl;
   bl.max_entries = 16;
@@ -76,6 +76,10 @@ void RunCase(const BenchEnv& env, WorkloadShape shape, JoinKind kind,
     table->AddRow({ShapeName(shape), JoinName(kind), std::to_string(scale),
                    row.system, Ms(row.seconds), Speedup(row.seconds, swift),
                    std::to_string(row.results)});
+    json->AddRow(std::string(ShapeName(shape)) + "/" + JoinName(kind) + "/" +
+                     std::to_string(scale) + "/" + row.system,
+                 {{"latency_seconds", row.seconds},
+                  {"results", static_cast<double>(row.results)}});
   }
 }
 
@@ -88,16 +92,18 @@ int Main(int argc, char** argv) {
       "Fig. 9 -- SwiftSpatial vs CPU- and GPU-based spatial systems",
       {"dataset", "join", "scale", "system", "latency_ms", "swift_speedup",
        "results"});
+  JsonReporter json("fig09_systems", env);
   for (const uint64_t scale : env.scales) {
     for (const WorkloadShape shape :
          {WorkloadShape::kUniform, WorkloadShape::kOsm}) {
       for (const JoinKind kind :
            {JoinKind::kPointPolygon, JoinKind::kPolygonPolygon}) {
-        RunCase(env, shape, kind, scale, &table);
+        RunCase(env, shape, kind, scale, &table, &json);
       }
     }
   }
   table.Print();
+  if (!json.WriteIfRequested()) return 1;
   return ExitCode();
 }
 

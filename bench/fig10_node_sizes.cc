@@ -23,6 +23,7 @@ int Main(int argc, char** argv) {
       "Fig. 10 -- R-tree node size vs join latency (16 threads / 16 units)",
       {"dataset", "scale", "node_size", "cpu_ms", "fpga_ms", "fpga_cycles",
        "predicates"});
+  JsonReporter json("fig10_node_sizes", env);
 
   for (const uint64_t scale : env.scales) {
     for (const WorkloadShape shape :
@@ -54,6 +55,14 @@ int Main(int argc, char** argv) {
                       Ms(report.total_seconds),
                       std::to_string(report.kernel_cycles),
                       std::to_string(report.stats.predicate_evaluations)});
+        json.AddRow(
+            std::string(ShapeName(shape)) + "/" + std::to_string(scale) +
+                "/node" + std::to_string(node_size),
+            {{"cpu_seconds", cpu_sec},
+             {"fpga_seconds", report.total_seconds},
+             {"fpga_cycles", static_cast<double>(report.kernel_cycles)},
+             {"predicates",
+              static_cast<double>(report.stats.predicate_evaluations)}});
       }
     }
   }
@@ -61,6 +70,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "Expected shape: latency is U-shaped in node size with the optimum at "
       "16 for both systems (paper Fig. 10).\n");
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
   TablePrinter table(
       "Fig. 12 -- speedup vs #join units (relative to 1 unit)",
       {"workload", "dataset", "size", "units", "kernel_ms", "speedup"});
+  JsonReporter json("fig12_scalability", env);
 
   const uint64_t scale = env.scales.front();
   const std::vector<int> unit_counts = {1, 2, 4, 8, 16};
@@ -46,6 +47,10 @@ int Main(int argc, char** argv) {
                       std::to_string(node_size), std::to_string(units),
                       Ms(report.kernel_seconds),
                       Speedup(base, report.kernel_seconds)});
+        json.AddRow("SyncTraversal/" + std::string(ShapeName(shape)) +
+                        "/size" + std::to_string(node_size) + "/units" +
+                        std::to_string(units),
+                    {{"kernel_seconds", report.kernel_seconds}});
       }
     }
 
@@ -65,6 +70,10 @@ int Main(int argc, char** argv) {
           table.AddRow({"PBSM", ShapeName(shape), std::to_string(tile_cap),
                         std::to_string(units), Ms(report.kernel_seconds),
                         Speedup(base, report.kernel_seconds)});
+          json.AddRow("PBSM/" + std::string(ShapeName(shape)) + "/size" +
+                          std::to_string(tile_cap) + "/units" +
+                          std::to_string(units),
+                      {{"kernel_seconds", report.kernel_seconds}});
         }
       }
     }
@@ -100,6 +109,10 @@ int Main(int argc, char** argv) {
         cpu_table.AddRow({name, ShapeName(shape), std::to_string(threads),
                           Ms(sec), Speedup(base, sec),
                           std::to_string(timing->results)});
+        json.AddRow(std::string(name) + "/" + ShapeName(shape) + "/threads" +
+                        std::to_string(threads),
+                    {{"execute_seconds", sec},
+                     {"results", static_cast<double>(timing->results)}});
       }
     }
   }
@@ -109,6 +122,7 @@ int Main(int argc, char** argv) {
       "small nodes plateau early; PBSM scales better than sync traversal at "
       "equal sizes (paper Fig. 12). CPU engines approach linear speedup "
       "while physical cores last.\n");
+  if (!json.WriteIfRequested()) return 1;
   return ExitCode();
 }
 

@@ -63,6 +63,7 @@ int Main(int argc, char** argv) {
       "Fig. 14 -- tile-level join latency per tile pair",
       {"cardinality", "tile_size", "results", "sw_nl_us", "sw_ps_us",
        "hw_unit_us", "nl_cpu_cycles", "ps_cpu_cycles", "hw_cycles"});
+  JsonReporter json("fig14_nl_vs_ps", env);
 
   struct Config {
     const char* name;
@@ -113,6 +114,11 @@ int Main(int argc, char** argv) {
                     TablePrinter::Fmt(nl_sec * cpu_hz, 0),
                     TablePrinter::Fmt(ps_sec * cpu_hz, 0),
                     std::to_string(hw_cycles)});
+      json.AddRow(std::string(c.name) + "/tile" + std::to_string(tile_size),
+                  {{"nl_seconds", nl_sec},
+                   {"ps_seconds", ps_sec},
+                   {"hw_seconds", hw_sec},
+                   {"results", static_cast<double>(results)}});
     }
   }
   table.Print();
@@ -126,6 +132,7 @@ int Main(int argc, char** argv) {
       "sustains 1 predicate/cycle and needs ~2-4x fewer cycles per tile "
       "join than software NL.\n",
       cpu_hz / cfg.clock_hz);
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

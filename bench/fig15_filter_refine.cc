@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
       "Fig. 15 -- CPU time split between filtering and refinement",
       {"join", "scale", "candidates", "verified", "filter_ms", "refine_ms",
        "refine_share"});
+  JsonReporter json("fig15_filter_refine", env);
 
   for (const uint64_t scale : env.scales) {
     for (const JoinKind kind :
@@ -59,6 +60,11 @@ int Main(int argc, char** argv) {
                     std::to_string(candidates.size()),
                     std::to_string(rstats.verified), Ms(filter_sec),
                     Ms(refine_sec), TablePrinter::Fmt(share, 1) + "%"});
+      json.AddRow(std::string(JoinName(kind)) + "/" + std::to_string(scale),
+                  {{"filter_seconds", filter_sec},
+                   {"refine_seconds", refine_sec},
+                   {"candidates", static_cast<double>(candidates.size())},
+                   {"verified", static_cast<double>(rstats.verified)}});
     }
   }
   table.Print();
@@ -66,6 +72,7 @@ int Main(int argc, char** argv) {
       "Expected shape: refinement share tracks candidate cardinality -- "
       "high for polygon-polygon, low for point-in-polygon (paper: ~23%% vs "
       "~1.4%% at 10M).\n");
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

@@ -35,6 +35,7 @@ int Main(int argc, char** argv) {
       "plus streaming time-to-first-chunk\n");
 
   int failures = 0;
+  JsonReporter json("fig_accel_engine", env);
   for (const uint64_t scale : env.scales) {
     // Unit squares on a map sized for ~5 result pairs per object regardless
     // of scale (the paper's fixed 10000-unit map only becomes selective at
@@ -116,6 +117,11 @@ int Main(int argc, char** argv) {
         const hw::AcceleratorReport& report = (*engine)->last_report();
         table.AddRow({name, Ms(plan_s), Ms(exec_s),
                       Ms(report.total_seconds), std::to_string(out.size())});
+        json.AddRow(std::string(name) + "/" + std::to_string(scale),
+                    {{"plan_seconds", plan_s},
+                     {"execute_seconds", exec_s},
+                     {"device_model_seconds", report.total_seconds},
+                     {"results", static_cast<double>(out.size())}});
         check_result(name, std::move(out));
       } else {
         JoinResult out;
@@ -129,6 +135,10 @@ int Main(int argc, char** argv) {
         table.AddRow({name, Ms(timing->plan_seconds),
                       Ms(timing->median_execute_seconds), "-",
                       std::to_string(timing->results)});
+        json.AddRow(std::string(name) + "/" + std::to_string(scale),
+                    {{"plan_seconds", timing->plan_seconds},
+                     {"execute_seconds", timing->median_execute_seconds},
+                     {"results", static_cast<double>(timing->results)}});
         check_result(name, std::move(out));
       }
     }
@@ -193,6 +203,13 @@ int Main(int argc, char** argv) {
       stream_table.AddRow({name, Ms(sync_total), Ms(async_total),
                            first_chunk_s < 0 ? "-" : Ms(first_chunk_s),
                            std::to_string(chunks), overlap});
+      json.AddRow("stream/" + std::string(name) + "/" +
+                      std::to_string(scale),
+                  {{"sync_total_seconds", sync_total},
+                   {"async_total_seconds", async_total},
+                   {"first_chunk_seconds",
+                    first_chunk_s < 0 ? 0.0 : first_chunk_s},
+                   {"chunks", static_cast<double>(chunks)}});
     }
     stream_table.Print();
   }
@@ -209,6 +226,7 @@ int Main(int argc, char** argv) {
       "comparable to the paper and to the CPU rows. first_chunk_ms << "
       "sync_total_ms is the host/device overlap: consumers start refining "
       "while the (simulated) kernel is still filtering.\n");
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

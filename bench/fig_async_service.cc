@@ -37,7 +37,7 @@ namespace {
 // ---------------------------------------------------------------------------
 // Part 1: sync plan+execute vs async (overlapped) wall-clock.
 // ---------------------------------------------------------------------------
-void RunOverlapSection(const BenchEnv& env) {
+void RunOverlapSection(const BenchEnv& env, JsonReporter* json) {
   TablePrinter table(
       "Plan/execute overlap: synchronous partitioned engine vs banded "
       "streaming executor",
@@ -127,6 +127,10 @@ void RunOverlapSection(const BenchEnv& env) {
                   Ms(sync_total), Ms(async_wall), Ms(first_chunk_seconds),
                   Speedup(sync_total, async_wall),
                   Speedup(sync_total, first_chunk_seconds)});
+    json->AddRow("overlap/" + std::to_string(scale),
+                 {{"sync_total_seconds", sync_total},
+                  {"async_wall_seconds", async_wall},
+                  {"first_chunk_seconds", first_chunk_seconds}});
   }
   table.Print();
   if (cores >= 2) {
@@ -204,7 +208,8 @@ ServiceRunMetrics ServeBurst(const Dataset& r, const Dataset& s,
   return m;
 }
 
-void RunServiceSection(const BenchEnv& env, uint64_t scale) {
+void RunServiceSection(const BenchEnv& env, uint64_t scale,
+                       JsonReporter* json) {
   const JoinInputs in = MakeInputs(WorkloadShape::kUniform,
                                    JoinKind::kPolygonPolygon, scale,
                                    /*seed_base=*/7);
@@ -228,6 +233,13 @@ void RunServiceSection(const BenchEnv& env, uint64_t scale) {
                     TablePrinter::Fmt(m.p50_ms, 2),
                     TablePrinter::Fmt(m.p99_ms, 2),
                     std::to_string(m.max_pending_seen)});
+      json->AddRow("service/" +
+                       std::string(SchedulingPolicyToString(policy)) + "/req" +
+                       std::to_string(requests) + "/tenants4",
+                   {{"wall_seconds", m.wall_seconds},
+                    {"p50_seconds", m.p50_ms * 1e-3},
+                    {"p99_seconds", m.p99_ms * 1e-3},
+                    {"throughput_rps", m.throughput_rps}});
     }
     // ...and a tenant sweep at a fixed load.
     for (const int tenants : {1, 2, 8}) {
@@ -239,6 +251,13 @@ void RunServiceSection(const BenchEnv& env, uint64_t scale) {
                     TablePrinter::Fmt(m.p50_ms, 2),
                     TablePrinter::Fmt(m.p99_ms, 2),
                     std::to_string(m.max_pending_seen)});
+      json->AddRow("service/" +
+                       std::string(SchedulingPolicyToString(policy)) +
+                       "/req32/tenants" + std::to_string(tenants),
+                   {{"wall_seconds", m.wall_seconds},
+                    {"p50_seconds", m.p50_ms * 1e-3},
+                    {"p99_seconds", m.p99_ms * 1e-3},
+                    {"throughput_rps", m.throughput_rps}});
     }
   }
   table.Print();
@@ -259,7 +278,8 @@ void RunServiceSection(const BenchEnv& env, uint64_t scale) {
 // warm result must be bit-identical to the cold one -- warm serving changes
 // latency, never answers.
 // ---------------------------------------------------------------------------
-void RunWarmServingSection(const BenchEnv& env, uint64_t scale) {
+void RunWarmServingSection(const BenchEnv& env, uint64_t scale,
+                           JsonReporter* json) {
   const JoinInputs in = MakeInputs(WorkloadShape::kUniform,
                                    JoinKind::kPolygonPolygon, scale,
                                    /*seed_base=*/13);
@@ -346,6 +366,14 @@ void RunWarmServingSection(const BenchEnv& env, uint64_t scale) {
                 TablePrinter::Fmt(warm_plan_p50, 3),
                 TablePrinter::Fmt(samples / warm_wall_s, 1)});
   table.Print();
+  json->AddRow("warm_serving/cold",
+               {{"p50_seconds", cold_p50 * 1e-3},
+                {"plan_p50_seconds", cold_plan_p50 * 1e-3},
+                {"throughput_rps", samples / cold_wall_s}});
+  json->AddRow("warm_serving/warm",
+               {{"p50_seconds", warm_p50 * 1e-3},
+                {"plan_p50_seconds", warm_plan_p50 * 1e-3},
+                {"throughput_rps", samples / warm_wall_s}});
 
   const auto cache = service.stats().plan_cache;
   std::printf("plan cache: %zu hits / %zu misses, %zu invalidated, "
@@ -368,11 +396,15 @@ void RunWarmServingSection(const BenchEnv& env, uint64_t scale) {
 
 int Main(int argc, char** argv) {
   const BenchEnv env = BenchEnv::Parse(argc, argv, /*default_scale=*/60000);
-  RunOverlapSection(env);
+  JsonReporter json("fig_async_service", env);
+  RunOverlapSection(env, &json);
   // The service section uses smaller per-request joins so a burst of 64
   // stays container-friendly.
-  RunServiceSection(env, std::max<uint64_t>(5000, env.scales.front() / 10));
-  RunWarmServingSection(env, std::max<uint64_t>(5000, env.scales.front() / 4));
+  RunServiceSection(env, std::max<uint64_t>(5000, env.scales.front() / 10),
+                    &json);
+  RunWarmServingSection(env, std::max<uint64_t>(5000, env.scales.front() / 4),
+                        &json);
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

@@ -57,6 +57,7 @@ int Main(int argc, char** argv) {
        "wall_ms"});
 
   bool diverged = false;
+  JsonReporter json("fig_dist_scalability", env);
   std::map<std::string, double> uniform_speedup_at;
   double skew_gap_rr8 = 0, skew_gap_cost8 = 0;
 
@@ -93,6 +94,10 @@ int Main(int argc, char** argv) {
                       base_report->exchange_modelled_seconds * 1e3, 2),
                   std::to_string(base_report->replicated_objects),
                   TablePrinter::Fmt(base_wall * 1e3, 1)});
+    json.AddRow(std::string(ShapeName(shape)) + "/nodes1",
+                {{"makespan_seconds", base_makespan},
+                 {"wall_seconds", base_wall},
+                 {"straggler_gap", 1.0}});
 
     for (const int nodes : {2, 4, 8, 16}) {
       for (const PlacementPolicy policy : kPolicies) {
@@ -138,6 +143,16 @@ int Main(int argc, char** argv) {
              TablePrinter::Fmt(report->exchange_modelled_seconds * 1e3, 2),
              std::to_string(report->replicated_objects),
              TablePrinter::Fmt(wall * 1e3, 1)});
+        json.AddRow(std::string(ShapeName(shape)) + "/nodes" +
+                        std::to_string(nodes) + "/" +
+                        PlacementPolicyToString(policy),
+                    {{"makespan_seconds", report->makespan_seconds},
+                     {"wall_seconds", wall},
+                     {"straggler_gap", report->straggler_gap},
+                     {"exchange_bytes",
+                      static_cast<double>(report->exchange_payload_bytes)},
+                     {"replicas",
+                      static_cast<double>(report->replicated_objects)}});
 
         if (shape == WorkloadShape::kUniform &&
             policy == PlacementPolicy::kCostBalanced) {
@@ -165,6 +180,7 @@ int Main(int argc, char** argv) {
       "the tail.\n",
       skew_gap_rr8, skew_gap_cost8);
   std::printf("result check: %s\n", diverged ? "DIVERGED" : "all configurations identical");
+  if (!json.WriteIfRequested()) return 1;
   return diverged ? 1 : 0;
 }
 

@@ -116,6 +116,7 @@ int Main(int argc, char** argv) {
           std::to_string(requests) + " warm requests/batch, scale " +
           std::to_string(scale) + ")",
       {"mode", "batch_ms", "per_req_ms", "overhead"});
+  JsonReporter json("fig_observability", env);
   // Instrumented first, then baseline: if anything, the ordering hands the
   // baseline the warmer caches, biasing the gate against instrumentation.
   const double on_s = TimeServingBatch(/*instrumented=*/true, env, scale,
@@ -127,6 +128,10 @@ int Main(int argc, char** argv) {
                 TablePrinter::Fmt(overhead * 100.0, 2) + "%"});
   table.AddRow({"no-op (kill switch)", Ms(off_s), Ms(off_s / requests), "-"});
   table.Print();
+  json.AddRow("instrumented", {{"batch_seconds", on_s},
+                               {"per_request_seconds", on_s / requests}});
+  json.AddRow("noop", {{"batch_seconds", off_s},
+                       {"per_request_seconds", off_s / requests}});
 
   RunMicroSection();
 
@@ -142,6 +147,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("observability overhead gate: PASS (+%.2f%%)\n",
               overhead * 100.0);
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

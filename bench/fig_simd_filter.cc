@@ -42,6 +42,7 @@ int Main(int argc, char** argv) {
        "blocked_vs_kernel"});
 
   bool throughput_ok = true;
+  JsonReporter json("fig_simd_filter", env);
   double worst_ratio = 1e9;
   double worst_blocked_ratio = 1e9;
   for (const uint64_t scale : env.scales) {
@@ -163,6 +164,12 @@ int Main(int argc, char** argv) {
                   TablePrinter::Fmt(mpps(blocked_sec), 0),
                   Speedup(aos_sec, simd_sec),
                   Speedup(simd_sec, blocked_sec)});
+    json.AddRow(std::to_string(scale),
+                {{"aos_scalar_seconds", aos_sec},
+                 {"soa_scalar_seconds", soa_sec},
+                 {"simd_kernel_seconds", simd_sec},
+                 {"probe_blocked_seconds", blocked_sec},
+                 {"matches", static_cast<double>(aos_matches)}});
     // Throughput pin for the bitmask *pack* path. A scalar-backend
     // regression to a per-bit pack loop (which defeats auto-vectorization
     // of the compare loop) drags kernel throughput down to ~1.0x the
@@ -194,6 +201,7 @@ int Main(int argc, char** argv) {
       "throughput assertions (kernel >= 1.2x aos_scalar, worst %.2fx; "
       "probe_blocked >= 0.7x kernel, worst %.2fx): %s\n",
       worst_ratio, worst_blocked_ratio, throughput_ok ? "PASS" : "FAIL");
+  if (!json.WriteIfRequested()) return 1;
   return throughput_ok ? 0 : 1;
 }
 

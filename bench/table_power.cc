@@ -5,6 +5,7 @@
 // models across configurations.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "hw/power_model.h"
 
@@ -13,7 +14,8 @@ namespace {
 
 using hw::PowerModel;
 
-int Main(int, char**) {
+int Main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
   std::printf("§5.7 reproduction: power consumption\n");
 
   TablePrinter table("Power at the paper's operating points",
@@ -31,6 +33,10 @@ int Main(int, char**) {
                 TablePrinter::Fmt(gpu, 2),
                 TablePrinter::Fmt(gpu / fpga, 2) + "x"});
   table.Print();
+  JsonReporter json("table_power", env);
+  json.AddRow("fpga_u250_16units", {{"watts", fpga}});
+  json.AddRow("cpu_epyc7313_16threads", {{"watts", cpu}});
+  json.AddRow("gpu_a100_20k_batch", {{"watts", gpu}});
 
   TablePrinter sweep("Model sweeps", {"platform", "knob", "value", "watts"});
   for (const int units : {1, 2, 4, 8, 16}) {
@@ -53,6 +59,7 @@ int Main(int, char**) {
       "Expected: FPGA 23.48 W; CPU/FPGA = 6.16x; GPU/FPGA = 4.04x (§5.7). "
       "GPU power stays far below its 400 W TDP because the 20K batch cap "
       "under-occupies the SMs.\n");
+  if (!json.WriteIfRequested()) return 1;
   return 0;
 }
 

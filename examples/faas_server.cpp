@@ -14,12 +14,17 @@
 //
 //   ./build/examples/faas_server [--interactive=N] [--analytical=N]
 //                                [--metrics] [--trace-file=PATH]
+//                                [--serve-metrics=PORT]
 //
 // --metrics dumps the Prometheus text exposition of the service's
 // MetricsRegistry after each policy run; --trace-file writes a Chrome
 // trace_event JSON of every request's span tree (load it in
-// chrome://tracing or https://ui.perfetto.dev).
+// chrome://tracing or https://ui.perfetto.dev); --serve-metrics starts a
+// live HTTP scrape endpoint on 127.0.0.1:PORT (0 = ephemeral) exposing
+// /metrics, /healthz, and /readyz for the duration of the run -- e.g.
+// `curl localhost:PORT/metrics` while the burst is in flight.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -36,6 +41,7 @@
 #include "datagen/generator.h"
 #include "exec/service.h"
 #include "join/engine.h"
+#include "obs/exposition_server.h"
 #include "obs/trace.h"
 
 using namespace swiftspatial;
@@ -71,6 +77,33 @@ int main(int argc, char** argv) {
   const int analytical = static_cast<int>(flags.GetInt("analytical", 4));
   const bool dump_metrics = flags.GetBool("metrics", false);
   const std::string trace_file = flags.GetString("trace-file", "");
+  const int serve_metrics = static_cast<int>(flags.GetInt("serve-metrics", -1));
+
+  // Live scrape endpoint over the Global registry (which the services below
+  // use, since JoinServiceOptions::metrics stays null). Readiness flips once
+  // the first policy run begins submitting work.
+  std::optional<obs::ExpositionServer> exposition;
+  std::atomic<bool> serving{false};
+  if (serve_metrics >= 0) {
+    obs::ExpositionServer::Options server_options;
+    server_options.port = serve_metrics;
+    server_options.ready = [&serving] {
+      return serving.load(std::memory_order_acquire);
+    };
+    exposition.emplace(std::move(server_options));
+    const Status started = exposition->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "--serve-metrics failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics endpoint: http://127.0.0.1:%d/metrics "
+                "(/healthz, /readyz)\n",
+                exposition->port());
+    // Scripts scrape this line for the ephemeral port; when stdout is a
+    // pipe or file the default full buffering would hold it until exit.
+    std::fflush(stdout);
+  }
 
   // Two request classes, sized so one analytical join costs roughly an
   // order of magnitude more than an interactive one.
@@ -100,6 +133,7 @@ int main(int argc, char** argv) {
       options.span_buffer = &obs::SpanBuffer::Global();
     }
     exec::JoinService service(options);
+    serving.store(true, std::memory_order_release);
 
     EngineConfig config;
     config.num_threads = 2;

@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "grid/hierarchical_partition.h"
 #include "hw/accelerator.h"
+#include "obs/log.h"
 
 namespace swiftspatial::dist {
 
@@ -220,6 +221,7 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
         const auto dead = static_cast<std::size_t>(msg.node);
         node_alive[dead] = false;
         ++report.failed_nodes;
+        SWIFT_LOG(Warn, "dist", "cluster node failed; rerouting its uncommitted shards").With("node", msg.node).With("committed_shards", committed_count).With("total_shards", num_shards);
         // Re-execute every uncommitted shard the dead node owned --
         // including retries routed to it before this message arrived -- on
         // the least-loaded survivor. FIFO ordering guarantees the
@@ -237,6 +239,7 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
             }
           }
           if (survivor == report.nodes) {
+            SWIFT_LOG(Error, "dist", "every cluster node failed; aborting join").With("uncommitted_shard", plan.shards[i].id);
             fatal = Status::Internal(
                 "every cluster node failed before shard " +
                 std::to_string(plan.shards[i].id) + " committed");
@@ -245,6 +248,7 @@ Result<DistReport> RunPlannedJoin(const Dataset& r, const Dataset& s,
           owner[i] = static_cast<int>(survivor);
           node_load[survivor] += plan.shards[i].EstimatedCost();
           ++report.retried_shards;
+          SWIFT_LOG(Info, "dist", "shard rerouted to survivor").With("shard", plan.shards[i].id).With("survivor", static_cast<uint64_t>(survivor)).With("attempt", expected_attempt[i]);
           cluster.node(survivor).Enqueue(
               ShardRef{static_cast<int>(i), expected_attempt[i]});
         }

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/log.h"
+#include "obs/self_metrics.h"
 
 namespace swiftspatial::exec {
 
@@ -29,6 +31,16 @@ DatasetRegistryOptions RegistryOptionsFor(const JoinServiceOptions& options) {
   ro.metrics = options.metrics;
   return ro;
 }
+void AccumulateUsage(const obs::ResourceUsage& u, obs::ResourceUsage* agg) {
+  agg->wall_seconds += u.wall_seconds;
+  agg->cpu_seconds += u.cpu_seconds;
+  agg->queue_wait_seconds += u.queue_wait_seconds;
+  agg->tasks += u.tasks;
+  agg->chunks += u.chunks;
+  agg->pairs += u.pairs;
+  agg->bytes += u.bytes;
+  agg->retries += u.retries;
+}
 }  // namespace
 
 JoinService::JoinService(const JoinServiceOptions& options)
@@ -46,7 +58,12 @@ JoinService::JoinService(const JoinServiceOptions& options)
       m_abandoned_(metrics_->GetCounter("swiftspatial_service_abandoned_total", {}, "Requests closed Aborted without running")),
       m_expired_queued_(metrics_->GetCounter("swiftspatial_service_expired_queued_total", {}, "Deadlines expired while queued")),
       m_expired_running_(metrics_->GetCounter("swiftspatial_service_expired_running_total", {}, "Deadlines expired mid-run (cooperative cancellation)")),
-      m_degraded_(metrics_->GetCounter("swiftspatial_service_degraded_total", {}, "Mid-run expiries closed OK with a partial result")) {
+      m_degraded_(metrics_->GetCounter("swiftspatial_service_degraded_total", {}, "Mid-run expiries closed OK with a partial result")),
+      m_request_cpu_(metrics_->GetHistogram("swiftspatial_service_request_cpu_seconds", {}, {}, "Thread-CPU time summed over one request's task bodies")),
+      m_result_pairs_(metrics_->GetCounter("swiftspatial_service_result_pairs_total", {}, "Result pairs streamed by finished requests")),
+      m_result_bytes_(metrics_->GetCounter("swiftspatial_service_result_bytes_total", {}, "Result bytes streamed by finished requests")),
+      m_tasks_(metrics_->GetCounter("swiftspatial_service_tasks_total", {}, "TaskGraph tasks executed for finished requests")),
+      m_shard_retries_(metrics_->GetCounter("swiftspatial_service_shard_retries_total", {}, "Distributed shard retries triggered by finished requests")) {
   const std::size_t dispatchers =
       std::max<std::size_t>(1, options_.max_concurrent);
   dispatchers_.reserve(dispatchers);
@@ -60,6 +77,10 @@ JoinService::~JoinService() {
   {
     MutexLock lock(&mu_);
     stopping_ = true;
+    if (!pending_.empty()) {
+      SWIFT_LOG(Info, "service", "shutdown abandoning queued requests")
+          .With("queued", pending_.size());
+    }
     // Queued requests never run; their consumers see a clean Aborted end.
     for (Job& job : pending_) {
       job.abandon(Status::Aborted("service shutting down"));
@@ -149,6 +170,8 @@ Result<AsyncJoinHandle> JoinService::Admit(
       ++stats_.rejected;
       m_rejected_->Increment();
       if (request_span) request_span->AddAttr("outcome", "rejected");
+      SWIFT_LOG(Info, "service", "request rejected: shutting down")
+          .With("tenant", tenant);
       deferred.abandon(Status::Aborted("service shutting down"));
       return Status::Aborted("service shutting down");
     }
@@ -156,6 +179,10 @@ Result<AsyncJoinHandle> JoinService::Admit(
       ++stats_.rejected;
       m_rejected_->Increment();
       if (request_span) request_span->AddAttr("outcome", "rejected");
+      SWIFT_LOG(Warn, "service", "request rejected: admission queue full")
+          .With("tenant", tenant)
+          .With("pending", pending_.size())
+          .With("max_pending", options_.max_pending);
       deferred.abandon(
           Status::Aborted("admission queue full (max_pending=" +
                           std::to_string(options_.max_pending) + ")"));
@@ -172,6 +199,11 @@ Result<AsyncJoinHandle> JoinService::Admit(
         if (request_span) {
           request_span->AddAttr("outcome", "rejected_deadline");
         }
+        SWIFT_LOG(Warn, "service",
+                  "request rejected: estimated wait exceeds deadline")
+            .With("tenant", tenant)
+            .With("estimated_wait_seconds", wait)
+            .With("deadline_seconds", request.deadline_seconds);
         const std::string msg =
             "estimated queue wait " + std::to_string(wait) +
             "s already exceeds the request deadline " +
@@ -187,6 +219,7 @@ Result<AsyncJoinHandle> JoinService::Admit(
     job.abandon = std::move(deferred.abandon);
     job.cancel_with = std::move(deferred.cancel_with);
     job.cancel = deferred.cancel;
+    job.usage = std::move(deferred.usage);
     job.has_deadline = has_deadline;
     job.degrade = request.degrade_on_deadline;
     job.deadline_tp = deadline_tp;
@@ -198,9 +231,15 @@ Result<AsyncJoinHandle> JoinService::Admit(
       // whole request life is one bar in the trace with queue time nested.
       auto queued_span = std::make_shared<obs::ScopedSpan>(
           request_span->context(), "queued");
+      const uint64_t trace_id = request_span->context().trace_id();
+      const uint64_t span_id = request_span->span_id();
       job.producer = [producer = std::move(job.producer), request_span,
-                      queued_span] {
+                      queued_span, trace_id, span_id] {
         queued_span->End();
+        // Everything the producer logs on this thread -- admission already
+        // happened, so this covers plan/execute/close -- joins the
+        // request's trace.
+        obs::ScopedLogTrace log_trace(trace_id, span_id);
         producer();
         request_span->End();
       };
@@ -276,23 +315,47 @@ void JoinService::DispatcherLoop() {
     }
 
     double job_seconds = 0;
+    obs::ResourceUsage usage;
     if (abandoned) {
       // The consumer gave up while the request queued: close the stream
       // without running the join.
+      SWIFT_LOG(Info, "service", "queued request abandoned by its consumer")
+          .With("tenant", job.tenant);
       job.abandon(Status::Aborted("join cancelled mid-stream"));
     } else if (expired_at_pickup) {
       // The deadline passed while the request queued but before the
       // watchdog fired (or with no watchdog wakeup in between): same
       // outcome, the join never runs.
+      SWIFT_LOG(Warn, "service", "deadline expired while queued")
+          .With("tenant", job.tenant);
       job.abandon(Status::DeadlineExceeded("deadline expired while queued"));
     } else {
       const double start = NowSeconds();
+      const double queue_wait = start - job.submit_seconds;
       if (job.queue_wait_hist != nullptr) {
-        job.queue_wait_hist->Observe(start - job.submit_seconds);
+        job.queue_wait_hist->Observe(queue_wait);
       }
+      // The service-side admission wait joins the pool-side task waits the
+      // TaskGraph feeds in: queue_wait_seconds is all time the request
+      // spent runnable-but-waiting, at either level.
+      if (job.usage != nullptr) job.usage->AddQueueWaitSeconds(queue_wait);
       job.producer();  // blocking: runs the join, streams, closes
       job_seconds = NowSeconds() - start;
       if (job.run_hist != nullptr) job.run_hist->Observe(job_seconds);
+      if (job.usage != nullptr) {
+        usage = job.usage->Snapshot();
+        m_request_cpu_->Observe(usage.cpu_seconds);
+        m_result_pairs_->Increment(usage.pairs);
+        m_result_bytes_->Increment(usage.bytes);
+        m_tasks_->Increment(usage.tasks);
+        m_shard_retries_->Increment(usage.retries);
+      }
+      SWIFT_LOG(Debug, "service", "request finished")
+          .With("tenant", job.tenant)
+          .With("run_seconds", job_seconds)
+          .With("cpu_seconds", usage.cpu_seconds)
+          .With("pairs", usage.pairs)
+          .With("tasks", usage.tasks);
     }
 
     {
@@ -318,6 +381,9 @@ void JoinService::DispatcherLoop() {
         // the EWMA would teach admission that jobs are faster than they
         // are.
         ++served_per_tenant_[job.tenant];
+        // Resource accounting covers expired runs too: the partial work
+        // was still paid for, and cost visibility is the point.
+        AccumulateUsage(usage, &stats_.resources);
         if (!expired_mid_run) {
           ++stats_.completed;
           m_completed_->Increment();
@@ -379,6 +445,8 @@ void JoinService::DeadlineLoop() {
         it = pending_.erase(it);
         ++stats_.expired_queued;
         m_expired_queued_->Increment();
+        SWIFT_LOG(Warn, "service", "deadline expired while queued")
+            .With("tenant", job.tenant);
         job.abandon(
             Status::DeadlineExceeded("deadline expired while queued"));
       } else {
@@ -394,6 +462,9 @@ void JoinService::DeadlineLoop() {
       if (it->second.deadline_tp <= now) {
         ++stats_.expired_running;
         m_expired_running_->Increment();
+        SWIFT_LOG(Warn, "service", "deadline expired mid-run; cancelling")
+            .With("sequence", it->first)
+            .With("degrade", it->second.degrade);
         if (it->second.degrade) {
           ++stats_.degraded;
           m_degraded_->Increment();
@@ -484,6 +555,9 @@ void JoinService::SyncServiceGauges() const {
   metrics_->GetGauge("swiftspatial_service_pending", {}, "Requests queued behind admission right now")->Set(static_cast<double>(pending));
   metrics_->GetGauge("swiftspatial_service_running", {}, "Requests holding a dispatcher slot right now")->Set(static_cast<double>(running));
   metrics_->GetGauge("swiftspatial_service_max_pending_seen", {}, "High-water mark of the pending queue")->Set(static_cast<double>(max_pending_seen));
+  // The obs layer's own health counters ride along on every exposition so
+  // a scrape can tell whether span/log telemetry was truncated.
+  obs::ExportSelfMetrics(metrics_, options_.span_buffer);
 }
 
 std::vector<std::string> JoinService::completion_order() const {

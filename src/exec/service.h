@@ -75,6 +75,7 @@
 #include "exec/streaming.h"
 #include "join/engine.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace swiftspatial::exec {
@@ -175,6 +176,12 @@ struct JoinServiceStats {
   /// Plan-artifact cache counters from the backing DatasetRegistry: the
   /// warm-serving effectiveness signal (hits = requests that skipped Plan).
   PlanCacheStats plan_cache;
+  /// Aggregate resource accounting over completed requests (including
+  /// expired-mid-run ones -- their partial work was still paid for):
+  /// summed wall/CPU/queue-wait seconds, tasks, chunks, pairs, bytes, and
+  /// shard retries. Per-request distributions are on the
+  /// swiftspatial_service_request_* series.
+  obs::ResourceUsage resources;
 };
 
 /// A multi-tenant spatial-join server over the streaming executor. All
@@ -270,6 +277,9 @@ class JoinService {
     /// Per-tenant latency histograms, resolved once at admission.
     obs::Histogram* queue_wait_hist = nullptr;
     obs::Histogram* run_hist = nullptr;
+    /// The stream's resource accounting (see DeferredStream::usage); read
+    /// at completion for the aggregate stats and request-cost series.
+    std::shared_ptr<obs::ResourceAccumulator> usage;
   };
 
   /// What the deadline watchdog needs to kill a running job: the expiry and
@@ -332,6 +342,12 @@ class JoinService {
   obs::Counter* const m_expired_queued_;
   obs::Counter* const m_expired_running_;
   obs::Counter* const m_degraded_;
+  // Request-cost series, fed from each finished request's ResourceUsage.
+  obs::Histogram* const m_request_cpu_;
+  obs::Counter* const m_result_pairs_;
+  obs::Counter* const m_result_bytes_;
+  obs::Counter* const m_tasks_;
+  obs::Counter* const m_shard_retries_;
 
   mutable Mutex mu_;
   CondVar cv_job_;       // dispatchers: work available / stop

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/sync.h"
 #include "common/stopwatch.h"
+#include "obs/log.h"
 #include "dist/dist_engine.h"
 #include "exec/task_graph.h"
 #include "grid/uniform_grid.h"
@@ -139,11 +140,17 @@ class StreamState {
     return next_sequence_;
   }
 
+  /// The stream's resource accounting; producers and the serving layer
+  /// feed it, DeferredStream::usage exposes it (aliased to this state).
+  obs::ResourceAccumulator* usage() { return &usage_; }
+
  private:
   void PushLocked(std::vector<ResultPair> pairs) REQUIRES(mu_) {
     ResultChunk chunk;
     chunk.sequence = next_sequence_++;
     chunk.pairs = std::move(pairs);
+    usage_.AddChunk(chunk.pairs.size(),
+                    chunk.pairs.size() * sizeof(ResultPair));
     queue_.push_back(std::move(chunk));
     max_depth_ = std::max(max_depth_, queue_.size());
     cv_data_.NotifyOne();
@@ -168,6 +175,7 @@ class StreamState {
 
   const std::size_t capacity_;
   CancellationSource cancel_;
+  obs::ResourceAccumulator usage_;
 
   mutable Mutex mu_;
   CondVar cv_data_;    // consumer waits: data or closed
@@ -351,7 +359,7 @@ void RunNativeProducer(const Dataset& r, const Dataset& s, EngineConfig config,
 
   const std::size_t chunk_pairs = std::max<std::size_t>(1, opts.chunk_pairs);
   std::vector<WorkerSlot> slots(pool->num_threads());
-  TaskGraph graph(pool, state->token(), exec_span.context());
+  TaskGraph graph(pool, state->token(), exec_span.context(), state->usage());
 
   for (int b = 0; b < shards; ++b) {
     graph.Add([&, b] {
@@ -598,6 +606,10 @@ void RunDistProducer(const std::string& name, const Dataset& r,
   st = engine->ExecuteStreaming(sink, &stats, state->token());
   if (st.ok()) stager.FlushTail();
   timing.execute_seconds = sw.ElapsedSeconds();
+  // Shard retries are this request's fault-recovery cost; surface them in
+  // the per-request accounting alongside CPU and bytes.
+  state->usage()->AddRetries(
+      static_cast<uint64_t>(engine->last_report().retried_shards));
   if (stager.push_failed() || state->cancelled()) {
     state->Close(Status::Aborted("join cancelled mid-stream"), stats, timing);
     return;
@@ -721,9 +733,13 @@ std::function<void()> ContainFaults(std::function<void()> body,
     try {
       body();
     } catch (const std::exception& e) {
+      SWIFT_LOG(Error, "stream", "join producer threw")
+          .With("what", e.what());
       state->CloseIfOpen(
           Status::Internal(std::string("join producer threw: ") + e.what()));
     } catch (...) {
+      SWIFT_LOG(Error, "stream",
+                "join producer threw a non-standard exception");
       state->CloseIfOpen(
           Status::Internal("join producer threw a non-standard exception"));
     }
@@ -741,7 +757,11 @@ std::function<void()> InstrumentProducer(std::string engine,
                                          std::shared_ptr<StreamState> state) {
   return [engine = std::move(engine), metrics, body = std::move(body),
           state = std::move(state)] {
+    Stopwatch wall;
     body();
+    // Producer wall time (dispatcher pickup / thread start to close): the
+    // denominator for the request's CPU-vs-wall parallelism ratio.
+    state->usage()->SetWallSeconds(wall.ElapsedSeconds());
     obs::MetricsRegistry& reg =
         metrics != nullptr ? *metrics : obs::MetricsRegistry::Global();
     const StageTiming timing = state->timing();
@@ -950,9 +970,12 @@ Result<DeferredStream> MakeJoinStream(const std::string& engine,
     state->CancelWith(std::move(status));
   };
   guard.reset();  // closures now co-own the safety net
+  auto usage =
+      std::shared_ptr<obs::ResourceAccumulator>(state, state->usage());
   return DeferredStream{AsyncJoinHandle(state, std::thread()),
                         std::move(producer), std::move(abandon),
-                        std::move(cancel_with), state->token()};
+                        std::move(cancel_with), state->token(),
+                        std::move(usage)};
 }
 
 Result<AsyncJoinHandle> RunJoinAsync(const std::string& engine,
@@ -1013,9 +1036,12 @@ Result<DeferredStream> MakeRegisteredJoinStream(
     state->CancelWith(std::move(status));
   };
   guard.reset();  // closures now co-own the safety net
+  auto usage =
+      std::shared_ptr<obs::ResourceAccumulator>(state, state->usage());
   return DeferredStream{AsyncJoinHandle(state, std::thread()),
                         std::move(producer), std::move(abandon),
-                        std::move(cancel_with), state->token()};
+                        std::move(cancel_with), state->token(),
+                        std::move(usage)};
 }
 
 Result<AsyncJoinHandle> RunJoinAsync(DatasetRegistry& registry,

@@ -60,6 +60,7 @@
 #include "join/engine.h"
 #include "join/result.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 
 namespace swiftspatial::exec {
 
@@ -228,6 +229,12 @@ struct DeferredStream {
   /// Observes the handle's cancellation flag, letting a scheduler abandon
   /// queued work whose consumer already gave up.
   CancellationToken cancel;
+  /// Per-request resource accounting, fed by the producer as it runs
+  /// (task CPU/queue wait from the TaskGraph, chunks/pairs/bytes from the
+  /// stream queue, wall time stamped at close) and read by the serving
+  /// layer at completion. Aliases the stream's shared state, so it stays
+  /// valid as long as any of the stream's closures or handles live.
+  std::shared_ptr<obs::ResourceAccumulator> usage;
 };
 
 /// Like RunJoinAsync but defers producer execution to the caller and, when

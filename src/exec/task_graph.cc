@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/log.h"
 
 namespace swiftspatial::exec {
 
@@ -31,8 +32,8 @@ struct TaskGraph::Node {
 };
 
 TaskGraph::TaskGraph(ThreadPool* pool, CancellationToken cancel,
-                     obs::TraceContext trace)
-    : pool_(pool), cancel_(std::move(cancel)), trace_(trace) {
+                     obs::TraceContext trace, obs::ResourceAccumulator* usage)
+    : pool_(pool), cancel_(std::move(cancel)), trace_(trace), usage_(usage) {
   SWIFT_CHECK(pool_ != nullptr);
 }
 
@@ -82,6 +83,11 @@ void TaskGraph::RunNode(std::size_t index) {
     return;
   }
   const Clock::time_point start = Clock::now();
+  // Thread-CPU accounting brackets exactly the task body: the difference
+  // is this task's true compute cost no matter how many threads share the
+  // core. ThreadCpuSeconds() compiles to `return 0` under OBS_OFF, so the
+  // whole bracket folds away there.
+  const double cpu0 = usage_ != nullptr ? obs::ThreadCpuSeconds() : 0;
   if (trace_.active()) {
     // One span per executed task, laned by pool worker so the Chrome trace
     // shows the actual parallelism of the wave. Graphs fan out to thousands
@@ -93,9 +99,15 @@ void TaskGraph::RunNode(std::size_t index) {
         static_cast<int>(pool_->CurrentWorkerIndex()) + 1);
     span.SetMinRecordSeconds(kTaskSpanFloorSeconds);
     span.AddAttr("task", std::to_string(index));
+    // Records logged from inside the task body carry the request's trace
+    // and this task's span id, joining worker-side log lines to the trace.
+    obs::ScopedLogTrace log_trace(trace_.trace_id(), span.span_id());
     node.fn();
   } else {
     node.fn();
+  }
+  if (usage_ != nullptr) {
+    usage_->AddCpuSeconds(obs::ThreadCpuSeconds() - cpu0);
   }
   FinishNode(index, /*skipped=*/false, start, Clock::now());
 }
@@ -116,6 +128,10 @@ void TaskGraph::FinishNode(std::size_t index, bool skipped,
       node.timing.queued_seconds = SecondsBetween(node.ready_at, start);
       node.timing.run_seconds = SecondsBetween(start, end);
       ++run_;
+      if (usage_ != nullptr) {
+        usage_->AddTasks(1);
+        usage_->AddQueueWaitSeconds(node.timing.queued_seconds);
+      }
     }
     const Clock::time_point now = Clock::now();
     for (const std::size_t dep_index : node.dependents) {

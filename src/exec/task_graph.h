@@ -30,6 +30,7 @@
 
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace swiftspatial::exec {
@@ -93,8 +94,13 @@ class TaskGraph {
   /// `trace`: when active, every executed task body is wrapped in a "task"
   /// span (child of the context's parent span, tracked per pool worker).
   /// Inactive by default -- untraced graphs pay one pointer test per task.
+  /// `usage`: when non-null, each executed task adds its thread-CPU time
+  /// (CLOCK_THREAD_CPUTIME_ID around the body) and pool queue wait to the
+  /// accumulator -- the per-request cost accounting the serving layer
+  /// reports. Must outlive the graph.
   explicit TaskGraph(ThreadPool* pool, CancellationToken cancel = {},
-                     obs::TraceContext trace = {});
+                     obs::TraceContext trace = {},
+                     obs::ResourceAccumulator* usage = nullptr);
 
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
@@ -135,6 +141,7 @@ class TaskGraph {
   ThreadPool* pool_;
   CancellationToken cancel_;
   const obs::TraceContext trace_;
+  obs::ResourceAccumulator* const usage_;
 
   mutable Mutex mu_;
   CondVar cv_drained_;

@@ -1,0 +1,179 @@
+#include "obs/exposition_server.h"
+
+#include <utility>
+
+#ifndef SWIFTSPATIAL_OBS_OFF
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/self_metrics.h"
+#endif
+
+namespace swiftspatial::obs {
+
+ExpositionServer::ExpositionServer(Options options)
+    : options_(std::move(options)) {}
+
+ExpositionServer::~ExpositionServer() { Stop(); }
+
+#ifndef SWIFTSPATIAL_OBS_OFF
+
+namespace {
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Writes the whole buffer, retrying on short writes and EINTR. Best-effort:
+// a peer that hangs up mid-response is its own problem, not ours.
+void WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+}
+
+}  // namespace
+
+Status ExpositionServer::Start() {
+  if (listen_fd_.load(std::memory_order_acquire) >= 0) {
+    return Status::InvalidArgument("exposition server already started");
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("exposition server is not restartable");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind(port " + std::to_string(options_.port) +
+                           "): " + msg);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen(): " + msg);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname(): " + msg);
+  }
+  port_.store(static_cast<int>(ntohs(bound.sin_port)),
+              std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  SWIFT_LOG(Info, "obs", "exposition server listening").With("port", static_cast<uint64_t>(port()));
+  return Status::OK();
+}
+
+void ExpositionServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // Unblocks the accept() in Serve(); the thread then observes stopping_.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExpositionServer::Serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) break;
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listening socket was shut down (or a fatal socket error).
+    }
+    // One read is enough for a scrape request line; pipelining unsupported.
+    char buf[2048];
+    const ssize_t n = ::read(conn, buf, sizeof(buf) - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      std::string path = "/";
+      const char* sp = std::strchr(buf, ' ');
+      if (sp != nullptr) {
+        const char* end = std::strchr(sp + 1, ' ');
+        if (end != nullptr) path.assign(sp + 1, end);
+      }
+      WriteAll(conn, HandleRequest(path));
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(conn);
+  }
+}
+
+std::string ExpositionServer::HandleRequest(const std::string& path) {
+  if (path == "/metrics") {
+    MetricsRegistry& reg = options_.registry != nullptr
+                               ? *options_.registry
+                               : MetricsRegistry::Global();
+    ExportSelfMetrics(&reg, options_.spans);
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                        reg.TextExposition());
+  }
+  if (path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/readyz") {
+    const bool ready = !options_.ready || options_.ready();
+    return ready
+               ? HttpResponse(200, "OK", "text/plain", "ready\n")
+               : HttpResponse(503, "Service Unavailable", "text/plain",
+                              "not ready\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain", "not found\n");
+}
+
+#else  // SWIFTSPATIAL_OBS_OFF
+
+Status ExpositionServer::Start() {
+  return Status::NotSupported(
+      "exposition server compiled out (SWIFTSPATIAL_OBS_OFF)");
+}
+
+void ExpositionServer::Stop() {}
+
+void ExpositionServer::Serve() {}
+
+std::string ExpositionServer::HandleRequest(const std::string&) { return {}; }
+
+#endif  // SWIFTSPATIAL_OBS_OFF
+
+}  // namespace swiftspatial::obs

@@ -1,0 +1,79 @@
+// Minimal blocking HTTP/1.1 exposition endpoint over raw POSIX sockets:
+// serves the Prometheus-style text exposition at /metrics (with the
+// swiftspatial_obs_* self-metrics synced per scrape), plus /healthz
+// (liveness: 200 while the server thread runs) and /readyz (readiness:
+// delegates to a caller-supplied probe, 503 until it returns true).
+//
+// One serving thread, one connection at a time, Connection: close -- this
+// is a scrape target, not a web server. Port 0 binds an ephemeral port
+// (reported by port()) so tests and multi-tenant examples never collide.
+//
+// Under SWIFTSPATIAL_OBS_OFF the server refuses to start
+// (Status::NotSupported) and links to nothing else in the obs layer.
+#ifndef SWIFTSPATIAL_OBS_EXPOSITION_SERVER_H_
+#define SWIFTSPATIAL_OBS_EXPOSITION_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace swiftspatial::obs {
+
+class MetricsRegistry;
+class SpanBuffer;
+
+class ExpositionServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1. 0 picks an ephemeral port.
+    int port = 0;
+    /// Registry rendered at /metrics. Null selects MetricsRegistry::Global().
+    MetricsRegistry* registry = nullptr;
+    /// Span buffer whose health feeds the swiftspatial_obs_* self-metrics.
+    /// Null selects SpanBuffer::Global().
+    SpanBuffer* spans = nullptr;
+    /// Readiness probe for /readyz; 503 while it returns false. Null means
+    /// always ready.
+    std::function<bool()> ready;
+  };
+
+  explicit ExpositionServer(Options options);
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. Not restartable after
+  /// Stop().
+  Status Start();
+
+  /// Shuts the listening socket and joins the serving thread. Idempotent.
+  void Stop();
+
+  /// The bound port; meaningful after a successful Start() (resolves
+  /// ephemeral port 0 to the kernel's choice).
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Requests served since Start(); includes 404s.
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  std::string HandleRequest(const std::string& path);
+
+  Options options_;
+  std::atomic<int> port_{0};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace swiftspatial::obs
+
+#endif  // SWIFTSPATIAL_OBS_EXPOSITION_SERVER_H_

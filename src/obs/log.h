@@ -1,0 +1,250 @@
+// Structured, leveled logging: the third pillar of src/obs/ (metrics,
+// traces, logs). A LogRecord is key=value structured data, not a printf
+// string: every record carries a level, a component tag, a message, an
+// optional field list, and -- automatically, via the thread-local trace
+// binding below -- the ids of the active trace and span, so a log line, a
+// span, and a metric emitted for the same request are joinable after the
+// fact.
+//
+//   SWIFT_LOG(Warn, "service", "admission queue full")
+//       .With("tenant", tenant)
+//       .With("pending", pending);
+//
+// The macro evaluates its message and field arguments ONLY when the level
+// passes the logger's runtime threshold (the `if (!ShouldLog) {} else`
+// idiom, same shape as SWIFT_CHECK), so a Debug record on a hot path costs
+// one relaxed atomic load when Debug is off.
+//
+// Records land in a bounded drop-oldest ring (like obs::SpanBuffer): a
+// long-lived service keeps the most recent records and counts what it
+// dropped instead of growing without bound or blocking writers on I/O. An
+// optional stream sink additionally writes each record to a FILE* as
+// logfmt-style key=value text or JSON lines -- the ring is for programmatic
+// access and tests, the sink is for operators.
+//
+// Thread safety: Log() takes the ring Mutex briefly (annotated; see
+// common/sync.h); level checks and the drop/emit counters are atomics.
+// Building with -DSWIFTSPATIAL_OBS_OFF compiles the whole subsystem out:
+// ShouldLog() is constant false, the macro's else-branch is unreachable
+// (arguments never evaluate), and Logger methods become empty inline
+// bodies.
+#ifndef SWIFTSPATIAL_OBS_LOG_H_
+#define SWIFTSPATIAL_OBS_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace swiftspatial::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// One structured record, as stored in the logger's ring.
+struct LogRecord {
+  /// Seconds since the process trace epoch (the same anchor span start
+  /// times use, so log and span timestamps are directly comparable).
+  double ts_seconds = 0;
+  LogLevel level = LogLevel::kInfo;
+  /// Subsystem tag ("service", "dist", "stream", "obs", ...).
+  std::string component;
+  std::string message;
+  /// Ids of the trace/span bound to the emitting thread (ScopedLogTrace);
+  /// 0 when no binding was active.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Thread-safe leveled logger over a bounded drop-oldest ring.
+/// Global() is the process-wide instance the SWIFT_LOG macro targets;
+/// tests construct private loggers to isolate records and counters.
+class Logger {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  enum class SinkFormat { kKeyValue, kJsonLines };
+
+  explicit Logger(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  static Logger& Global();
+
+  /// Runtime threshold: records below `level` are skipped before any
+  /// argument evaluation (see the SWIFT_LOG macro).
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  bool ShouldLog(LogLevel level) const {
+#ifndef SWIFTSPATIAL_OBS_OFF
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+#else
+    (void)level;
+    return false;
+#endif
+  }
+
+  /// Appends `record` to the ring (dropping the oldest record when full)
+  /// and mirrors it to the stream sink when one is set. Stamps ts_seconds
+  /// and the thread's trace binding if the caller left them zero.
+  void Log(LogRecord record) EXCLUDES(mu_);
+
+  /// Mirrors every subsequent record to `stream` (nullptr disables).
+  /// The stream is written under the ring lock, so concurrent records
+  /// never interleave mid-line; the logger does not own the FILE*.
+  void SetStreamSink(std::FILE* stream,
+                     SinkFormat format = SinkFormat::kKeyValue) EXCLUDES(mu_);
+
+  std::vector<LogRecord> Snapshot() const EXCLUDES(mu_);
+  /// Drops buffered records; emitted/dropped accounting is preserved.
+  void Clear() EXCLUDES(mu_);
+  std::size_t size() const EXCLUDES(mu_);
+  std::size_t capacity() const { return capacity_; }
+  /// Records accepted past the level gate (buffered, possibly later
+  /// dropped by ring overflow).
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  /// Records evicted by ring overflow -- the ring keeps the newest.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// logfmt-ish single line:
+  ///   ts=12.345678 level=warn component=service trace=7 span=9
+  ///   msg="admission queue full" tenant="a" pending=16
+  static std::string FormatKeyValue(const LogRecord& record);
+  /// The same record as one JSON object per line.
+  static std::string FormatJsonLine(const LogRecord& record);
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable Mutex mu_;
+  std::deque<LogRecord> records_ GUARDED_BY(mu_);
+  std::FILE* sink_ GUARDED_BY(mu_) = nullptr;
+  SinkFormat sink_format_ GUARDED_BY(mu_) = SinkFormat::kKeyValue;
+};
+
+/// The trace/span ids bound to the current thread (zeros when none).
+struct LogTraceIds {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+LogTraceIds CurrentLogTrace();
+
+/// Binds (trace_id, span_id) to the current thread for the scope's
+/// lifetime; every record logged from this thread meanwhile carries the
+/// ids. Nests: the previous binding is restored on destruction. The
+/// execution layer installs these around traced task bodies and request
+/// producers, which is how a worker's log lines join the request's spans.
+class ScopedLogTrace {
+ public:
+  ScopedLogTrace(uint64_t trace_id, uint64_t span_id);
+  ~ScopedLogTrace();
+  ScopedLogTrace(const ScopedLogTrace&) = delete;
+  ScopedLogTrace& operator=(const ScopedLogTrace&) = delete;
+
+ private:
+#ifndef SWIFTSPATIAL_OBS_OFF
+  LogTraceIds saved_;
+#endif
+};
+
+/// Builder behind SWIFT_LOG: accumulates fields, emits on destruction (end
+/// of the full expression). Not for direct use outside the macro/tests.
+class LogEvent {
+ public:
+  LogEvent(Logger* logger, LogLevel level, std::string component,
+           std::string message)
+#ifndef SWIFTSPATIAL_OBS_OFF
+      : logger_(logger) {
+    record_.level = level;
+    record_.component = std::move(component);
+    record_.message = std::move(message);
+  }
+#else
+  {
+    (void)logger;
+    (void)level;
+    (void)component;
+    (void)message;
+  }
+#endif
+  ~LogEvent() {
+#ifndef SWIFTSPATIAL_OBS_OFF
+    logger_->Log(std::move(record_));
+#endif
+  }
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& With(std::string key, std::string value) {
+#ifndef SWIFTSPATIAL_OBS_OFF
+    record_.fields.emplace_back(std::move(key), std::move(value));
+#else
+    (void)key;
+    (void)value;
+#endif
+    return *this;
+  }
+  LogEvent& With(std::string key, const char* value) {
+    return With(std::move(key), std::string(value));
+  }
+  LogEvent& With(std::string key, double value);
+  LogEvent& With(std::string key, bool value) {
+    return With(std::move(key), std::string(value ? "true" : "false"));
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogEvent& With(std::string key, T value) {
+    return With(std::move(key), std::to_string(value));
+  }
+
+ private:
+#ifndef SWIFTSPATIAL_OBS_OFF
+  Logger* logger_;
+  LogRecord record_;
+#endif
+};
+
+}  // namespace swiftspatial::obs
+
+/// SWIFT_LOG(Warn, "service", "msg").With("k", v)... -- level-gated
+/// structured logging to Logger::Global(). The `if (!ShouldLog) {} else`
+/// shape (same as SWIFT_CHECK) swallows a trailing semicolon, nests safely
+/// in unbraced if/else, and -- the point -- skips ALL argument evaluation
+/// when the level is filtered or the build is SWIFTSPATIAL_OBS_OFF.
+#ifndef SWIFTSPATIAL_OBS_OFF
+#define SWIFT_LOG(severity, component, message)                       \
+  if (!::swiftspatial::obs::Logger::Global().ShouldLog(               \
+          ::swiftspatial::obs::LogLevel::k##severity)) {              \
+  } else                                                              \
+    ::swiftspatial::obs::LogEvent(                                    \
+        &::swiftspatial::obs::Logger::Global(),                       \
+        ::swiftspatial::obs::LogLevel::k##severity, component, message)
+#else
+#define SWIFT_LOG(severity, component, message)                       \
+  if (true) {                                                         \
+  } else                                                              \
+    ::swiftspatial::obs::LogEvent(                                    \
+        &::swiftspatial::obs::Logger::Global(),                       \
+        ::swiftspatial::obs::LogLevel::k##severity, component, message)
+#endif
+
+#endif  // SWIFTSPATIAL_OBS_LOG_H_

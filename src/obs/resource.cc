@@ -1,0 +1,18 @@
+#include "obs/resource.h"
+
+#include <ctime>
+
+namespace swiftspatial::obs {
+
+double ThreadCpuSeconds() {
+#if !defined(SWIFTSPATIAL_OBS_OFF) && defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace swiftspatial::obs

@@ -1,0 +1,28 @@
+#include "obs/self_metrics.h"
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace swiftspatial::obs {
+
+void ExportSelfMetrics(MetricsRegistry* registry, const SpanBuffer* spans,
+                       const Logger* logger) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  const SpanBuffer& sb = spans != nullptr ? *spans : SpanBuffer::Global();
+  const Logger& log = logger != nullptr ? *logger : Logger::Global();
+
+  reg.GetGauge("swiftspatial_obs_spans_dropped", {}, "Finished spans evicted from the bounded span buffer (oldest first)")->Set(static_cast<double>(sb.dropped()));
+  reg.GetGauge("swiftspatial_obs_spans_elided", {}, "Spans finished below their duration floor and never buffered")->Set(static_cast<double>(sb.elided()));
+  reg.GetGauge("swiftspatial_obs_spans_open", {}, "Spans started but not yet finished")->Set(static_cast<double>(sb.open_spans()));
+  reg.GetGauge("swiftspatial_obs_spans_buffered", {}, "Finished spans currently held in the span buffer")->Set(static_cast<double>(sb.size()));
+  reg.GetGauge("swiftspatial_obs_log_records_emitted", {}, "Log records accepted past the level gate since process start")->Set(static_cast<double>(log.emitted()));
+  reg.GetGauge("swiftspatial_obs_log_records_dropped", {}, "Log records evicted from the bounded log ring (oldest first)")->Set(static_cast<double>(log.dropped()));
+  reg.GetGauge("swiftspatial_obs_log_records_buffered", {}, "Log records currently held in the log ring")->Set(static_cast<double>(log.size()));
+  // Registered last so the count covers the self-metric families too.
+  Gauge* families = reg.GetGauge("swiftspatial_obs_metric_families", {}, "Metric families registered in this registry");
+  families->Set(static_cast<double>(reg.family_count()));
+}
+
+}  // namespace swiftspatial::obs

@@ -1,0 +1,32 @@
+// Observability of the observability layer: exports the obs subsystem's
+// own health counters -- span-buffer drops/elisions/open spans, metric
+// family count, log ring emissions/drops -- as swiftspatial_obs_* gauges,
+// so a scrape can tell whether the telemetry it is reading is itself
+// truncated (a full span buffer or log ring silently keeps only the
+// newest records; these series make that loss visible).
+//
+// Point-in-time sync, not streaming: call ExportSelfMetrics() right before
+// rendering an exposition (JoinService::MetricsText, the /metrics endpoint
+// of obs::ExpositionServer, examples). Gauges are used even for the
+// monotonic quantities because the sync writes absolute snapshots.
+#ifndef SWIFTSPATIAL_OBS_SELF_METRICS_H_
+#define SWIFTSPATIAL_OBS_SELF_METRICS_H_
+
+namespace swiftspatial::obs {
+
+class Logger;
+class MetricsRegistry;
+class SpanBuffer;
+
+/// Syncs the swiftspatial_obs_* self-metric gauges in `registry` from
+/// `spans` and `logger`. Null arguments select the Global() instances.
+/// Note: the self-metric families themselves count toward
+/// swiftspatial_obs_metric_families (registration happens before the
+/// sync reads family_count()).
+void ExportSelfMetrics(MetricsRegistry* registry = nullptr,
+                       const SpanBuffer* spans = nullptr,
+                       const Logger* logger = nullptr);
+
+}  // namespace swiftspatial::obs
+
+#endif  // SWIFTSPATIAL_OBS_SELF_METRICS_H_

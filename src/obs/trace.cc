@@ -3,17 +3,17 @@
 #include <cinttypes>
 #include <cstdio>
 
-namespace swiftspatial::obs {
-namespace {
+#include "obs/log.h"
 
-// Process-wide steady anchor: all span start times are offsets from the
-// first trace operation, which keeps Chrome-trace timestamps small and
-// comparable across requests.
+namespace swiftspatial::obs {
+
 std::chrono::steady_clock::time_point TraceEpoch() {
   static const std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
   return epoch;
 }
+
+namespace {
 
 uint64_t NextTraceId() {
   static std::atomic<uint64_t> next{1};
@@ -153,15 +153,25 @@ SpanBuffer& SpanBuffer::Global() {
 }
 
 void SpanBuffer::Record(SpanRecord span) {
+  bool first_drop = false;
   {
     MutexLock lock(&mu_);
     if (spans_.size() >= capacity_) {
       spans_.pop_front();
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      first_drop = dropped_.fetch_add(1, std::memory_order_relaxed) == 0;
     }
     spans_.push_back(std::move(span));
   }
   finished_.fetch_add(1, std::memory_order_acq_rel);
+  // Rate-limited by construction -- only the 0 -> 1 transition of the drop
+  // counter logs, so a sustained overflow storm emits exactly one warning
+  // per buffer lifetime while swiftspatial_obs_spans_dropped (the exported
+  // self-metric) carries the running count.
+  if (first_drop) {
+    SWIFT_LOG(Warn, "obs",
+              "span buffer full; dropping oldest spans from here on")
+        .With("capacity", capacity_);
+  }
 }
 
 std::vector<SpanRecord> SpanBuffer::Snapshot() const {

@@ -44,6 +44,12 @@ namespace swiftspatial::obs {
 
 class SpanBuffer;
 
+/// Process-wide steady anchor: span start times and log record timestamps
+/// (obs/log.h) are offsets from the first trace operation, which keeps
+/// Chrome-trace timestamps small and makes log and span times directly
+/// comparable.
+std::chrono::steady_clock::time_point TraceEpoch();
+
 /// One finished span, as stored in the SpanBuffer.
 struct SpanRecord {
   uint64_t trace_id = 0;

@@ -1,0 +1,124 @@
+// The HTTP scrape endpoint end to end over a real loopback socket:
+// ephemeral-port bind, /metrics rendering (with obs self-metrics synced
+// per scrape), liveness vs readiness semantics, 404s, and clean shutdown.
+#include "obs/exposition_server.h"
+
+#include <gtest/gtest.h>
+
+#ifndef SWIFTSPATIAL_OBS_OFF
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace swiftspatial::obs {
+namespace {
+
+#ifdef SWIFTSPATIAL_OBS_OFF
+
+TEST(ExpositionServerTest, CompiledOutServerRefusesToStart) {
+  ExpositionServer server({});
+  const Status s = server.Start();
+  EXPECT_FALSE(s.ok());
+  server.Stop();  // harmless
+}
+
+#else
+
+// Minimal blocking HTTP GET against 127.0.0.1:port; returns the full
+// response (status line + headers + body).
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ExpositionServerTest, ServesMetricsHealthAndReadiness) {
+  MetricsRegistry registry;
+  registry.GetCounter("swiftspatial_service_admitted_total", {}, "test")->Increment(3);
+  SpanBuffer spans(/*capacity=*/4);
+
+  std::atomic<bool> ready{false};
+  ExpositionServer::Options options;
+  options.port = 0;  // ephemeral
+  options.registry = &registry;
+  options.spans = &spans;
+  options.ready = [&ready] { return ready.load(); };
+  ExpositionServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  // Liveness is unconditional once the thread runs.
+  EXPECT_NE(HttpGet(port, "/healthz").find("200 OK"), std::string::npos);
+
+  // Readiness tracks the probe.
+  EXPECT_NE(HttpGet(port, "/readyz").find("503"), std::string::npos);
+  ready.store(true);
+  EXPECT_NE(HttpGet(port, "/readyz").find("200 OK"), std::string::npos);
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("swiftspatial_service_admitted_total 3"),
+            std::string::npos)
+      << metrics;
+  // Self-metrics ride along on every scrape.
+  EXPECT_NE(metrics.find("swiftspatial_obs_metric_families"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("swiftspatial_obs_spans_dropped"), std::string::npos);
+
+  EXPECT_NE(HttpGet(port, "/nope").find("404"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 5u);
+
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_FALSE(server.Start().ok()) << "not restartable after Stop()";
+}
+
+TEST(ExpositionServerTest, EphemeralPortsDoNotCollide) {
+  ExpositionServer a({});
+  ExpositionServer b({});
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  EXPECT_NE(a.port(), b.port());
+  a.Stop();
+  b.Stop();
+}
+
+#endif  // SWIFTSPATIAL_OBS_OFF
+
+}  // namespace
+}  // namespace swiftspatial::obs

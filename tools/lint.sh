@@ -2,10 +2,11 @@
 # Repo lint, run in CI (see .github/workflows/ci.yml) and locally via
 #   tools/lint.sh
 #
-# Five checks. The first two keep the compile-time concurrency
+# Six checks. The first two keep the compile-time concurrency
 # verification honest (src/common/sync.h); the third keeps the metric
-# namespace coherent (src/obs/); the last two keep the error-path
-# verification honest (src/common/status.h):
+# namespace coherent (src/obs/); the next two keep the error-path
+# verification honest (src/common/status.h); the last keeps library
+# diagnostics flowing through the structured logger (src/obs/log.h):
 #
 #  1. Raw synchronization primitives are banned outside src/common/sync.h.
 #     Code that locks through std::mutex / std::lock_guard /
@@ -39,6 +40,19 @@
 #     unused parameter/variable) stays legal, as does `(void)co_await`
 #     (the hw/sim coroutine drain idiom: the discarded FIFO element is
 #     data, not an error).
+#
+#  6. Raw stderr diagnostics (`fprintf(stderr, ...)` / `std::cerr`) are
+#     banned in src/: library code reports through SWIFT_LOG (src/obs/log.h,
+#     leveled, rate-controllable, trace-correlated, OBS_OFF-eraseable) or
+#     returns a Status -- never by writing to the process's stderr behind
+#     the embedding application's back. Allowlisted: common/logging.h's
+#     CheckFailed (the SWIFT_CHECK death path fires when invariants are
+#     already gone -- the logger may be the broken component) and
+#     obs/log.cc itself (stderr is the logger's *default sink*, which is
+#     the application-visible, SetStreamSink-overridable contract, not a
+#     side channel). Tests, benches, and examples are main()-owning
+#     programs: their stderr belongs to them, so the check covers src/
+#     only.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -188,11 +202,30 @@ if [ -n "$void_hits" ]; then
   fail=1
 fi
 
+# --- Check 6: no raw stderr diagnostics in library code --------------------
+# Library code logs through SWIFT_LOG or returns a Status; writing to the
+# process's stderr is the application's prerogative. common/logging.h's
+# CheckFailed (death path) and obs/log.cc (stderr is the logger's default,
+# overridable sink) are the two sanctioned sites.
+stderr_hits=$(grep -rnE 'fprintf\(stderr|std::cerr' src \
+  --include='*.h' --include='*.cc' \
+  | grep -v '^src/common/logging\.h:' \
+  | grep -v '^src/obs/log\.cc:' || true)
+if [ -n "$stderr_hits" ]; then
+  echo "FAIL: raw stderr diagnostics in src/. Library code reports through"
+  echo "SWIFT_LOG (src/obs/log.h) or a returned Status, not by printing to"
+  echo "the embedding application's stderr:"
+  echo
+  echo "$stderr_hits"
+  echo
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "lint OK: no raw sync primitives outside src/common/sync.h,"
   echo "no unlisted NO_THREAD_SAFETY_ANALYSIS escapes, all metric"
   echo "names follow swiftspatial_<layer>_<name>, no unlisted or"
-  echo "uncommented Status::IgnoreError() escapes, and no (void)-cast"
-  echo "call expressions."
+  echo "uncommented Status::IgnoreError() escapes, no (void)-cast"
+  echo "call expressions, and no raw stderr diagnostics in src/."
 fi
 exit "$fail"
